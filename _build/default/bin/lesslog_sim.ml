@@ -1,0 +1,441 @@
+(* lesslog-sim: regenerate every figure and ablation of the LessLog paper
+   from the command line. *)
+
+open Cmdliner
+module E = Lesslog_harness.Experiments
+module A = Lesslog_harness.Ablations
+module Series = Lesslog_report.Series
+
+(* --- Common options ---------------------------------------------------- *)
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ]
+           ~doc:"Enable debug logging of the core file operations.")
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  if verbose then Logs.set_level (Some Logs.Debug)
+  else Logs.set_level (Some Logs.Warning)
+
+let m_arg =
+  Arg.(value & opt (some int) None
+       & info [ "m" ] ~docv:"M" ~doc:"Identifier-space width (2^M slots).")
+
+let capacity_arg =
+  Arg.(value & opt (some float) None
+       & info [ "capacity" ] ~docv:"R"
+           ~doc:"Per-node capacity in requests/s (default 100).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let trials_arg =
+  Arg.(value & opt (some int) None
+       & info [ "trials" ] ~docv:"N" ~doc:"Trials averaged per point.")
+
+let quick_arg =
+  Arg.(value & flag
+       & info [ "quick" ]
+           ~doc:"Scaled-down configuration (m=7, 5 sweep points, 1 trial).")
+
+let domains_arg =
+  Arg.(value & opt int 1
+       & info [ "domains" ] ~docv:"D"
+           ~doc:"Worker domains for parallel sweeps (1 = sequential).")
+
+let csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the series as CSV.")
+
+let plot_arg =
+  Arg.(value & flag & info [ "plot" ] ~doc:"Render an ASCII plot too.")
+
+let config_of ~quick ~m ~capacity ~seed ~trials ~domains =
+  let base = if quick then E.quick else E.default in
+  {
+    base with
+    E.m = Option.value ~default:base.E.m m;
+    E.capacity = Option.value ~default:base.E.capacity capacity;
+    E.trials = Option.value ~default:base.E.trials trials;
+    E.seed = seed;
+    E.domains = domains;
+  }
+
+let emit ~title ~x_label ~y_label ~csv ~plot series =
+  print_endline title;
+  print_endline (String.make (String.length title) '=');
+  print_endline (Lesslog_report.Table.of_series ~x_label series);
+  if plot then begin
+    print_newline ();
+    print_endline (Lesslog_report.Ascii_plot.render ~x_label ~y_label series)
+  end;
+  match csv with
+  | Some path ->
+      Lesslog_report.Csv.write_file ~path
+        (Lesslog_report.Csv.of_series ~x_label series);
+      Printf.printf "wrote %s\n" path
+  | None -> ()
+
+(* --- Figure commands --------------------------------------------------- *)
+
+let figure_cmd ~name ~title ~doc ~runner =
+  let run verbose quick m capacity seed trials domains csv plot =
+    setup_logs verbose;
+    let config = config_of ~quick ~m ~capacity ~seed ~trials ~domains in
+    emit ~title ~x_label:"req/s" ~y_label:"replicas" ~csv ~plot
+      (runner ~config ())
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const run $ verbose_arg $ quick_arg $ m_arg $ capacity_arg $ seed_arg
+      $ trials_arg $ domains_arg $ csv_arg $ plot_arg)
+
+let fig5_cmd =
+  figure_cmd ~name:"fig5"
+    ~title:"Figure 5: replicas to balance, evenly-distributed load"
+    ~doc:"Figure 5: log-based vs LessLog vs random under even load."
+    ~runner:(fun ~config () -> E.fig5 ~config ())
+
+let fig6_cmd =
+  figure_cmd ~name:"fig6"
+    ~title:"Figure 6: LessLog with 10/20/30% dead nodes, even load"
+    ~doc:"Figure 6: LessLog with dead nodes under even load."
+    ~runner:(fun ~config () -> E.fig6 ~config ())
+
+let fig7_cmd =
+  figure_cmd ~name:"fig7"
+    ~title:"Figure 7: replicas to balance, locality model (80/20)"
+    ~doc:"Figure 7: the three policies under the locality model."
+    ~runner:(fun ~config () -> E.fig7 ~config ())
+
+let fig8_cmd =
+  figure_cmd ~name:"fig8"
+    ~title:"Figure 8: LessLog with 10/20/30% dead nodes, locality model"
+    ~doc:"Figure 8: LessLog with dead nodes under the locality model."
+    ~runner:(fun ~config () -> E.fig8 ~config ())
+
+(* --- Ablations ---------------------------------------------------------- *)
+
+let hops_cmd =
+  let run samples seed csv plot =
+    emit ~title:"A1: mean lookup hops vs log2 N (lesslog, chord, pastry, CAN)"
+      ~x_label:"m" ~y_label:"hops" ~csv ~plot (A.hops ~samples ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "hops" ~doc:"A1: O(log N) lookup — LessLog tree vs Chord, Pastry and CAN.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 2000
+             & info [ "samples" ] ~docv:"N" ~doc:"Random lookups per point.")
+      $ seed_arg $ csv_arg $ plot_arg)
+
+let eviction_cmd =
+  let run quick m capacity seed trials domains decay min_rate csv plot =
+    let config = config_of ~quick ~m ~capacity ~seed ~trials ~domains in
+    emit ~title:"A2: counter-based replica eviction after demand decay"
+      ~x_label:"peak req/s" ~y_label:"replicas" ~csv ~plot
+      (A.eviction ~config ~decay_factor:decay ~min_rate ())
+  in
+  Cmd.v
+    (Cmd.info "eviction" ~doc:"A2: counter-based removal of cold replicas.")
+    Term.(
+      const run $ quick_arg $ m_arg $ capacity_arg $ seed_arg $ trials_arg
+      $ domains_arg
+      $ Arg.(value & opt float 10.0
+             & info [ "decay" ] ~docv:"F" ~doc:"Demand decay factor.")
+      $ Arg.(value & opt float 10.0
+             & info [ "min-rate" ] ~docv:"R"
+                 ~doc:"Eviction threshold, requests/s.")
+      $ csv_arg $ plot_arg)
+
+let ft_cmd =
+  let run m files seed csv plot =
+    emit
+      ~title:"A3: read-fault rate vs simultaneously failed fraction, per b"
+      ~x_label:"failed fraction" ~y_label:"fault rate" ~csv ~plot
+      (A.fault_tolerance ~m ~files ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "ft"
+       ~doc:"A3: the 2^b-subtree fault-tolerance model under failures.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 8 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ Arg.(value & opt int 32
+             & info [ "files" ] ~docv:"N" ~doc:"Files inserted.")
+      $ seed_arg $ csv_arg $ plot_arg)
+
+let propchoice_cmd =
+  let run quick m capacity seed trials domains dead csv plot =
+    let config = config_of ~quick ~m ~capacity ~seed ~trials ~domains in
+    emit
+      ~title:"A5: proportional choice vs always-own / always-root placement"
+      ~x_label:"req/s" ~y_label:"replicas" ~csv ~plot
+      (A.proportional_choice ~config ~dead_fraction:dead ())
+  in
+  Cmd.v
+    (Cmd.info "propchoice"
+       ~doc:"A5: the Section 3 proportional choice at the max-VID live node.")
+    Term.(
+      const run $ quick_arg $ m_arg $ capacity_arg $ seed_arg $ trials_arg
+      $ domains_arg
+      $ Arg.(value & opt float 0.3
+             & info [ "dead" ] ~docv:"F" ~doc:"Dead-node fraction.")
+      $ csv_arg $ plot_arg)
+
+let validate_cmd =
+  let run m duration seed csv plot =
+    emit ~title:"V1: fluid solver vs event-driven simulator (LessLog policy)"
+      ~x_label:"req/s" ~y_label:"replicas" ~csv ~plot
+      (A.fluid_vs_des ~m ~duration ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"V1: cross-validate the two evaluation engines.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 7 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ Arg.(value & opt float 30.0
+             & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+      $ seed_arg $ csv_arg $ plot_arg)
+
+let lifecycle_cmd =
+  let run m peak calm seed plot =
+    let o = A.eviction_lifecycle ~m ~peak ~calm ~seed () in
+    print_endline "A2 (message-level): flash-crowd replica lifecycle";
+    print_endline "=================================================";
+    Printf.printf
+      "replicas created %d, evicted %d; peak concurrent copies %.0f; final \
+       copies %d; faults %d\n"
+      o.A.created o.A.evicted o.A.peak_copies o.A.final_copies
+      o.A.lifecycle_faults;
+    if plot then begin
+      print_newline ();
+      print_endline
+        (Lesslog_report.Ascii_plot.render ~x_label:"time (s)"
+           ~y_label:"copies" (A.lifecycle_series o))
+    end
+  in
+  Cmd.v
+    (Cmd.info "lifecycle"
+       ~doc:
+         "A2 in the event-driven simulator: grow the fleet in a flash \
+          crowd, trim it with the counter-based mechanism.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 8 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ Arg.(value & opt float 3000.0
+             & info [ "peak" ] ~docv:"R" ~doc:"Peak demand, requests/s.")
+      $ Arg.(value & opt float 150.0
+             & info [ "calm" ] ~docv:"R" ~doc:"Post-crowd demand, requests/s.")
+      $ seed_arg $ plot_arg)
+
+let update_cost_cmd =
+  let run m seed csv plot =
+    emit ~title:"A6: UPDATEFILE messages vs replica population"
+      ~x_label:"copies" ~y_label:"messages" ~csv ~plot
+      (A.update_cost ~m ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "update-cost"
+       ~doc:"A6: cost of the children-list update broadcast vs flooding.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 10 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ seed_arg $ csv_arg $ plot_arg)
+
+let sessions_cmd =
+  let run m rate duration seed =
+    let outcomes = A.session_churn ~m ~rate ~duration ~seed () in
+    print_endline "A7: availability under session-based churn (DES)";
+    print_endline "================================================";
+    print_endline
+      (Lesslog_report.Table.render
+         ~header:
+           [ "session(s)"; "availability"; "served"; "faults"; "joins";
+             "leaves"; "fails"; "replicas"; "ctrl msgs"; "transfers" ]
+         (List.map
+            (fun o ->
+              [
+                Printf.sprintf "%.0f" o.A.mean_session;
+                Printf.sprintf "%.4f"
+                  o.A.availability;
+                string_of_int o.A.served;
+                string_of_int o.A.faults;
+                string_of_int o.A.joins;
+                string_of_int o.A.leaves;
+                string_of_int o.A.fails;
+                string_of_int o.A.replicas_created;
+                string_of_int o.A.control_messages;
+                string_of_int o.A.file_transfers;
+              ])
+            outcomes))
+  in
+  Cmd.v
+    (Cmd.info "sessions"
+       ~doc:
+         "A7: realistic alternating session/downtime churn (the paper's \
+          future work).")
+    Term.(
+      const run
+      $ Arg.(value & opt int 8 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ Arg.(value & opt float 2000.0
+             & info [ "rate" ] ~docv:"R" ~doc:"Total demand, requests/s.")
+      $ Arg.(value & opt float 120.0
+             & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+      $ seed_arg)
+
+let churn_cmd =
+  let run m rate duration seed =
+    let outcomes = A.churn ~m ~rate ~duration ~seed () in
+    print_endline "A4: availability under join/leave/fail churn";
+    print_endline "==============================================";
+    let rows =
+      List.map
+        (fun o ->
+          [
+            Printf.sprintf "%.0f" o.A.events_per_min;
+            Printf.sprintf "%.4f" o.A.availability;
+            string_of_int o.A.served;
+            string_of_int o.A.faults;
+            string_of_int o.A.replicas_created;
+          ])
+        outcomes
+    in
+    print_endline
+      (Lesslog_report.Table.render
+         ~header:[ "events/min"; "availability"; "served"; "faults"; "replicas" ]
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc:"A4: availability under membership churn (DES).")
+    Term.(
+      const run
+      $ Arg.(value & opt int 8 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ Arg.(value & opt float 2000.0
+             & info [ "rate" ] ~docv:"R" ~doc:"Total demand, requests/s.")
+      $ Arg.(value & opt float 60.0
+             & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+      $ seed_arg)
+
+let trace_run_cmd =
+  let run m rate duration churn_epm seed out =
+    let params = Lesslog_id.Params.create ~m () in
+    let cluster = Lesslog.Cluster.create params in
+    let key = "trace/hot-object" in
+    ignore (Lesslog.Ops.insert cluster ~key);
+    let rng = Lesslog_prng.Rng.create ~seed in
+    let demand =
+      Lesslog_workload.Demand.uniform (Lesslog.Cluster.status cluster)
+        ~total:rate
+    in
+    let churn =
+      if churn_epm <= 0.0 then []
+      else
+        Lesslog_des.Churn_trace.generate ~rng
+          ~live:
+            (Lesslog_membership.Status_word.live_pids
+               (Lesslog.Cluster.status cluster))
+          {
+            Lesslog_des.Churn_trace.default with
+            mean_session = 60.0 /. churn_epm *. 60.0;
+            duration;
+          }
+    in
+    let writer = Lesslog_trace.Trace.Writer.to_file out in
+    let result =
+      Lesslog_des.Des_sim.run ~churn
+        ~sink:(Lesslog_trace.Trace.Writer.emit writer)
+        ~rng ~cluster ~key ~demand ~duration ()
+    in
+    Lesslog_trace.Trace.Writer.close writer;
+    Printf.printf
+      "wrote %s: %d events (served %d, faults %d, replicas %d)\n" out
+      (Lesslog_trace.Trace.Writer.count writer)
+      result.Lesslog_des.Des_sim.served result.Lesslog_des.Des_sim.faults
+      result.Lesslog_des.Des_sim.replicas_created;
+    match Lesslog_trace.Trace.read_file out with
+    | Ok events ->
+        let s = Lesslog_trace.Trace.summarize events in
+        Printf.printf
+          "trace check: %d events over %.1fs (%d requests, %d replications, \
+           %d evictions, %d membership changes)\n"
+          s.Lesslog_trace.Trace.events s.Lesslog_trace.Trace.span
+          s.Lesslog_trace.Trace.requests s.Lesslog_trace.Trace.replications
+          s.Lesslog_trace.Trace.evictions
+          s.Lesslog_trace.Trace.membership_changes
+    | Error msg -> Printf.printf "trace check failed: %s\n" msg
+  in
+  Cmd.v
+    (Cmd.info "trace-run"
+       ~doc:"Run the event-driven simulator and record a replayable trace.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 7 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ Arg.(value & opt float 1500.0
+             & info [ "rate" ] ~docv:"R" ~doc:"Total demand, requests/s.")
+      $ Arg.(value & opt float 30.0
+             & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+      $ Arg.(value & opt float 0.0
+             & info [ "churn" ] ~docv:"EPM"
+                 ~doc:"Approximate membership events per minute (0 = none).")
+      $ seed_arg
+      $ Arg.(value & opt string "lesslog.trace"
+             & info [ "out" ] ~docv:"FILE" ~doc:"Trace output path."))
+
+(* --- Inspection --------------------------------------------------------- *)
+
+let tree_cmd =
+  let run m root =
+    let params = Lesslog_id.Params.create ~m () in
+    let tree =
+      Lesslog_ptree.Ptree.make params
+        ~root:(Lesslog_id.Pid.of_int params root)
+    in
+    Format.printf "%a@." Lesslog_ptree.Ptree.pp tree
+  in
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Print the physical lookup tree of a node.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 4 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ Arg.(value & opt int 4
+             & info [ "root" ] ~docv:"PID" ~doc:"Root node PID."))
+
+let all_cmd =
+  let run quick m capacity seed trials domains plot =
+    let config = config_of ~quick ~m ~capacity ~seed ~trials ~domains in
+    let figures =
+      [
+        ("Figure 5 (even load)", E.fig5 ~config ());
+        ("Figure 6 (dead nodes, even)", E.fig6 ~config ());
+        ("Figure 7 (locality)", E.fig7 ~config ());
+        ("Figure 8 (dead nodes, locality)", E.fig8 ~config ());
+      ]
+    in
+    List.iter
+      (fun (title, series) ->
+        emit ~title ~x_label:"req/s" ~y_label:"replicas" ~csv:None ~plot series;
+        print_newline ())
+      figures
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate all four paper figures.")
+    Term.(
+      const run $ quick_arg $ m_arg $ capacity_arg $ seed_arg $ trials_arg
+      $ domains_arg $ plot_arg)
+
+let () =
+  let doc = "Reproduce the LessLog (IPDPS 2004) evaluation." in
+  let info = Cmd.info "lesslog-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; all_cmd; hops_cmd;
+            eviction_cmd; ft_cmd; propchoice_cmd; validate_cmd; churn_cmd;
+            update_cost_cmd; sessions_cmd; lifecycle_cmd; trace_run_cmd;
+            tree_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/churn_recovery.ml: Lesslog Lesslog_id Lesslog_membership Lesslog_prng List Params Pid Printf

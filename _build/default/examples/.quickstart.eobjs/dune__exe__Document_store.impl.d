@@ -1,0 +1,1 @@
+examples/document_store.ml: Array Float Format Lesslog Lesslog_flow Lesslog_fs Lesslog_id Lesslog_membership Lesslog_prng Lesslog_workload List Pid Printf

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Lesslog Lesslog_id Lesslog_membership Lesslog_prng Lesslog_storage List Params Printf

@@ -1,0 +1,1 @@
+examples/flash_crowd.ml: Array Float Lesslog Lesslog_des Lesslog_flow Lesslog_id Lesslog_metrics Lesslog_prng Lesslog_workload Params Pid Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Lesslog Lesslog_id Lesslog_prng Lesslog_ptree List Option Params Pid Printf String

@@ -1,0 +1,82 @@
+(* Churn: nodes join, leave and crash while the system keeps every file
+   placed where lookups expect it (paper Section 5).
+
+   A 64-node fault-tolerant deployment (b = 1: two copies of every file)
+   rides out a sequence of membership events; after each one the
+   self-organized mechanism restores the placement invariant, and we
+   verify every file remains readable from every live node.
+
+   Run with: dune exec examples/churn_recovery.exe *)
+
+open Lesslog_id
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Self_org = Lesslog.Self_org
+module Status_word = Lesslog_membership.Status_word
+module Rng = Lesslog_prng.Rng
+
+let check_all_readable cluster keys =
+  let status = Cluster.status cluster in
+  List.for_all
+    (fun key ->
+      List.for_all
+        (fun origin -> (Ops.get cluster ~origin ~key).Ops.server <> None)
+        (Status_word.live_pids status))
+    keys
+
+let () =
+  let params = Params.create ~m:6 ~b:1 () in
+  let cluster = Cluster.create params in
+  let rng = Rng.create ~seed:7 in
+  let keys = List.init 20 (fun i -> Printf.sprintf "shard/object-%02d" i) in
+  List.iter (fun key -> ignore (Ops.insert cluster ~key)) keys;
+  Printf.printf "64-node system, b = 1 (every file stored twice), %d files\n\n"
+    (List.length keys);
+
+  let report label =
+    let ok = check_all_readable cluster keys in
+    let violations = Self_org.integrity_violations cluster in
+    Printf.printf "%-34s live=%2d all-readable=%b placement-ok=%b\n" label
+      (Cluster.live_count cluster) ok (violations = []);
+    assert ok;
+    assert (violations = [])
+  in
+  report "initial state:";
+
+  (* A wave of voluntary departures. *)
+  for _ = 1 to 8 do
+    match Status_word.random_live (Cluster.status cluster) rng with
+    | Some p when Cluster.live_count cluster > 16 ->
+        let stats = Self_org.leave cluster p in
+        if stats.Self_org.reinserted <> [] then
+          Printf.printf "  P(%2d) left; re-homed %d file(s)\n" (Pid.to_int p)
+            (List.length stats.Self_org.reinserted)
+    | _ -> ()
+  done;
+  report "after 8 departures:";
+
+  (* Crashes: stores are lost, the sibling subtree recovers them. *)
+  for _ = 1 to 6 do
+    match Status_word.random_live (Cluster.status cluster) rng with
+    | Some p when Cluster.live_count cluster > 16 ->
+        let stats = Self_org.fail cluster p in
+        Printf.printf "  P(%2d) crashed; recovered=%d lost=%d\n" (Pid.to_int p)
+          (List.length stats.Self_org.recovered)
+          (List.length stats.Self_org.lost);
+        assert (stats.Self_org.lost = [])
+    | _ -> ()
+  done;
+  report "after 6 crashes:";
+
+  (* Rejoins: joiners reclaim the files they should now host. *)
+  for _ = 1 to 10 do
+    match Status_word.random_dead (Cluster.status cluster) rng with
+    | Some p ->
+        let stats = Self_org.join cluster p in
+        if stats.Self_org.took_over <> [] then
+          Printf.printf "  P(%2d) joined; took over %d file(s)\n" (Pid.to_int p)
+            (List.length stats.Self_org.took_over)
+    | None -> ()
+  done;
+  report "after 10 joins:";
+  print_endline "\nno file was ever lost or misplaced."

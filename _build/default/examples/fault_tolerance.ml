@@ -1,0 +1,60 @@
+(* Fault tolerance: how many simultaneous failures can the 2^b-subtree
+   model absorb? (paper Section 4)
+
+   For b = 0..3 we insert a catalogue of files into a 256-node system,
+   crash 30% of the nodes at once (no recovery window), and measure which
+   reads still succeed — including how often a surviving read had to
+   migrate to a sibling subtree.
+
+   Run with: dune exec examples/fault_tolerance.exe *)
+
+open Lesslog_id
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Status_word = Lesslog_membership.Status_word
+module File_store = Lesslog_storage.File_store
+module Rng = Lesslog_prng.Rng
+
+let () =
+  let m = 8 and files = 40 and kill = 0.3 in
+  Printf.printf
+    "256-node system, %d files, 30%% of nodes crash simultaneously\n\n" files;
+  Printf.printf "%-4s  %-8s  %-10s  %-12s  %s\n" "b" "copies" "faults"
+    "fault rate" "migrated reads";
+  List.iter
+    (fun b ->
+      let params = Params.create ~m ~b () in
+      let cluster = Cluster.create params in
+      let rng = Rng.create ~seed:(100 + b) in
+      let keys = List.init files (fun i -> Printf.sprintf "vault/doc-%02d" i) in
+      let copies =
+        List.fold_left
+          (fun acc key -> acc + List.length (Ops.insert cluster ~key))
+          0 keys
+      in
+      (* Simultaneous crash: stores vanish with the nodes. *)
+      let status = Cluster.status cluster in
+      let victims = Status_word.kill_fraction status rng ~fraction:kill in
+      List.iter
+        (fun v ->
+          let store = Cluster.store cluster v in
+          List.iter (fun key -> File_store.remove store ~key)
+            (File_store.keys store))
+        victims;
+      let total = ref 0 and faults = ref 0 and migrated = ref 0 in
+      Status_word.iter_live status (fun origin ->
+          List.iter
+            (fun key ->
+              incr total;
+              let r = Ops.get cluster ~origin ~key in
+              if r.Ops.server = None then incr faults
+              else if r.Ops.subtree_migrations > 0 then incr migrated)
+            keys);
+      Printf.printf "%-4d  %-8d  %-10d  %-12.4f  %d\n" b copies !faults
+        (float_of_int !faults /. float_of_int !total)
+        !migrated)
+    [ 0; 1; 2; 3 ];
+  print_endline
+    "\nwith b >= 1 every file also survives any single failure by design;\n\
+     the paper's guarantee holds as long as the 2^b targets of a file do\n\
+     not fail simultaneously."

@@ -1,0 +1,76 @@
+(* Quickstart: a 16-node LessLog system, end to end.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Lesslog_id
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Self_org = Lesslog.Self_org
+module Ptree = Lesslog_ptree.Ptree
+
+let pid = Pid.unsafe_of_int
+
+let show_path r =
+  String.concat " -> "
+    (List.map (fun p -> Printf.sprintf "P(%d)" (Pid.to_int p)) r.Ops.path)
+
+let () =
+  (* A complete 16-node system: m = 4, every PID slot live. *)
+  let params = Params.create ~m:4 () in
+  let cluster = Cluster.create params in
+  Printf.printf "cluster: %d nodes, m = %d\n\n" (Cluster.live_count cluster)
+    (Params.m params);
+
+  (* Insert a file. Its target node is psi(key). *)
+  let key = "http://example.net/videos/launch.mp4" in
+  let targets = Ops.insert cluster ~key in
+  let target = List.hd targets in
+  Printf.printf "inserted %S\n  -> stored at its target node P(%d)\n\n" key
+    (Pid.to_int target);
+
+  (* The lookup tree of the target: every node routes up this tree. *)
+  Format.printf "%a@." Ptree.pp (Cluster.tree_of_key cluster key);
+
+  (* Any node can get the file; requests climb the tree. *)
+  let origin = pid ((Pid.to_int target + 7) mod 16) in
+  let r = Ops.get cluster ~origin ~key in
+  Printf.printf "get from P(%d): served by P(%d) in %d hops  [%s]\n\n"
+    (Pid.to_int origin)
+    (Pid.to_int (Option.get r.Ops.server))
+    r.Ops.hops (show_path r);
+
+  (* The target is overloaded: replicate — no logs needed, the placement
+     is a bitwise computation on the children list. *)
+  let rng = Lesslog_prng.Rng.create ~seed:1 in
+  (match Ops.replicate ~rng cluster ~overloaded:target ~key with
+  | Some replica ->
+      Printf.printf
+        "replicated to P(%d) (the child with the most offspring: half the \
+         tree now stops there)\n"
+        (Pid.to_int replica)
+  | None -> print_endline "no replication candidate");
+  let r2 = Ops.get cluster ~origin ~key in
+  Printf.printf "get from P(%d) again: served by P(%d) in %d hops  [%s]\n\n"
+    (Pid.to_int origin)
+    (Pid.to_int (Option.get r2.Ops.server))
+    r2.Ops.hops (show_path r2);
+
+  (* Updates propagate top-down along children lists. *)
+  let u = Ops.update cluster ~key in
+  Printf.printf "update: version %d pushed to %d copies with %d messages\n\n"
+    u.Ops.version u.Ops.updated u.Ops.messages;
+
+  (* Nodes come and go; the self-organized mechanism keeps files placed. *)
+  let leaver = target in
+  let stats = Self_org.leave cluster leaver in
+  List.iter
+    (fun (k, p) ->
+      Printf.printf "P(%d) left: %S re-inserted at P(%d)\n" (Pid.to_int leaver)
+        k (Pid.to_int p))
+    stats.Self_org.reinserted;
+  let r3 = Ops.get cluster ~origin ~key in
+  Printf.printf "get after departure: served by P(%d) in %d hops  [%s]\n"
+    (Pid.to_int (Option.get r3.Ops.server))
+    r3.Ops.hops (show_path r3);
+  assert (Self_org.integrity_violations cluster = []);
+  print_endline "\nintegrity check: OK"

@@ -1,0 +1,133 @@
+(* Trace analysis: record everything the event-driven simulator does, then
+   analyse the trace offline.
+
+   A flash crowd with churn runs against a 128-node system; every served
+   request, replica push, eviction and membership change lands in a trace.
+   We then reload the trace and reconstruct the story: hop distribution,
+   the replication burst, and when the counter-based mechanism cleaned up.
+
+   Run with: dune exec examples/trace_analysis.exe *)
+
+open Lesslog_id
+module Trace = Lesslog_trace.Trace
+module Event = Lesslog_trace.Trace.Event
+module Des_sim = Lesslog_des.Des_sim
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Scenario = Lesslog_workload.Scenario
+module Bars = Lesslog_report.Bars
+module Histogram = Lesslog_metrics.Histogram
+module Rng = Lesslog_prng.Rng
+
+let () =
+  (* --- Record ---------------------------------------------------------- *)
+  let params = Params.create ~m:7 () in
+  let cluster = Cluster.create params in
+  let key = "stream/segment-042" in
+  ignore (Ops.insert cluster ~key);
+  let rng = Rng.create ~seed:99 in
+  let scenario =
+    Scenario.flash_crowd (Cluster.status cluster) ~rng ~peak:2500.0 ~calm:120.0
+      ~peak_duration:30.0 ~calm_duration:60.0
+  in
+  let churn =
+    Lesslog_des.Churn_trace.generate ~rng
+      ~live:(Lesslog_membership.Status_word.live_pids (Cluster.status cluster))
+      {
+        Lesslog_des.Churn_trace.default with
+        mean_session = 200.0;
+        mean_downtime = 60.0;
+        duration = Scenario.total_duration scenario;
+      }
+  in
+  let buf = Buffer.create (1 lsl 20) in
+  let writer = Trace.Writer.to_buffer buf in
+  let config =
+    {
+      Des_sim.default_config with
+      eviction = Some { Des_sim.period = 5.0; min_rate = 4.0 };
+    }
+  in
+  let _result =
+    Des_sim.run_scenario ~config ~churn ~sink:(Trace.Writer.emit writer) ~rng
+      ~cluster ~key ~scenario ()
+  in
+  Trace.Writer.close writer;
+  Printf.printf "recorded %d trace events\n\n" (Trace.Writer.count writer);
+
+  (* --- Replay ----------------------------------------------------------- *)
+  let events =
+    match Trace.read_string (Buffer.contents buf) with
+    | Ok e -> e
+    | Error msg -> failwith msg
+  in
+  let s = Trace.summarize events in
+  Printf.printf
+    "trace summary: %d requests (%d faults), %d replications, %d evictions, \
+     %d membership changes over %.0f s\n\n"
+    s.Trace.requests s.Trace.faults s.Trace.replications s.Trace.evictions
+    s.Trace.membership_changes s.Trace.span;
+
+  (* Hop distribution of served requests. *)
+  let hops = Histogram.create () in
+  List.iter
+    (function
+      | Event.Request { server = Some _; hops = h; _ } -> Histogram.add_int hops h
+      | _ -> ())
+    events;
+  print_endline
+    (Bars.of_histogram ~title:"hops per served request" ~bucket_width:1.0 hops);
+
+  (* Replication and eviction activity per 10-second window. *)
+  let window = 10.0 in
+  let windows = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let bump kind =
+        let w = int_of_float (Event.time e /. window) in
+        let reps, evs =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt windows w)
+        in
+        Hashtbl.replace windows w
+          (match kind with
+          | `Rep -> (reps + 1, evs)
+          | `Ev -> (reps, evs + 1))
+      in
+      match e with
+      | Event.Replicate _ -> bump `Rep
+      | Event.Evict _ -> bump `Ev
+      | _ -> ())
+    events;
+  let rows =
+    Hashtbl.fold (fun w v acc -> (w, v) :: acc) windows []
+    |> List.sort compare
+    |> List.map (fun (w, (reps, evs)) ->
+           ( Printf.sprintf "t=%3.0f..%3.0fs"
+               (float_of_int w *. window)
+               ((float_of_int w +. 1.) *. window),
+             (reps, evs) ))
+  in
+  print_endline "replications per window:";
+  print_endline
+    (Bars.render (List.map (fun (l, (r, _)) -> (l, float_of_int r)) rows));
+  print_endline "evictions per window:";
+  print_endline
+    (Bars.render (List.map (fun (l, (_, e)) -> (l, float_of_int e)) rows));
+
+  (* The arc of the story, in one sentence each. *)
+  let first_rep =
+    List.find_map
+      (function Event.Replicate { at; _ } -> Some at | _ -> None)
+      events
+  in
+  let first_ev =
+    List.find_map
+      (function Event.Evict { at; _ } -> Some at | _ -> None)
+      events
+  in
+  (match first_rep with
+  | Some t -> Printf.printf "first replica pushed at t=%.2fs (crowd arrives)\n" t
+  | None -> print_endline "no replication happened");
+  match first_ev with
+  | Some t -> Printf.printf "first eviction at t=%.2fs (crowd gone)\n" t
+  | None -> print_endline "no eviction happened"

@@ -1,0 +1,1 @@
+lib/bits/bitops.ml: Format String

@@ -1,0 +1,1 @@
+lib/bits/bitops.mli: Format

@@ -1,0 +1,73 @@
+(** Width-parametric bit manipulation.
+
+    All LessLog identifier arithmetic — Properties 1 through 4 of the paper —
+    reduces to operations on [width]-bit unsigned integers stored in OCaml
+    [int]s. [width] is the paper's [m] (plus, for the fault-tolerant model,
+    the derived width [m - b]). Values are always in [\[0, 2^width)];
+    functions do not mask their inputs, callers keep that invariant. *)
+
+val max_width : int
+(** Largest supported width (we need [2^width] to fit comfortably in an
+    OCaml [int] and in an [Array] length). *)
+
+val mask : width:int -> int
+(** [mask ~width] is [2^width - 1], the all-ones value — the VID of the
+    virtual-tree root. *)
+
+val complement : width:int -> int -> int
+(** [complement ~width v] is the bitwise complement of [v] restricted to
+    [width] bits — the paper's [k-bar], used to map VIDs to PIDs. *)
+
+val popcount : int -> int
+(** Number of set bits. The depth of VID [v] in the virtual tree is
+    [width - popcount v]. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 x] for [x > 0] is the position of the highest set bit.
+    @raise Invalid_argument on [x <= 0]. *)
+
+val leading_ones : width:int -> int -> int
+(** Number of consecutive 1-bits starting from bit [width - 1] downward.
+    By Property 1 this is the child count of a VID in the virtual tree. *)
+
+val highest_zero_bit : width:int -> int -> int option
+(** Position of the leftmost 0-bit below [width], or [None] when the value
+    is all ones. By Property 2 setting this bit yields the parent VID. *)
+
+val test_bit : int -> int -> bool
+(** [test_bit v i] is whether bit [i] of [v] is set. *)
+
+val set_bit : int -> int -> int
+(** [set_bit v i] sets bit [i]. *)
+
+val clear_bit : int -> int -> int
+(** [clear_bit v i] clears bit [i]. *)
+
+val trailing_zeros : int -> int
+(** Number of consecutive 0-bits from bit 0 upward; [trailing_zeros 0]
+    raises. @raise Invalid_argument on [0]. *)
+
+val is_all_ones : width:int -> int -> bool
+(** Whether the value is the [width]-bit all-ones pattern. *)
+
+val in_range : width:int -> int -> bool
+(** Whether the value lies in [\[0, 2^width)]. *)
+
+val low_bits : width:int -> int -> int
+(** [low_bits ~width v] keeps the lowest [width] bits — extracts the
+    fault-tolerant model's subtree identifier. *)
+
+val high_bits : total:int -> low:int -> int -> int
+(** [high_bits ~total ~low v] extracts bits [low .. total-1], shifted down —
+    the fault-tolerant model's subtree VID. *)
+
+val splice : total:int -> low:int -> high:int -> int -> int
+(** [splice ~total ~low ~high lowv] recombines a subtree VID [high] with a
+    subtree identifier [lowv] into a full [total]-bit VID. *)
+
+val pp_binary : width:int -> Format.formatter -> int -> unit
+(** Print as a fixed-width binary literal, matching the paper's VID
+    notation. *)
+
+val to_binary_string : width:int -> int -> string
+(** Same as {!pp_binary} but as a string. *)

@@ -1,0 +1,1 @@
+lib/can/can.ml: Array Float Hashtbl Lesslog_prng List

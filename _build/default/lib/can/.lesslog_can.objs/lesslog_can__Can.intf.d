@@ -1,0 +1,1 @@
+lib/can/can.mli: Lesslog_prng

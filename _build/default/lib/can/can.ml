@@ -1,0 +1,165 @@
+module Rng = Lesslog_prng.Rng
+
+type zone = { lo : float array; hi : float array }
+
+type t = {
+  d : int;
+  zones : zone array;
+  neighbors : int array array;
+}
+
+(* --- Torus geometry ----------------------------------------------------- *)
+
+let axis_distance a b =
+  let delta = Float.abs (a -. b) in
+  Float.min delta (1.0 -. delta)
+
+(* Distance from a coordinate to an interval [lo, hi) on the unit circle. *)
+let axis_rect_distance x ~lo ~hi =
+  if x >= lo && x < hi then 0.0
+  else Float.min (axis_distance x lo) (axis_distance x hi)
+
+let rect_distance d zone point =
+  let acc = ref 0.0 in
+  for i = 0 to d - 1 do
+    let dist = axis_rect_distance point.(i) ~lo:zone.lo.(i) ~hi:zone.hi.(i) in
+    acc := !acc +. (dist *. dist)
+  done;
+  sqrt !acc
+
+let center_distance d zone point =
+  let acc = ref 0.0 in
+  for i = 0 to d - 1 do
+    let c = (zone.lo.(i) +. zone.hi.(i)) /. 2.0 in
+    let dist = axis_distance point.(i) c in
+    acc := !acc +. (dist *. dist)
+  done;
+  sqrt !acc
+
+let contains zone point =
+  let ok = ref true in
+  Array.iteri
+    (fun i x -> if x < zone.lo.(i) || x >= zone.hi.(i) then ok := false)
+    point;
+  !ok
+
+(* Intervals abut on the circle: one's end is the other's start (0 and 1
+   identified). *)
+let abuts ~alo:_ ~ahi ~blo ~bhi:_ = Float.abs (ahi -. blo) < 1e-12
+let wraps ~ahi ~blo = ahi >= 1.0 -. 1e-12 && blo <= 1e-12
+
+let axis_adjacent (alo, ahi) (blo, bhi) =
+  abuts ~alo ~ahi ~blo ~bhi || abuts ~alo:blo ~ahi:bhi ~blo:alo ~bhi:ahi
+  || wraps ~ahi ~blo || wraps ~ahi:bhi ~blo:alo
+
+let axis_overlaps (alo, ahi) (blo, bhi) =
+  Float.min ahi bhi -. Float.max alo blo > 1e-12
+
+let zones_adjacent d a b =
+  (* Exactly one axis abutting, all others overlapping. *)
+  let abutting = ref 0 and overlapping = ref 0 in
+  for i = 0 to d - 1 do
+    let ia = (a.lo.(i), a.hi.(i)) and ib = (b.lo.(i), b.hi.(i)) in
+    if axis_overlaps ia ib then incr overlapping
+    else if axis_adjacent ia ib then incr abutting
+  done;
+  !abutting = 1 && !overlapping = d - 1
+
+(* --- Construction -------------------------------------------------------- *)
+
+let split_zone z =
+  (* Split along the longest side at its midpoint. *)
+  let d = Array.length z.lo in
+  let axis = ref 0 and best = ref 0.0 in
+  for i = 0 to d - 1 do
+    let len = z.hi.(i) -. z.lo.(i) in
+    if len > !best then begin
+      best := len;
+      axis := i
+    end
+  done;
+  let mid = (z.lo.(!axis) +. z.hi.(!axis)) /. 2.0 in
+  let lower = { lo = Array.copy z.lo; hi = Array.copy z.hi } in
+  let upper = { lo = Array.copy z.lo; hi = Array.copy z.hi } in
+  lower.hi.(!axis) <- mid;
+  upper.lo.(!axis) <- mid;
+  (lower, upper)
+
+let create ~rng ~n ~d =
+  if n < 1 then invalid_arg "Can.create: n";
+  if d < 1 || d > 6 then invalid_arg "Can.create: d";
+  let zones = ref [| { lo = Array.make d 0.0; hi = Array.make d 1.0 } |] in
+  for _ = 2 to n do
+    let point = Array.init d (fun _ -> Rng.float rng 1.0) in
+    let owner = ref 0 in
+    Array.iteri (fun i z -> if contains z point then owner := i) !zones;
+    let lower, upper = split_zone !zones.(!owner) in
+    !zones.(!owner) <- lower;
+    zones := Array.append !zones [| upper |]
+  done;
+  let zones = !zones in
+  let neighbors =
+    Array.mapi
+      (fun i a ->
+        let acc = ref [] in
+        Array.iteri
+          (fun j b -> if i <> j && zones_adjacent d a b then acc := j :: !acc)
+          zones;
+        Array.of_list (List.rev !acc))
+      zones
+  in
+  { d; zones; neighbors }
+
+let node_count t = Array.length t.zones
+let dimension t = t.d
+
+let owner_of t point =
+  let owner = ref (-1) in
+  Array.iteri (fun i z -> if contains z point then owner := i) t.zones;
+  if !owner < 0 then invalid_arg "Can.owner_of: point outside torus";
+  !owner
+
+type lookup_result = { owner : int; hops : int }
+
+let lookup t ~from ~target =
+  if from < 0 || from >= node_count t then invalid_arg "Can.lookup: from";
+  Array.iter
+    (fun x -> if x < 0.0 || x >= 1.0 then invalid_arg "Can.lookup: target")
+    target;
+  let visited = Hashtbl.create 32 in
+  let rec route current hops =
+    if contains t.zones.(current) target then { owner = current; hops }
+    else begin
+      Hashtbl.replace visited current ();
+      let best = ref None in
+      Array.iter
+        (fun j ->
+          if not (Hashtbl.mem visited j) then begin
+            let dist = rect_distance t.d t.zones.(j) target in
+            let tie = center_distance t.d t.zones.(j) target in
+            match !best with
+            | Some (_, bd, bt) when (bd, bt) <= (dist, tie) -> ()
+            | _ -> best := Some (j, dist, tie)
+          end)
+        t.neighbors.(current);
+      match !best with
+      | Some (j, _, _) -> route j (hops + 1)
+      | None ->
+          (* All neighbours visited: routing failed (cannot happen on a
+             well-formed CAN; surface it rather than loop). *)
+          { owner = current; hops }
+    end
+  in
+  route from 0
+
+let random_lookup t ~rng =
+  let from = Rng.int rng (node_count t) in
+  let target = Array.init t.d (fun _ -> Rng.float rng 1.0) in
+  lookup t ~from ~target
+
+let expected_hops ~n ~d =
+  float_of_int d /. 4.0 *. (float_of_int n ** (1.0 /. float_of_int d))
+
+let mean_neighbors t =
+  let total = Array.fold_left (fun acc ns -> acc + Array.length ns) 0 t.neighbors in
+  float_of_int total /. float_of_int (node_count t)

@@ -1,0 +1,37 @@
+(** A CAN-style d-dimensional lookup substrate (Ratnasamy et al., SIGCOMM
+    2001) — the second related-work system the paper cites (Section 7).
+
+    Nodes own rectangular zones of the unit d-torus, built by the standard
+    join procedure (pick a random point, split the owner's zone along its
+    longest side). Lookup routes greedily through zone neighbours toward
+    the target point, giving the well-known O(d · N^(1/d)) hop count that
+    contrasts with the O(log N) of LessLog's trees and Chord's fingers in
+    the A1 ablation. *)
+
+type t
+
+val create : rng:Lesslog_prng.Rng.t -> n:int -> d:int -> t
+(** Build an [n]-zone CAN of dimension [d] by [n - 1] random joins.
+    @raise Invalid_argument unless [n >= 1] and [1 <= d <= 6]. *)
+
+val node_count : t -> int
+val dimension : t -> int
+
+val owner_of : t -> float array -> int
+(** Index of the zone containing a point of the unit torus. *)
+
+type lookup_result = { owner : int; hops : int }
+
+val lookup : t -> from:int -> target:float array -> lookup_result
+(** Greedy neighbour routing from zone [from] to the owner of [target].
+    [hops] counts zone-to-zone forwardings. *)
+
+val random_lookup : t -> rng:Lesslog_prng.Rng.t -> lookup_result
+(** Lookup of a uniform random point from a uniform random zone. *)
+
+val expected_hops : n:int -> d:int -> float
+(** The CAN paper's asymptotic mean path length, (d/4) · n^(1/d) — for
+    sanity checks and documentation. *)
+
+val mean_neighbors : t -> float
+(** Average neighbour-table size (≈ 2d for well-shaped zones). *)

@@ -1,0 +1,1 @@
+lib/chord/chord.ml: Array Hashtbl Lesslog_id List Params Pid

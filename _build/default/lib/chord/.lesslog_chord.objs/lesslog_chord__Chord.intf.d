@@ -1,0 +1,1 @@
+lib/chord/chord.mli: Lesslog_id Params Pid

@@ -1,0 +1,101 @@
+open Lesslog_id
+
+type t = {
+  params : Params.t;
+  ids : int array;  (* sorted live node identifiers *)
+  index_of : (int, int) Hashtbl.t;  (* id -> position in [ids] *)
+  fingers : int array array;  (* fingers.(i).(k) = id of finger k of node i *)
+}
+
+(* Is [x] in the circular half-open interval (a, b] ?  When a = b the
+   interval wraps the whole ring (Chord convention). *)
+let in_interval_oc ~space x ~a ~b =
+  if a = b then true
+  else begin
+    let norm v = (((v - a) mod space) + space) mod space in
+    let x' = norm x and b' = norm b in
+    x' > 0 && x' <= b'
+  end
+
+(* Is [x] strictly inside the circular open interval (a, b) ? *)
+let in_interval_oo ~space x ~a ~b =
+  let norm v = ((v - a) mod space + space) mod space in
+  let x' = norm x and b' = norm b in
+  if b' = 0 then x' > 0 else x' > 0 && x' < b'
+
+let successor_id ids space x =
+  let x = ((x mod space) + space) mod space in
+  (* Binary search: first id >= x, wrapping to ids.(0). *)
+  let n = Array.length ids in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ids.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  if !lo = n then ids.(0) else ids.(!lo)
+
+let create params ~live =
+  (match live with [] -> invalid_arg "Chord.create: empty ring" | _ -> ());
+  let ids = List.map Pid.to_int live |> List.sort_uniq compare |> Array.of_list in
+  let space = Params.space params in
+  let m = Params.m params in
+  let index_of = Hashtbl.create (Array.length ids) in
+  Array.iteri (fun i id -> Hashtbl.replace index_of id i) ids;
+  let fingers =
+    Array.mapi
+      (fun _ id ->
+        Array.init m (fun k -> successor_id ids space (id + (1 lsl k))))
+      ids
+  in
+  { params; ids; index_of; fingers }
+
+let node_count t = Array.length t.ids
+
+let successor t x =
+  Pid.unsafe_of_int (successor_id t.ids (Params.space t.params) x)
+
+type lookup_result = { owner : Pid.t; hops : int; path : Pid.t list }
+
+let closest_preceding_finger t ~node_id ~target =
+  let space = Params.space t.params in
+  let i = Hashtbl.find t.index_of node_id in
+  let fingers = t.fingers.(i) in
+  let rec scan k =
+    if k < 0 then node_id
+    else
+      let f = fingers.(k) in
+      if f <> node_id && in_interval_oo ~space f ~a:node_id ~b:target then f
+      else scan (k - 1)
+  in
+  scan (Params.m t.params - 1)
+
+let lookup t ~from ~target =
+  let space = Params.space t.params in
+  if not (Hashtbl.mem t.index_of (Pid.to_int from)) then
+    invalid_arg "Chord.lookup: unknown origin";
+  let owner = successor_id t.ids space target in
+  let rec route current hops acc =
+    if current = owner then
+      { owner = Pid.unsafe_of_int owner; hops; path = List.rev acc }
+    else begin
+      let succ = successor_id t.ids space (current + 1) in
+      if in_interval_oc ~space target ~a:current ~b:succ then
+        (* The successor owns the target: final hop. *)
+        { owner = Pid.unsafe_of_int succ;
+          hops = hops + 1;
+          path = List.rev (Pid.unsafe_of_int succ :: acc) }
+      else begin
+        let next = closest_preceding_finger t ~node_id:current ~target in
+        if next = current then
+          (* Degenerate finger table (tiny rings): fall back to the
+             successor hop, which always makes progress. *)
+          route succ (hops + 1) (Pid.unsafe_of_int succ :: acc)
+        else route next (hops + 1) (Pid.unsafe_of_int next :: acc)
+      end
+    end
+  in
+  route (Pid.to_int from) 0 [ from ]
+
+let finger t n k =
+  let i = Hashtbl.find t.index_of (Pid.to_int n) in
+  Pid.unsafe_of_int t.fingers.(i).(k)

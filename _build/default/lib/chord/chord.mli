@@ -1,0 +1,34 @@
+(** A Chord-style lookup substrate (Stoica et al., SIGCOMM 2001) — the
+    related-work DHT the paper cites as the other binomial-bounded lookup
+    scheme. Used as the comparison point in the lookup-hop ablation: both
+    LessLog's lookup trees and Chord's finger tables resolve in O(log N)
+    hops.
+
+    This is the routing layer only (successors and finger tables over a
+    static membership snapshot), which is all the ablation needs. *)
+
+open Lesslog_id
+
+type t
+
+val create : Params.t -> live:Pid.t list -> t
+(** Build the ring and all finger tables for the live population.
+    @raise Invalid_argument on an empty population. *)
+
+val node_count : t -> int
+
+val successor : t -> int -> Pid.t
+(** First live node at or clockwise-after an identifier — the owner of
+    that identifier. *)
+
+type lookup_result = { owner : Pid.t; hops : int; path : Pid.t list }
+
+val lookup : t -> from:Pid.t -> target:int -> lookup_result
+(** Iterative Chord routing: forward to the closest preceding finger until
+    the identifier's owner is reached. [hops] counts forwardings; the
+    origin resolving locally is 0 hops.
+    @raise Invalid_argument when [from] is not in the ring. *)
+
+val finger : t -> Pid.t -> int -> Pid.t
+(** [finger t n k] is the k-th finger of node n: successor(n + 2^k).
+    For tests. *)

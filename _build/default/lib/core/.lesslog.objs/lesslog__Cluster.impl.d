@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Hashtbl Lesslog_hash Lesslog_id Lesslog_membership Lesslog_ptree Lesslog_storage List Params Pid

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Lesslog_hash Lesslog_id Lesslog_membership Lesslog_prng Lesslog_ptree Lesslog_storage Params Pid

@@ -1,0 +1,1 @@
+lib/core/locate.ml: Cluster Hashtbl Lesslog_id Lesslog_membership Lesslog_ptree Lesslog_storage Lesslog_topology List Params Pid Vid

@@ -1,0 +1,1 @@
+lib/core/locate.mli: Cluster Lesslog_id Lesslog_storage Pid

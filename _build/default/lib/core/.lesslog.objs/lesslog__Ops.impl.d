@@ -1,0 +1,1 @@
+lib/core/ops.ml: Cluster Lesslog_id Lesslog_membership Lesslog_prng Lesslog_ptree Lesslog_storage Lesslog_topology List Log Params Pid String

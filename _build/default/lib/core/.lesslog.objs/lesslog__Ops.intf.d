@@ -1,0 +1,1 @@
+lib/core/ops.mli: Cluster Lesslog_id Lesslog_prng Pid

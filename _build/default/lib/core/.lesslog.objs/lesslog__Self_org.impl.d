@@ -1,0 +1,1 @@
+lib/core/self_org.ml: Cluster Lesslog_id Lesslog_membership Lesslog_storage Lesslog_topology List Log Option Params Pid

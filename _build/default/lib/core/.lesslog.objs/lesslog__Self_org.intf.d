@@ -1,0 +1,1 @@
+lib/core/self_org.mli: Cluster Lesslog_id Pid

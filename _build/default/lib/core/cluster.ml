@@ -1,0 +1,70 @@
+open Lesslog_id
+module Status_word = Lesslog_membership.Status_word
+module Ptree = Lesslog_ptree.Ptree
+module File_store = Lesslog_storage.File_store
+module Psi = Lesslog_hash.Psi
+
+type t = {
+  params : Params.t;
+  psi : Psi.t;
+  status : Status_word.t;
+  stores : File_store.t array;
+  registry : (string, unit) Hashtbl.t;
+}
+
+let make params status =
+  {
+    params;
+    psi = Psi.create ~m:(Params.m params);
+    status;
+    stores = Array.init (Params.space params) (fun _ -> File_store.create ());
+    registry = Hashtbl.create 16;
+  }
+
+let create ?live params =
+  let status =
+    match live with
+    | None -> Status_word.create params ~initially_live:true
+    | Some pids -> Status_word.of_live_list params pids
+  in
+  make params status
+
+let create_with_dead_fraction params ~rng ~fraction =
+  let status = Status_word.create params ~initially_live:true in
+  let (_ : Pid.t list) = Status_word.kill_fraction status rng ~fraction in
+  make params status
+
+let params t = t.params
+let status t = t.status
+let psi t = t.psi
+let live_count t = Status_word.live_count t.status
+let store t p = t.stores.(Pid.to_int p)
+
+let target_of_key t key = Pid.unsafe_of_int (Psi.target t.psi key)
+let tree_of t p = Ptree.make t.params ~root:p
+let tree_of_key t key = tree_of t (target_of_key t key)
+
+let holds t p ~key = File_store.holds (store t p) ~key
+
+let holders t ~key =
+  Status_word.fold_live t.status ~init:[] ~f:(fun acc p ->
+      if holds t p ~key then p :: acc else acc)
+  |> List.rev
+
+let register_key t key = Hashtbl.replace t.registry key ()
+
+let unregister_key t key = Hashtbl.remove t.registry key
+
+let registered_keys t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.registry [] |> List.sort compare
+
+let count_copies t ~key pred =
+  Status_word.fold_live t.status ~init:0 ~f:(fun acc p ->
+      match File_store.origin (store t p) ~key with
+      | Some o when pred o -> acc + 1
+      | Some _ | None -> acc)
+
+let replica_count t ~key =
+  count_copies t ~key (fun o -> o = File_store.Replicated)
+
+let total_copies t ~key = count_copies t ~key (fun _ -> true)

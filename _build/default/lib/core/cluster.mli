@@ -1,0 +1,64 @@
+(** Global state of a simulated LessLog system: the identifier-space
+    parameters, ψ, the membership status word, and one {!File_store} per
+    PID slot.
+
+    The cluster also keeps a registry of every key ever inserted. A real
+    deployment has no such global table — the self-organized mechanism of
+    Section 5 finds files by examining children lists — but the simulator
+    uses it for integrity checking and to drive recovery; {!Self_org}
+    additionally implements the paper's children-list search and the test
+    suite checks both agree. *)
+
+open Lesslog_id
+module Status_word = Lesslog_membership.Status_word
+module Ptree = Lesslog_ptree.Ptree
+module File_store = Lesslog_storage.File_store
+
+type t
+
+val create : ?live:Pid.t list -> Params.t -> t
+(** A cluster with the given live population ([live] defaults to every PID
+    slot — the basic model of Section 2 where N = 2^m). *)
+
+val create_with_dead_fraction :
+  Params.t -> rng:Lesslog_prng.Rng.t -> fraction:float -> t
+(** All slots live, then a uniform [fraction] of them marked dead — the
+    configurations of Figures 6 and 8. *)
+
+val params : t -> Params.t
+val status : t -> Status_word.t
+val psi : t -> Lesslog_hash.Psi.t
+
+val live_count : t -> int
+
+val store : t -> Pid.t -> File_store.t
+(** Local storage of a node (live or dead — dead nodes keep stale state
+    until {!Self_org.fail} clears it). *)
+
+val target_of_key : t -> string -> Pid.t
+(** [P(ψ(f))]: the target node slot of a key. *)
+
+val tree_of_key : t -> string -> Ptree.t
+(** The lookup tree of the key's target node. *)
+
+val tree_of : t -> Pid.t -> Ptree.t
+(** The lookup tree rooted at an arbitrary node. *)
+
+val holds : t -> Pid.t -> key:string -> bool
+
+val holders : t -> key:string -> Pid.t list
+(** Live nodes currently holding a copy, ascending PID. *)
+
+val register_key : t -> string -> unit
+(** Add to the key registry (done automatically by {!Ops.insert}). *)
+
+val unregister_key : t -> string -> unit
+(** Remove from the key registry (done by {!Ops.delete}). *)
+
+val registered_keys : t -> string list
+
+val replica_count : t -> key:string -> int
+(** Number of live replicated (non-inserted) copies. *)
+
+val total_copies : t -> key:string -> int
+(** Live copies of any origin. *)

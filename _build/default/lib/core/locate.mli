@@ -1,0 +1,35 @@
+(** The paper's {e distributed} file-location procedures (Section 5).
+
+    {!Self_org} drives recovery from the simulator's global key registry
+    for efficiency; a real node has no such table. This module implements
+    what the paper actually prescribes, using only information a node can
+    gather: the status word, ψ, children-list examination of the lookup
+    trees, and each node's local knowledge of which of its copies are
+    inserted versus replicated. The test suite checks these procedures
+    find exactly the same files as the registry-driven mechanism. *)
+
+open Lesslog_id
+module File_store = Lesslog_storage.File_store
+
+val classify : Cluster.t -> at:Pid.t -> key:string -> File_store.origin
+(** Section 5.2's rule, computed from ψ and the status word alone: a copy
+    of [key] held at [at] is {e inserted} iff [at] is one of the key's
+    current insertion targets (the target itself, or the most-offspring
+    live node of a dead target's (sub)tree); otherwise it is a replica.
+    Agrees with the stored origin tag on any trace of inserts, joins and
+    voluntary leaves ([b = 0] failures can orphan files, which is exactly
+    the ambiguity the paper concedes). *)
+
+val inserted_files : Cluster.t -> at:Pid.t -> string list
+(** The files a leaving node must re-insert (Section 5.2), found by
+    classifying every key in its local store. Sorted. *)
+
+val join_candidates : Cluster.t -> joining:Pid.t -> (string * Pid.t) list
+(** Section 5.1's search, run after the joiner is registered live: for
+    each of the [2^m] lookup trees, examine the joiner's children list —
+    or, when the joiner became the tree's max-VID live node, the previous
+    max-VID live node — and report every inserted copy whose ψ-target is
+    that tree's root, with its current holder. Only supports [b = 0] (the
+    per-subtree generalization follows by applying it within each
+    subtree). @raise Invalid_argument when [b > 0] or the joiner is
+    dead. *)

@@ -1,0 +1,3 @@
+let src = Logs.Src.create "lesslog" ~doc:"LessLog core file operations"
+
+include (val Logs.src_log src : Logs.LOG)

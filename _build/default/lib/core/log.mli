@@ -1,0 +1,7 @@
+(** Logging source for the core algorithm. Disabled by default; enable
+    with e.g. [Logs.Src.set_level Lesslog.Log.src (Some Logs.Debug)] or
+    the CLI's [-v] flag. *)
+
+val src : Logs.src
+
+include Logs.LOG

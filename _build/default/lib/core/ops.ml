@@ -1,0 +1,304 @@
+open Lesslog_id
+module Status_word = Lesslog_membership.Status_word
+module Ptree = Lesslog_ptree.Ptree
+module Topology = Lesslog_topology.Topology
+module Subtrees = Lesslog_topology.Subtrees
+module File_store = Lesslog_storage.File_store
+module Rng = Lesslog_prng.Rng
+
+type get_result = {
+  server : Pid.t option;
+  hops : int;
+  path : Pid.t list;
+  subtree_migrations : int;
+}
+
+type update_result = { version : int; updated : int; messages : int }
+
+let fault_tolerant cluster = Params.b (Cluster.params cluster) > 0
+
+let insert ?(now = 0.0) cluster ~key =
+  Cluster.register_key cluster key;
+  let tree = Cluster.tree_of_key cluster key in
+  let status = Cluster.status cluster in
+  let targets =
+    if fault_tolerant cluster then Subtrees.insertion_targets tree status
+    else
+      match Topology.insertion_target tree status with
+      | None -> []
+      | Some p -> [ p ]
+  in
+  List.iter
+    (fun p ->
+      File_store.add (Cluster.store cluster p) ~key ~origin:File_store.Inserted
+        ~version:0 ~now)
+    targets;
+  Log.debug (fun f ->
+      f "insert %S -> [%s]" key
+        (String.concat ";"
+           (List.map (fun p -> string_of_int (Pid.to_int p)) targets)));
+  targets
+
+(* Serve a request along a forwarding path: the first node holding a copy
+   answers. Returns the (possibly truncated) visited path. *)
+let serve_along cluster ~now ~key path =
+  let rec find visited hops = function
+    | [] -> None
+    | p :: rest ->
+        if Cluster.holds cluster p ~key then begin
+          File_store.record_access (Cluster.store cluster p) ~key ~now;
+          Some (p, hops, List.rev (p :: visited))
+        end
+        else find (p :: visited) (hops + 1) rest
+  in
+  find [] 0 path
+
+let get_single_tree cluster ~now ~origin ~key =
+  let tree = Cluster.tree_of_key cluster key in
+  let status = Cluster.status cluster in
+  let path = Topology.route_path tree status ~origin in
+  match serve_along cluster ~now ~key path with
+  | Some (p, hops, visited) ->
+      { server = Some p; hops; path = visited; subtree_migrations = 0 }
+  | None ->
+      { server = None; hops = List.length path - 1; path; subtree_migrations = 0 }
+
+let get_fault_tolerant cluster ~now ~origin ~key =
+  let tree = Cluster.tree_of_key cluster key in
+  let status = Cluster.status cluster in
+  let params = Cluster.params cluster in
+  let nsub = Params.subtree_count params in
+  let sid0 = Subtrees.subtree_id_of_pid tree origin in
+  let rec attempt k acc_path acc_hops migrations =
+    if k >= nsub then
+      { server = None; hops = acc_hops; path = List.rev acc_path;
+        subtree_migrations = migrations }
+    else begin
+      let sid = (sid0 + k) mod nsub in
+      let start =
+        if k = 0 then Some origin
+        else begin
+          (* Migrate the request: rewrite the subtree identifier, keeping
+             the subtree VID; fall back to where the file is stored when
+             the corresponding node is dead. *)
+          let v = Ptree.vid_of_pid tree origin in
+          let mirrored =
+            Ptree.pid_of_vid tree (Subtrees.migrate_vid params v ~to_subtree:sid)
+          in
+          if Status_word.is_live status mirrored then Some mirrored
+          else Subtrees.insertion_target_in_subtree tree status ~subtree_id:sid
+        end
+      in
+      match start with
+      | None -> attempt (k + 1) acc_path acc_hops migrations
+      | Some start -> begin
+          let migrations = if k = 0 then migrations else migrations + 1 in
+          let acc_hops = if List.is_empty acc_path then acc_hops else acc_hops + 1 in
+          let path = Subtrees.route_path_in_subtree tree status ~origin:start in
+          match serve_along cluster ~now ~key path with
+          | Some (p, hops, visited) ->
+              { server = Some p; hops = acc_hops + hops;
+                path = List.rev_append acc_path visited;
+                subtree_migrations = migrations }
+          | None ->
+              attempt (k + 1)
+                (List.rev_append path acc_path)
+                (acc_hops + List.length path - 1)
+                migrations
+        end
+    end
+  in
+  attempt 0 [] 0 0
+
+let get ?(now = 0.0) cluster ~origin ~key =
+  if Status_word.is_dead (Cluster.status cluster) origin then
+    invalid_arg "Ops.get: dead origin";
+  if fault_tolerant cluster then get_fault_tolerant cluster ~now ~origin ~key
+  else get_single_tree cluster ~now ~origin ~key
+
+let non_holders cluster ~key pids =
+  List.filter (fun p -> not (Cluster.holds cluster p ~key)) pids
+
+let replication_candidates cluster ~overloaded ~key =
+  let tree = Cluster.tree_of_key cluster key in
+  let status = Cluster.status cluster in
+  let own, root_list =
+    if fault_tolerant cluster then begin
+      let sid = Subtrees.subtree_id_of_pid tree overloaded in
+      let sroot = Subtrees.subtree_root tree ~subtree_id:sid in
+      let cl p = Subtrees.children_list_in_subtree tree status p in
+      if Pid.equal overloaded sroot then (cl sroot, [])
+      else if Subtrees.has_live_with_greater_svid tree status overloaded then
+        (cl overloaded, [])
+      else (cl overloaded, cl sroot)
+    end
+    else begin
+      let r = Ptree.root tree in
+      let cl p = Topology.children_list tree status p in
+      if Pid.equal overloaded r then (cl r, [])
+      else if Topology.has_live_with_greater_vid tree status overloaded then
+        (cl overloaded, [])
+      else (cl overloaded, cl r)
+    end
+  in
+  (non_holders cluster ~key own, non_holders cluster ~key root_list)
+
+let current_version cluster ~key ~overloaded =
+  match File_store.version (Cluster.store cluster overloaded) ~key with
+  | Some v -> v
+  | None -> (
+      match Cluster.holders cluster ~key with
+      | [] -> 0
+      | p :: _ -> (
+          match File_store.version (Cluster.store cluster p) ~key with
+          | Some v -> v
+          | None -> 0))
+
+let choose_replica_target ~rng cluster ~overloaded ~key =
+  let own, root_list = replication_candidates cluster ~overloaded ~key in
+  let tree = Cluster.tree_of_key cluster key in
+  let status = Cluster.status cluster in
+  match (own, root_list) with
+    | [], [] -> None
+    | c :: _, [] | [], c :: _ -> Some c
+    | own_first :: _, root_first :: _ ->
+        (* Proportional choice (Section 3): attribute the overload to the
+           overloaded node's offspring vs. the rest of the system in
+           proportion to their populations. *)
+        let offspring =
+          if fault_tolerant cluster then
+            Subtrees.live_offspring_count_in_subtree tree status overloaded
+          else Topology.live_offspring_count tree status overloaded
+        in
+        let population =
+          if fault_tolerant cluster then
+            let sid = Subtrees.subtree_id_of_pid tree overloaded in
+            List.length
+              (List.filter
+                 (Status_word.is_live status)
+                 (Subtrees.members tree ~subtree_id:sid))
+          else Status_word.live_count status
+        in
+        let rest = max 0 (population - 1 - offspring) in
+        let total = offspring + rest in
+        let p =
+          if total = 0 then 0.0 else float_of_int offspring /. float_of_int total
+        in
+        if Rng.bernoulli rng ~p then Some own_first else Some root_first
+
+let replicate ?(now = 0.0) ~rng cluster ~overloaded ~key =
+  match choose_replica_target ~rng cluster ~overloaded ~key with
+  | None ->
+      Log.debug (fun f ->
+          f "replicate %S: P(%d) has no candidate left" key
+            (Pid.to_int overloaded));
+      None
+  | Some dest ->
+      let version = current_version cluster ~key ~overloaded in
+      File_store.add (Cluster.store cluster dest) ~key
+        ~origin:File_store.Replicated ~version ~now;
+      Log.debug (fun f ->
+          f "replicate %S: P(%d) -> P(%d) (v%d)" key (Pid.to_int overloaded)
+            (Pid.to_int dest) version);
+      Some dest
+
+let max_holder_version cluster ~key =
+  List.fold_left
+    (fun acc p ->
+      match File_store.version (Cluster.store cluster p) ~key with
+      | Some v -> max acc v
+      | None -> acc)
+    0
+    (Cluster.holders cluster ~key)
+
+(* Top-down broadcast from a set of entry nodes: a live holder applies the
+   action and forwards to its children list; a non-holder discards. *)
+let broadcast cluster ~key ~on_holder ~children_list_of entries =
+  let messages = ref 0 and updated = ref 0 in
+  let rec visit p =
+    if Cluster.holds cluster p ~key then begin
+      on_holder p;
+      incr updated;
+      let children = children_list_of p in
+      List.iter
+        (fun c ->
+          incr messages;
+          visit c)
+        children
+    end
+  in
+  List.iter
+    (fun p ->
+      incr messages;
+      visit p)
+    entries;
+  (!updated, !messages)
+
+(* Run the top-down broadcast from the proper entry points: the target
+   root (or its children list when it is dead), per subtree when the
+   fault-tolerant model is on. *)
+let broadcast_all cluster ~tree ~status ~key ~on_holder =
+  if fault_tolerant cluster then begin
+    let params = Cluster.params cluster in
+    let totals = ref (0, 0) in
+    for sid = 0 to Params.subtree_count params - 1 do
+      let sroot = Subtrees.subtree_root tree ~subtree_id:sid in
+      let entries =
+        if Status_word.is_live status sroot then [ sroot ]
+        else Subtrees.children_list_in_subtree tree status sroot
+      in
+      let u, m =
+        broadcast cluster ~key ~on_holder
+          ~children_list_of:(Subtrees.children_list_in_subtree tree status)
+          entries
+      in
+      let tu, tm = !totals in
+      totals := (tu + u, tm + m)
+    done;
+    !totals
+  end
+  else begin
+    let r = Ptree.root tree in
+    let entries =
+      if Status_word.is_live status r then [ r ]
+      else Topology.children_list tree status r
+    in
+    broadcast cluster ~key ~on_holder
+      ~children_list_of:(Topology.children_list tree status)
+      entries
+  end
+
+let update ?now cluster ~key =
+  ignore now;
+  let tree = Cluster.tree_of_key cluster key in
+  let status = Cluster.status cluster in
+  let version = max_holder_version cluster ~key + 1 in
+  let updated, messages =
+    broadcast_all cluster ~tree ~status ~key
+      ~on_holder:(fun p ->
+        File_store.set_version (Cluster.store cluster p) ~key ~version)
+  in
+  Log.debug (fun f ->
+      f "update %S: v%d to %d copies in %d messages" key version updated
+        messages);
+  { version; updated; messages }
+
+let delete ?now cluster ~key =
+  ignore now;
+  let tree = Cluster.tree_of_key cluster key in
+  let status = Cluster.status cluster in
+  let updated, messages =
+    broadcast_all cluster ~tree ~status ~key
+      ~on_holder:(fun p -> File_store.remove (Cluster.store cluster p) ~key)
+  in
+  Cluster.unregister_key cluster key;
+  { version = 0; updated; messages }
+
+let stale_copies cluster ~key =
+  let top = max_holder_version cluster ~key in
+  List.filter
+    (fun p ->
+      match File_store.version (Cluster.store cluster p) ~key with
+      | Some v -> v < top
+      | None -> false)
+    (Cluster.holders cluster ~key)

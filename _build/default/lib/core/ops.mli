@@ -1,0 +1,85 @@
+(** The LessLog file operations — inserting, getting, replicating and
+    updating a file (paper Sections 2.2, 3 and 4).
+
+    All operations implement the {e advanced} system model (dead nodes
+    allowed); the basic model of Section 2 is the special case where every
+    slot is live. When the cluster's parameters have [b > 0], insertion and
+    lookup use the fault-tolerant model: [2^b] per-subtree copies and
+    subtree migration on faults. *)
+
+open Lesslog_id
+
+type get_result = {
+  server : Pid.t option;  (** The node that returned the file; [None] on a fault. *)
+  hops : int;  (** Forwarding hops, not counting the client's first contact. *)
+  path : Pid.t list;  (** Nodes visited, origin first, server (if any) last. *)
+  subtree_migrations : int;
+      (** Fault-tolerant model only: how many times the request switched
+          subtree before being served. *)
+}
+
+type update_result = {
+  version : int;  (** Version the copies were raised to. *)
+  updated : int;  (** Live copies that received the new version. *)
+  messages : int;  (** Update messages broadcast along children lists. *)
+}
+
+val insert : ?now:float -> Cluster.t -> key:string -> Pid.t list
+(** ADVANCEDINSERTFILE: store [key] at the live node with the most
+    offspring in the target's lookup tree — with [b > 0], at that node in
+    {e each} of the [2^b] subtrees. Returns the nodes that received the
+    inserted copy ([\[\]] iff no live node exists). Registers the key. *)
+
+val get : ?now:float -> Cluster.t -> origin:Pid.t -> key:string -> get_result
+(** GETFILE from a live [origin]: serve locally when a copy is present,
+    otherwise forward along first-alive-ancestors in the target's lookup
+    tree, with the Section 3 migration to the most-offspring live node when
+    the target is dead, and (for [b > 0]) the Section 4 migration to
+    sibling subtrees when the origin's subtree faults. Records an access on
+    the serving store. @raise Invalid_argument when [origin] is dead. *)
+
+val replication_candidates :
+  Cluster.t -> overloaded:Pid.t -> key:string -> Pid.t list * Pid.t list
+(** The two candidate children lists for REPLICATEFILE at an overloaded
+    node, already filtered to nodes not holding a copy:
+    [(own_list, root_list)]. [root_list] is empty except in the
+    proportional-choice case (the overloaded node is the max-VID live node
+    of a dead-root tree, Section 3). *)
+
+val choose_replica_target :
+  rng:Lesslog_prng.Rng.t ->
+  Cluster.t ->
+  overloaded:Pid.t ->
+  key:string ->
+  Pid.t option
+(** The placement decision of REPLICATEFILE without creating the copy:
+    first non-holding node of the children list, with the Section 3
+    proportional choice between the overloaded node's and the root's
+    children lists when attribution is ambiguous. [None] when every
+    candidate already holds the file. *)
+
+val replicate :
+  ?now:float ->
+  rng:Lesslog_prng.Rng.t ->
+  Cluster.t ->
+  overloaded:Pid.t ->
+  key:string ->
+  Pid.t option
+(** One REPLICATEFILE step: {!choose_replica_target}, then create the copy
+    there. *)
+
+val update : ?now:float -> Cluster.t -> key:string -> update_result
+(** UPDATEFILE: bump the version at the target(s) and broadcast top-down
+    along children lists; holders update and propagate, non-holders discard,
+    dead nodes are bypassed (Sections 2.2 and 3; per subtree when
+    [b > 0]). *)
+
+val delete : ?now:float -> Cluster.t -> key:string -> update_result
+(** Remove a file from the system (an extension beyond the paper, built
+    from the same top-down children-list broadcast as UPDATEFILE): every
+    reachable copy is discarded and the key leaves the registry.
+    [updated] counts the copies removed. *)
+
+val stale_copies : Cluster.t -> key:string -> Pid.t list
+(** Live copies whose version lags the maximum — non-empty only if an
+    update failed to reach some replica. For tests and integrity checks. *)

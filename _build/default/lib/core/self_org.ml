@@ -1,0 +1,176 @@
+open Lesslog_id
+module Status_word = Lesslog_membership.Status_word
+module Topology = Lesslog_topology.Topology
+module Subtrees = Lesslog_topology.Subtrees
+module File_store = Lesslog_storage.File_store
+
+type join_stats = { took_over : (string * Pid.t) list }
+
+type leave_stats = {
+  reinserted : (string * Pid.t) list;
+  dropped_replicas : string list;
+}
+
+type fail_stats = {
+  lost : string list;
+  recovered : (string * Pid.t) list;
+  orphaned : string list;
+}
+
+let fault_tolerant cluster = Params.b (Cluster.params cluster) > 0
+
+let expected_targets cluster ~key =
+  let tree = Cluster.tree_of_key cluster key in
+  let status = Cluster.status cluster in
+  if fault_tolerant cluster then Subtrees.insertion_targets tree status
+  else
+    match Topology.insertion_target tree status with
+    | None -> []
+    | Some p -> [ p ]
+
+(* The live holder of the inserted copy relevant to target [t] of [key]:
+   with b = 0 any live inserted holder; with b > 0 the inserted holder in
+   the same subtree as [t]. *)
+let inserted_holder_for cluster ~key ~target =
+  let tree = Cluster.tree_of_key cluster key in
+  let same_scope p =
+    (not (fault_tolerant cluster))
+    || Subtrees.subtree_id_of_pid tree p = Subtrees.subtree_id_of_pid tree target
+  in
+  List.find_opt
+    (fun p ->
+      same_scope p
+      && File_store.origin (Cluster.store cluster p) ~key
+         = Some File_store.Inserted)
+    (Cluster.holders cluster ~key)
+
+let join ?(now = 0.0) cluster k =
+  let status = Cluster.status cluster in
+  if Status_word.is_live status k then invalid_arg "Self_org.join: already live";
+  Status_word.set_live status k;
+  (* Copy back every file whose insertion target the joiner has become
+     (Section 5.1). The previous holder keeps a demoted replica. *)
+  let took_over =
+    List.filter_map
+      (fun key ->
+        if List.exists (Pid.equal k) (expected_targets cluster ~key) then begin
+          match inserted_holder_for cluster ~key ~target:k with
+          | Some donor when not (Pid.equal donor k) ->
+              let version =
+                Option.value ~default:0
+                  (File_store.version (Cluster.store cluster donor) ~key)
+              in
+              File_store.add (Cluster.store cluster k) ~key
+                ~origin:File_store.Inserted ~version ~now;
+              File_store.demote_to_replica (Cluster.store cluster donor) ~key;
+              Some (key, donor)
+          | Some _ | None -> None
+        end
+        else None)
+      (Cluster.registered_keys cluster)
+  in
+  Log.info (fun f ->
+      f "join P(%d): took over %d file(s)" (Pid.to_int k)
+        (List.length took_over));
+  { took_over }
+
+let reinsert_one cluster ~now ~key ~version ~departing =
+  let tree = Cluster.tree_of_key cluster key in
+  let status = Cluster.status cluster in
+  let target =
+    if fault_tolerant cluster then
+      let sid = Subtrees.subtree_id_of_pid tree departing in
+      Subtrees.insertion_target_in_subtree tree status ~subtree_id:sid
+    else Topology.insertion_target tree status
+  in
+  match target with
+  | None -> None
+  | Some p ->
+      File_store.add (Cluster.store cluster p) ~key
+        ~origin:File_store.Inserted ~version ~now;
+      Some p
+
+let leave ?(now = 0.0) cluster k =
+  let status = Cluster.status cluster in
+  if Status_word.is_dead status k then invalid_arg "Self_org.leave: already dead";
+  let store_k = Cluster.store cluster k in
+  let dropped_replicas = File_store.drop_replicas store_k in
+  let inserted =
+    List.map
+      (fun key ->
+        (key, Option.value ~default:0 (File_store.version store_k ~key)))
+      (File_store.inserted_keys store_k)
+  in
+  Status_word.set_dead status k;
+  let reinserted =
+    List.filter_map
+      (fun (key, version) ->
+        File_store.remove store_k ~key;
+        match reinsert_one cluster ~now ~key ~version ~departing:k with
+        | Some p -> Some (key, p)
+        | None -> None)
+      inserted
+  in
+  Log.info (fun f ->
+      f "leave P(%d): re-inserted %d file(s), dropped %d replica(s)"
+        (Pid.to_int k) (List.length reinserted)
+        (List.length dropped_replicas));
+  { reinserted; dropped_replicas }
+
+let fail ?(now = 0.0) cluster k =
+  let status = Cluster.status cluster in
+  if Status_word.is_dead status k then invalid_arg "Self_org.fail: already dead";
+  let store_k = Cluster.store cluster k in
+  let held_inserted = File_store.inserted_keys store_k in
+  (* The crash loses the entire local store. *)
+  List.iter (fun key -> File_store.remove store_k ~key) (File_store.keys store_k);
+  Status_word.set_dead status k;
+  let lost = ref [] and recovered = ref [] and orphaned = ref [] in
+  List.iter
+    (fun key ->
+      match Cluster.holders cluster ~key with
+      | [] -> lost := key :: !lost
+      | survivors ->
+          if fault_tolerant cluster then begin
+            (* Recover from a sibling subtree's inserted copy
+               (Section 5.3). *)
+            let donor =
+              List.find_opt
+                (fun p ->
+                  File_store.origin (Cluster.store cluster p) ~key
+                  = Some File_store.Inserted)
+                survivors
+            in
+            match donor with
+            | Some d -> begin
+                let version =
+                  Option.value ~default:0
+                    (File_store.version (Cluster.store cluster d) ~key)
+                in
+                match reinsert_one cluster ~now ~key ~version ~departing:k with
+                | Some p -> recovered := (key, p) :: !recovered
+                | None -> orphaned := key :: !orphaned
+              end
+            | None -> orphaned := key :: !orphaned
+          end
+          else orphaned := key :: !orphaned)
+    held_inserted;
+  Log.info (fun f ->
+      f "fail P(%d): lost %d, recovered %d, orphaned %d" (Pid.to_int k)
+        (List.length !lost) (List.length !recovered) (List.length !orphaned));
+  {
+    lost = List.rev !lost;
+    recovered = List.rev !recovered;
+    orphaned = List.rev !orphaned;
+  }
+
+let integrity_violations cluster =
+  List.concat_map
+    (fun key ->
+      List.filter_map
+        (fun target ->
+          match File_store.origin (Cluster.store cluster target) ~key with
+          | Some File_store.Inserted -> None
+          | Some File_store.Replicated | None -> Some (key, target))
+        (expected_targets cluster ~key))
+    (Cluster.registered_keys cluster)

@@ -1,0 +1,1 @@
+lib/des/churn_trace.ml: Des_sim Lesslog_prng List

@@ -1,0 +1,1 @@
+lib/des/churn_trace.mli: Des_sim Lesslog_id Lesslog_prng

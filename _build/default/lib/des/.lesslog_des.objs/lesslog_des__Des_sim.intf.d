@@ -1,0 +1,1 @@
+lib/des/des_sim.mli: Lesslog Lesslog_id Lesslog_metrics Lesslog_net Lesslog_prng Lesslog_trace Lesslog_workload Pid

@@ -1,0 +1,52 @@
+module Rng = Lesslog_prng.Rng
+
+type config = {
+  mean_session : float;
+  mean_downtime : float;
+  fail_fraction : float;
+  duration : float;
+}
+
+let default =
+  {
+    mean_session = 120.0;
+    mean_downtime = 60.0;
+    fail_fraction = 0.2;
+    duration = 300.0;
+  }
+
+let generate ~rng ~live config =
+  if config.mean_session <= 0.0 || config.mean_downtime <= 0.0 then
+    invalid_arg "Churn_trace.generate: means must be positive";
+  if config.fail_fraction < 0.0 || config.fail_fraction > 1.0 then
+    invalid_arg "Churn_trace.generate: fail_fraction";
+  let events = ref [] in
+  List.iter
+    (fun node ->
+      let t = ref (Rng.exponential rng ~rate:(1.0 /. config.mean_session)) in
+      let online = ref true in
+      while !t < config.duration do
+        let action =
+          if !online then
+            if Rng.bernoulli rng ~p:config.fail_fraction then Des_sim.Fail node
+            else Des_sim.Leave node
+          else Des_sim.Join node
+        in
+        events := { Des_sim.at = !t; action } :: !events;
+        online := not !online;
+        let mean =
+          if !online then config.mean_session else config.mean_downtime
+        in
+        t := !t +. Rng.exponential rng ~rate:(1.0 /. mean)
+      done)
+    live;
+  List.sort (fun a b -> compare a.Des_sim.at b.Des_sim.at) !events
+
+let summary events =
+  List.fold_left
+    (fun (j, l, f) e ->
+      match e.Des_sim.action with
+      | Des_sim.Join _ -> (j + 1, l, f)
+      | Des_sim.Leave _ -> (j, l + 1, f)
+      | Des_sim.Fail _ -> (j, l, f + 1))
+    (0, 0, 0) events

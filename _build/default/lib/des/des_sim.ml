@@ -1,0 +1,349 @@
+open Lesslog_id
+module Engine = Lesslog_sim.Engine
+module Overlay = Lesslog_net.Overlay
+module Latency = Lesslog_net.Latency
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Self_org = Lesslog.Self_org
+module Status_word = Lesslog_membership.Status_word
+module Topology = Lesslog_topology.Topology
+module File_store = Lesslog_storage.File_store
+module Access_counter = Lesslog_storage.Access_counter
+module Demand = Lesslog_workload.Demand
+module Histogram = Lesslog_metrics.Histogram
+module Timeseries = Lesslog_metrics.Timeseries
+module Rng = Lesslog_prng.Rng
+module Trace = Lesslog_trace.Trace
+
+type eviction = { period : float; min_rate : float }
+
+type config = {
+  capacity : float;
+  detection_tau : float;
+  cooldown : float;
+  latency : Latency.t;
+  loss : float;
+  eviction : eviction option;
+}
+
+let default_config =
+  {
+    capacity = 100.0;
+    detection_tau = 2.0;
+    cooldown = 0.5;
+    latency = Latency.default;
+    loss = 0.0;
+    eviction = None;
+  }
+
+type churn_action = Join of Pid.t | Leave of Pid.t | Fail of Pid.t
+
+type churn_event = { at : float; action : churn_action }
+
+type msg =
+  | Get of { origin : Pid.t; issued_at : float; hops : int }
+  | Reply of { issued_at : float; hops : int }
+  | Push of { version : int }
+
+type result = {
+  served : int;
+  faults : int;
+  latencies : Histogram.t;
+  hops : Histogram.t;
+  replicas_created : int;
+  replicas_evicted : int;
+  replica_timeline : Timeseries.t;
+  last_replication : float option;
+  messages : int;
+  control_messages : int;
+  file_transfers : int;
+  overloaded_at_end : int;
+}
+
+type state = {
+  config : config;
+  rng : Rng.t;
+  cluster : Cluster.t;
+  key : string;
+  engine : Engine.t;
+  overlay : msg Overlay.t;
+  estimators : Access_counter.t array;
+  cooldown_until : float array;
+  mutable served : int;
+  mutable faults : int;
+  latencies : Histogram.t;
+  hops : Histogram.t;
+  mutable replicas_created : int;
+  mutable replicas_evicted : int;
+  replica_timeline : Timeseries.t;
+  mutable last_replication : float option;
+  mutable control_messages : int;
+  mutable file_transfers : int;
+  sink : (Trace.Event.t -> unit) option;
+}
+
+let now st = Engine.now st.engine
+
+let emit st event = match st.sink with None -> () | Some f -> f event
+
+(* Trigger a replication from [overloaded] when its estimated serve rate
+   exceeds capacity and its cooldown has expired. The copy travels the
+   network: it only becomes servable when the push arrives. *)
+let maybe_replicate st ~overloaded =
+  let i = Pid.to_int overloaded in
+  let rate = Access_counter.rate st.estimators.(i) ~now:(now st) in
+  if rate > st.config.capacity && now st >= st.cooldown_until.(i) then begin
+    match Ops.choose_replica_target ~rng:st.rng st.cluster ~overloaded ~key:st.key with
+    | None -> ()
+    | Some dest ->
+        st.cooldown_until.(i) <- now st +. st.config.cooldown;
+        let version =
+          Option.value ~default:0
+            (File_store.version (Cluster.store st.cluster overloaded) ~key:st.key)
+        in
+        Overlay.send st.overlay ~src:overloaded ~dst:dest (Push { version })
+  end
+
+let serve st ~server ~origin ~issued_at ~hops =
+  let i = Pid.to_int server in
+  File_store.record_access (Cluster.store st.cluster server) ~key:st.key
+    ~now:(now st);
+  Access_counter.record st.estimators.(i) ~now:(now st);
+  st.served <- st.served + 1;
+  Histogram.add_int st.hops hops;
+  emit st
+    (Trace.Event.Request
+       { at = now st; origin = Pid.to_int origin; server = Some i; hops });
+  if Pid.equal server origin then
+    (* Served locally: the reply needs no network hop. *)
+    Histogram.add st.latencies (now st -. issued_at)
+  else Overlay.send st.overlay ~src:server ~dst:origin (Reply { issued_at; hops });
+  maybe_replicate st ~overloaded:server
+
+let handle st ~me ~src msg =
+  match msg with
+  | Get { origin; issued_at; hops } ->
+      if Cluster.holds st.cluster me ~key:st.key then
+        serve st ~server:me ~origin ~issued_at ~hops
+      else begin
+        let tree = Cluster.tree_of_key st.cluster st.key in
+        match Topology.route_next tree (Cluster.status st.cluster) me with
+        | Some next ->
+            Overlay.send st.overlay ~src:me ~dst:next
+              (Get { origin; issued_at; hops = hops + 1 })
+        | None ->
+            st.faults <- st.faults + 1;
+            emit st
+              (Trace.Event.Request
+                 { at = now st; origin = Pid.to_int origin; server = None; hops })
+      end
+  | Reply { issued_at; hops = _ } ->
+      Histogram.add st.latencies (now st -. issued_at)
+  | Push { version } ->
+      if not (Cluster.holds st.cluster me ~key:st.key) then begin
+        File_store.add (Cluster.store st.cluster me) ~key:st.key
+          ~origin:File_store.Replicated ~version ~now:(now st);
+        st.replicas_created <- st.replicas_created + 1;
+        st.last_replication <- Some (now st);
+        emit st
+          (Trace.Event.Replicate
+             { at = now st; src = Pid.to_int src; dst = Pid.to_int me;
+               key = st.key });
+        Timeseries.record st.replica_timeline ~time:(now st)
+          (float_of_int (Cluster.total_copies st.cluster ~key:st.key))
+      end
+
+let issue_request st ~origin =
+  (* The client contacts its node directly; local service costs no hop. *)
+  if Cluster.holds st.cluster origin ~key:st.key then
+    serve st ~server:origin ~origin ~issued_at:(now st) ~hops:0
+  else begin
+    let tree = Cluster.tree_of_key st.cluster st.key in
+    match Topology.route_next tree (Cluster.status st.cluster) origin with
+    | Some next ->
+        Overlay.send st.overlay ~src:origin ~dst:next
+          (Get { origin; issued_at = now st; hops = 1 })
+    | None -> st.faults <- st.faults + 1
+  end
+
+(* Poisson arrivals for one demand phase: per origin, events on
+   [from_time, until). *)
+let start_arrivals st ~demand ~from_time ~until =
+  Status_word.iter_live (Cluster.status st.cluster) (fun origin ->
+      let rate = Demand.rate demand origin in
+      if rate > 0.0 then begin
+        let rec schedule_from t0 =
+          let t = t0 +. Rng.exponential st.rng ~rate in
+          if t < until then
+            Engine.schedule_at st.engine ~time:t (fun () ->
+                if Status_word.is_live (Cluster.status st.cluster) origin then begin
+                  issue_request st ~origin;
+                  schedule_from (now st)
+                end)
+        in
+        schedule_from from_time
+      end)
+
+(* The counter-based mechanism of Section 2.2: each node periodically
+   drops replicated copies whose locally-observed access rate fell below
+   the threshold — a purely local decision, still logless. *)
+let start_eviction st ~duration =
+  match st.config.eviction with
+  | None -> ()
+  | Some { period; min_rate } ->
+      let rec tick () =
+        let t = now st +. period in
+        if t <= duration then
+          Engine.schedule_at st.engine ~time:t (fun () ->
+              let removed = ref 0 in
+              Status_word.iter_live (Cluster.status st.cluster) (fun p ->
+                  let dropped =
+                    File_store.evict_cold_replicas (Cluster.store st.cluster p)
+                      ~now:(now st) ~min_rate
+                  in
+                  let mine =
+                    List.length (List.filter (String.equal st.key) dropped)
+                  in
+                  if mine > 0 then
+                    emit st
+                      (Trace.Event.Evict
+                         { at = now st; node = Pid.to_int p; key = st.key });
+                  removed := !removed + mine);
+              if !removed > 0 then begin
+                st.replicas_evicted <- st.replicas_evicted + !removed;
+                Timeseries.record st.replica_timeline ~time:(now st)
+                  (float_of_int (Cluster.total_copies st.cluster ~key:st.key))
+              end;
+              tick ())
+      in
+      tick ()
+
+(* Control-traffic model for a membership event: the status word is
+   broadcast to every live node (Section 5), and each relocated file costs
+   one transfer. *)
+let account_churn st ~relocated =
+  st.control_messages <-
+    st.control_messages + Status_word.live_count (Cluster.status st.cluster);
+  st.file_transfers <- st.file_transfers + relocated
+
+let apply_churn st events =
+  List.iter
+    (fun { at; action } ->
+      Engine.schedule_at st.engine ~time:at (fun () ->
+          let status = Cluster.status st.cluster in
+          match action with
+          | Join p ->
+              if Status_word.is_dead status p then begin
+                emit st
+                  (Trace.Event.Membership
+                     { at = now st; node = Pid.to_int p; change = `Join });
+                let stats = Self_org.join ~now:(now st) st.cluster p in
+                account_churn st
+                  ~relocated:(List.length stats.Self_org.took_over);
+                Overlay.set_handler st.overlay p (fun ~src msg ->
+                    handle st ~me:p ~src msg)
+              end
+          | Leave p ->
+              if Status_word.is_live status p then begin
+                emit st
+                  (Trace.Event.Membership
+                     { at = now st; node = Pid.to_int p; change = `Leave });
+                let stats = Self_org.leave ~now:(now st) st.cluster p in
+                account_churn st
+                  ~relocated:(List.length stats.Self_org.reinserted);
+                Overlay.clear_handler st.overlay p
+              end
+          | Fail p ->
+              if Status_word.is_live status p then begin
+                emit st
+                  (Trace.Event.Membership
+                     { at = now st; node = Pid.to_int p; change = `Fail });
+                let stats = Self_org.fail ~now:(now st) st.cluster p in
+                account_churn st
+                  ~relocated:(List.length stats.Self_org.recovered);
+                Overlay.clear_handler st.overlay p
+              end))
+    events
+
+let run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases ~duration =
+  let params = Cluster.params cluster in
+  let engine = Engine.create () in
+  let overlay =
+    Overlay.create ~engine ~rng ~latency:config.latency ~loss:config.loss params
+  in
+  let st =
+    {
+      config;
+      rng;
+      cluster;
+      key;
+      engine;
+      overlay;
+      estimators =
+        Array.init (Params.space params) (fun _ ->
+            Access_counter.create ~tau:config.detection_tau ~now:0.0 ());
+      cooldown_until = Array.make (Params.space params) 0.0;
+      served = 0;
+      faults = 0;
+      latencies = Histogram.create ();
+      hops = Histogram.create ();
+      replicas_created = 0;
+      replicas_evicted = 0;
+      replica_timeline = Timeseries.create ~label:"copies" ();
+      last_replication = None;
+      control_messages = 0;
+      file_transfers = 0;
+      sink;
+    }
+  in
+  Status_word.iter_live (Cluster.status cluster) (fun p ->
+      Overlay.set_handler overlay p (fun ~src msg -> handle st ~me:p ~src msg));
+  Timeseries.record st.replica_timeline ~time:0.0
+    (float_of_int (Cluster.total_copies cluster ~key));
+  apply_churn st churn;
+  List.fold_left
+    (fun offset (demand, phase_duration) ->
+      start_arrivals st ~demand ~from_time:offset
+        ~until:(offset +. phase_duration);
+      offset +. phase_duration)
+    0.0 phases
+  |> ignore;
+  start_eviction st ~duration;
+  Engine.run ~until:duration engine;
+  let overloaded_at_end =
+    Status_word.fold_live (Cluster.status cluster) ~init:0 ~f:(fun acc p ->
+        let rate =
+          Access_counter.rate st.estimators.(Pid.to_int p) ~now:duration
+        in
+        if rate > config.capacity then acc + 1 else acc)
+  in
+  {
+    served = st.served;
+    faults = st.faults;
+    latencies = st.latencies;
+    hops = st.hops;
+    replicas_created = st.replicas_created;
+    replicas_evicted = st.replicas_evicted;
+    replica_timeline = st.replica_timeline;
+    last_replication = st.last_replication;
+    messages = Overlay.messages_sent overlay;
+    control_messages = st.control_messages;
+    file_transfers = st.file_transfers;
+    overloaded_at_end;
+  }
+
+let run ?(config = default_config) ?(churn = []) ?sink ~rng ~cluster ~key
+    ~demand ~duration () =
+  run_internal ~config ~churn ~sink ~rng ~cluster ~key
+    ~phases:[ (demand, duration) ] ~duration
+
+let run_scenario ?(config = default_config) ?(churn = []) ?sink ~rng ~cluster
+    ~key ~scenario () =
+  let phases =
+    List.map
+      (fun p ->
+        (p.Lesslog_workload.Scenario.demand, p.Lesslog_workload.Scenario.duration))
+      (Lesslog_workload.Scenario.phases scenario)
+  in
+  run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases
+    ~duration:(Lesslog_workload.Scenario.total_duration scenario)

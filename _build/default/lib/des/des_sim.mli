@@ -1,0 +1,105 @@
+(** Message-level simulation of a complete LessLog deployment.
+
+    Where {!Lesslog_flow} solves the steady state in closed form (and
+    generates the paper's figures), this simulator plays the system out
+    event by event: Poisson request arrivals at each node, per-hop network
+    latency, per-node overload detection from a decayed serve-rate
+    estimator (the node's own observation — still no client-access logs),
+    replica pushes that take time to arrive, and optional churn events.
+    The integration tests check that both engines agree on replica counts;
+    this engine additionally yields latency and hop distributions and
+    convergence behaviour that the fluid solver cannot express. *)
+
+open Lesslog_id
+module Histogram = Lesslog_metrics.Histogram
+module Timeseries = Lesslog_metrics.Timeseries
+
+type eviction = {
+  period : float;  (** How often each node reconsiders its replicas. *)
+  min_rate : float;
+      (** Locally-estimated accesses/s below which a replica is dropped. *)
+}
+
+type config = {
+  capacity : float;  (** Requests/s a node serves without overload. *)
+  detection_tau : float;
+      (** Time constant of the serve-rate estimator (seconds). *)
+  cooldown : float;
+      (** Minimum time between two replications triggered by the same
+          node. *)
+  latency : Lesslog_net.Latency.t;
+  loss : float;  (** Per-message drop probability. *)
+  eviction : eviction option;
+      (** When set, run the paper's counter-based replica removal: each
+          node periodically drops replicated copies whose decayed access
+          counter estimates fewer than [min_rate] accesses/s — a purely
+          local, logless decision. *)
+}
+
+val default_config : config
+(** capacity 100, tau 2 s, cooldown 0.5 s, default latency, no loss, no
+    eviction. *)
+
+type churn_action = Join of Pid.t | Leave of Pid.t | Fail of Pid.t
+
+type churn_event = { at : float; action : churn_action }
+
+type result = {
+  served : int;
+  faults : int;  (** Requests whose path met no copy. *)
+  latencies : Histogram.t;  (** Request completion time, seconds. *)
+  hops : Histogram.t;  (** Forwarding hops per served request. *)
+  replicas_created : int;
+  replicas_evicted : int;
+      (** Replicas removed by the counter-based mechanism (0 unless
+          [config.eviction] is set). *)
+  replica_timeline : Timeseries.t;  (** Copies of the key over time. *)
+  last_replication : float option;
+      (** When the system stopped creating replicas — convergence. *)
+  messages : int;  (** Total overlay messages. *)
+  control_messages : int;
+      (** Status-word broadcasts triggered by churn events (one message
+          per live node per event, Section 5). *)
+  file_transfers : int;
+      (** Files relocated by the self-organized mechanism (join
+          copy-backs, leave re-inserts, failure recoveries). *)
+  overloaded_at_end : int;
+      (** Nodes whose estimated serve rate still exceeded capacity when
+          the run ended. *)
+}
+
+(** Both entry points accept an optional [sink] receiving a
+    {!Lesslog_trace.Trace.Event.t} for every served/faulted request,
+    replica push, eviction and membership change — feed it a
+    [Trace.Writer] to record the run. *)
+
+val run :
+  ?config:config ->
+  ?churn:churn_event list ->
+  ?sink:(Lesslog_trace.Trace.Event.t -> unit) ->
+  rng:Lesslog_prng.Rng.t ->
+  cluster:Lesslog.Cluster.t ->
+  key:string ->
+  demand:Lesslog_workload.Demand.t ->
+  duration:float ->
+  unit ->
+  result
+(** Simulate [duration] seconds. The key must already be inserted in the
+    cluster. Churn events call the Section 5 mechanism at their scheduled
+    times (joins/leaves/failures); request arrivals stop at nodes that die
+    and never start at nodes absent from the initial demand. *)
+
+val run_scenario :
+  ?config:config ->
+  ?churn:churn_event list ->
+  ?sink:(Lesslog_trace.Trace.Event.t -> unit) ->
+  rng:Lesslog_prng.Rng.t ->
+  cluster:Lesslog.Cluster.t ->
+  key:string ->
+  scenario:Lesslog_workload.Scenario.t ->
+  unit ->
+  result
+(** Like {!run} but with a time-varying workload: each scenario phase
+    drives its own arrival processes. With [config.eviction] set this
+    plays the full flash-crowd lifecycle: replicas grow at the peak and
+    the counter-based mechanism trims them when the crowd disperses. *)

@@ -1,0 +1,1 @@
+lib/flow/balance.ml: Array Float Flow Hashtbl Lesslog Lesslog_id Lesslog_membership Lesslog_storage List Option Params Pid Policy

@@ -1,0 +1,1 @@
+lib/flow/balance.mli: Flow Lesslog Lesslog_id Lesslog_prng Lesslog_workload Pid Policy

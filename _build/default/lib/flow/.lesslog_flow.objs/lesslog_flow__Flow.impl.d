@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Array Hashtbl Lesslog_id Lesslog_membership Lesslog_ptree Lesslog_topology Lesslog_workload List Option Params Pid

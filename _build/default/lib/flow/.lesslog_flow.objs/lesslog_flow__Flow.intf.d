@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Lesslog_id Lesslog_membership Lesslog_ptree Lesslog_workload Pid

@@ -1,0 +1,1 @@
+lib/flow/multi_balance.mli: Lesslog Lesslog_id Lesslog_prng Lesslog_workload Pid Policy

@@ -1,0 +1,1 @@
+lib/flow/policy.ml: Flow Lesslog Lesslog_membership Lesslog_prng Lesslog_topology List Option

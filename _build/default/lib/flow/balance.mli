@@ -1,0 +1,60 @@
+(** The paper's load-balancing experiment loop (Section 6).
+
+    A node is overloaded when it serves more than [capacity] requests/s; a
+    system is load-balanced when no node is overloaded. Starting from the
+    single inserted copy, the loop repeatedly lets the most overloaded
+    node create one replica (placed by the policy under test) until the
+    system is balanced — the figure metric is how many replicas that
+    took. *)
+
+open Lesslog_id
+
+type outcome = {
+  replicas : int;  (** Copies created beyond the inserted one(s). *)
+  iterations : int;
+  balanced : bool;
+      (** [false] when the policy ran out of candidates while some node
+          was still overloaded (possible when demand exceeds total system
+          capacity). *)
+  max_load : float;  (** Highest per-node serve rate at the end. *)
+  unserved : float;  (** Demand that met no copy (0 in sane setups). *)
+}
+
+val run :
+  ?max_steps:int ->
+  rng:Lesslog_prng.Rng.t ->
+  cluster:Lesslog.Cluster.t ->
+  key:string ->
+  demand:Lesslog_workload.Demand.t ->
+  capacity:float ->
+  policy:Policy.t ->
+  unit ->
+  outcome
+(** Requires the key to be already inserted. [max_steps] defaults to
+    4 × the slot count. Replicas are materialized in the cluster's file
+    stores, so the final holder set can be inspected afterwards. *)
+
+val evict_cold :
+  ?capacity:float ->
+  cluster:Lesslog.Cluster.t ->
+  key:string ->
+  demand:Lesslog_workload.Demand.t ->
+  min_rate:float ->
+  unit ->
+  int
+(** The steady-state effect of the paper's counter-based removal:
+    repeatedly drop the coldest replicated copy serving fewer than
+    [min_rate] requests/s, re-evaluating flows after each removal (evicted
+    traffic shifts to an ancestor copy). An eviction that would push any
+    node above [capacity] (default: no limit) is rolled back and the
+    process stops for that branch. Returns how many replicas were
+    removed. *)
+
+val loads :
+  cluster:Lesslog.Cluster.t ->
+  key:string ->
+  demand:Lesslog_workload.Demand.t ->
+  Flow.loads
+(** Current per-node serve rates for the key under the demand. *)
+
+val holder_pids : Lesslog.Cluster.t -> key:string -> Pid.t list

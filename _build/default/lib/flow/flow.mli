@@ -1,0 +1,49 @@
+(** Exact steady-state request-flow solver.
+
+    Given a lookup tree, the membership, and the per-node demand for one
+    file, every request travels the Section 3 resolution path of its
+    origin and is served by the first copy it meets. This module computes
+    each node's serve rate in closed form — the quantity the paper's
+    evaluation thresholds against the per-node capacity. Routing is
+    precomputed once per (tree, membership) pair so the replication loop
+    can re-evaluate loads cheaply as copies appear. *)
+
+open Lesslog_id
+module Status_word = Lesslog_membership.Status_word
+module Ptree = Lesslog_ptree.Ptree
+
+type t
+
+val create : Ptree.t -> Status_word.t -> t
+(** Precompute the next-hop table (O(N·m)). The membership must not change
+    while this value is in use. *)
+
+val tree : t -> Ptree.t
+val status : t -> Status_word.t
+
+val next_hop : t -> Pid.t -> Pid.t option
+(** The precomputed {!Lesslog_topology.Topology.route_next}. *)
+
+val serving_node :
+  t -> holders:(Pid.t -> bool) -> origin:Pid.t -> Pid.t option
+(** Which node serves a request originated at a live [origin]; [None] when
+    no copy lies on the resolution path (a fault). *)
+
+type loads = {
+  serve : float array;  (** Requests/s served, per PID slot. *)
+  unserved : float;  (** Demand whose path met no copy. *)
+}
+
+val serve_rates :
+  t -> holders:(Pid.t -> bool) -> demand:Lesslog_workload.Demand.t -> loads
+
+val inflows :
+  t ->
+  holders:(Pid.t -> bool) ->
+  demand:Lesslog_workload.Demand.t ->
+  at:Pid.t ->
+  (Pid.t option * float) list
+(** Decompose the traffic served at [at] by where it entered: [Some p] for
+    requests forwarded by [p] on the hop [p → at], [None] for requests
+    originated at [at] itself. This is exactly the information a log-based
+    replication method extracts from client-access logs. *)

@@ -1,0 +1,47 @@
+(** Multi-file load balancing: the whole-catalogue generalization of
+    {!Balance}.
+
+    The paper's evaluation uses a single hot file; a deployed LessLog node
+    serves many files at once and overloads on its {e total} serve rate.
+    This module runs the same replicate-until-balanced loop against a
+    catalogue: each iteration finds the node with the highest aggregate
+    load and replicates the file contributing most to it, using the
+    regular per-file placement policy. *)
+
+open Lesslog_id
+
+type outcome = {
+  replicas_per_key : (string * int) list;
+      (** Replicas created for each key (keys with none omitted). *)
+  total_replicas : int;
+  iterations : int;
+  balanced : bool;
+  max_load : float;  (** Highest aggregate per-node serve rate at the end. *)
+}
+
+val run :
+  ?max_steps:int ->
+  rng:Lesslog_prng.Rng.t ->
+  cluster:Lesslog.Cluster.t ->
+  catalog:(string * Lesslog_workload.Demand.t) list ->
+  capacity:float ->
+  policy:Policy.t ->
+  unit ->
+  outcome
+(** Every key must already be inserted. [max_steps] defaults to
+    8 × slot count. *)
+
+val aggregate_loads :
+  cluster:Lesslog.Cluster.t ->
+  catalog:(string * Lesslog_workload.Demand.t) list ->
+  float array
+(** Total serve rate per PID slot across the catalogue, under the current
+    holder sets. *)
+
+val per_key_loads :
+  cluster:Lesslog.Cluster.t ->
+  catalog:(string * Lesslog_workload.Demand.t) list ->
+  at:Pid.t ->
+  (string * float) list
+(** The decomposition of one node's aggregate load by key, heaviest
+    first. *)

@@ -1,0 +1,41 @@
+(** The three replica-placement policies compared in the paper's
+    evaluation (Section 6).
+
+    All three resolve lookups through the same binomial lookup tree; they
+    differ only in where an overloaded node puts the next copy:
+    - {b LessLog}: the paper's logless placement — the first non-holder of
+      the (dead-node-aware) children list, with the Section 3 proportional
+      choice at the max-VID live node of a dead-root tree.
+    - {b Log_based}: an oracle log analysis — the child forwarding the
+      most requests right now (an upper bound on any real log-based
+      scheme).
+    - {b Random}: a uniformly random live non-holder. *)
+
+open Lesslog_id
+
+type t =
+  | Lesslog
+  | Log_based
+  | Random
+  | Lesslog_biased of [ `Own | `Root ]
+      (** Ablation variants: LessLog with the Section 3 proportional choice
+          replaced by always picking the overloaded node's own children
+          list ([`Own]) or always the root's ([`Root]). *)
+
+val name : t -> string
+
+val all : t list
+(** The paper's three policies (the biased variants are ablation-only). *)
+
+val place :
+  t ->
+  rng:Lesslog_prng.Rng.t ->
+  cluster:Lesslog.Cluster.t ->
+  flow:Flow.t ->
+  demand:Lesslog_workload.Demand.t ->
+  key:string ->
+  overloaded:Pid.t ->
+  Pid.t option
+(** Choose where the overloaded node's next replica of [key] goes, or
+    [None] when the policy has no candidate left. Does not create the
+    copy. *)

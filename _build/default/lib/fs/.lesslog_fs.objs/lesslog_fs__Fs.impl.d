@@ -1,0 +1,1 @@
+lib/fs/fs.ml: Array Format Hashtbl Int64 Lesslog Lesslog_flow Lesslog_hash Lesslog_id Lesslog_membership Lesslog_storage List Params Pid Printf String

@@ -1,0 +1,1 @@
+lib/fs/fs.mli: Format Lesslog Lesslog_flow Lesslog_id Lesslog_prng Lesslog_workload Pid

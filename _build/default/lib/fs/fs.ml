@@ -1,0 +1,196 @@
+open Lesslog_id
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Status_word = Lesslog_membership.Status_word
+module File_store = Lesslog_storage.File_store
+module Fnv = Lesslog_hash.Fnv
+
+type blob = { data : string; version : int; checksum : int64 }
+
+type t = {
+  cluster : Cluster.t;
+  blobs : (string, blob) Hashtbl.t array;  (* per PID slot *)
+}
+
+type read_result = {
+  data : string;
+  version : int;
+  served_by : Pid.t;
+  hops : int;
+}
+
+type error = Not_found | Corrupted of Pid.t | No_live_node
+
+let pp_error fmt = function
+  | Not_found -> Format.pp_print_string fmt "not found"
+  | Corrupted p -> Format.fprintf fmt "corrupted at P(%a)" Pid.pp p
+  | No_live_node -> Format.pp_print_string fmt "no live node"
+
+let checksum ~data ~version =
+  Fnv.hash64 (Printf.sprintf "%d:%s" version data)
+
+let make_blob ~data ~version = { data; version; checksum = checksum ~data ~version }
+
+let blob_valid b = Int64.equal b.checksum (checksum ~data:b.data ~version:b.version)
+
+let create ?(b = 0) ?live ~m () =
+  let params = Params.create ~m ~b () in
+  let cluster = Cluster.create ?live params in
+  { cluster; blobs = Array.init (Params.space params) (fun _ -> Hashtbl.create 8) }
+
+let cluster t = t.cluster
+
+let blob_table t p = t.blobs.(Pid.to_int p)
+
+let put_blob t p ~key blob = Hashtbl.replace (blob_table t p) key blob
+
+let drop_blob t p ~key = Hashtbl.remove (blob_table t p) key
+
+let find_blob t p ~key = Hashtbl.find_opt (blob_table t p) key
+
+(* Align blobs with metadata at every live node for one key: nodes that
+   hold metadata get the blob, nodes that lost metadata lose the blob. *)
+let align_key t ~key ~blob =
+  Status_word.iter_live (Cluster.status t.cluster) (fun p ->
+      if Cluster.holds t.cluster p ~key then put_blob t p ~key blob
+      else drop_blob t p ~key)
+
+let write ?(now = 0.0) t ~key ~data =
+  if Cluster.holds t.cluster (Cluster.target_of_key t.cluster key) ~key
+     || Cluster.holders t.cluster ~key <> []
+  then begin
+    (* Existing file: UPDATEFILE, then push content to every copy the
+       broadcast reached (the ones now at the new version). *)
+    let result = Ops.update ~now t.cluster ~key in
+    let blob = make_blob ~data ~version:result.Ops.version in
+    Status_word.iter_live (Cluster.status t.cluster) (fun p ->
+        if
+          File_store.version (Cluster.store t.cluster p) ~key
+          = Some result.Ops.version
+        then put_blob t p ~key blob);
+    Ok result.Ops.version
+  end
+  else begin
+    match Ops.insert ~now t.cluster ~key with
+    | [] -> Error No_live_node
+    | targets ->
+        let blob = make_blob ~data ~version:0 in
+        List.iter (fun p -> put_blob t p ~key blob) targets;
+        Ok 0
+  end
+
+let read ?(now = 0.0) t ~origin ~key =
+  let r = Ops.get ~now t.cluster ~origin ~key in
+  match r.Ops.server with
+  | None -> Error Not_found
+  | Some server -> (
+      match find_blob t server ~key with
+      | None -> Error (Corrupted server)
+      | Some blob ->
+          if blob_valid blob then
+            Ok
+              {
+                data = blob.data;
+                version = blob.version;
+                served_by = server;
+                hops = r.Ops.hops;
+              }
+          else Error (Corrupted server))
+
+let delete ?(now = 0.0) t ~key =
+  let result = Ops.delete ~now t.cluster ~key in
+  Array.iter (fun table -> Hashtbl.remove table key) t.blobs;
+  result.Ops.updated
+
+let replicate ?(now = 0.0) t ~rng ~overloaded ~key =
+  match Ops.replicate ~now ~rng t.cluster ~overloaded ~key with
+  | None -> None
+  | Some dest ->
+      (match find_blob t overloaded ~key with
+      | Some blob -> put_blob t dest ~key blob
+      | None -> (
+          (* The overloaded node should hold the blob; fall back to any
+             valid copy. *)
+          match
+            List.find_map
+              (fun p -> find_blob t p ~key)
+              (Cluster.holders t.cluster ~key)
+          with
+          | Some blob -> put_blob t dest ~key blob
+          | None -> ()));
+      Some dest
+
+let sync_key t ~key =
+  let copied = ref 0 in
+  let source =
+    List.find_map
+      (fun p ->
+        match find_blob t p ~key with
+        | Some b when blob_valid b -> Some b
+        | _ -> None)
+      (Cluster.holders t.cluster ~key)
+  in
+  (match source with
+  | None -> ()
+  | Some blob ->
+      Status_word.iter_live (Cluster.status t.cluster) (fun p ->
+          if Cluster.holds t.cluster p ~key && find_blob t p ~key = None then begin
+            put_blob t p ~key blob;
+            incr copied
+          end));
+  !copied
+
+let rebalance ?(now = 0.0) t ~rng ~catalog ~capacity =
+  ignore now;
+  let outcome =
+    Lesslog_flow.Multi_balance.run ~rng ~cluster:t.cluster ~catalog ~capacity
+      ~policy:Lesslog_flow.Policy.Lesslog ()
+  in
+  List.iter (fun (key, _) -> ignore (sync_key t ~key)) catalog;
+  outcome
+
+let evict_cold ?(now = 0.0) t ~catalog ~capacity ~min_rate =
+  ignore now;
+  let removed = ref 0 in
+  List.iter
+    (fun (key, demand) ->
+      removed :=
+        !removed
+        + Lesslog_flow.Balance.evict_cold ~capacity ~cluster:t.cluster ~key
+            ~demand ~min_rate ();
+      (* Metadata went away on eviction; blobs follow. *)
+      match
+        List.find_map (fun p -> find_blob t p ~key) (Cluster.holders t.cluster ~key)
+      with
+      | Some blob -> align_key t ~key ~blob
+      | None -> ())
+    catalog;
+  !removed
+
+let keys t = Cluster.registered_keys t.cluster
+
+let exists t ~key = Cluster.holders t.cluster ~key <> []
+
+let copies t ~key = Cluster.total_copies t.cluster ~key
+
+let bytes_stored t p =
+  Hashtbl.fold
+    (fun _ (blob : blob) acc -> acc + String.length blob.data)
+    (blob_table t p) 0
+
+let fsck t =
+  let problems = ref [] in
+  let status = Cluster.status t.cluster in
+  List.iter
+    (fun key ->
+      Status_word.iter_live status (fun p ->
+          let has_meta = Cluster.holds t.cluster p ~key in
+          match (has_meta, find_blob t p ~key) with
+          | true, Some blob when blob_valid blob -> ()
+          | false, None -> ()
+          | _, _ -> problems := (key, p) :: !problems))
+    (keys t);
+  List.rev !problems
+
+let sync_blobs t =
+  List.fold_left (fun acc key -> acc + sync_key t ~key) 0 (keys t)

@@ -1,0 +1,100 @@
+(** The file-system facade: LessLog as a usable replicated store.
+
+    The paper's goal is "a high-performance, load-balanced, and
+    fault-tolerant file system for P2P distributed systems"; this module
+    is that surface. It pairs the core algorithm's metadata operations
+    with actual file contents (checksummed byte blobs that travel with
+    every inserted copy, replica, update and recovery), and exposes a
+    whole-catalogue rebalancing pass built on {!Lesslog_flow}.
+
+    Invariant maintained throughout: a node holds a blob for a key iff its
+    file store holds a (metadata) copy of that key, and the blob's
+    checksum matches its version. {!fsck} verifies this. *)
+
+open Lesslog_id
+
+type t
+
+type read_result = {
+  data : string;
+  version : int;
+  served_by : Pid.t;
+  hops : int;
+}
+
+type error =
+  | Not_found  (** No copy lies on the resolution path. *)
+  | Corrupted of Pid.t  (** A blob failed its checksum — storage fault. *)
+  | No_live_node
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : ?b:int -> ?live:Pid.t list -> m:int -> unit -> t
+(** A fresh file system over a LessLog cluster. *)
+
+val cluster : t -> Lesslog.Cluster.t
+(** The underlying cluster, for membership operations and inspection. *)
+
+val write : ?now:float -> t -> key:string -> data:string -> (int, error) result
+(** Create or overwrite a file. A first write inserts it (at the
+    FINDLIVENODE target(s)); later writes run UPDATEFILE, pushing the new
+    content to every reachable copy. Returns the stored version. *)
+
+val read : ?now:float -> t -> origin:Pid.t -> key:string -> (read_result, error) result
+(** GETFILE plus content fetch and checksum verification at the serving
+    node. @raise Invalid_argument when [origin] is dead. *)
+
+val delete : ?now:float -> t -> key:string -> int
+(** Remove a file from every reachable copy; returns how many copies were
+    discarded. *)
+
+val replicate :
+  ?now:float ->
+  t ->
+  rng:Lesslog_prng.Rng.t ->
+  overloaded:Pid.t ->
+  key:string ->
+  Pid.t option
+(** One logless replication step, with the blob copied to the new
+    holder. *)
+
+val rebalance :
+  ?now:float ->
+  t ->
+  rng:Lesslog_prng.Rng.t ->
+  catalog:(string * Lesslog_workload.Demand.t) list ->
+  capacity:float ->
+  Lesslog_flow.Multi_balance.outcome
+(** Whole-catalogue LessLog balancing under the given demand; new replica
+    holders receive the blobs. *)
+
+val evict_cold :
+  ?now:float ->
+  t ->
+  catalog:(string * Lesslog_workload.Demand.t) list ->
+  capacity:float ->
+  min_rate:float ->
+  int
+(** Counter-based removal across the catalogue (per-file, capacity-safe);
+    blobs follow the metadata. Returns replicas removed. *)
+
+val keys : t -> string list
+(** Registered keys, sorted. *)
+
+val exists : t -> key:string -> bool
+
+val copies : t -> key:string -> int
+(** Live copies of the key. *)
+
+val bytes_stored : t -> Pid.t -> int
+(** Total blob bytes a node currently stores. *)
+
+val fsck : t -> (string * Pid.t) list
+(** Metadata/blob coherence check: returns every (key, node) where a
+    metadata copy lacks a blob, a blob lacks metadata, or a checksum does
+    not match. Empty on a healthy system. *)
+
+val sync_blobs : t -> int
+(** Repair pass used after raw cluster surgery in tests: copy blobs to
+    holders that have metadata but no content (from any node that has a
+    valid blob). Returns the number of blobs copied. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Lesslog_flow Lesslog_prng Lesslog_report

@@ -1,0 +1,457 @@
+open Lesslog_id
+module Series = Lesslog_report.Series
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Status_word = Lesslog_membership.Status_word
+module Ptree = Lesslog_ptree.Ptree
+module Demand = Lesslog_workload.Demand
+module Balance = Lesslog_flow.Balance
+module Policy = Lesslog_flow.Policy
+module Chord = Lesslog_chord.Chord
+module Rng = Lesslog_prng.Rng
+module File_store = Lesslog_storage.File_store
+
+(* --- A1: lookup hops, LessLog tree vs Chord --------------------------- *)
+
+let hops ?(ms = [ 4; 6; 8; 10; 12; 14 ]) ?(samples = 2000) ?(seed = 42)
+    ?(with_can = true) () =
+  let lesslog_points = ref []
+  and chord_points = ref []
+  and pastry_points = ref []
+  and can_points = ref [] in
+  List.iter
+    (fun m ->
+      let params = Params.create ~m () in
+      let rng = Rng.create ~seed:(seed + m) in
+      let live = Pid.all params in
+      let chord = Chord.create params ~live in
+      let pastry =
+        let digit_bits = if m mod 2 = 0 then 2 else 1 in
+        Lesslog_pastry.Pastry.create ~digit_bits params ~live
+      in
+      let can =
+        (* CAN construction is quadratic in this implementation; keep its
+           series to the sizes where that stays instant. *)
+        if with_can && m <= 12 then
+          Some (Lesslog_can.Can.create ~rng ~n:(Params.space params) ~d:2)
+        else None
+      in
+      let lesslog_total = ref 0
+      and chord_total = ref 0
+      and pastry_total = ref 0
+      and can_total = ref 0 in
+      for _ = 1 to samples do
+        let origin = Pid.unsafe_of_int (Rng.int rng (Params.space params)) in
+        let target = Rng.int rng (Params.space params) in
+        (* LessLog: hops = depth of the origin in the target's tree. *)
+        let tree = Ptree.make params ~root:(Pid.unsafe_of_int target) in
+        lesslog_total := !lesslog_total + Ptree.depth tree origin;
+        let r = Chord.lookup chord ~from:origin ~target in
+        chord_total := !chord_total + r.Chord.hops;
+        let r = Lesslog_pastry.Pastry.lookup pastry ~from:origin ~target in
+        pastry_total := !pastry_total + r.Lesslog_pastry.Pastry.hops;
+        match can with
+        | Some can ->
+            let r = Lesslog_can.Can.random_lookup can ~rng in
+            can_total := !can_total + r.Lesslog_can.Can.hops
+        | None -> ()
+      done;
+      let mean total = float_of_int total /. float_of_int samples in
+      lesslog_points := (float_of_int m, mean !lesslog_total) :: !lesslog_points;
+      chord_points := (float_of_int m, mean !chord_total) :: !chord_points;
+      pastry_points := (float_of_int m, mean !pastry_total) :: !pastry_points;
+      (match can with
+      | Some _ -> can_points := (float_of_int m, mean !can_total) :: !can_points
+      | None -> ()))
+    ms;
+  [
+    Series.make ~label:"lesslog tree" (List.rev !lesslog_points);
+    Series.make ~label:"chord fingers" (List.rev !chord_points);
+    Series.make ~label:"pastry prefixes" (List.rev !pastry_points);
+  ]
+  @
+  if with_can then [ Series.make ~label:"can d=2" (List.rev !can_points) ]
+  else []
+
+(* --- A2: counter-based replica eviction ------------------------------- *)
+
+let eviction ?(config = Experiments.default) ?(decay_factor = 10.0)
+    ?(min_rate = 10.0) () =
+  let key = Experiments.hot_file in
+  let created = ref [] and kept = ref [] in
+  List.iter
+    (fun rate ->
+      let rng = Rng.create ~seed:config.Experiments.seed in
+      let params = Params.create ~m:config.Experiments.m () in
+      let cluster = Cluster.create params in
+      ignore (Ops.insert cluster ~key);
+      let status = Cluster.status cluster in
+      let demand = Demand.uniform status ~total:rate in
+      let outcome =
+        Balance.run ~rng ~cluster ~key ~demand
+          ~capacity:config.Experiments.capacity ~policy:Policy.Lesslog ()
+      in
+      (* The flash crowd passes: demand decays, cold replicas go — but
+         never past the point where some node would overload again. *)
+      let decayed = Demand.scale demand ~factor:(1.0 /. decay_factor) in
+      let evicted =
+        Balance.evict_cold ~capacity:config.Experiments.capacity ~cluster ~key
+          ~demand:decayed ~min_rate ()
+      in
+      created := (rate, float_of_int outcome.Balance.replicas) :: !created;
+      kept :=
+        (rate, float_of_int (outcome.Balance.replicas - evicted)) :: !kept)
+    config.Experiments.rates;
+  [
+    Series.make ~label:"created at peak" (List.rev !created);
+    Series.make ~label:"kept after decay" (List.rev !kept);
+  ]
+
+(* --- A3: fault rate vs simultaneous failures, per b -------------------- *)
+
+let fault_tolerance ?(m = 8) ?(bs = [ 0; 1; 2; 3 ])
+    ?(fractions = [ 0.05; 0.1; 0.2; 0.3; 0.4; 0.5 ]) ?(files = 32) ?(seed = 7)
+    () =
+  List.map
+    (fun b ->
+      let points =
+        List.map
+          (fun fraction ->
+            let params = Params.create ~m ~b () in
+            let cluster = Cluster.create params in
+            let rng = Rng.create ~seed:(seed + b) in
+            let keys =
+              List.init files (fun i -> Printf.sprintf "ft-file-%d" i)
+            in
+            List.iter (fun key -> ignore (Ops.insert cluster ~key)) keys;
+            (* Simultaneous failure: victims die and their stores vanish,
+               with no recovery window in between. *)
+            let status = Cluster.status cluster in
+            let victims = Status_word.kill_fraction status rng ~fraction in
+            List.iter
+              (fun v ->
+                let store = Cluster.store cluster v in
+                List.iter
+                  (fun key -> File_store.remove store ~key)
+                  (File_store.keys store))
+              victims;
+            let total = ref 0 and faulted = ref 0 in
+            Status_word.iter_live status (fun origin ->
+                List.iter
+                  (fun key ->
+                    incr total;
+                    if (Ops.get cluster ~origin ~key).Ops.server = None then
+                      incr faulted)
+                  keys);
+            ( fraction,
+              if !total = 0 then 0.0
+              else float_of_int !faulted /. float_of_int !total ))
+          fractions
+      in
+      Series.make ~label:(Printf.sprintf "b=%d" b) points)
+    bs
+
+(* --- A5: proportional choice vs biased variants ------------------------ *)
+
+(* The proportional choice only matters when the key's target node is
+   dead and the max-VID live node takes its traffic, so this trial kills
+   the target explicitly on top of the random dead fraction. *)
+let proportional_trial config ~rng ~dead_fraction ~policy ~rate =
+  let params = Params.create ~m:config.Experiments.m () in
+  let cluster = Cluster.create params in
+  let status = Cluster.status cluster in
+  let key = Experiments.hot_file in
+  Status_word.set_dead status (Cluster.target_of_key cluster key);
+  ignore (Status_word.kill_fraction status rng ~fraction:dead_fraction);
+  ignore (Ops.insert cluster ~key);
+  let demand =
+    Demand.locality ~hot_fraction:config.Experiments.hot_fraction
+      ~hot_share:config.Experiments.hot_share status ~rng ~total:rate
+  in
+  let outcome =
+    Balance.run ~rng ~cluster ~key ~demand
+      ~capacity:config.Experiments.capacity ~policy ()
+  in
+  float_of_int outcome.Balance.replicas
+
+let proportional_choice ?(config = Experiments.default) ?(dead_fraction = 0.3)
+    () =
+  List.map
+    (fun policy ->
+      let points =
+        List.map
+          (fun rate ->
+            let total = ref 0.0 in
+            for trial = 1 to config.Experiments.trials do
+              let rng =
+                Rng.create
+                  ~seed:
+                    (Lesslog_hash.Fnv.hash63
+                       (Printf.sprintf "prop|%d|%s|%g|%d"
+                          config.Experiments.seed (Policy.name policy) rate
+                          trial)
+                    land 0x3FFFFFFF)
+              in
+              total :=
+                !total
+                +. proportional_trial config ~rng ~dead_fraction ~policy ~rate
+            done;
+            (rate, !total /. float_of_int config.Experiments.trials))
+          config.Experiments.rates
+      in
+      Series.make ~label:(Policy.name policy) points)
+    [ Policy.Lesslog; Policy.Lesslog_biased `Own; Policy.Lesslog_biased `Root ]
+
+(* --- V1: fluid solver vs event-driven simulator ------------------------ *)
+
+let fluid_vs_des ?(m = 7) ?(capacity = 100.0)
+    ?(rates = [ 500.0; 1000.0; 1500.0; 2000.0; 2500.0 ]) ?(duration = 30.0)
+    ?(seed = 42) () =
+  let key = Experiments.hot_file in
+  let fluid = ref [] and des = ref [] in
+  List.iter
+    (fun rate ->
+      let params = Params.create ~m () in
+      (* Fluid. *)
+      let cluster = Cluster.create params in
+      ignore (Ops.insert cluster ~key);
+      let rng = Rng.create ~seed in
+      let demand =
+        Demand.uniform (Cluster.status cluster) ~total:rate
+      in
+      let outcome =
+        Balance.run ~rng ~cluster ~key ~demand ~capacity ~policy:Policy.Lesslog ()
+      in
+      fluid := (rate, float_of_int outcome.Balance.replicas) :: !fluid;
+      (* DES on a fresh cluster. *)
+      let cluster = Cluster.create params in
+      ignore (Ops.insert cluster ~key);
+      let rng = Rng.create ~seed in
+      let demand = Demand.uniform (Cluster.status cluster) ~total:rate in
+      let result =
+        Lesslog_des.Des_sim.run
+          ~config:{ Lesslog_des.Des_sim.default_config with capacity }
+          ~rng ~cluster ~key ~demand ~duration ()
+      in
+      des := (rate, float_of_int result.Lesslog_des.Des_sim.replicas_created) :: !des)
+    rates;
+  [
+    Series.make ~label:"fluid solver" (List.rev !fluid);
+    Series.make ~label:"event-driven" (List.rev !des);
+  ]
+
+(* --- A2 (message-level): the flash-crowd replica lifecycle --------------- *)
+
+type lifecycle_outcome = {
+  created : int;
+  evicted : int;
+  final_copies : int;
+  peak_copies : float;
+  lifecycle_faults : int;
+  timeline : (float * float) list;
+}
+
+let eviction_lifecycle ?(m = 8) ?(peak = 3000.0) ?(calm = 150.0)
+    ?(peak_duration = 40.0) ?(calm_duration = 80.0) ?(period = 5.0)
+    ?(min_rate = 5.0) ?(seed = 42) () =
+  let params = Params.create ~m () in
+  let cluster = Cluster.create params in
+  let key = Experiments.hot_file in
+  ignore (Ops.insert cluster ~key);
+  let rng = Rng.create ~seed in
+  let scenario =
+    Lesslog_workload.Scenario.flash_crowd (Cluster.status cluster) ~rng ~peak
+      ~calm ~peak_duration ~calm_duration
+  in
+  let config =
+    {
+      Lesslog_des.Des_sim.default_config with
+      eviction = Some { Lesslog_des.Des_sim.period; min_rate };
+    }
+  in
+  let r =
+    Lesslog_des.Des_sim.run_scenario ~config ~rng ~cluster ~key ~scenario ()
+  in
+  let pts =
+    Lesslog_metrics.Timeseries.points r.Lesslog_des.Des_sim.replica_timeline
+  in
+  let keep_every = max 1 (Array.length pts / 24) in
+  let timeline =
+    Array.to_list pts
+    |> List.filteri (fun i _ -> i mod keep_every = 0 || i = Array.length pts - 1)
+  in
+  {
+    created = r.Lesslog_des.Des_sim.replicas_created;
+    evicted = r.Lesslog_des.Des_sim.replicas_evicted;
+    final_copies = Cluster.total_copies cluster ~key;
+    peak_copies = Array.fold_left (fun a (_, v) -> Float.max a v) 0.0 pts;
+    lifecycle_faults = r.Lesslog_des.Des_sim.faults;
+    timeline;
+  }
+
+let lifecycle_series outcome =
+  [ Series.make ~label:"copies" outcome.timeline ]
+
+(* --- A6: update broadcast cost ------------------------------------------ *)
+
+let update_cost ?(m = 10) ?(replica_levels = [ 0; 3; 15; 63; 255 ]) ?(seed = 3)
+    () =
+  let broadcast_points = ref [] and flood_points = ref [] in
+  List.iter
+    (fun replicas ->
+      let params = Params.create ~m () in
+      let cluster = Cluster.create params in
+      let key = Experiments.hot_file in
+      ignore (Ops.insert cluster ~key);
+      let rng = Rng.create ~seed in
+      let placed = ref 0 in
+      while !placed < replicas do
+        match Cluster.holders cluster ~key with
+        | [] -> placed := replicas
+        | holders -> (
+            match
+              Ops.replicate ~rng cluster
+                ~overloaded:(Rng.pick_list rng holders)
+                ~key
+            with
+            | Some _ -> incr placed
+            | None -> ())
+      done;
+      let copies = float_of_int (Cluster.total_copies cluster ~key) in
+      let result = Ops.update cluster ~key in
+      broadcast_points := (copies, float_of_int result.Ops.messages) :: !broadcast_points;
+      flood_points :=
+        (copies, float_of_int (Status_word.live_count (Cluster.status cluster)))
+        :: !flood_points)
+    replica_levels;
+  [
+    Series.make ~label:"children-list broadcast" (List.rev !broadcast_points);
+    Series.make ~label:"naive flood" (List.rev !flood_points);
+  ]
+
+(* --- A7: realistic session churn (the paper's future work) --------------- *)
+
+type session_outcome = {
+  mean_session : float;
+  availability : float;
+  served : int;
+  faults : int;
+  joins : int;
+  leaves : int;
+  fails : int;
+  replicas_created : int;
+  control_messages : int;
+  file_transfers : int;
+}
+
+let session_churn ?(m = 8) ?(rate = 2000.0) ?(duration = 120.0)
+    ?(mean_sessions = [ 30.0; 60.0; 120.0; 300.0 ]) ?(seed = 42) () =
+  let key = Experiments.hot_file in
+  List.map
+    (fun mean_session ->
+      let params = Params.create ~m () in
+      let cluster = Cluster.create params in
+      ignore (Ops.insert cluster ~key);
+      let rng = Rng.create ~seed in
+      let demand = Demand.uniform (Cluster.status cluster) ~total:rate in
+      let trace =
+        Lesslog_des.Churn_trace.generate ~rng
+          ~live:(Status_word.live_pids (Cluster.status cluster))
+          {
+            Lesslog_des.Churn_trace.default with
+            mean_session;
+            mean_downtime = mean_session /. 2.0;
+            duration;
+          }
+      in
+      let joins, leaves, fails = Lesslog_des.Churn_trace.summary trace in
+      let result =
+        Lesslog_des.Des_sim.run ~churn:trace ~rng ~cluster ~key ~demand
+          ~duration ()
+      in
+      let served = result.Lesslog_des.Des_sim.served in
+      let faults = result.Lesslog_des.Des_sim.faults in
+      {
+        mean_session;
+        availability =
+          (if served + faults = 0 then 1.0
+           else float_of_int served /. float_of_int (served + faults));
+        served;
+        faults;
+        joins;
+        leaves;
+        fails;
+        replicas_created = result.Lesslog_des.Des_sim.replicas_created;
+        control_messages = result.Lesslog_des.Des_sim.control_messages;
+        file_transfers = result.Lesslog_des.Des_sim.file_transfers;
+      })
+    mean_sessions
+
+(* --- A4: availability under churn -------------------------------------- *)
+
+type churn_outcome = {
+  events_per_min : float;
+  availability : float;
+  faults : int;
+  served : int;
+  replicas_created : int;
+}
+
+let churn ?(m = 8) ?(rate = 2000.0) ?(duration = 60.0)
+    ?(events_per_min = [ 0.0; 6.0; 12.0; 30.0; 60.0 ]) ?(seed = 42) () =
+  let key = Experiments.hot_file in
+  List.map
+    (fun epm ->
+      let params = Params.create ~m () in
+      let cluster = Cluster.create params in
+      ignore (Ops.insert cluster ~key);
+      let rng = Rng.create ~seed in
+      let demand = Demand.uniform (Cluster.status cluster) ~total:rate in
+      (* Pre-generate a deterministic churn schedule: alternating leaves,
+         failures and (re)joins of random nodes. *)
+      let events = ref [] in
+      let count = int_of_float (Float.round (epm *. duration /. 60.0)) in
+      let gone = ref [] in
+      for k = 1 to count do
+        let at = duration *. float_of_int k /. float_of_int (count + 1) in
+        let action =
+          match (k mod 3, !gone) with
+          | 0, p :: rest ->
+              gone := rest;
+              Lesslog_des.Des_sim.Join p
+          | _ -> (
+              (* Choose a victim that is not the key's current holder set
+                 owner; any live node works, the mechanism handles it. *)
+              match Status_word.random_live (Cluster.status cluster) rng with
+              | Some p ->
+                  gone := p :: !gone;
+                  if k mod 2 = 0 then Lesslog_des.Des_sim.Fail p
+                  else Lesslog_des.Des_sim.Leave p
+              | None -> Lesslog_des.Des_sim.Join (Pid.unsafe_of_int 0))
+        in
+        events := { Lesslog_des.Des_sim.at; action } :: !events
+      done;
+      let result =
+        Lesslog_des.Des_sim.run ~churn:(List.rev !events) ~rng ~cluster ~key
+          ~demand ~duration ()
+      in
+      let served = result.Lesslog_des.Des_sim.served in
+      let faults = result.Lesslog_des.Des_sim.faults in
+      let availability =
+        if served + faults = 0 then 1.0
+        else float_of_int served /. float_of_int (served + faults)
+      in
+      {
+        events_per_min = epm;
+        availability;
+        faults;
+        served;
+        replicas_created = result.Lesslog_des.Des_sim.replicas_created;
+      })
+    events_per_min
+
+let churn_series outcomes =
+  [
+    Series.make ~label:"availability"
+      (List.map (fun o -> (o.events_per_min, o.availability)) outcomes);
+  ]

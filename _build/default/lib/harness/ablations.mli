@@ -1,0 +1,152 @@
+(** Ablation and validation experiments beyond the paper's four figures,
+    one per design claim DESIGN.md calls out.
+
+    - {!hops} (A1): the O(log N) lookup claim of Section 1, with Chord as
+      the related-work comparison point (Section 7).
+    - {!eviction} (A2): the counter-based replica removal suggested in
+      Sections 2.2 and 6.
+    - {!fault_tolerance} (A3): the Section 4 guarantee — fault rate under
+      simultaneous node failures for increasing [b].
+    - {!proportional_choice} (A5): the Section 3 proportional choice at
+      the max-VID live node versus always-own / always-root.
+    - {!fluid_vs_des} (V1): the figure engine cross-validated against the
+      message-level simulator.
+    - {!churn} (A4): request availability under join/leave/fail churn in
+      the message-level simulator. *)
+
+module Series = Lesslog_report.Series
+
+val hops :
+  ?ms:int list ->
+  ?samples:int ->
+  ?seed:int ->
+  ?with_can:bool ->
+  unit ->
+  Series.t list
+(** Mean lookup hops vs. log2 N for the LessLog tree and Chord fingers
+    (all nodes live; [samples] random origin/target pairs per point), plus
+    — when [with_can] (default true) — a CAN (d = 2) series showing the
+    O(N^(1/2)) contrast. x is [m] = log2 N. *)
+
+val eviction :
+  ?config:Experiments.config ->
+  ?decay_factor:float ->
+  ?min_rate:float ->
+  unit ->
+  Series.t list
+(** For each demand level: replicas created to balance, then replicas
+    remaining after the demand decays by [decay_factor] (default 10×) and
+    cold replicas (serving under [min_rate], default 5 req/s) are
+    removed. Confirms the removal restores most of the fleet without
+    breaking balance at the decayed demand. *)
+
+val fault_tolerance :
+  ?m:int ->
+  ?bs:int list ->
+  ?fractions:float list ->
+  ?files:int ->
+  ?seed:int ->
+  unit ->
+  Series.t list
+(** Fraction of (live origin, file) reads that fault after a fraction of
+    the nodes fail {e simultaneously} (no recovery window), for
+    b ∈ [bs] (default 0–3). One series per b; x is the failed fraction. *)
+
+val proportional_choice :
+  ?config:Experiments.config -> ?dead_fraction:float -> unit -> Series.t list
+(** Replicas to balance under the locality model with a heavily dead
+    system, for the proportional choice vs. its two biased variants. *)
+
+val fluid_vs_des :
+  ?m:int ->
+  ?capacity:float ->
+  ?rates:float list ->
+  ?duration:float ->
+  ?seed:int ->
+  unit ->
+  Series.t list
+(** Replica counts from the closed-form balance loop vs. the event-driven
+    simulator on the same workload — the two engines must agree on the
+    shape (the DES over-provisions slightly under stochastic arrivals). *)
+
+type lifecycle_outcome = {
+  created : int;
+  evicted : int;
+  final_copies : int;
+  peak_copies : float;
+  lifecycle_faults : int;
+  timeline : (float * float) list;  (** Downsampled (time, copies). *)
+}
+
+val eviction_lifecycle :
+  ?m:int ->
+  ?peak:float ->
+  ?calm:float ->
+  ?peak_duration:float ->
+  ?calm_duration:float ->
+  ?period:float ->
+  ?min_rate:float ->
+  ?seed:int ->
+  unit ->
+  lifecycle_outcome
+(** A2 in message-level form: a flash crowd builds the replica fleet, the
+    crowd disperses, and each node's counter-based mechanism (running on
+    its own decayed access counters — still logless) trims the fleet. *)
+
+val lifecycle_series : lifecycle_outcome -> Series.t list
+(** The copies-over-time curve, for plotting. *)
+
+val update_cost :
+  ?m:int -> ?replica_levels:int list -> ?seed:int -> unit -> Series.t list
+(** A6: messages per UPDATEFILE as the replica population grows (x is the
+    number of copies). The children-list broadcast prunes at non-holders,
+    so its cost tracks the copy count; a naive flood pays the full live
+    population every time. *)
+
+type session_outcome = {
+  mean_session : float;
+  availability : float;
+  served : int;
+  faults : int;
+  joins : int;
+  leaves : int;
+  fails : int;
+  replicas_created : int;
+  control_messages : int;  (** Status-word broadcast traffic. *)
+  file_transfers : int;  (** Files relocated by the Section 5 mechanism. *)
+}
+
+val session_churn :
+  ?m:int ->
+  ?rate:float ->
+  ?duration:float ->
+  ?mean_sessions:float list ->
+  ?seed:int ->
+  unit ->
+  session_outcome list
+(** A7 (the paper's future work): the event-driven simulator under
+    realistic alternating session/downtime churn ({!Lesslog_des.Churn_trace}).
+    Shorter sessions mean harsher churn. *)
+
+type churn_outcome = {
+  events_per_min : float;
+  availability : float;  (** served / (served + faults). *)
+  faults : int;
+  served : int;
+  replicas_created : int;
+}
+
+val churn :
+  ?m:int ->
+  ?rate:float ->
+  ?duration:float ->
+  ?events_per_min:float list ->
+  ?seed:int ->
+  unit ->
+  churn_outcome list
+(** Availability under leave/fail/join churn at increasing intensity
+    (b = 0, so failures may lose unreplicated files — the paper's stated
+    limitation). *)
+
+val churn_series : churn_outcome list -> Series.t list
+(** Availability vs. churn intensity as a plottable series. *)

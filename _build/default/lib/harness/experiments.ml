@@ -1,0 +1,141 @@
+open Lesslog_id
+module Series = Lesslog_report.Series
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Status_word = Lesslog_membership.Status_word
+module Demand = Lesslog_workload.Demand
+module Balance = Lesslog_flow.Balance
+module Policy = Lesslog_flow.Policy
+module Rng = Lesslog_prng.Rng
+module Par = Lesslog_parallel.Par
+
+type config = {
+  m : int;
+  capacity : float;
+  rates : float list;
+  trials : int;
+  seed : int;
+  hot_fraction : float;
+  hot_share : float;
+  domains : int;
+}
+
+let sweep ~from ~until ~step =
+  let rec go acc x = if x > until then List.rev acc else go (x :: acc) (x +. step) in
+  go [] from
+
+let default =
+  {
+    m = 10;
+    capacity = 100.0;
+    rates = sweep ~from:1000.0 ~until:20000.0 ~step:1000.0;
+    trials = 3;
+    seed = 42;
+    hot_fraction = 0.2;
+    hot_share = 0.8;
+    domains = 1;
+  }
+
+let quick =
+  {
+    default with
+    m = 7;
+    rates = sweep ~from:500.0 ~until:2500.0 ~step:500.0;
+    trials = 1;
+  }
+
+type demand_model = Even | Locality
+
+let hot_file = "hot/popular-object"
+
+(* Every experiment point gets an independent deterministic RNG, so sweeps
+   give identical results sequentially and in parallel. *)
+let point_rng config ~label ~rate ~trial =
+  let tag = Printf.sprintf "%d|%s|%g|%d" config.seed label rate trial in
+  Rng.create ~seed:(Lesslog_hash.Fnv.hash63 tag land 0x3FFFFFFF)
+
+let one_trial config ~rng ~dead_fraction ~demand_model ~policy ~rate =
+  let params = Params.create ~m:config.m () in
+  let cluster =
+    if dead_fraction > 0.0 then
+      Cluster.create_with_dead_fraction params ~rng ~fraction:dead_fraction
+    else Cluster.create params
+  in
+  (match Ops.insert cluster ~key:hot_file with
+  | [] -> invalid_arg "Experiments.one_trial: empty system"
+  | _ -> ());
+  let status = Cluster.status cluster in
+  let demand =
+    match demand_model with
+    | Even -> Demand.uniform status ~total:rate
+    | Locality ->
+        Demand.locality ~hot_fraction:config.hot_fraction
+          ~hot_share:config.hot_share status ~rng ~total:rate
+  in
+  let outcome =
+    Balance.run ~rng ~cluster ~key:hot_file ~demand ~capacity:config.capacity
+      ~policy ()
+  in
+  float_of_int outcome.Balance.replicas
+
+let replicas_to_balance config ~rng ~dead_fraction ~demand_model ~policy ~rate =
+  let total = ref 0.0 in
+  for _ = 1 to config.trials do
+    let trial_rng = Rng.split rng in
+    total :=
+      !total
+      +. one_trial config ~rng:trial_rng ~dead_fraction ~demand_model ~policy
+           ~rate
+  done;
+  !total /. float_of_int config.trials
+
+let averaged_point config ~label ~dead_fraction ~demand_model ~policy ~rate =
+  let total = ref 0.0 in
+  for trial = 1 to config.trials do
+    let rng = point_rng config ~label ~rate ~trial in
+    total :=
+      !total
+      +. one_trial config ~rng ~dead_fraction ~demand_model ~policy ~rate
+  done;
+  (rate, !total /. float_of_int config.trials)
+
+let series_for config ~label ~dead_fraction ~demand_model ~policy =
+  let points =
+    Par.map_list ~domains:config.domains
+      ~f:(fun rate ->
+        averaged_point config ~label ~dead_fraction ~demand_model ~policy ~rate)
+      config.rates
+  in
+  Series.make ~label points
+
+let policy_series config ~demand_model =
+  List.map
+    (fun policy ->
+      series_for config ~label:(Policy.name policy) ~dead_fraction:0.0
+        ~demand_model ~policy)
+    Policy.all
+
+let dead_series config ~demand_model =
+  List.map
+    (fun dead_fraction ->
+      let label =
+        Printf.sprintf "%d%% dead" (int_of_float (dead_fraction *. 100.))
+      in
+      series_for config ~label ~dead_fraction ~demand_model
+        ~policy:Policy.Lesslog)
+    [ 0.1; 0.2; 0.3 ]
+
+let fig5 ?(config = default) () = policy_series config ~demand_model:Even
+let fig6 ?(config = default) () = dead_series config ~demand_model:Even
+let fig7 ?(config = default) () = policy_series config ~demand_model:Locality
+let fig8 ?(config = default) () = dead_series config ~demand_model:Locality
+
+let render ~title ~x_label ~y_label series =
+  String.concat "\n"
+    [
+      title;
+      String.make (String.length title) '=';
+      Lesslog_report.Table.of_series ~x_label series;
+      "";
+      Lesslog_report.Ascii_plot.render ~x_label ~y_label series;
+    ]

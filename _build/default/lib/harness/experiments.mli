@@ -1,0 +1,76 @@
+(** One entry point per figure of the paper's evaluation (Section 6).
+
+    The setup mirrors the paper: [m = 10] (a 1024-slot identifier space),
+    [b = 0], per-node capacity 100 requests/s, a single hot file, and
+    total demand swept from 1,000 to 20,000 requests/s. Each experiment
+    returns one {!Lesslog_report.Series.t} per curve of the figure; y is
+    the number of replicas created to reach a load-balanced system.
+
+    Every point carries an independently seeded RNG, so sweeps are
+    reproducible and safe to parallelize over domains. *)
+
+module Series = Lesslog_report.Series
+
+type config = {
+  m : int;
+  capacity : float;  (** Max requests/s a node may serve. *)
+  rates : float list;  (** Total-demand sweep (requests/s). *)
+  trials : int;  (** Runs averaged per point (fresh seeds). *)
+  seed : int;
+  hot_fraction : float;  (** Locality model: fraction of hot nodes. *)
+  hot_share : float;  (** Locality model: demand share of hot nodes. *)
+  domains : int;  (** Worker domains for the sweep (1 = sequential). *)
+}
+
+val default : config
+(** The paper's parameters: m = 10, capacity = 100, rates
+    1,000–20,000 step 1,000, 3 trials, hot 20%/80%. *)
+
+val quick : config
+(** A scaled-down configuration (m = 7, 5 sweep points, 1 trial) for smoke
+    tests and CI. *)
+
+type demand_model = Even | Locality
+
+val hot_file : string
+(** The key used for the single hot file in every figure. *)
+
+val one_trial :
+  config ->
+  rng:Lesslog_prng.Rng.t ->
+  dead_fraction:float ->
+  demand_model:demand_model ->
+  policy:Lesslog_flow.Policy.t ->
+  rate:float ->
+  float
+(** One run: fresh cluster, [dead_fraction] of the slots killed, one file
+    inserted, demand applied, balanced; returns the replica count. *)
+
+val replicas_to_balance :
+  config ->
+  rng:Lesslog_prng.Rng.t ->
+  dead_fraction:float ->
+  demand_model:demand_model ->
+  policy:Lesslog_flow.Policy.t ->
+  rate:float ->
+  float
+(** {!one_trial} averaged over [config.trials] runs seeded from [rng]. *)
+
+val fig5 : ?config:config -> unit -> Series.t list
+(** Figure 5: evenly-distributed load; one series per policy
+    (log-based, LessLog, random). *)
+
+val fig6 : ?config:config -> unit -> Series.t list
+(** Figure 6: evenly-distributed load on LessLog with 10%, 20% and 30%
+    dead nodes. *)
+
+val fig7 : ?config:config -> unit -> Series.t list
+(** Figure 7: the locality model (80% of requests from 20% of nodes);
+    one series per policy. *)
+
+val fig8 : ?config:config -> unit -> Series.t list
+(** Figure 8: the locality model on LessLog with dead nodes. *)
+
+val render :
+  title:string -> x_label:string -> y_label:string -> Series.t list -> string
+(** Table plus ASCII plot, ready to print. *)

@@ -1,0 +1,1 @@
+lib/hash/fnv.ml: Char Int64 Lesslog_bits String

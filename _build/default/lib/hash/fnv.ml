@@ -1,0 +1,28 @@
+let offset_basis = 0xCBF29CE484222325L
+
+let prime = 0x100000001B3L
+
+let hash64 s =
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let hash63 s = Int64.to_int (hash64 s) land max_int
+
+let fold_int64 h ~bits =
+  if bits <= 0 || bits > 62 then invalid_arg "Fnv.fold_int64";
+  let lo = Int64.to_int (Int64.logand h 0x3FFFFFFFFFFFFFFFL) in
+  let hi = Int64.to_int (Int64.shift_right_logical h 62) in
+  let folded = lo lxor hi in
+  let rec fold x width =
+    if width <= bits then x land Lesslog_bits.Bitops.mask ~width:bits
+    else
+      (* Never fold below [bits], or entropy in the high part is lost. *)
+      let half = max bits ((width + 1) / 2) in
+      fold ((x lxor (x lsr half)) land Lesslog_bits.Bitops.mask ~width:half) half
+  in
+  fold folded 62

@@ -1,0 +1,15 @@
+(** FNV-1a 64-bit hashing.
+
+    The paper's hash function ψ only needs to map a file's unique name
+    (e.g. its URL) to a well-spread identifier; FNV-1a is a standard
+    dependency-free choice with good avalanche behaviour on short keys. *)
+
+val hash64 : string -> int64
+(** FNV-1a over the full string. *)
+
+val hash63 : string -> int
+(** Non-negative projection of {!hash64} (the low 62 bits). *)
+
+val fold_int64 : int64 -> bits:int -> int
+(** XOR-fold a 64-bit hash down to [bits] bits — preserves entropy better
+    than plain truncation for small identifier spaces. *)

@@ -1,0 +1,9 @@
+type t = { m : int }
+
+let create ~m =
+  if m <= 0 || m > Lesslog_bits.Bitops.max_width then invalid_arg "Psi.create";
+  { m }
+
+let m t = t.m
+
+let target t key = Fnv.fold_int64 (Fnv.hash64 key) ~bits:t.m

@@ -1,0 +1,12 @@
+(** The paper's ψ: a hash mapping a file's unique name to a target
+    identifier in [\[0, 2^m)] (Section 2.1). *)
+
+type t
+
+val create : m:int -> t
+(** ψ for an [m]-bit identifier space. *)
+
+val m : t -> int
+
+val target : t -> string -> int
+(** [target t key] is ψ(key) ∈ [\[0, 2^m)]. Deterministic across runs. *)

@@ -1,0 +1,1 @@
+lib/id/params.ml: Format Lesslog_bits

@@ -1,0 +1,1 @@
+lib/id/params.mli: Format

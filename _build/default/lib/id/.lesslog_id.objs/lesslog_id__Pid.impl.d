@@ -1,0 +1,1 @@
+lib/id/pid.ml: Format Int List Params

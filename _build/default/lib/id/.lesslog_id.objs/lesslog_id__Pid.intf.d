@@ -1,0 +1,1 @@
+lib/id/pid.mli: Format Params

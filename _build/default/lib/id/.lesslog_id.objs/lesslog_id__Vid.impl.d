@@ -1,0 +1,1 @@
+lib/id/vid.ml: Format Int Lesslog_bits Params

@@ -1,0 +1,1 @@
+lib/id/vid.mli: Format Params

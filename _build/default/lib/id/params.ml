@@ -1,0 +1,16 @@
+type t = { m : int; b : int }
+
+let create ?(b = 0) ~m () =
+  if m < 1 || m > Lesslog_bits.Bitops.max_width then
+    invalid_arg "Params.create: m out of range";
+  if b < 0 || b >= m then invalid_arg "Params.create: b out of range";
+  { m; b }
+
+let m t = t.m
+let b t = t.b
+let space t = 1 lsl t.m
+let mask t = (1 lsl t.m) - 1
+let subtree_count t = 1 lsl t.b
+let subtree_space t = 1 lsl (t.m - t.b)
+
+let pp fmt t = Format.fprintf fmt "{m=%d; b=%d}" t.m t.b

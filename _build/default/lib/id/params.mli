@@ -1,0 +1,29 @@
+(** Identifier-space parameters for a LessLog system.
+
+    [m] is the width of the identifier space (there are [2^m] PID slots;
+    the live population N satisfies N ≤ 2^m). [b] is the number of low VID
+    bits reserved for the fault-tolerant model's [2^b] subtrees (Section 4);
+    [b = 0] disables fault tolerance, matching the paper's evaluation. *)
+
+type t = private { m : int; b : int }
+
+val create : ?b:int -> m:int -> unit -> t
+(** @raise Invalid_argument unless [1 <= m <= Bitops.max_width] and
+    [0 <= b < m]. *)
+
+val m : t -> int
+val b : t -> int
+
+val space : t -> int
+(** [2^m], the number of PID slots. *)
+
+val mask : t -> int
+(** [2^m - 1], the root VID. *)
+
+val subtree_count : t -> int
+(** [2^b]. *)
+
+val subtree_space : t -> int
+(** [2^(m-b)], slots per fault-tolerant subtree. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+type t = int
+
+let of_int params p =
+  if p < 0 || p > Params.mask params then invalid_arg "Pid.of_int";
+  p
+
+let unsafe_of_int p = p
+let to_int p = p
+let equal = Int.equal
+let compare = Int.compare
+let hash p = p
+let pp = Format.pp_print_int
+
+let all params = List.init (Params.space params) (fun i -> i)

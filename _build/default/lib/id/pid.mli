@@ -1,0 +1,21 @@
+(** Physical identifiers (PIDs) — the unique node identifiers in
+    [\[0, 2^m)] assigned at construction time (Section 2.1). *)
+
+type t = private int
+
+val of_int : Params.t -> int -> t
+(** @raise Invalid_argument when outside [\[0, 2^m)]. *)
+
+val unsafe_of_int : int -> t
+(** Trusted constructor for hot paths; the caller guarantees range. *)
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val all : Params.t -> t list
+(** Every PID slot, ascending — handy for tests and full-population
+    clusters. *)

@@ -1,0 +1,18 @@
+type t = int
+
+let of_int params v =
+  if v < 0 || v > Params.mask params then invalid_arg "Vid.of_int";
+  v
+
+let unsafe_of_int v = v
+let to_int v = v
+let root params = Params.mask params
+let zero = 0
+let equal = Int.equal
+let compare = Int.compare
+let hash v = v
+
+let pp params fmt v =
+  Lesslog_bits.Bitops.pp_binary ~width:(Params.m params) fmt v
+
+let pp_plain = Format.pp_print_int

@@ -1,0 +1,30 @@
+(** Virtual identifiers (VIDs) — positions in the unique virtual lookup
+    tree (Section 2.1). Presented in binary in the paper; a [private int]
+    here so tree arithmetic stays allocation-free while the type system
+    keeps VIDs and PIDs apart. *)
+
+type t = private int
+
+val of_int : Params.t -> int -> t
+(** @raise Invalid_argument when outside [\[0, 2^m)]. *)
+
+val unsafe_of_int : int -> t
+(** Trusted constructor for hot paths; the caller guarantees range. *)
+
+val to_int : t -> int
+
+val root : Params.t -> t
+(** The all-ones VID, root of the virtual tree. *)
+
+val zero : t
+(** VID 0 — the deepest leaf. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Params.t -> Format.formatter -> t -> unit
+(** Binary rendering, e.g. [1011]. *)
+
+val pp_plain : Format.formatter -> t -> unit
+(** Decimal rendering for contexts without params. *)

@@ -1,0 +1,1 @@
+lib/membership/status_word.ml: Array Bytes Char Float Format Lesslog_id Lesslog_prng List Params Pid

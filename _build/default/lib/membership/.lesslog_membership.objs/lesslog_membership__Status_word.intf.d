@@ -1,0 +1,1 @@
+lib/membership/status_word.mli: Format Lesslog_id Lesslog_prng Params Pid

@@ -1,0 +1,121 @@
+open Lesslog_id
+module Rng = Lesslog_prng.Rng
+
+type t = { params : Params.t; bits : Bytes.t; mutable live : int }
+
+let byte_len params = (Params.space params + 7) / 8
+
+let create params ~initially_live =
+  let bits = Bytes.make (byte_len params) (if initially_live then '\xff' else '\x00') in
+  { params; bits; live = (if initially_live then Params.space params else 0) }
+
+let params t = t.params
+
+let get_bit t i = Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let put_bit t i v =
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set t.bits (i lsr 3) (Char.chr byte)
+
+let is_live t p = get_bit t (Pid.to_int p)
+let is_dead t p = not (is_live t p)
+
+let set_live t p =
+  if not (is_live t p) then begin
+    put_bit t (Pid.to_int p) true;
+    t.live <- t.live + 1
+  end
+
+let set_dead t p =
+  if is_live t p then begin
+    put_bit t (Pid.to_int p) false;
+    t.live <- t.live - 1
+  end
+
+let of_live_list params pids =
+  let t = create params ~initially_live:false in
+  List.iter (set_live t) pids;
+  t
+
+let copy t = { params = t.params; bits = Bytes.copy t.bits; live = t.live }
+
+let live_count t = t.live
+let dead_count t = Params.space t.params - t.live
+
+let fold_live t ~init ~f =
+  let acc = ref init in
+  for i = 0 to Params.space t.params - 1 do
+    if get_bit t i then acc := f !acc (Pid.unsafe_of_int i)
+  done;
+  !acc
+
+let iter_live t f = fold_live t ~init:() ~f:(fun () p -> f p)
+
+let live_pids t = List.rev (fold_live t ~init:[] ~f:(fun acc p -> p :: acc))
+
+let dead_pids t =
+  let acc = ref [] in
+  for i = Params.space t.params - 1 downto 0 do
+    if not (get_bit t i) then acc := Pid.unsafe_of_int i :: !acc
+  done;
+  !acc
+
+let live_array t =
+  let a = Array.make t.live (Pid.unsafe_of_int 0) in
+  let j = ref 0 in
+  iter_live t (fun p ->
+      a.(!j) <- p;
+      incr j);
+  a
+
+let random_live t rng =
+  if t.live = 0 then None
+  else begin
+    (* Rejection sampling over the slot space: cheap when the live fraction
+       is not tiny, which holds for every experiment in the paper. *)
+    let space = Params.space t.params in
+    let attempts = ref 0 in
+    let found = ref None in
+    while !found = None do
+      incr attempts;
+      if !attempts > 64 * space then
+        (* Degenerate density: fall back to an exact scan. *)
+        found := Some (Lesslog_prng.Rng.pick rng (live_array t))
+      else
+        let i = Rng.int rng space in
+        if get_bit t i then found := Some (Pid.unsafe_of_int i)
+    done;
+    !found
+  end
+
+let random_dead t rng =
+  if dead_count t = 0 then None
+  else begin
+    let space = Params.space t.params in
+    let attempts = ref 0 in
+    let found = ref None in
+    while !found = None do
+      incr attempts;
+      if !attempts > 64 * space then
+        found := Some (Lesslog_prng.Rng.pick rng (Array.of_list (dead_pids t)))
+      else
+        let i = Rng.int rng space in
+        if not (get_bit t i) then found := Some (Pid.unsafe_of_int i)
+    done;
+    !found
+  end
+
+let kill_fraction t rng ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then invalid_arg "Status_word.kill_fraction";
+  let live = live_array t in
+  let k = int_of_float (Float.round (fraction *. float_of_int (Array.length live))) in
+  let victims = Rng.sample_without_replacement rng ~k live in
+  Array.iter (set_dead t) victims;
+  Array.to_list victims
+
+let equal a b = a.params = b.params && Bytes.equal a.bits b.bits
+
+let pp fmt t =
+  Format.fprintf fmt "status_word(live=%d/%d)" t.live (Params.space t.params)

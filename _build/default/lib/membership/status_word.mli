@@ -1,0 +1,53 @@
+(** The status word (paper Section 5.1): one bit per PID slot indicating
+    whether the corresponding node is live. Every live node maintains a
+    copy; here it is the authoritative membership view of a simulated
+    cluster. *)
+
+open Lesslog_id
+
+type t
+
+val create : Params.t -> initially_live:bool -> t
+(** All [2^m] slots set to [initially_live]. *)
+
+val of_live_list : Params.t -> Pid.t list -> t
+(** Only the listed PIDs are live. *)
+
+val copy : t -> t
+
+val params : t -> Params.t
+
+val is_live : t -> Pid.t -> bool
+val is_dead : t -> Pid.t -> bool
+
+val set_live : t -> Pid.t -> unit
+(** Register a node as live (idempotent). *)
+
+val set_dead : t -> Pid.t -> unit
+(** Register a node as dead (idempotent). *)
+
+val live_count : t -> int
+val dead_count : t -> int
+
+val live_pids : t -> Pid.t list
+(** Ascending PID order. *)
+
+val dead_pids : t -> Pid.t list
+
+val live_array : t -> Pid.t array
+(** Ascending PID order; fresh array. *)
+
+val fold_live : t -> init:'a -> f:('a -> Pid.t -> 'a) -> 'a
+val iter_live : t -> (Pid.t -> unit) -> unit
+
+val random_live : t -> Lesslog_prng.Rng.t -> Pid.t option
+(** Uniform live PID, [None] when the system is empty. *)
+
+val random_dead : t -> Lesslog_prng.Rng.t -> Pid.t option
+
+val kill_fraction : t -> Lesslog_prng.Rng.t -> fraction:float -> Pid.t list
+(** Mark a uniformly chosen [fraction] of the currently live nodes dead and
+    return them — the paper's 10/20/30%-dead configurations. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

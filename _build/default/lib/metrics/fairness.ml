@@ -1,0 +1,22 @@
+let jain_of_list = function
+  | [] -> 1.0
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      let s = List.fold_left ( +. ) 0.0 xs in
+      let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+      if s2 = 0.0 then 1.0 else s *. s /. (n *. s2)
+
+let jain a = jain_of_list (Array.to_list a)
+
+let positives a = List.filter (fun x -> x > 0.0) (Array.to_list a)
+
+let jain_nonzero a = jain_of_list (positives a)
+
+let peak_to_mean a =
+  match positives a with
+  | [] -> 1.0
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let peak = List.fold_left Float.max 0.0 xs in
+      peak /. mean

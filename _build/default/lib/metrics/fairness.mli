@@ -1,0 +1,18 @@
+(** Load-distribution fairness measures.
+
+    The paper's evaluation stops at "no node is overloaded"; these indices
+    quantify how evenly the surviving load is spread, which is how the
+    balance results are sanity-checked beyond the threshold test. *)
+
+val jain : float array -> float
+(** Jain's fairness index: [(Σx)² / (n·Σx²)], in [\[1/n, 1\]]; 1 means
+    perfectly even. Ignores nothing — zero entries count. 1.0 on an empty
+    or all-zero array by convention. *)
+
+val jain_nonzero : float array -> float
+(** Jain's index over the strictly positive entries only — fairness among
+    the nodes actually serving (the natural view when most nodes hold no
+    copy). *)
+
+val peak_to_mean : float array -> float
+(** Max over mean of the positive entries; 1.0 when empty. *)

@@ -1,0 +1,66 @@
+type t = { mutable samples : float list; mutable sorted : float array option }
+
+let create () = { samples = []; sorted = None }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.sorted <- None
+
+let add_int t x = add t (float_of_int x)
+
+let count t = List.length t.samples
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list t.samples in
+      Array.sort compare a;
+      t.sorted <- Some a;
+      a
+
+let mean t =
+  match t.samples with
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let quantile t q =
+  let a = sorted t in
+  if Array.length a = 0 then invalid_arg "Histogram.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: out of range";
+  let n = Array.length a in
+  let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+  a.(rank)
+
+let median t = quantile t 0.5
+
+let max_value t =
+  let a = sorted t in
+  if Array.length a = 0 then invalid_arg "Histogram.max_value: empty";
+  a.(Array.length a - 1)
+
+let min_value t =
+  let a = sorted t in
+  if Array.length a = 0 then invalid_arg "Histogram.min_value: empty";
+  a.(0)
+
+let buckets t ~width =
+  if width <= 0.0 then invalid_arg "Histogram.buckets";
+  let a = sorted t in
+  if Array.length a = 0 then []
+  else begin
+    let tbl = Hashtbl.create 16 in
+    Array.iter
+      (fun x ->
+        let b = floor (x /. width) *. width in
+        Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+      a;
+    Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  end
+
+let pp fmt t =
+  if count t = 0 then Format.pp_print_string fmt "(empty)"
+  else
+    Format.fprintf fmt "n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g" (count t)
+      (mean t) (median t) (quantile t 0.99) (max_value t)

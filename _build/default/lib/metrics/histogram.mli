@@ -1,0 +1,23 @@
+(** Sample-retaining histogram with exact quantiles. Used for hop-count
+    and latency distributions, which are small enough to keep. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+val count : t -> int
+val mean : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0, 1\]], by nearest-rank on the sorted
+    samples. @raise Invalid_argument when empty or [q] out of range. *)
+
+val median : t -> float
+val max_value : t -> float
+val min_value : t -> float
+
+val buckets : t -> width:float -> (float * int) list
+(** Fixed-width bucketing [(lower_bound, count)], ascending, for display. *)
+
+val pp : Format.formatter -> t -> unit

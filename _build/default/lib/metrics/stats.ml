@@ -1,0 +1,51 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable total : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; total = 0.0; minv = infinity; maxv = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.minv then t.minv <- x;
+  if x > t.maxv then t.maxv <- x
+
+let count t = t.n
+let total t = t.total
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+let stddev t = sqrt (variance t)
+let min_value t = t.minv
+let max_value t = t.maxv
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let fa = float_of_int a.n and fb = float_of_int b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. fb /. float_of_int n) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int n) in
+    {
+      n;
+      mean;
+      m2;
+      total = a.total +. b.total;
+      minv = Float.min a.minv b.minv;
+      maxv = Float.max a.maxv b.maxv;
+    }
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.n (mean t)
+    (stddev t) t.minv t.maxv

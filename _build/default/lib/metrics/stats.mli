@@ -1,0 +1,26 @@
+(** Streaming summary statistics (Welford's online algorithm) — no sample
+    retention, suitable for long simulations. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Population variance; 0 when fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** +inf when empty. *)
+
+val max_value : t -> float
+(** -inf when empty. *)
+
+val merge : t -> t -> t
+(** Combine two independent accumulations (parallel sweeps). *)
+
+val pp : Format.formatter -> t -> unit

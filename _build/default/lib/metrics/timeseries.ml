@@ -1,0 +1,25 @@
+type t = { label : string; mutable rev_points : (float * float) list }
+
+let create ?(label = "") () = { label; rev_points = [] }
+
+let label t = t.label
+
+let record t ~time v =
+  (match t.rev_points with
+  | (prev, _) :: _ when time < prev ->
+      invalid_arg "Timeseries.record: time went backwards"
+  | _ -> ());
+  t.rev_points <- (time, v) :: t.rev_points
+
+let length t = List.length t.rev_points
+
+let points t = Array.of_list (List.rev t.rev_points)
+
+let last t = match t.rev_points with [] -> None | p :: _ -> Some p
+
+let value_at t ~time =
+  let rec find = function
+    | [] -> None
+    | (ts, v) :: rest -> if ts <= time then Some v else find rest
+  in
+  find t.rev_points

@@ -1,0 +1,17 @@
+(** Append-only (time, value) series — replica counts over a run, load over
+    time, etc. *)
+
+type t
+
+val create : ?label:string -> unit -> t
+val label : t -> string
+val record : t -> time:float -> float -> unit
+val length : t -> int
+
+val points : t -> (float * float) array
+(** Chronological snapshot (fresh array). *)
+
+val last : t -> (float * float) option
+
+val value_at : t -> time:float -> float option
+(** Step interpolation: the most recent value at or before [time]. *)

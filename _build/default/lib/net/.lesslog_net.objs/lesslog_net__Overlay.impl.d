@@ -1,0 +1,1 @@
+lib/net/overlay.ml: Array Latency Lesslog_id Lesslog_prng Lesslog_sim Params Pid

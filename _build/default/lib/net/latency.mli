@@ -1,0 +1,15 @@
+(** Per-hop network delay models for the overlay simulator. *)
+
+type t =
+  | Constant of float  (** Every hop takes exactly this many seconds. *)
+  | Uniform of { lo : float; hi : float }  (** Uniform in [\[lo, hi\]]. *)
+  | Exponential of { mean : float; floor : float }
+      (** [floor] plus an exponential tail — a long-tailed WAN model. *)
+
+val default : t
+(** [Uniform {lo = 0.010; hi = 0.080}]: wide-area P2P round-trip
+    half-times, in seconds. *)
+
+val sample : t -> Lesslog_prng.Rng.t -> float
+val mean : t -> float
+val pp : Format.formatter -> t -> unit

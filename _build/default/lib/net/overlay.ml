@@ -1,0 +1,49 @@
+open Lesslog_id
+module Engine = Lesslog_sim.Engine
+module Rng = Lesslog_prng.Rng
+
+type 'msg t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  latency : Latency.t;
+  loss : float;
+  handlers : (src:Pid.t -> 'msg -> unit) option array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create ~engine ~rng ?(latency = Latency.default) ?(loss = 0.0) params =
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Overlay.create: loss";
+  {
+    engine;
+    rng;
+    latency;
+    loss;
+    handlers = Array.make (Params.space params) None;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let set_handler t p f = t.handlers.(Pid.to_int p) <- Some f
+
+let clear_handler t p = t.handlers.(Pid.to_int p) <- None
+
+let send t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  if t.loss > 0.0 && Rng.bernoulli t.rng ~p:t.loss then
+    t.dropped <- t.dropped + 1
+  else begin
+    let delay = Latency.sample t.latency t.rng in
+    Engine.schedule t.engine ~delay (fun () ->
+        match t.handlers.(Pid.to_int dst) with
+        | Some handler ->
+            t.delivered <- t.delivered + 1;
+            handler ~src msg
+        | None -> t.dropped <- t.dropped + 1)
+  end
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped

@@ -1,0 +1,29 @@
+(** Message-passing overlay on top of the discrete-event engine: each node
+    registers a handler; sends are delivered after a sampled per-hop
+    latency, with optional loss injection. *)
+
+open Lesslog_id
+
+type 'msg t
+
+val create :
+  engine:Lesslog_sim.Engine.t ->
+  rng:Lesslog_prng.Rng.t ->
+  ?latency:Latency.t ->
+  ?loss:float ->
+  Params.t ->
+  'msg t
+(** [loss] is the probability a message is silently dropped (default 0). *)
+
+val set_handler : 'msg t -> Pid.t -> (src:Pid.t -> 'msg -> unit) -> unit
+
+val clear_handler : 'msg t -> Pid.t -> unit
+(** A node with no handler silently drops deliveries (a crashed node). *)
+
+val send : 'msg t -> src:Pid.t -> dst:Pid.t -> 'msg -> unit
+(** Schedule delivery after one latency sample. Delivery to a node without
+    a handler counts as dropped. *)
+
+val messages_sent : 'msg t -> int
+val messages_delivered : 'msg t -> int
+val messages_dropped : 'msg t -> int

@@ -1,0 +1,34 @@
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+let map ?domains ~f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let domains =
+      max 1 (min n (match domains with Some d -> d | None -> recommended_domains ()))
+    in
+    if domains = 1 then Array.map f a
+    else begin
+      let results = Array.make n None in
+      let worker w () =
+        let i = ref w in
+        while !i < n do
+          results.(!i) <- Some (f a.(!i));
+          i := !i + domains
+        done
+      in
+      let handles =
+        List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1)))
+      in
+      worker 0 ();
+      List.iter Domain.join handles;
+      Array.map
+        (function
+          | Some r -> r
+          | None -> assert false (* every index is covered by a stride *))
+        results
+    end
+  end
+
+let map_list ?domains ~f l =
+  Array.to_list (map ?domains ~f (Array.of_list l))

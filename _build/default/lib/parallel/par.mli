@@ -1,0 +1,15 @@
+(** Parallel map over OCaml 5 domains, for embarrassingly-parallel
+    parameter sweeps (each experiment point is independent and carries its
+    own seeded RNG, so results are identical at any domain count). *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], capped at 8 — sweeps are short and
+    more domains than points is waste. *)
+
+val map : ?domains:int -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains ~f a] applies [f] to every element, splitting the index
+    space across [domains] (default {!recommended_domains}) worker
+    domains in strides. [f] must be safe to run concurrently (no shared
+    mutable state). Exceptions in workers are re-raised in the caller. *)
+
+val map_list : ?domains:int -> f:('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,1 @@
+lib/pastry/pastry.ml: Array Hashtbl Lesslog_id List Params Pid

@@ -1,0 +1,1 @@
+lib/pastry/pastry.mli: Lesslog_id Params Pid

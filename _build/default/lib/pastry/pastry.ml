@@ -1,0 +1,194 @@
+open Lesslog_id
+
+type t = {
+  params : Params.t;
+  digit_bits : int;
+  rows : int;
+  ids : int array;  (* sorted live ids *)
+  index_of : (int, int) Hashtbl.t;
+  tables : int array array array;  (* node index -> row -> column -> id or -1 *)
+  leaves : int array array;  (* node index -> leaf ids, nearest first *)
+}
+
+(* Circular numeric distance on the identifier ring. *)
+let ring_distance ~space a b =
+  let d = abs (a - b) in
+  min d (space - d)
+
+let digit t id row =
+  (* Row 0 is the most significant digit. *)
+  let shift = (t.rows - 1 - row) * t.digit_bits in
+  (id lsr shift) land ((1 lsl t.digit_bits) - 1)
+
+let shared_prefix_digits t a b =
+  let rec count row =
+    if row >= t.rows then t.rows
+    else if digit t a row = digit t b row then count (row + 1)
+    else row
+  in
+  count 0
+
+(* The numerically closest node is either the ring successor or the ring
+   predecessor of the target: binary-search for the successor and compare
+   the two (ties toward the smaller id). *)
+let owner_id t target =
+  let space = Params.space t.params in
+  let n = Array.length t.ids in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.ids.(mid) >= target then hi := mid else lo := mid + 1
+  done;
+  let succ = t.ids.(!lo mod n) in
+  let pred = t.ids.((!lo - 1 + n) mod n) in
+  let ds = ring_distance ~space succ target in
+  let dp = ring_distance ~space pred target in
+  if dp < ds || (dp = ds && pred < succ) then pred else succ
+
+let create ?(digit_bits = 2) ?(leaf_set = 8) params ~live =
+  (match live with [] -> invalid_arg "Pastry.create: empty population" | _ -> ());
+  if digit_bits < 1 || Params.m params mod digit_bits <> 0 then
+    invalid_arg "Pastry.create: digit_bits must divide m";
+  let ids =
+    List.map Pid.to_int live |> List.sort_uniq compare |> Array.of_list
+  in
+  let n = Array.length ids in
+  let rows = Params.m params / digit_bits in
+  let space = Params.space params in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i id -> Hashtbl.replace index_of id i) ids;
+  let t =
+    {
+      params;
+      digit_bits;
+      rows;
+      ids;
+      index_of;
+      tables = [||];
+      leaves = [||];
+    }
+  in
+  let columns = 1 lsl digit_bits in
+  (* Ids sharing my first [row] digits with digit [col] at position [row]
+     form one contiguous numeric interval; a binary search finds a table
+     entry in O(log n), keeping construction near-linear. *)
+  let first_id_geq x =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if ids.(mid) >= x then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let entry_for me row col =
+    if digit t me row = col then me
+    else begin
+      let low_bits = (rows - 1 - row) * digit_bits in
+      let prefix = me lsr (low_bits + digit_bits) in
+      let base = ((prefix lsl digit_bits) lor col) lsl low_bits in
+      let stop = base + (1 lsl low_bits) in
+      let i = first_id_geq base in
+      if i < n && ids.(i) < stop && ids.(i) <> me then ids.(i) else -1
+    end
+  in
+  let tables =
+    Array.map
+      (fun me ->
+        Array.init rows (fun row ->
+            Array.init columns (fun col -> entry_for me row col)))
+      ids
+  in
+  (* The numerically nearest nodes are adjacent in the sorted id array
+     (modulo wrap), so a window of [leaf_set] ids on each side suffices. *)
+  let leaves =
+    Array.mapi
+      (fun i me ->
+        let window = ref [] in
+        for k = 1 to min leaf_set (n - 1) do
+          window := ids.((i + k) mod n) :: ids.(((i - k) mod n + n) mod n) :: !window
+        done;
+        let sorted =
+          List.sort_uniq
+            (fun a b ->
+              compare
+                (ring_distance ~space a me, a)
+                (ring_distance ~space b me, b))
+            (List.filter (fun id -> id <> me) !window)
+        in
+        Array.of_list (List.filteri (fun k _ -> k < leaf_set) sorted))
+      ids
+  in
+  { t with tables; leaves }
+
+let node_count t = Array.length t.ids
+let rows t = t.rows
+
+let owner_of t target =
+  if target < 0 || target > Params.mask t.params then
+    invalid_arg "Pastry.owner_of";
+  Pid.unsafe_of_int (owner_id t target)
+
+type lookup_result = { owner : Pid.t; hops : int; path : Pid.t list }
+
+let lookup t ~from ~target =
+  if target < 0 || target > Params.mask t.params then
+    invalid_arg "Pastry.lookup: target";
+  if not (Hashtbl.mem t.index_of (Pid.to_int from)) then
+    invalid_arg "Pastry.lookup: unknown origin";
+  let space = Params.space t.params in
+  let owner = owner_id t target in
+  let rec route current hops acc =
+    if current = owner then
+      { owner = Pid.unsafe_of_int owner; hops; path = List.rev acc }
+    else begin
+      let i = Hashtbl.find t.index_of current in
+      (* Leaf-set shortcut: if the owner is in our leaf set, go there. *)
+      if Array.exists (( = ) owner) t.leaves.(i) then
+        route owner (hops + 1) (Pid.unsafe_of_int owner :: acc)
+      else begin
+        let row = shared_prefix_digits t current target in
+        let col = digit t target row in
+        let next = t.tables.(i).(row).(col) in
+        let next =
+          if next >= 0 && next <> current then next
+          else begin
+            (* Rare case: no table entry — take any known node strictly
+               numerically closer to the target. *)
+            let candidates =
+              Array.to_list t.leaves.(i)
+              @ (Array.to_list (Array.concat (Array.to_list t.tables.(i)))
+                |> List.filter (fun id -> id >= 0))
+            in
+            (* Pastry's rare-case rule: shares at least as long a prefix
+               with the target AND is numerically closer — both conditions
+               guarantee progress, hence termination. *)
+            let closer =
+              List.filter
+                (fun id ->
+                  shared_prefix_digits t id target >= row
+                  && ring_distance ~space id target
+                     < ring_distance ~space current target)
+                candidates
+            in
+            match closer with
+            | [] -> owner (* give up gracefully: jump to the owner *)
+            | c :: rest ->
+                List.fold_left
+                  (fun best id ->
+                    if
+                      ring_distance ~space id target
+                      < ring_distance ~space best target
+                    then id
+                    else best)
+                  c rest
+          end
+        in
+        route next (hops + 1) (Pid.unsafe_of_int next :: acc)
+      end
+    end
+  in
+  route (Pid.to_int from) 0 [ from ]
+
+let leaf_set_of t p =
+  let i = Hashtbl.find t.index_of (Pid.to_int p) in
+  Array.to_list (Array.map Pid.unsafe_of_int t.leaves.(i))

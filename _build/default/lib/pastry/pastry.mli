@@ -1,0 +1,40 @@
+(** A Pastry-style prefix-routing substrate (Rowstron & Druschel,
+    Middleware 2001) — the third related-work system the paper cites
+    (Section 7).
+
+    Identifiers are the m-bit PIDs read as base-2^b digit strings. Each
+    node keeps a routing table (one row per digit, one column per digit
+    value, holding some node matching one more digit of the target) and a
+    leaf set of numerically nearest neighbours. Routing resolves one digit
+    per hop: O(log_{2^b} N).
+
+    This is a static snapshot of the routing state over a fixed
+    membership, which is what the lookup-hop comparison needs. *)
+
+open Lesslog_id
+
+type t
+
+val create :
+  ?digit_bits:int -> ?leaf_set:int -> Params.t -> live:Pid.t list -> t
+(** [digit_bits] is Pastry's b (default 2, i.e. base-4 digits; must divide
+    [Params.m]); [leaf_set] is the total leaf-set size (default 8).
+    @raise Invalid_argument on an empty population or a non-dividing
+    [digit_bits]. *)
+
+val node_count : t -> int
+val rows : t -> int
+(** Digits per identifier = m / digit_bits. *)
+
+val owner_of : t -> int -> Pid.t
+(** The numerically closest live node to an identifier on the ring
+    (ties break toward the smaller PID). *)
+
+type lookup_result = { owner : Pid.t; hops : int; path : Pid.t list }
+
+val lookup : t -> from:Pid.t -> target:int -> lookup_result
+(** Prefix routing from [from] to the owner of [target].
+    @raise Invalid_argument when [from] is not live. *)
+
+val leaf_set_of : t -> Pid.t -> Pid.t list
+(** For tests: the node's leaf set, nearest first. *)

@@ -1,0 +1,43 @@
+(** Seeded random source with the distributions the experiments need.
+
+    Every harness entry point threads an explicit [Rng.t]; two runs with the
+    same seed produce identical figures. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+
+val split : t -> t
+(** Independent stream, e.g. one per parallel sweep point. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)]. [bound > 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform over the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** [true] with probability [p]. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential inter-arrival time with the given rate — Poisson request
+    arrivals in the event-driven simulator. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val sample_without_replacement : t -> k:int -> 'a array -> 'a array
+(** [k] distinct elements drawn uniformly; [k] may not exceed the array
+    length. Input is not modified. *)

@@ -1,0 +1,24 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+(* [Int64.to_int] keeps the low 63 bits, whose top bit is the OCaml int's
+   sign bit; clearing it leaves 62 uniform non-negative bits. *)
+let next_int63 t = Int64.to_int (next t) land max_int
+
+let split t =
+  let seed = next t in
+  create (mix seed)

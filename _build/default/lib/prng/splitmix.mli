@@ -1,0 +1,24 @@
+(** SplitMix64 — the raw deterministic 64-bit generator underneath {!Rng}.
+
+    Implemented from the published constants (Steele, Lea & Flood 2014) so
+    that experiments are reproducible without depending on OS entropy or on
+    the stdlib [Random] state layout changing across compiler versions. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. Any seed is acceptable. *)
+
+val copy : t -> t
+(** Independent copy with identical state. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val next_int63 : t -> int
+(** Next non-negative integer, uniform over [\[0, 2^62)] (the full
+    non-negative range of a 63-bit OCaml [int]). *)
+
+val split : t -> t
+(** Derive an independent child generator; the parent state advances. *)

@@ -1,0 +1,33 @@
+type t = { n : int; probs : float array; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n";
+  if s < 0.0 then invalid_arg "Zipf.create: s";
+  let weights = Array.init n (fun i -> (float_of_int (i + 1)) ** -.s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let probs = Array.map (fun w -> w /. total) weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    probs;
+  cdf.(n - 1) <- 1.0;
+  { n; probs; cdf }
+
+let n t = t.n
+
+let probability t rank =
+  if rank < 0 || rank >= t.n then invalid_arg "Zipf.probability";
+  t.probs.(rank)
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest index with cdf.(i) > u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,0 +1,20 @@
+(** Zipf-distributed sampling over ranks [1..n].
+
+    Used by the multi-file workloads: request popularity across a catalogue
+    of files follows a Zipf law, the standard model for P2P content
+    popularity. Sampling is by inverse CDF over a precomputed table. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over [n] ranks with exponent [s >= 0].
+    [s = 0] degenerates to the uniform distribution. *)
+
+val n : t -> int
+
+val probability : t -> int -> float
+(** [probability t rank] for [rank] in [\[0, n)] (rank 0 is the most
+    popular item). *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank in [\[0, n)]. O(log n) by binary search on the CDF. *)

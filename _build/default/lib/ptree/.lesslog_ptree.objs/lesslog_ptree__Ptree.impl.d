@@ -1,0 +1,1 @@
+lib/ptree/ptree.ml: Format Lesslog_bits Lesslog_id Lesslog_vtree List Params Pid String Vid

@@ -1,0 +1,1 @@
+lib/ptree/ptree.mli: Format Lesslog_id Params Pid Vid

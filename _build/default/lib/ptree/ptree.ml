@@ -1,0 +1,47 @@
+open Lesslog_id
+module Bitops = Lesslog_bits.Bitops
+module Vtree = Lesslog_vtree.Vtree
+
+type t = { params : Params.t; root : Pid.t; comp : int }
+
+let make params ~root =
+  { params; root; comp = Bitops.complement ~width:(Params.m params) (Pid.to_int root) }
+
+let params t = t.params
+let root t = t.root
+
+let vid_of_pid t p = Vid.unsafe_of_int (Pid.to_int p lxor t.comp)
+let pid_of_vid t v = Pid.unsafe_of_int (Vid.to_int v lxor t.comp)
+
+let is_root t p = Pid.equal p t.root
+
+let parent t p =
+  match Vtree.parent t.params (vid_of_pid t p) with
+  | None -> None
+  | Some v -> Some (pid_of_vid t v)
+
+let children t p =
+  List.map (pid_of_vid t) (Vtree.children t.params (vid_of_pid t p))
+
+let child_count t p = Vtree.child_count t.params (vid_of_pid t p)
+let offspring_count t p = Vtree.offspring_count t.params (vid_of_pid t p)
+let depth t p = Vtree.depth t.params (vid_of_pid t p)
+
+let path_to_root t p =
+  List.map (pid_of_vid t) (Vtree.path_to_root t.params (vid_of_pid t p))
+
+let is_ancestor t ~ancestor p =
+  Vtree.is_ancestor t.params ~ancestor:(vid_of_pid t ancestor) (vid_of_pid t p)
+
+let iter_subtree t p f =
+  Vtree.iter_subtree t.params (vid_of_pid t p) (fun v -> f (pid_of_vid t v))
+
+let pp fmt t =
+  let rec render indent p =
+    let v = vid_of_pid t p in
+    Format.fprintf fmt "%s P(%a) vid=%a@\n" (String.make indent ' ') Pid.pp p
+      (Vid.pp t.params) v;
+    List.iter (render (indent + 2)) (children t p)
+  in
+  Format.fprintf fmt "lookup tree of P(%a):@\n" Pid.pp t.root;
+  render 0 t.root

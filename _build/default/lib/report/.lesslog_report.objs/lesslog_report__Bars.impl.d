@@ -1,0 +1,1 @@
+lib/report/bars.ml: Buffer Float Lesslog_metrics List Printf String

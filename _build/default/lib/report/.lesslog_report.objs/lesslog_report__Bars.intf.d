@@ -1,0 +1,1 @@
+lib/report/bars.mli: Lesslog_metrics

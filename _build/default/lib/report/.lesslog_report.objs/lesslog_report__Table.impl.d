@@ -1,0 +1,1 @@
+lib/report/table.ml: Array Float List Printf Series String

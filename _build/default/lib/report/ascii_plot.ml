@@ -1,0 +1,88 @@
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 72) ?(height = 20) ?title ?x_label ?y_label series =
+  let points = List.concat_map (fun s -> Array.to_list s.Series.points) series in
+  let buf = Buffer.create 4096 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  if points = [] then begin
+    Buffer.add_string buf "(no data)\n";
+    Buffer.contents buf
+  end
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let x_min = List.fold_left Float.min infinity xs in
+    let x_max = List.fold_left Float.max neg_infinity xs in
+    let y_min = Float.min 0.0 (List.fold_left Float.min infinity ys) in
+    let y_max = List.fold_left Float.max neg_infinity ys in
+    let y_max = if y_max = y_min then y_min +. 1.0 else y_max in
+    let x_max = if x_max = x_min then x_min +. 1.0 else x_max in
+    let grid = Array.make_matrix height width ' ' in
+    let col x =
+      int_of_float
+        (Float.round ((x -. x_min) /. (x_max -. x_min) *. float_of_int (width - 1)))
+    in
+    let row y =
+      height - 1
+      - int_of_float
+          (Float.round
+             ((y -. y_min) /. (y_max -. y_min) *. float_of_int (height - 1)))
+    in
+    List.iteri
+      (fun i s ->
+        let marker = markers.(i mod Array.length markers) in
+        Array.iter
+          (fun (x, y) -> grid.(row y).(col x) <- marker)
+          s.Series.points)
+      series;
+    (match y_label with
+    | Some l ->
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n'
+    | None -> ());
+    let y_axis_width = 10 in
+    Array.iteri
+      (fun r line ->
+        let y_here =
+          y_max -. (float_of_int r /. float_of_int (height - 1) *. (y_max -. y_min))
+        in
+        let label =
+          if r = 0 || r = height - 1 || r = (height - 1) / 2 then
+            Printf.sprintf "%*.4g |" (y_axis_width - 2) y_here
+          else String.make (y_axis_width - 1) ' ' ^ "|"
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make (y_axis_width - 1) ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    let x_min_s = Printf.sprintf "%.4g" x_min in
+    let x_max_s = Printf.sprintf "%.4g" x_max in
+    let gap =
+      max 1 (width - String.length x_min_s - String.length x_max_s)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%*s%s%*s%s\n" y_axis_width "" x_min_s gap "" x_max_s);
+    (match x_label with
+    | Some l ->
+        Buffer.add_string buf (String.make y_axis_width ' ');
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n'
+    | None -> ());
+    Buffer.add_string buf "legend: ";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string buf "   ";
+        Buffer.add_char buf markers.(i mod Array.length markers);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Series.label s))
+      series;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end

@@ -1,0 +1,14 @@
+(** Terminal line plots, for eyeballing the reproduced figures without
+    leaving the shell. Each series gets a marker character; overlapping
+    points show the later series' marker. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_label:string ->
+  ?y_label:string ->
+  Series.t list ->
+  string
+(** Defaults: 72×20 plot area. Axes are scaled to the data's bounding box
+    (y always includes 0). *)

@@ -1,0 +1,37 @@
+let render ?(width = 50) ?title ?(unit_label = "") rows =
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  if rows = [] then Buffer.add_string buf "(no data)\n"
+  else begin
+    let label_width =
+      List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+    in
+    let top = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 rows in
+    List.iter
+      (fun (label, value) ->
+        let value = Float.max 0.0 value in
+        let cells =
+          if top <= 0.0 then 0
+          else int_of_float (Float.round (value /. top *. float_of_int width))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s |%s%s %g%s\n" label_width label
+             (String.make cells '#')
+             (String.make (width - cells) ' ')
+             value unit_label))
+      rows
+  end;
+  Buffer.contents buf
+
+let of_histogram ?width ?title ~bucket_width histogram =
+  let rows =
+    List.map
+      (fun (lo, count) ->
+        (Printf.sprintf "[%g, %g)" lo (lo +. bucket_width), float_of_int count))
+      (Lesslog_metrics.Histogram.buckets histogram ~width:bucket_width)
+  in
+  render ?width ?title rows

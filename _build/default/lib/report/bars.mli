@@ -1,0 +1,20 @@
+(** Horizontal ASCII bar charts — categorical quantities (per-policy
+    replica counts, per-b fault rates) and histogram buckets. *)
+
+val render :
+  ?width:int ->
+  ?title:string ->
+  ?unit_label:string ->
+  (string * float) list ->
+  string
+(** One bar per (label, value); bars scale to the maximum value over
+    [width] (default 50) character cells. Negative values are clamped
+    to 0. *)
+
+val of_histogram :
+  ?width:int ->
+  ?title:string ->
+  bucket_width:float ->
+  Lesslog_metrics.Histogram.t ->
+  string
+(** Bucketed view of a histogram, one bar per bucket. *)

@@ -1,0 +1,38 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let line fields = String.concat "," (List.map escape fields)
+
+let of_rows ~header rows =
+  String.concat "\n" (List.map line (header :: rows)) ^ "\n"
+
+let number x = Printf.sprintf "%g" x
+
+let of_series ~x_label series =
+  let xs =
+    List.concat_map (fun s -> Array.to_list (Series.xs s)) series
+    |> List.sort_uniq compare
+  in
+  let header = x_label :: List.map Series.label series in
+  let rows =
+    List.map
+      (fun x ->
+        number x
+        :: List.map
+             (fun s ->
+               match Series.y_at s ~x with Some y -> number y | None -> "")
+             series)
+      xs
+  in
+  of_rows ~header rows
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,16 @@
+(** Minimal CSV writing (RFC-4180-style quoting) for exporting figure
+    data. *)
+
+val escape : string -> string
+(** Quote a field when it contains commas, quotes or newlines. *)
+
+val line : string list -> string
+
+val of_rows : header:string list -> string list list -> string
+(** Full document, trailing newline included. *)
+
+val of_series : x_label:string -> Series.t list -> string
+(** Same layout as {!Table.of_series}: x column plus one column per
+    series; missing points are empty fields. *)
+
+val write_file : path:string -> string -> unit

@@ -1,0 +1,11 @@
+type t = { label : string; points : (float * float) array }
+
+let make ~label points = { label; points = Array.of_list points }
+let label t = t.label
+let xs t = Array.map fst t.points
+let ys t = Array.map snd t.points
+
+let y_at t ~x =
+  Array.find_opt (fun (px, _) -> px = x) t.points |> Option.map snd
+
+let map_y t ~f = { t with points = Array.map (fun (x, y) -> (x, f y)) t.points }

@@ -1,0 +1,12 @@
+(** A labelled (x, y) data series — one line of a paper figure. *)
+
+type t = { label : string; points : (float * float) array }
+
+val make : label:string -> (float * float) list -> t
+val label : t -> string
+val xs : t -> float array
+val ys : t -> float array
+val y_at : t -> x:float -> float option
+(** Exact-x lookup. *)
+
+val map_y : t -> f:(float -> float) -> t

@@ -1,0 +1,49 @@
+let render ~header rows =
+  let cols = List.length header in
+  let pad row = row @ List.init (max 0 (cols - List.length row)) (fun _ -> "") in
+  let rows = List.map pad rows in
+  let all = header :: rows in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.map2
+         (fun cell w -> cell ^ String.make (w - String.length cell) ' ')
+         row widths)
+    |> String.trim
+    |> fun s ->
+    (* Keep right padding inside the line for alignment; trim only the
+       trailing spaces of the final column. *)
+    s
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let float_cell y =
+  if Float.is_integer y && Float.abs y < 1e9 then
+    string_of_int (int_of_float y)
+  else Printf.sprintf "%.2f" y
+
+let of_series ~x_label series =
+  let xs =
+    List.concat_map (fun s -> Array.to_list (Series.xs s)) series
+    |> List.sort_uniq compare
+  in
+  let header = x_label :: List.map Series.label series in
+  let rows =
+    List.map
+      (fun x ->
+        float_cell x
+        :: List.map
+             (fun s ->
+               match Series.y_at s ~x with
+               | Some y -> float_cell y
+               | None -> "-")
+             series)
+      xs
+  in
+  render ~header rows

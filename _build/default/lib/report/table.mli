@@ -1,0 +1,9 @@
+(** Aligned plain-text tables for terminal output. *)
+
+val render : header:string list -> string list list -> string
+(** Columns are padded to the widest cell; rows shorter than the header
+    are right-padded with empty cells. *)
+
+val of_series : x_label:string -> Series.t list -> string
+(** One row per distinct x (union over the series), one column per
+    series. *)

@@ -1,0 +1,57 @@
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  queue : event Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable executed : int;
+}
+
+let compare_event a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create () =
+  { queue = Heap.create ~cmp:compare_event; clock = 0.0; next_seq = 0; executed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Heap.push t.queue { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      t.executed <- t.executed + 1;
+      ev.action ();
+      true
+
+let run ?until ?(max_events = max_int) t =
+  let budget = ref max_events in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some ev -> (
+        match until with
+        | Some limit when ev.time > limit ->
+            t.clock <- Float.max t.clock limit;
+            continue := false
+        | _ ->
+            ignore (step t);
+            decr budget)
+  done;
+  match until with
+  | Some limit when Heap.is_empty t.queue && t.clock < limit -> t.clock <- limit
+  | _ -> ()
+
+let events_executed t = t.executed

@@ -1,0 +1,30 @@
+(** Discrete-event simulation engine: a simulated clock and an ordered
+    event queue of callbacks. Events scheduled for the same instant fire
+    in scheduling order (a monotone sequence number breaks ties), which
+    keeps runs deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time, seconds. Starts at 0. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run a callback [delay] seconds from now. [delay >= 0]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Run a callback at an absolute time [>= now]. *)
+
+val pending : t -> int
+(** Events still queued. *)
+
+val step : t -> bool
+(** Execute the next event; [false] when the queue is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the queue. [until] stops the clock at that time (later events
+    stay queued, [now] is clamped to [until]); [max_events] bounds the
+    number of callbacks executed — a runaway guard. *)
+
+val events_executed : t -> int

@@ -1,0 +1,16 @@
+(** Array-based binary min-heap, the event queue's priority structure. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument when empty. *)
+
+val clear : 'a t -> unit
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive; ascending order. For tests and inspection. *)

@@ -1,0 +1,1 @@
+lib/storage/access_counter.ml:

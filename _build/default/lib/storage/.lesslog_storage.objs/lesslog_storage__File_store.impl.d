@@ -1,0 +1,1 @@
+lib/storage/file_store.ml: Access_counter Format Hashtbl List Option

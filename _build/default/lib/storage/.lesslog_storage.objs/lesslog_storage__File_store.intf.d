@@ -1,0 +1,1 @@
+lib/storage/file_store.mli: Access_counter Format

@@ -1,0 +1,25 @@
+(** Exponentially-decayed access counter.
+
+    The paper suggests "a simple counter-based mechanism" to remove replicas
+    that are not frequently accessed (Sections 2.2 and 6). This counter
+    estimates a per-replica request rate: each access adds one, and the
+    accumulated count decays with time constant [tau] seconds, so the value
+    approximates [rate × tau] at steady state. *)
+
+type t
+
+val create : ?tau:float -> now:float -> unit -> t
+(** [tau] defaults to 30 seconds. *)
+
+val record : t -> now:float -> unit
+(** One access at simulated time [now]. *)
+
+val record_many : t -> now:float -> count:int -> unit
+
+val value : t -> now:float -> float
+(** Decayed count at time [now]. *)
+
+val rate : t -> now:float -> float
+(** Estimated accesses per second ([value / tau]). *)
+
+val reset : t -> now:float -> unit

@@ -1,0 +1,81 @@
+type origin = Inserted | Replicated
+
+let pp_origin fmt = function
+  | Inserted -> Format.pp_print_string fmt "inserted"
+  | Replicated -> Format.pp_print_string fmt "replicated"
+
+type entry = {
+  key : string;
+  origin : origin;
+  mutable version : int;
+  counter : Access_counter.t;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let add t ~key ~origin ~version ~now =
+  match Hashtbl.find_opt t key with
+  | None ->
+      Hashtbl.replace t key
+        { key; origin; version; counter = Access_counter.create ~now () }
+  | Some e ->
+      let origin =
+        match (e.origin, origin) with
+        | Inserted, _ | _, Inserted -> Inserted
+        | Replicated, Replicated -> Replicated
+      in
+      Hashtbl.replace t key
+        { e with origin; version = max e.version version }
+
+let remove t ~key = Hashtbl.remove t key
+let holds t ~key = Hashtbl.mem t key
+let find t ~key = Hashtbl.find_opt t key
+let version t ~key = Option.map (fun e -> e.version) (find t ~key)
+let origin t ~key = Option.map (fun e -> e.origin) (find t ~key)
+
+let record_access t ~key ~now =
+  match Hashtbl.find_opt t key with
+  | None -> ()
+  | Some e -> Access_counter.record e.counter ~now
+
+let set_version t ~key ~version =
+  match Hashtbl.find_opt t key with
+  | None -> ()
+  | Some e -> e.version <- version
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+let keys_with_origin t o =
+  Hashtbl.fold (fun k e acc -> if e.origin = o then k :: acc else acc) t []
+  |> List.sort compare
+
+let inserted_keys t = keys_with_origin t Inserted
+let replicated_keys t = keys_with_origin t Replicated
+let size t = Hashtbl.length t
+
+let demote_to_replica t ~key =
+  match Hashtbl.find_opt t key with
+  | None -> ()
+  | Some e -> Hashtbl.replace t key { e with origin = Replicated }
+
+let drop_replicas t =
+  let dropped = replicated_keys t in
+  List.iter (fun key -> Hashtbl.remove t key) dropped;
+  dropped
+
+let evict_cold_replicas t ~now ~min_rate =
+  let cold =
+    Hashtbl.fold
+      (fun k e acc ->
+        if e.origin = Replicated && Access_counter.rate e.counter ~now < min_rate
+        then k :: acc
+        else acc)
+      t []
+    |> List.sort compare
+  in
+  List.iter (fun key -> Hashtbl.remove t key) cold;
+  cold
+
+let iter t f = Hashtbl.iter (fun _ e -> f e) t

@@ -1,0 +1,61 @@
+(** Per-node local storage.
+
+    Distinguishes the two file categories of Section 5.2: an {e inserted}
+    file is the original copy placed by (ADVANCED)INSERTFILE; a
+    {e replicated} file was copied in by REPLICATEFILE from an overloaded
+    node. Leaving nodes discard replicas but must re-insert their inserted
+    files. Every copy carries a version (for UPDATEFILE) and an access
+    counter (for counter-based eviction). *)
+
+type origin = Inserted | Replicated
+
+val pp_origin : Format.formatter -> origin -> unit
+
+type entry = {
+  key : string;
+  origin : origin;
+  mutable version : int;
+  counter : Access_counter.t;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> key:string -> origin:origin -> version:int -> now:float -> unit
+(** Store a copy. Re-adding an existing key keeps the entry but upgrades
+    its origin to [Inserted] if either is inserted, and raises the stored
+    version to [version] if newer. *)
+
+val remove : t -> key:string -> unit
+val holds : t -> key:string -> bool
+val find : t -> key:string -> entry option
+val version : t -> key:string -> int option
+val origin : t -> key:string -> origin option
+
+val record_access : t -> key:string -> now:float -> unit
+(** Bump the access counter; no-op when the key is absent. *)
+
+val set_version : t -> key:string -> version:int -> unit
+(** No-op when the key is absent. *)
+
+val keys : t -> string list
+val inserted_keys : t -> string list
+val replicated_keys : t -> string list
+val size : t -> int
+
+val demote_to_replica : t -> key:string -> unit
+(** Turn an inserted copy into a plain replica — used when the inserted
+    copy migrates to a (re)joined node and the old holder keeps serving a
+    non-authoritative copy. No-op when the key is absent. *)
+
+val drop_replicas : t -> string list
+(** Remove every replicated copy (a voluntarily leaving node); returns the
+    dropped keys. *)
+
+val evict_cold_replicas : t -> now:float -> min_rate:float -> string list
+(** The counter-based mechanism: remove replicated (never inserted) copies
+    whose estimated access rate fell below [min_rate]; returns the evicted
+    keys. *)
+
+val iter : t -> (entry -> unit) -> unit

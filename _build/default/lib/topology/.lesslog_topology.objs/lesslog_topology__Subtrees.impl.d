@@ -1,0 +1,1 @@
+lib/topology/subtrees.ml: Lesslog_bits Lesslog_id Lesslog_membership Lesslog_ptree Lesslog_vtree List Params Pid Vid

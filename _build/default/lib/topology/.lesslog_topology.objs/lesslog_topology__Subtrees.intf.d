@@ -1,0 +1,1 @@
+lib/topology/subtrees.mli: Lesslog_id Lesslog_membership Lesslog_ptree Params Pid Vid

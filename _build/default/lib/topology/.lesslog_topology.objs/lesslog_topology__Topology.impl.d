@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Lesslog_id Lesslog_membership Lesslog_ptree Lesslog_vtree List Params Pid Vid

@@ -1,0 +1,1 @@
+lib/topology/topology.mli: Lesslog_id Lesslog_membership Lesslog_ptree Pid

@@ -1,0 +1,81 @@
+open Lesslog_id
+module Status_word = Lesslog_membership.Status_word
+module Ptree = Lesslog_ptree.Ptree
+module Vtree = Lesslog_vtree.Vtree
+
+let find_live_node tree status ~start =
+  if Status_word.is_live status start then Some start
+  else begin
+    let rec scan vid =
+      if vid < 0 then None
+      else
+        let p = Ptree.pid_of_vid tree (Vid.unsafe_of_int vid) in
+        if Status_word.is_live status p then Some p else scan (vid - 1)
+    in
+    scan (Vid.to_int (Ptree.vid_of_pid tree start) - 1)
+  end
+
+let insertion_target tree status =
+  find_live_node tree status ~start:(Ptree.root tree)
+
+let first_alive_ancestor tree status p =
+  let rec climb p =
+    match Ptree.parent tree p with
+    | None -> None
+    | Some q -> if Status_word.is_live status q then Some q else climb q
+  in
+  climb p
+
+let children_list tree status p =
+  (* Expand dead children recursively, then sort by descending VID, which
+     the paper specifies and which also orders by descending offspring. *)
+  let rec expand acc p =
+    List.fold_left
+      (fun acc c ->
+        if Status_word.is_live status c then c :: acc else expand acc c)
+      acc (Ptree.children tree p)
+  in
+  let live_children = expand [] p in
+  List.sort
+    (fun a b ->
+      Vid.compare (Ptree.vid_of_pid tree b) (Ptree.vid_of_pid tree a))
+    live_children
+
+let max_live tree status =
+  let rec scan vid =
+    if vid < 0 then None
+    else
+      let p = Ptree.pid_of_vid tree (Vid.unsafe_of_int vid) in
+      if Status_word.is_live status p then Some p else scan (vid - 1)
+  in
+  scan (Params.mask (Ptree.params tree))
+
+let has_live_with_greater_vid tree status p =
+  match max_live tree status with
+  | None -> false
+  | Some g -> Vid.compare (Ptree.vid_of_pid tree g) (Ptree.vid_of_pid tree p) > 0
+
+let live_offspring_count tree status p =
+  Status_word.fold_live status ~init:0 ~f:(fun acc q ->
+      if (not (Pid.equal q p)) && Ptree.is_ancestor tree ~ancestor:p q then
+        acc + 1
+      else acc)
+
+let route_next tree status p =
+  match first_alive_ancestor tree status p with
+  | Some a -> Some a
+  | None ->
+      if Status_word.is_live status (Ptree.root tree) then None
+      else begin
+        match insertion_target tree status with
+        | Some g when not (Pid.equal g p) -> Some g
+        | Some _ | None -> None
+      end
+
+let route_path tree status ~origin =
+  let rec go acc p =
+    match route_next tree status p with
+    | None -> List.rev (p :: acc)
+    | Some q -> go (p :: acc) q
+  in
+  go [] origin

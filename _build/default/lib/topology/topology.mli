@@ -1,0 +1,57 @@
+(** Dead-node-aware tree navigation — the paper's advanced system model
+    (Section 3).
+
+    All queries combine a physical lookup tree with the membership status
+    word; like the trees themselves they are computed on demand with bit
+    operations, never materialized. *)
+
+open Lesslog_id
+module Status_word = Lesslog_membership.Status_word
+module Ptree = Lesslog_ptree.Ptree
+
+val find_live_node : Ptree.t -> Status_word.t -> start:Pid.t -> Pid.t option
+(** The paper's FINDLIVENODE(s, r): if [start] is live return it; otherwise
+    scan VIDs downward from [start]'s VID and return the first live node —
+    the live node with the most offspring at or below [start] (by
+    Property 3). [None] when the system below [start] is entirely dead. *)
+
+val insertion_target : Ptree.t -> Status_word.t -> Pid.t option
+(** FINDLIVENODE(r, r): where ADVANCEDINSERTFILE stores a file whose hash
+    targets this tree's root — the live node with the most offspring in the
+    whole tree. [None] iff no node is live. *)
+
+val first_alive_ancestor : Ptree.t -> Status_word.t -> Pid.t -> Pid.t option
+(** The augmented FP of Section 3: the nearest live strict ancestor in this
+    tree, skipping dead nodes; [None] when every strict ancestor (including
+    the root) is dead or the node is the root. *)
+
+val children_list : Ptree.t -> Status_word.t -> Pid.t -> Pid.t list
+(** The advanced-model children list (Section 3): every live child, with
+    each dead child transparently replaced by its own (recursively
+    expanded) children list; the result is sorted by descending VID. For
+    the 14-node example of Figure 3 this yields
+    (P(6), P(7), P(1), P(12), P(13), P(8)) for P(4). *)
+
+val has_live_with_greater_vid : Ptree.t -> Status_word.t -> Pid.t -> bool
+(** Whether some live node has a strictly larger VID than the given node in
+    this tree — the test deciding which children list an overloaded
+    non-root node replicates into (Section 3, Replicating File). *)
+
+val max_live : Ptree.t -> Status_word.t -> Pid.t option
+(** The live node with the largest VID (equivalently, the most offspring)
+    in this tree. *)
+
+val live_offspring_count : Ptree.t -> Status_word.t -> Pid.t -> int
+(** Number of live strict descendants — the numerator of the proportional
+    choice made by the max-VID live node. O(live nodes × m). *)
+
+val route_next : Ptree.t -> Status_word.t -> Pid.t -> Pid.t option
+(** One forwarding hop of the advanced GETFILE from a live node: the first
+    alive ancestor if any; otherwise, when the root is dead, the migration
+    hop to {!insertion_target} (unless we are already there). [None] when
+    the node is the end of the route (root, or migration target). *)
+
+val route_path : Ptree.t -> Status_word.t -> origin:Pid.t -> Pid.t list
+(** The complete resolution path from a live origin: origin inclusive,
+    following {!route_next} to the end. Every request for this tree's
+    target travels a prefix of this path. *)

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Buffer Char Format Fun List Printf String

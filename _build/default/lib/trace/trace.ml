@@ -1,0 +1,198 @@
+module Event = struct
+  type t =
+    | Request of { at : float; origin : int; server : int option; hops : int }
+    | Replicate of { at : float; src : int; dst : int; key : string }
+    | Evict of { at : float; node : int; key : string }
+    | Membership of { at : float; node : int; change : [ `Join | `Leave | `Fail ] }
+
+  let time = function
+    | Request { at; _ } | Replicate { at; _ } | Evict { at; _ }
+    | Membership { at; _ } ->
+        at
+
+  (* Percent-encode anything that would break space-separated parsing. *)
+  let encode_key s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | ' ' | '%' | '\n' | '\r' | '\t' ->
+            Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let decode_key s =
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i < n then
+        if s.[i] = '%' && i + 2 < n then begin
+          Buffer.add_char buf
+            (Char.chr (int_of_string ("0x" ^ String.sub s (i + 1) 2)));
+          go (i + 3)
+        end
+        else begin
+          Buffer.add_char buf s.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Buffer.contents buf
+
+  let float_repr x = Printf.sprintf "%h" x
+
+  let to_line = function
+    | Request { at; origin; server; hops } ->
+        Printf.sprintf "REQ %s %d %s %d" (float_repr at) origin
+          (match server with Some s -> string_of_int s | None -> "fault")
+          hops
+    | Replicate { at; src; dst; key } ->
+        Printf.sprintf "REP %s %d %d %s" (float_repr at) src dst (encode_key key)
+    | Evict { at; node; key } ->
+        Printf.sprintf "EVI %s %d %s" (float_repr at) node (encode_key key)
+    | Membership { at; node; change } ->
+        Printf.sprintf "MEM %s %d %s" (float_repr at) node
+          (match change with `Join -> "join" | `Leave -> "leave" | `Fail -> "fail")
+
+  let of_line line =
+    let fail () = Error (Printf.sprintf "malformed trace line: %S" line) in
+    match String.split_on_char ' ' line with
+    | [ "REQ"; at; origin; server; hops ] -> (
+        match
+          ( float_of_string_opt at,
+            int_of_string_opt origin,
+            int_of_string_opt hops )
+        with
+        | Some at, Some origin, Some hops -> (
+            match server with
+            | "fault" -> Ok (Request { at; origin; server = None; hops })
+            | s -> (
+                match int_of_string_opt s with
+                | Some server ->
+                    Ok (Request { at; origin; server = Some server; hops })
+                | None -> fail ()))
+        | _ -> fail ())
+    | [ "REP"; at; src; dst; key ] -> (
+        match
+          (float_of_string_opt at, int_of_string_opt src, int_of_string_opt dst)
+        with
+        | Some at, Some src, Some dst ->
+            Ok (Replicate { at; src; dst; key = decode_key key })
+        | _ -> fail ())
+    | [ "EVI"; at; node; key ] -> (
+        match (float_of_string_opt at, int_of_string_opt node) with
+        | Some at, Some node -> Ok (Evict { at; node; key = decode_key key })
+        | _ -> fail ())
+    | [ "MEM"; at; node; change ] -> (
+        match
+          ( float_of_string_opt at,
+            int_of_string_opt node,
+            match change with
+            | "join" -> Some `Join
+            | "leave" -> Some `Leave
+            | "fail" -> Some `Fail
+            | _ -> None )
+        with
+        | Some at, Some node, Some change ->
+            Ok (Membership { at; node; change })
+        | _ -> fail ())
+    | _ -> fail ()
+
+  let equal a b = a = b
+
+  let pp fmt t = Format.pp_print_string fmt (to_line t)
+end
+
+module Writer = struct
+  type sink = Channel of out_channel | Buf of Buffer.t
+
+  type t = { sink : sink; mutable count : int; mutable closed : bool }
+
+  let to_file path = { sink = Channel (open_out path); count = 0; closed = false }
+
+  let to_buffer buf = { sink = Buf buf; count = 0; closed = false }
+
+  let emit t event =
+    if t.closed then invalid_arg "Trace.Writer.emit: closed";
+    let line = Event.to_line event in
+    (match t.sink with
+    | Channel oc ->
+        output_string oc line;
+        output_char oc '\n'
+    | Buf b ->
+        Buffer.add_string b line;
+        Buffer.add_char b '\n');
+    t.count <- t.count + 1
+
+  let count t = t.count
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      match t.sink with Channel oc -> close_out oc | Buf _ -> ()
+    end
+end
+
+let read_lines lines =
+  let rec go acc i = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go acc (i + 1) rest
+    | line :: rest -> (
+        match Event.of_line line with
+        | Ok e -> go (e :: acc) (i + 1) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" i msg))
+  in
+  go [] 1 lines
+
+let read_string s = read_lines (String.split_on_char '\n' s)
+
+let read_file path =
+  let ic = open_in path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  read_string contents
+
+type summary = {
+  events : int;
+  requests : int;
+  faults : int;
+  replications : int;
+  evictions : int;
+  membership_changes : int;
+  span : float;
+}
+
+let summarize events =
+  let requests = ref 0
+  and faults = ref 0
+  and replications = ref 0
+  and evictions = ref 0
+  and membership = ref 0
+  and t_min = ref infinity
+  and t_max = ref neg_infinity in
+  List.iter
+    (fun e ->
+      let t = Event.time e in
+      if t < !t_min then t_min := t;
+      if t > !t_max then t_max := t;
+      match e with
+      | Event.Request { server; _ } ->
+          incr requests;
+          if server = None then incr faults
+      | Event.Replicate _ -> incr replications
+      | Event.Evict _ -> incr evictions
+      | Event.Membership _ -> incr membership)
+    events;
+  {
+    events = List.length events;
+    requests = !requests;
+    faults = !faults;
+    replications = !replications;
+    evictions = !evictions;
+    membership_changes = !membership;
+    span = (if events = [] then 0.0 else !t_max -. !t_min);
+  }

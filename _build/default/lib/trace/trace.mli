@@ -1,0 +1,55 @@
+(** Simulation event traces: capture what the event-driven simulator did,
+    one event per line, for offline analysis and replay. The format is a
+    stable, human-greppable text codec with an exact round-trip. *)
+
+module Event : sig
+  type t =
+    | Request of {
+        at : float;
+        origin : int;
+        server : int option;  (** [None] = fault. *)
+        hops : int;
+      }
+    | Replicate of { at : float; src : int; dst : int; key : string }
+    | Evict of { at : float; node : int; key : string }
+    | Membership of { at : float; node : int; change : [ `Join | `Leave | `Fail ] }
+
+  val time : t -> float
+
+  val to_line : t -> string
+  (** One line, no newline. Keys are percent-encoded so the codec is
+      total. *)
+
+  val of_line : string -> (t, string) result
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Writer : sig
+  type t
+
+  val to_file : string -> t
+  val to_buffer : Buffer.t -> t
+  val emit : t -> Event.t -> unit
+  val count : t -> int
+  val close : t -> unit
+  (** Flush and (for files) close. Idempotent. *)
+end
+
+val read_file : string -> (Event.t list, string) result
+(** All events; fails on the first malformed line with its number. *)
+
+val read_string : string -> (Event.t list, string) result
+
+type summary = {
+  events : int;
+  requests : int;
+  faults : int;
+  replications : int;
+  evictions : int;
+  membership_changes : int;
+  span : float;  (** Last event time minus first. *)
+}
+
+val summarize : Event.t list -> summary

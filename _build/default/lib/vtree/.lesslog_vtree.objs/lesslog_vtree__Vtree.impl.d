@@ -1,0 +1,1 @@
+lib/vtree/vtree.ml: Lesslog_bits Lesslog_id List Params Vid

@@ -1,0 +1,1 @@
+lib/vtree/vtree.mli: Lesslog_id Params Vid

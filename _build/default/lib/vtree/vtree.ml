@@ -1,0 +1,66 @@
+open Lesslog_id
+module Bitops = Lesslog_bits.Bitops
+
+let width = Params.m
+
+let is_root params v = Vid.to_int v = Params.mask params
+
+let child_count params v =
+  Bitops.leading_ones ~width:(width params) (Vid.to_int v)
+
+let nth_child params v i =
+  let n = child_count params v in
+  if i < 0 || i >= n then invalid_arg "Vtree.nth_child";
+  (* Leading ones occupy bits m-1 .. m-n. Clearing a lower bit keeps more
+     leading ones, hence more offspring: the i-th most offspring child
+     clears bit (m - n + i). *)
+  Vid.unsafe_of_int (Bitops.clear_bit (Vid.to_int v) (width params - n + i))
+
+let children params v =
+  let n = child_count params v in
+  List.init n (fun i -> nth_child params v i)
+
+let parent params v =
+  match Bitops.highest_zero_bit ~width:(width params) (Vid.to_int v) with
+  | None -> None
+  | Some h -> Some (Vid.unsafe_of_int (Bitops.set_bit (Vid.to_int v) h))
+
+let parent_exn params v =
+  match parent params v with
+  | Some p -> p
+  | None -> invalid_arg "Vtree.parent_exn: root has no parent"
+
+let offspring_count params v = (1 lsl child_count params v) - 1
+
+let subtree_size params v = 1 lsl child_count params v
+
+let depth params v = width params - Bitops.popcount (Vid.to_int v)
+
+let is_ancestor params ~ancestor v =
+  (* Walk v's parents; VIDs strictly increase along the path. *)
+  let a = Vid.to_int ancestor in
+  let rec climb v =
+    if Vid.to_int v >= a then Vid.equal v ancestor
+    else
+      match parent params v with
+      | None -> false
+      | Some p -> climb p
+  in
+  climb v
+
+let path_to_root params v =
+  let rec climb acc v =
+    match parent params v with
+    | None -> List.rev (v :: acc)
+    | Some p -> climb (v :: acc) p
+  in
+  climb [] v
+
+let rec iter_subtree params v f =
+  f v;
+  List.iter (fun c -> iter_subtree params c f) (children params v)
+
+let fold_subtree params v ~init ~f =
+  let acc = ref init in
+  iter_subtree params v (fun u -> acc := f !acc u);
+  !acc

@@ -1,0 +1,51 @@
+(** The unique virtual lookup tree — a binomial tree over all [2^m] VIDs
+    (paper Section 2.1, Figure 1).
+
+    The tree is implicit: every query is a bit computation on the VID, per
+    Properties 1–3 of the paper:
+    - Property 1: a VID with [i] leading 1-bits has [i] children, each
+      obtained by clearing one of those leading 1s;
+    - Property 2: the parent sets the leftmost 0-bit;
+    - Property 3: offspring count is monotone non-decreasing in VID value. *)
+
+open Lesslog_id
+
+val is_root : Params.t -> Vid.t -> bool
+
+val child_count : Params.t -> Vid.t -> int
+(** Number of children = leading ones of the VID (Property 1). *)
+
+val children : Params.t -> Vid.t -> Vid.t list
+(** Children ordered by descending offspring count — i.e. descending VID —
+    which is exactly the paper's "children list" order in the complete
+    tree. *)
+
+val nth_child : Params.t -> Vid.t -> int -> Vid.t
+(** [nth_child params v i] is the child with the [i]-th most offspring,
+    [i] in [\[0, child_count)]. @raise Invalid_argument out of range. *)
+
+val parent : Params.t -> Vid.t -> Vid.t option
+(** [None] exactly on the root (Property 2). *)
+
+val parent_exn : Params.t -> Vid.t -> Vid.t
+
+val offspring_count : Params.t -> Vid.t -> int
+(** [2^leading_ones - 1]: strict descendants, not counting the node. *)
+
+val subtree_size : Params.t -> Vid.t -> int
+(** [offspring_count + 1]. *)
+
+val depth : Params.t -> Vid.t -> int
+(** Distance to the root = [m - popcount vid]; the O(log N) lookup bound. *)
+
+val is_ancestor : Params.t -> ancestor:Vid.t -> Vid.t -> bool
+(** Reflexive ancestry: [is_ancestor ~ancestor:v v] is [true]. *)
+
+val path_to_root : Params.t -> Vid.t -> Vid.t list
+(** The VID itself, its parent, ..., the root — the lookup forwarding
+    path of Section 2.2. *)
+
+val iter_subtree : Params.t -> Vid.t -> (Vid.t -> unit) -> unit
+(** Visit the node and all its descendants (preorder). *)
+
+val fold_subtree : Params.t -> Vid.t -> init:'a -> f:('a -> Vid.t -> 'a) -> 'a

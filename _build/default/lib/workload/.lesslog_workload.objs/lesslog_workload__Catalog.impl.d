@@ -1,0 +1,1 @@
+lib/workload/catalog.ml: Array Demand Lesslog_membership Lesslog_prng Option Printf String

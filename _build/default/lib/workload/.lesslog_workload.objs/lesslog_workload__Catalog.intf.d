@@ -1,0 +1,1 @@
+lib/workload/catalog.mli: Demand Lesslog_membership Lesslog_prng

@@ -1,0 +1,1 @@
+lib/workload/demand.ml: Array Float Lesslog_id Lesslog_membership Lesslog_prng Params Pid

@@ -1,0 +1,1 @@
+lib/workload/demand.mli: Lesslog_id Lesslog_membership Lesslog_prng Pid

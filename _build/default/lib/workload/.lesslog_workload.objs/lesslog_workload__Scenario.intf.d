@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Demand Lesslog_membership Lesslog_prng

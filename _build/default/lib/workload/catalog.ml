@@ -1,0 +1,36 @@
+module Status_word = Lesslog_membership.Status_word
+module Rng = Lesslog_prng.Rng
+module Zipf = Lesslog_prng.Zipf
+
+type spread = Uniform | Locality of { hot_fraction : float; hot_share : float }
+
+type t = { files : (string * Demand.t) array }
+
+let demand_for status ~rng ~spread ~total =
+  match spread with
+  | Uniform -> Demand.uniform status ~total
+  | Locality { hot_fraction; hot_share } ->
+      Demand.locality ~hot_fraction ~hot_share status ~rng ~total
+
+let create ?(prefix = "file") ?(zipf_s = 0.9) status ~rng ~files ~total ~spread =
+  if files <= 0 then invalid_arg "Catalog.create: files";
+  let zipf = Zipf.create ~n:files ~s:zipf_s in
+  let entries =
+    Array.init files (fun rank ->
+        let share = Zipf.probability zipf rank in
+        let name = Printf.sprintf "%s-%04d" prefix rank in
+        (name, demand_for status ~rng ~spread ~total:(total *. share)))
+  in
+  { files = entries }
+
+let files t = Array.to_list t.files
+
+let demand_of t ~key =
+  Array.find_opt (fun (name, _) -> String.equal name key) t.files
+  |> Option.map snd
+
+let shift_popularity t ~rng =
+  let names = Array.map fst t.files in
+  let demands = Array.map snd t.files in
+  Rng.shuffle rng names;
+  { files = Array.map2 (fun name demand -> (name, demand)) names demands }

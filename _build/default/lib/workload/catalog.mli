@@ -1,0 +1,33 @@
+(** Multi-file workloads: a catalogue of files whose popularity follows a
+    Zipf law, each file's demand spread over origins by one of the
+    {!Demand} models. Drives the counter-based-eviction ablation and the
+    richer examples. *)
+
+module Status_word = Lesslog_membership.Status_word
+
+type spread = Uniform | Locality of { hot_fraction : float; hot_share : float }
+
+type t = private { files : (string * Demand.t) array }
+
+val create :
+  ?prefix:string ->
+  ?zipf_s:float ->
+  Status_word.t ->
+  rng:Lesslog_prng.Rng.t ->
+  files:int ->
+  total:float ->
+  spread:spread ->
+  t
+(** [files] file names ([prefix] + rank), rank popularity Zipf with
+    exponent [zipf_s] (default 0.9), total demand [total] requests/s
+    across the catalogue. *)
+
+val files : t -> (string * Demand.t) list
+(** Most popular first. *)
+
+val demand_of : t -> key:string -> Demand.t option
+
+val shift_popularity : t -> rng:Lesslog_prng.Rng.t -> t
+(** Re-deal the popularity ranks over the same file names — a popularity
+    churn event for the eviction experiment: yesterday's hot file goes
+    cold. *)

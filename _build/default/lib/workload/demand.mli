@@ -1,0 +1,40 @@
+(** Steady-state request demand: how many requests per second each node
+    originates for one file.
+
+    Two models drive the paper's evaluation (Section 6): requests evenly
+    distributed among all nodes (Figures 5 and 6), and a locality model
+    where 80% of the requests are received by 20% of the nodes (Figures 7
+    and 8). *)
+
+open Lesslog_id
+module Status_word = Lesslog_membership.Status_word
+
+type t = private {
+  rates : float array;  (** Requests/s originated per PID slot; 0 for dead. *)
+  total : float;
+}
+
+val uniform : Status_word.t -> total:float -> t
+(** [total] requests/s spread evenly over the live nodes. *)
+
+val locality :
+  ?hot_fraction:float ->
+  ?hot_share:float ->
+  Status_word.t ->
+  rng:Lesslog_prng.Rng.t ->
+  total:float ->
+  t
+(** The locality model: a uniformly chosen [hot_fraction] (default 0.2) of
+    the live nodes originates [hot_share] (default 0.8) of the demand; the
+    remaining demand spreads over the other live nodes. *)
+
+val hotspot : Status_word.t -> at:Pid.t -> total:float -> t
+(** Degenerate locality: the entire demand originates at one node — the
+    flash-crowd scenario of the examples. *)
+
+val of_rates : float array -> t
+(** Wrap explicit per-slot rates. *)
+
+val rate : t -> Pid.t -> float
+val total : t -> float
+val scale : t -> factor:float -> t

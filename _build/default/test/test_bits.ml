@@ -1,0 +1,133 @@
+module Bitops = Lesslog_bits.Bitops
+
+let check = Alcotest.(check int)
+
+let test_mask () =
+  check "mask 1" 1 (Bitops.mask ~width:1);
+  check "mask 4" 15 (Bitops.mask ~width:4);
+  check "mask 10" 1023 (Bitops.mask ~width:10)
+
+let test_complement () =
+  check "comp 4-bit of 4" 0b1011 (Bitops.complement ~width:4 4);
+  check "comp 4-bit of 0" 0b1111 (Bitops.complement ~width:4 0);
+  check "comp 4-bit of 15" 0 (Bitops.complement ~width:4 15);
+  check "comp involutive" 9 (Bitops.complement ~width:4 (Bitops.complement ~width:4 9))
+
+let test_popcount () =
+  check "popcount 0" 0 (Bitops.popcount 0);
+  check "popcount 1" 1 (Bitops.popcount 1);
+  check "popcount 0b1011" 3 (Bitops.popcount 0b1011);
+  check "popcount max_int" 62 (Bitops.popcount max_int)
+
+let test_floor_log2 () =
+  check "log2 1" 0 (Bitops.floor_log2 1);
+  check "log2 2" 1 (Bitops.floor_log2 2);
+  check "log2 3" 1 (Bitops.floor_log2 3);
+  check "log2 1024" 10 (Bitops.floor_log2 1024);
+  check "log2 max_int" 61 (Bitops.floor_log2 max_int);
+  Alcotest.check_raises "log2 0" (Invalid_argument "Bitops.floor_log2")
+    (fun () -> ignore (Bitops.floor_log2 0))
+
+let test_leading_ones () =
+  check "all ones" 4 (Bitops.leading_ones ~width:4 0b1111);
+  check "1110" 3 (Bitops.leading_ones ~width:4 0b1110);
+  check "1101" 2 (Bitops.leading_ones ~width:4 0b1101);
+  check "1011" 1 (Bitops.leading_ones ~width:4 0b1011);
+  check "0111" 0 (Bitops.leading_ones ~width:4 0b0111);
+  check "0000" 0 (Bitops.leading_ones ~width:4 0)
+
+let test_highest_zero_bit () =
+  Alcotest.(check (option int)) "1111" None (Bitops.highest_zero_bit ~width:4 0b1111);
+  Alcotest.(check (option int)) "1101" (Some 1) (Bitops.highest_zero_bit ~width:4 0b1101);
+  Alcotest.(check (option int)) "0111" (Some 3) (Bitops.highest_zero_bit ~width:4 0b0111);
+  Alcotest.(check (option int)) "0000" (Some 3) (Bitops.highest_zero_bit ~width:4 0)
+
+let test_bit_ops () =
+  Alcotest.(check bool) "test set" true (Bitops.test_bit 0b100 2);
+  Alcotest.(check bool) "test clear" false (Bitops.test_bit 0b100 1);
+  check "set" 0b110 (Bitops.set_bit 0b100 1);
+  check "set idempotent" 0b100 (Bitops.set_bit 0b100 2);
+  check "clear" 0b100 (Bitops.clear_bit 0b110 1);
+  check "clear idempotent" 0b110 (Bitops.clear_bit 0b110 0)
+
+let test_trailing_zeros () =
+  check "tz 1" 0 (Bitops.trailing_zeros 1);
+  check "tz 8" 3 (Bitops.trailing_zeros 8);
+  check "tz 12" 2 (Bitops.trailing_zeros 12)
+
+let test_field_extraction () =
+  (* Subtree id/vid split of the fault-tolerant model: m=4, b=2. *)
+  check "low bits" 0b10 (Bitops.low_bits ~width:2 0b1110);
+  check "high bits" 0b11 (Bitops.high_bits ~total:4 ~low:2 0b1110);
+  check "splice" 0b1110 (Bitops.splice ~total:4 ~low:2 ~high:0b11 0b10)
+
+let test_binary_string () =
+  Alcotest.(check string) "vid rendering" "1011" (Bitops.to_binary_string ~width:4 0b1011);
+  Alcotest.(check string) "padded" "0001" (Bitops.to_binary_string ~width:4 1)
+
+(* Properties ---------------------------------------------------------- *)
+
+let gen_width_value =
+  QCheck2.Gen.(
+    int_range 1 20 >>= fun width ->
+    int_range 0 (Bitops.mask ~width) >>= fun v -> return (width, v))
+
+let prop_complement_involutive =
+  Test_support.qcheck_case ~name:"complement involutive" gen_width_value
+    (fun (width, v) ->
+      Bitops.complement ~width (Bitops.complement ~width v) = v)
+
+let prop_popcount_split =
+  Test_support.qcheck_case ~name:"popcount v + popcount ~v = width"
+    gen_width_value (fun (width, v) ->
+      Bitops.popcount v + Bitops.popcount (Bitops.complement ~width v) = width)
+
+let prop_leading_ones_bound =
+  Test_support.qcheck_case ~name:"leading_ones bounded by popcount"
+    gen_width_value (fun (width, v) ->
+      let lo = Bitops.leading_ones ~width v in
+      lo >= 0 && lo <= Bitops.popcount v)
+
+let prop_splice_inverse =
+  Test_support.qcheck_case ~name:"splice inverts high/low split"
+    QCheck2.Gen.(
+      int_range 2 16 >>= fun total ->
+      int_range 1 (total - 1) >>= fun low ->
+      int_range 0 (Bitops.mask ~width:total) >>= fun v -> return (total, low, v))
+    (fun (total, low, v) ->
+      let high = Bitops.high_bits ~total ~low v in
+      let lowv = Bitops.low_bits ~width:low v in
+      Bitops.splice ~total ~low ~high lowv = v)
+
+let prop_floor_log2 =
+  Test_support.qcheck_case ~name:"floor_log2 bounds"
+    QCheck2.Gen.(int_range 1 max_int)
+    (fun x ->
+      let l = Bitops.floor_log2 x in
+      x lsr l = 1)
+
+let () =
+  Alcotest.run "bits"
+    [
+      ( "bitops",
+        [
+          Alcotest.test_case "mask" `Quick test_mask;
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+          Alcotest.test_case "floor_log2" `Quick test_floor_log2;
+          Alcotest.test_case "leading_ones" `Quick test_leading_ones;
+          Alcotest.test_case "highest_zero_bit" `Quick test_highest_zero_bit;
+          Alcotest.test_case "bit set/clear/test" `Quick test_bit_ops;
+          Alcotest.test_case "trailing_zeros" `Quick test_trailing_zeros;
+          Alcotest.test_case "field extraction" `Quick test_field_extraction;
+          Alcotest.test_case "binary rendering" `Quick test_binary_string;
+        ] );
+      ( "properties",
+        [
+          prop_complement_involutive;
+          prop_popcount_split;
+          prop_leading_ones_bound;
+          prop_splice_inverse;
+          prop_floor_log2;
+        ] );
+    ]

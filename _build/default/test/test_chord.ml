@@ -1,0 +1,135 @@
+open Lesslog_id
+module Chord = Lesslog_chord.Chord
+
+let pid = Pid.unsafe_of_int
+let params m = Params.create ~m ()
+
+let full_ring m = Chord.create (params m) ~live:(Pid.all (params m))
+
+let test_successor_full_ring () =
+  let c = full_ring 4 in
+  (* Every id is its own successor when all slots are occupied. *)
+  for x = 0 to 15 do
+    Alcotest.(check int) "self" x (Pid.to_int (Chord.successor c x))
+  done
+
+let test_successor_sparse () =
+  let c = Chord.create (params 4) ~live:(Test_support.pids [ 1; 5; 12 ]) in
+  Alcotest.(check int) "wraps from 13" 1 (Pid.to_int (Chord.successor c 13));
+  Alcotest.(check int) "exact" 5 (Pid.to_int (Chord.successor c 5));
+  Alcotest.(check int) "between" 5 (Pid.to_int (Chord.successor c 2));
+  Alcotest.(check int) "top" 12 (Pid.to_int (Chord.successor c 6))
+
+let test_fingers_full_ring () =
+  let c = full_ring 4 in
+  (* finger k of n = n + 2^k when the ring is full. *)
+  for k = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "finger %d" k)
+      ((3 + (1 lsl k)) mod 16)
+      (Pid.to_int (Chord.finger c (pid 3) k))
+  done
+
+let test_lookup_owner () =
+  let c = Chord.create (params 5) ~live:(Test_support.pids [ 0; 7; 13; 21; 30 ]) in
+  let r = Chord.lookup c ~from:(pid 0) ~target:15 in
+  Alcotest.(check int) "owner" 21 (Pid.to_int r.Chord.owner);
+  let r2 = Chord.lookup c ~from:(pid 21) ~target:31 in
+  Alcotest.(check int) "wrap owner" 0 (Pid.to_int r2.Chord.owner)
+
+let test_lookup_local () =
+  let c = full_ring 4 in
+  let r = Chord.lookup c ~from:(pid 5) ~target:5 in
+  Alcotest.(check int) "self owner" 5 (Pid.to_int r.Chord.owner);
+  Alcotest.(check int) "no hops" 0 r.Chord.hops
+
+let test_lookup_rejects_stranger () =
+  let c = Chord.create (params 4) ~live:(Test_support.pids [ 1; 2 ]) in
+  Alcotest.check_raises "unknown origin"
+    (Invalid_argument "Chord.lookup: unknown origin") (fun () ->
+      ignore (Chord.lookup c ~from:(pid 9) ~target:3))
+
+let test_empty_ring_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Chord.create: empty ring")
+    (fun () -> ignore (Chord.create (params 4) ~live:[]))
+
+(* --- Properties ------------------------------------------------------- *)
+
+let gen_ring =
+  QCheck2.Gen.(
+    int_range 3 9 >>= fun m ->
+    let space = 1 lsl m in
+    int_range 1 space >>= fun n ->
+    int_range 0 1_000_000 >>= fun seed ->
+    let rng = Lesslog_prng.Rng.create ~seed in
+    let live =
+      Lesslog_prng.Rng.sample_without_replacement rng ~k:n
+        (Array.init space (fun i -> i))
+      |> Array.to_list |> List.sort compare
+      |> List.map Pid.unsafe_of_int
+    in
+    int_range 0 (space - 1) >>= fun target ->
+    int_range 0 (n - 1) >>= fun from_idx ->
+    return (Params.create ~m (), live, target, List.nth live from_idx))
+
+let brute_successor live space x =
+  let ids = List.map Pid.to_int live in
+  match List.filter (fun id -> id >= x) ids with
+  | id :: _ -> id
+  | [] -> List.hd ids
+  |> fun id -> ignore space; id
+
+let prop_successor_matches_brute =
+  Test_support.qcheck_case ~name:"successor = brute force" gen_ring
+    (fun (params, live, target, _) ->
+      let c = Chord.create params ~live in
+      Pid.to_int (Chord.successor c target)
+      = brute_successor live (Params.space params) target)
+
+let prop_lookup_finds_owner =
+  Test_support.qcheck_case ~name:"lookup reaches the owner" gen_ring
+    (fun (params, live, target, from) ->
+      let c = Chord.create params ~live in
+      let r = Chord.lookup c ~from ~target in
+      Pid.to_int r.Chord.owner
+      = brute_successor live (Params.space params) target)
+
+let prop_lookup_logarithmic =
+  Test_support.qcheck_case ~name:"hops <= 2m" gen_ring
+    (fun (params, live, target, from) ->
+      let c = Chord.create params ~live in
+      let r = Chord.lookup c ~from ~target in
+      r.Chord.hops <= 2 * Params.m params)
+
+let prop_lookup_path_consistent =
+  Test_support.qcheck_case ~name:"path starts at origin, ends at owner"
+    gen_ring (fun (params, live, target, from) ->
+      let c = Chord.create params ~live in
+      let r = Chord.lookup c ~from ~target in
+      match (r.Chord.path, List.rev r.Chord.path) with
+      | first :: _, last :: _ ->
+          Pid.equal first from && Pid.equal last r.Chord.owner
+          && List.length r.Chord.path = r.Chord.hops + 1
+      | _ -> false)
+
+let () =
+  Alcotest.run "chord"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "successor full" `Quick test_successor_full_ring;
+          Alcotest.test_case "successor sparse" `Quick test_successor_sparse;
+          Alcotest.test_case "fingers full" `Quick test_fingers_full_ring;
+          Alcotest.test_case "lookup owner" `Quick test_lookup_owner;
+          Alcotest.test_case "lookup local" `Quick test_lookup_local;
+          Alcotest.test_case "stranger rejected" `Quick test_lookup_rejects_stranger;
+          Alcotest.test_case "empty rejected" `Quick test_empty_ring_rejected;
+        ] );
+      ( "properties",
+        [
+          prop_successor_matches_brute;
+          prop_lookup_finds_owner;
+          prop_lookup_logarithmic;
+          prop_lookup_path_consistent;
+        ] );
+    ]

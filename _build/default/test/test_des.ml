@@ -1,0 +1,211 @@
+open Lesslog_id
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Status_word = Lesslog_membership.Status_word
+module Demand = Lesslog_workload.Demand
+module Des_sim = Lesslog_des.Des_sim
+module Balance = Lesslog_flow.Balance
+module Policy = Lesslog_flow.Policy
+module Histogram = Lesslog_metrics.Histogram
+module Latency = Lesslog_net.Latency
+module Rng = Lesslog_prng.Rng
+
+let key = "des/test-object"
+
+let make_cluster ?(m = 6) () =
+  let params = Params.create ~m () in
+  let cluster = Cluster.create params in
+  ignore (Ops.insert cluster ~key);
+  cluster
+
+let run ?config ?churn ?(m = 6) ?(seed = 11) ~total ~duration () =
+  let cluster = make_cluster ~m () in
+  let rng = Rng.create ~seed in
+  let demand = Demand.uniform (Cluster.status cluster) ~total in
+  let result = Des_sim.run ?config ?churn ~rng ~cluster ~key ~demand ~duration () in
+  (cluster, result)
+
+let test_low_load_no_replication () =
+  let _, r = run ~total:50.0 ~duration:10.0 () in
+  Alcotest.(check int) "no replicas" 0 r.Des_sim.replicas_created;
+  Alcotest.(check int) "no faults" 0 r.Des_sim.faults;
+  Alcotest.(check bool) "some service" true (r.Des_sim.served > 0)
+
+let test_overload_triggers_replication () =
+  let cluster, r = run ~total:2000.0 ~duration:20.0 () in
+  Alcotest.(check bool) "replicated" true (r.Des_sim.replicas_created > 0);
+  Alcotest.(check int) "no faults" 0 r.Des_sim.faults;
+  Alcotest.(check int) "no overloaded node at end" 0 r.Des_sim.overloaded_at_end;
+  Alcotest.(check int) "copies match timeline" (1 + r.Des_sim.replicas_created)
+    (Cluster.total_copies cluster ~key);
+  match r.Des_sim.last_replication with
+  | Some t -> Alcotest.(check bool) "converged before end" true (t < 20.0)
+  | None -> Alcotest.fail "expected replication"
+
+let test_latency_bounded_by_hops () =
+  let config =
+    { Des_sim.default_config with latency = Latency.Constant 0.01 }
+  in
+  let _, r = run ~config ~total:200.0 ~duration:10.0 () in
+  (* With constant 10ms hops and at most m forwarding hops + 1 reply, no
+     request can take longer than (m + 1) * 10ms. *)
+  Alcotest.(check bool) "max latency bound" true
+    (Histogram.max_value r.Des_sim.latencies <= 0.01 *. 7.0 +. 1e-9);
+  Alcotest.(check bool) "hops bound" true
+    (Histogram.max_value r.Des_sim.hops <= 6.0)
+
+let test_determinism () =
+  let _, r1 = run ~seed:99 ~total:800.0 ~duration:10.0 () in
+  let _, r2 = run ~seed:99 ~total:800.0 ~duration:10.0 () in
+  Alcotest.(check int) "served" r1.Des_sim.served r2.Des_sim.served;
+  Alcotest.(check int) "replicas" r1.Des_sim.replicas_created
+    r2.Des_sim.replicas_created;
+  Alcotest.(check int) "messages" r1.Des_sim.messages r2.Des_sim.messages
+
+let test_seed_sensitivity () =
+  let _, r1 = run ~seed:1 ~total:800.0 ~duration:10.0 () in
+  let _, r2 = run ~seed:2 ~total:800.0 ~duration:10.0 () in
+  Alcotest.(check bool) "different arrival streams" true
+    (r1.Des_sim.served <> r2.Des_sim.served)
+
+let test_agrees_with_fluid_solver () =
+  (* Same workload through both engines: the DES replica count must be in
+     the same regime as the fluid optimum (>= it, within a small factor). *)
+  let m = 6 and total = 1500.0 in
+  let params = Params.create ~m () in
+  let cluster = Cluster.create params in
+  ignore (Ops.insert cluster ~key);
+  let rng = Rng.create ~seed:5 in
+  let demand = Demand.uniform (Cluster.status cluster) ~total in
+  let fluid =
+    Balance.run ~rng ~cluster ~key ~demand ~capacity:100.0 ~policy:Policy.Lesslog ()
+  in
+  let _, des = run ~seed:5 ~m ~total ~duration:30.0 () in
+  let f = fluid.Balance.replicas and d = des.Des_sim.replicas_created in
+  Alcotest.(check bool)
+    (Printf.sprintf "fluid %d <= des %d <= 4x fluid" f d)
+    true
+    (d >= f && d <= 4 * f)
+
+let test_churn_leave_keeps_serving () =
+  let params = Params.create ~m:6 () in
+  let cluster = Cluster.create params in
+  ignore (Ops.insert cluster ~key);
+  let rng = Rng.create ~seed:3 in
+  let demand = Demand.uniform (Cluster.status cluster) ~total:500.0 in
+  (* The file's own target leaves mid-run; the Section 5 mechanism re-homes
+     it and requests keep resolving. *)
+  let target = Cluster.target_of_key cluster key in
+  let churn = [ { Des_sim.at = 5.0; action = Des_sim.Leave target } ] in
+  let result = Des_sim.run ~churn ~rng ~cluster ~key ~demand ~duration:15.0 () in
+  Alcotest.(check int) "no faults across the handover" 0 result.Des_sim.faults;
+  Alcotest.(check bool) "target is gone" true
+    (Status_word.is_dead (Cluster.status cluster) target)
+
+let test_churn_join_is_applied () =
+  let params = Params.create ~m:6 () in
+  let cluster = Cluster.create params in
+  let absent = Pid.unsafe_of_int 13 in
+  Status_word.set_dead (Cluster.status cluster) absent;
+  ignore (Ops.insert cluster ~key);
+  let rng = Rng.create ~seed:4 in
+  let demand = Demand.uniform (Cluster.status cluster) ~total:200.0 in
+  let churn = [ { Des_sim.at = 2.0; action = Des_sim.Join absent } ] in
+  let result = Des_sim.run ~churn ~rng ~cluster ~key ~demand ~duration:8.0 () in
+  Alcotest.(check bool) "joined" true
+    (Status_word.is_live (Cluster.status cluster) absent);
+  Alcotest.(check int) "no faults" 0 result.Des_sim.faults
+
+let test_message_loss_still_converges () =
+  let config = { Des_sim.default_config with loss = 0.05 } in
+  let _, r = run ~config ~total:1500.0 ~duration:30.0 () in
+  (* Requests can be lost (clients see timeouts, which we do not model),
+     but the system still de-overloads. *)
+  Alcotest.(check int) "no overloaded node at end" 0 r.Des_sim.overloaded_at_end;
+  Alcotest.(check bool) "replicated" true (r.Des_sim.replicas_created > 0)
+
+let test_scenario_with_eviction_trims_fleet () =
+  let params = Params.create ~m:6 () in
+  let cluster = make_cluster ~m:6 () in
+  ignore params;
+  let rng = Rng.create ~seed:21 in
+  let scenario =
+    Lesslog_workload.Scenario.flash_crowd (Cluster.status cluster) ~rng
+      ~peak:2000.0 ~calm:100.0 ~peak_duration:20.0 ~calm_duration:40.0
+  in
+  let config =
+    {
+      Des_sim.default_config with
+      eviction = Some { Des_sim.period = 4.0; min_rate = 5.0 };
+    }
+  in
+  let r = Des_sim.run_scenario ~config ~rng ~cluster ~key ~scenario () in
+  Alcotest.(check bool) "replicated during peak" true
+    (r.Des_sim.replicas_created > 0);
+  Alcotest.(check bool) "evicted after dispersal" true
+    (r.Des_sim.replicas_evicted > 0);
+  Alcotest.(check int) "bookkeeping consistent"
+    (1 + r.Des_sim.replicas_created - r.Des_sim.replicas_evicted)
+    (Cluster.total_copies cluster ~key);
+  Alcotest.(check int) "no faults" 0 r.Des_sim.faults;
+  (* The crowd's fleet shrinks: final copies well below the peak. *)
+  let pts = Lesslog_metrics.Timeseries.points r.Des_sim.replica_timeline in
+  let peak = Array.fold_left (fun a (_, v) -> Float.max a v) 0.0 pts in
+  let final = snd pts.(Array.length pts - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "final %.0f < peak %.0f" final peak)
+    true (final < peak)
+
+let test_eviction_never_removes_inserted_copy () =
+  let cluster = make_cluster ~m:6 () in
+  let rng = Rng.create ~seed:22 in
+  (* Tiny demand + aggressive eviction: the inserted copy must survive. *)
+  let demand = Demand.uniform (Cluster.status cluster) ~total:5.0 in
+  let config =
+    {
+      Des_sim.default_config with
+      eviction = Some { Des_sim.period = 1.0; min_rate = 1000.0 };
+    }
+  in
+  let r = Des_sim.run ~config ~rng ~cluster ~key ~demand ~duration:20.0 () in
+  Alcotest.(check int) "inserted copy immune" 1
+    (Cluster.total_copies cluster ~key);
+  Alcotest.(check int) "no faults" 0 r.Des_sim.faults
+
+let test_replica_timeline_monotone () =
+  let _, r = run ~total:2000.0 ~duration:15.0 () in
+  let pts = Lesslog_metrics.Timeseries.points r.Des_sim.replica_timeline in
+  let ok = ref true in
+  for i = 1 to Array.length pts - 1 do
+    if snd pts.(i) < snd pts.(i - 1) then ok := false
+  done;
+  Alcotest.(check bool) "copies never decrease during a run" true !ok
+
+let () =
+  Alcotest.run "des"
+    [
+      ( "behaviour",
+        [
+          Alcotest.test_case "low load" `Quick test_low_load_no_replication;
+          Alcotest.test_case "overload replicates" `Quick
+            test_overload_triggers_replication;
+          Alcotest.test_case "latency bounds" `Quick test_latency_bounded_by_hops;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+          Alcotest.test_case "seed-sensitive" `Quick test_seed_sensitivity;
+          Alcotest.test_case "replica timeline monotone" `Quick
+            test_replica_timeline_monotone;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "agrees with fluid solver" `Slow
+            test_agrees_with_fluid_solver;
+          Alcotest.test_case "leave handover" `Quick test_churn_leave_keeps_serving;
+          Alcotest.test_case "join applied" `Quick test_churn_join_is_applied;
+          Alcotest.test_case "converges under loss" `Slow
+            test_message_loss_still_converges;
+          Alcotest.test_case "flash-crowd lifecycle" `Slow
+            test_scenario_with_eviction_trims_fleet;
+          Alcotest.test_case "eviction spares inserted" `Quick
+            test_eviction_never_removes_inserted_copy;
+        ] );
+    ]

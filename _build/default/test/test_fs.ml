@@ -1,0 +1,228 @@
+open Lesslog_id
+module Fs = Lesslog_fs.Fs
+module Cluster = Lesslog.Cluster
+module Self_org = Lesslog.Self_org
+module Status_word = Lesslog_membership.Status_word
+module Demand = Lesslog_workload.Demand
+module Catalog = Lesslog_workload.Catalog
+module Rng = Lesslog_prng.Rng
+
+let pid = Pid.unsafe_of_int
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %a" Fs.pp_error e
+
+let test_write_read_roundtrip () =
+  let fs = Fs.create ~m:5 () in
+  let v = ok (Fs.write fs ~key:"a.txt" ~data:"hello world") in
+  Alcotest.(check int) "first version" 0 v;
+  let r = ok (Fs.read fs ~origin:(pid 7) ~key:"a.txt") in
+  Alcotest.(check string) "data" "hello world" r.Fs.data;
+  Alcotest.(check int) "version" 0 r.Fs.version;
+  Alcotest.(check bool) "hops bounded" true (r.Fs.hops <= 5)
+
+let test_read_missing () =
+  let fs = Fs.create ~m:4 () in
+  match Fs.read fs ~origin:(pid 1) ~key:"ghost" with
+  | Error Fs.Not_found -> ()
+  | Ok _ -> Alcotest.fail "expected Not_found"
+  | Error e -> Alcotest.failf "wrong error: %a" Fs.pp_error e
+
+let test_overwrite_bumps_version_everywhere () =
+  let fs = Fs.create ~m:5 () in
+  ignore (ok (Fs.write fs ~key:"doc" ~data:"v0"));
+  (* Spread replicas first. *)
+  let rng = Rng.create ~seed:1 in
+  let cluster = Fs.cluster fs in
+  for _ = 1 to 5 do
+    let holders = Cluster.holders cluster ~key:"doc" in
+    ignore
+      (Fs.replicate fs ~rng ~overloaded:(Rng.pick_list rng holders) ~key:"doc")
+  done;
+  let copies = Fs.copies fs ~key:"doc" in
+  Alcotest.(check bool) "several copies" true (copies > 3);
+  let v = ok (Fs.write fs ~key:"doc" ~data:"v1 content") in
+  Alcotest.(check int) "bumped" 1 v;
+  (* Every live node reads the new content. *)
+  Status_word.iter_live (Cluster.status cluster) (fun origin ->
+      let r = ok (Fs.read fs ~origin ~key:"doc") in
+      Alcotest.(check string)
+        (Printf.sprintf "read from %d" (Pid.to_int origin))
+        "v1 content" r.Fs.data);
+  Alcotest.(check (list (pair string Test_support.pid))) "fsck clean" []
+    (Fs.fsck fs)
+
+let test_delete () =
+  let fs = Fs.create ~m:5 () in
+  ignore (ok (Fs.write fs ~key:"tmp" ~data:"x"));
+  let removed = Fs.delete fs ~key:"tmp" in
+  Alcotest.(check int) "one copy removed" 1 removed;
+  Alcotest.(check bool) "gone" true (not (Fs.exists fs ~key:"tmp"));
+  Alcotest.(check (list string)) "unregistered" [] (Fs.keys fs);
+  (match Fs.read fs ~origin:(pid 2) ~key:"tmp" with
+  | Error Fs.Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found");
+  Alcotest.(check (list (pair string Test_support.pid))) "fsck clean" []
+    (Fs.fsck fs)
+
+let test_replicate_carries_content () =
+  let fs = Fs.create ~m:4 () in
+  ignore (ok (Fs.write fs ~key:"k" ~data:"payload"));
+  let cluster = Fs.cluster fs in
+  let target = Cluster.target_of_key cluster "k" in
+  let rng = Rng.create ~seed:2 in
+  match Fs.replicate fs ~rng ~overloaded:target ~key:"k" with
+  | None -> Alcotest.fail "expected placement"
+  | Some replica ->
+      (* A read landing on the replica returns the same bytes. *)
+      let r = ok (Fs.read fs ~origin:replica ~key:"k") in
+      Alcotest.(check Test_support.pid) "served locally" replica r.Fs.served_by;
+      Alcotest.(check string) "content" "payload" r.Fs.data
+
+let test_rebalance_syncs_blobs () =
+  let fs = Fs.create ~m:7 () in
+  let cluster = Fs.cluster fs in
+  let rng = Rng.create ~seed:3 in
+  let catalog_spec =
+    Catalog.create (Cluster.status cluster) ~rng ~files:6 ~total:5000.0
+      ~spread:Catalog.Uniform
+  in
+  let catalog = Catalog.files catalog_spec in
+  List.iter
+    (fun (key, _) ->
+      ignore (ok (Fs.write fs ~key ~data:("contents of " ^ key))))
+    catalog;
+  let outcome = Fs.rebalance fs ~rng ~catalog ~capacity:100.0 in
+  Alcotest.(check bool) "balanced" true
+    outcome.Lesslog_flow.Multi_balance.balanced;
+  Alcotest.(check bool) "replicated" true
+    (outcome.Lesslog_flow.Multi_balance.total_replicas > 0);
+  Alcotest.(check (list (pair string Test_support.pid))) "fsck clean" []
+    (Fs.fsck fs);
+  (* All reads everywhere return the right bytes. *)
+  List.iter
+    (fun (key, _) ->
+      Status_word.iter_live (Cluster.status cluster) (fun origin ->
+          let r = ok (Fs.read fs ~origin ~key) in
+          Alcotest.(check string) key ("contents of " ^ key) r.Fs.data))
+    catalog
+
+let test_eviction_keeps_coherence () =
+  let fs = Fs.create ~m:7 () in
+  let cluster = Fs.cluster fs in
+  let rng = Rng.create ~seed:4 in
+  let demand = Demand.uniform (Cluster.status cluster) ~total:5000.0 in
+  let catalog = [ ("big", demand) ] in
+  ignore (ok (Fs.write fs ~key:"big" ~data:"blob"));
+  ignore (Fs.rebalance fs ~rng ~catalog ~capacity:100.0);
+  let before = Fs.copies fs ~key:"big" in
+  let decayed = [ ("big", Demand.scale demand ~factor:0.05) ] in
+  let removed = Fs.evict_cold fs ~catalog:decayed ~capacity:100.0 ~min_rate:10.0 in
+  Alcotest.(check bool) "evicted" true (removed > 0);
+  Alcotest.(check int) "copies accounted" (before - removed)
+    (Fs.copies fs ~key:"big");
+  Alcotest.(check (list (pair string Test_support.pid))) "fsck clean" []
+    (Fs.fsck fs)
+
+let test_membership_churn_with_sync () =
+  (* Raw cluster surgery (join/leave) moves metadata; sync_blobs repairs
+     content placement and fsck then passes. *)
+  let fs = Fs.create ~m:5 () in
+  let cluster = Fs.cluster fs in
+  let rng = Rng.create ~seed:5 in
+  List.iter
+    (fun i -> ignore (ok (Fs.write fs ~key:(Printf.sprintf "f%d" i) ~data:"d")))
+    [ 1; 2; 3; 4 ];
+  for _ = 1 to 10 do
+    let status = Cluster.status cluster in
+    if Rng.bool rng && Status_word.live_count status > 4 then (
+      match Status_word.random_live status rng with
+      | Some p -> ignore (Self_org.leave cluster p)
+      | None -> ())
+    else
+      match Status_word.random_dead status rng with
+      | Some p -> ignore (Self_org.join cluster p)
+      | None -> ()
+  done;
+  ignore (Fs.sync_blobs fs);
+  Alcotest.(check (list (pair string Test_support.pid))) "fsck clean" []
+    (Fs.fsck fs);
+  List.iter
+    (fun i ->
+      let key = Printf.sprintf "f%d" i in
+      Status_word.iter_live (Cluster.status cluster) (fun origin ->
+          let r = ok (Fs.read fs ~origin ~key) in
+          Alcotest.(check string) key "d" r.Fs.data))
+    [ 1; 2; 3; 4 ]
+
+let test_bytes_stored () =
+  let fs = Fs.create ~m:4 () in
+  ignore (ok (Fs.write fs ~key:"k" ~data:"12345"));
+  let cluster = Fs.cluster fs in
+  let target = Cluster.target_of_key cluster "k" in
+  Alcotest.(check int) "five bytes" 5 (Fs.bytes_stored fs target);
+  Alcotest.(check int) "elsewhere empty" 0
+    (Fs.bytes_stored fs (pid ((Pid.to_int target + 1) mod 16)))
+
+let test_write_empty_system () =
+  let fs = Fs.create ~m:3 ~live:[] () in
+  match Fs.write fs ~key:"k" ~data:"d" with
+  | Error Fs.No_live_node -> ()
+  | _ -> Alcotest.fail "expected No_live_node"
+
+let prop_random_fs_workout =
+  Test_support.qcheck_case ~count:60 ~name:"random write/read/delete stays coherent"
+    QCheck2.Gen.(
+      int_range 3 6 >>= fun m ->
+      int_range 0 1_000_000 >>= fun seed ->
+      int_range 1 20 >>= fun steps -> return (m, seed, steps))
+    (fun (m, seed, steps) ->
+      let fs = Fs.create ~m () in
+      let rng = Rng.create ~seed in
+      let keys = [| "a"; "b"; "c" |] in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let key = Rng.pick rng keys in
+        match Rng.int rng 3 with
+        | 0 ->
+            (match Fs.write fs ~key ~data:(Printf.sprintf "%d" (Rng.int rng 100)) with
+            | Ok _ -> ()
+            | Error _ -> ok := false)
+        | 1 ->
+            let origin =
+              Option.get
+                (Status_word.random_live (Cluster.status (Fs.cluster fs)) rng)
+            in
+            (match Fs.read fs ~origin ~key with
+            | Ok _ | Error Fs.Not_found -> ()
+            | Error _ -> ok := false)
+        | _ -> ignore (Fs.delete fs ~key)
+      done;
+      !ok && Fs.fsck fs = [])
+
+let () =
+  Alcotest.run "fs"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+          Alcotest.test_case "read missing" `Quick test_read_missing;
+          Alcotest.test_case "overwrite everywhere" `Quick
+            test_overwrite_bumps_version_everywhere;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "replica carries content" `Quick
+            test_replicate_carries_content;
+          Alcotest.test_case "bytes stored" `Quick test_bytes_stored;
+          Alcotest.test_case "empty system" `Quick test_write_empty_system;
+        ] );
+      ( "management",
+        [
+          Alcotest.test_case "rebalance syncs blobs" `Quick
+            test_rebalance_syncs_blobs;
+          Alcotest.test_case "eviction coherence" `Quick
+            test_eviction_keeps_coherence;
+          Alcotest.test_case "churn + sync" `Quick test_membership_churn_with_sync;
+        ] );
+      ("properties", [ prop_random_fs_workout ]);
+    ]

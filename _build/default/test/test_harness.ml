@@ -1,0 +1,216 @@
+(* Integration tests: the experiment harness must reproduce the *shapes*
+   of the paper's figures (who wins, by roughly what factor), which is the
+   reproduction criterion EXPERIMENTS.md reports against. *)
+
+module E = Lesslog_harness.Experiments
+module A = Lesslog_harness.Ablations
+module Series = Lesslog_report.Series
+
+let config =
+  {
+    E.quick with
+    E.m = 8;
+    E.rates = [ 1000.0; 2000.0; 4000.0; 8000.0 ];
+    E.trials = 2;
+  }
+
+let series_by_label series label =
+  match List.find_opt (fun s -> Series.label s = label) series with
+  | Some s -> s
+  | None -> Alcotest.failf "missing series %s" label
+
+let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let pointwise_le ?(slack = 1.0) a b =
+  Array.for_all2 (fun x y -> x <= (y *. slack) +. 1e-9) (Series.ys a) (Series.ys b)
+
+(* --- Figure 5: even load ------------------------------------------------ *)
+
+let fig5 = lazy (E.fig5 ~config ())
+
+let test_fig5_ordering () =
+  let s = Lazy.force fig5 in
+  let log_based = series_by_label s "log-based"
+  and lesslog = series_by_label s "lesslog"
+  and random = series_by_label s "random" in
+  Alcotest.(check bool) "log-based <= lesslog" true
+    (pointwise_le log_based lesslog);
+  Alcotest.(check bool) "lesslog well below random" true
+    (mean (Series.ys random) > 2.0 *. mean (Series.ys lesslog))
+
+let test_fig5_monotone_demand () =
+  let s = Lazy.force fig5 in
+  let lesslog = Series.ys (series_by_label s "lesslog") in
+  let ok = ref true in
+  for i = 1 to Array.length lesslog - 1 do
+    if lesslog.(i) < lesslog.(i - 1) then ok := false
+  done;
+  Alcotest.(check bool) "replicas grow with demand" true !ok
+
+(* --- Figure 6: dead nodes, even load ------------------------------------ *)
+
+let test_fig6_dead_fractions_close () =
+  let s = E.fig6 ~config () in
+  let d10 = mean (Series.ys (series_by_label s "10% dead")) in
+  let d30 = mean (Series.ys (series_by_label s "30% dead")) in
+  (* The paper: "a similar number of replicas are created in all three
+     configurations", with 30% drifting higher. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "same regime (10%%: %.0f, 30%%: %.0f)" d10 d30)
+    true
+    (d30 >= d10 *. 0.8 && d30 <= d10 *. 3.0)
+
+(* --- Figure 7: locality -------------------------------------------------- *)
+
+let test_fig7_ordering () =
+  let s = E.fig7 ~config () in
+  let log_based = series_by_label s "log-based"
+  and lesslog = series_by_label s "lesslog"
+  and random = series_by_label s "random" in
+  (* LessLog uses slightly more replicas than the log-based oracle under
+     locality, and far fewer than random. *)
+  Alcotest.(check bool) "log-based <= lesslog (10% slack)" true
+    (pointwise_le ~slack:1.1 log_based lesslog);
+  Alcotest.(check bool) "lesslog well below random" true
+    (mean (Series.ys random) > 1.5 *. mean (Series.ys lesslog))
+
+(* --- Figure 8: locality + dead nodes -------------------------------------- *)
+
+let test_fig8_same_regime () =
+  let s = E.fig8 ~config () in
+  let d10 = mean (Series.ys (series_by_label s "10% dead")) in
+  let d30 = mean (Series.ys (series_by_label s "30% dead")) in
+  Alcotest.(check bool)
+    (Printf.sprintf "same regime (10%%: %.0f, 30%%: %.0f)" d10 d30)
+    true
+    (d30 >= d10 *. 0.7 && d30 <= d10 *. 3.0)
+
+(* --- Ablations -------------------------------------------------------------- *)
+
+let test_hops_logarithmic () =
+  let s = A.hops ~ms:[ 4; 6; 8; 10 ] ~samples:400 () in
+  List.iter
+    (fun series ->
+      Array.iteri
+        (fun i m ->
+          let hops = (Series.ys series).(i) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at m=%.0f: %.2f hops" (Series.label series) m hops)
+            true
+            (hops <= 2.0 *. m))
+        (Series.xs series))
+    s;
+  (* More nodes, more hops. *)
+  let lesslog = Series.ys (series_by_label s "lesslog tree") in
+  Alcotest.(check bool) "grows with m" true
+    (lesslog.(Array.length lesslog - 1) > lesslog.(0))
+
+let test_eviction_reduces_fleet () =
+  let s = A.eviction ~config () in
+  let created = series_by_label s "created at peak" in
+  let kept = series_by_label s "kept after decay" in
+  Alcotest.(check bool) "kept <= created" true (pointwise_le kept created);
+  Alcotest.(check bool) "eviction removes a real fraction" true
+    (mean (Series.ys kept) < 0.9 *. mean (Series.ys created))
+
+let test_fault_tolerance_improves_with_b () =
+  let s = A.fault_tolerance ~m:7 ~files:16 () in
+  let rate b = mean (Series.ys (series_by_label s (Printf.sprintf "b=%d" b))) in
+  Alcotest.(check bool) "b=1 beats b=0" true (rate 1 < rate 0);
+  Alcotest.(check bool) "b=2 no worse than b=1" true (rate 2 <= rate 1);
+  Alcotest.(check (float 1e-9)) "b=3 never faults here" 0.0 (rate 3)
+
+let test_hops_includes_all_substrates () =
+  let s = A.hops ~ms:[ 4; 8 ] ~samples:200 () in
+  List.iter
+    (fun label -> ignore (series_by_label s label))
+    [ "lesslog tree"; "chord fingers"; "pastry prefixes"; "can d=2" ]
+
+let test_update_cost_tracks_copies () =
+  let s = A.update_cost ~m:8 ~replica_levels:[ 0; 15; 63 ] () in
+  let broadcast = series_by_label s "children-list broadcast" in
+  let flood = series_by_label s "naive flood" in
+  (* Broadcast cost grows with the copy count but stays under the flood. *)
+  let ys = Series.ys broadcast in
+  Alcotest.(check bool) "monotone" true (ys.(0) < ys.(2));
+  Alcotest.(check bool) "cheaper than flooding" true
+    (pointwise_le broadcast flood)
+
+let test_lifecycle_trims_fleet () =
+  let o =
+    A.eviction_lifecycle ~m:7 ~peak:2000.0 ~calm:100.0 ~peak_duration:15.0
+      ~calm_duration:30.0 ()
+  in
+  Alcotest.(check bool) "created" true (o.A.created > 0);
+  Alcotest.(check bool) "evicted" true (o.A.evicted > 0);
+  Alcotest.(check int) "no faults" 0 o.A.lifecycle_faults;
+  Alcotest.(check bool) "fleet shrank" true
+    (float_of_int o.A.final_copies < o.A.peak_copies)
+
+let test_session_churn_stays_available () =
+  let outcomes =
+    A.session_churn ~m:7 ~duration:30.0 ~mean_sessions:[ 30.0 ] ()
+  in
+  List.iter
+    (fun (o : A.session_outcome) ->
+      Alcotest.(check bool) "available" true (o.A.availability > 0.95);
+      Alcotest.(check bool) "control traffic accounted" true
+        (o.A.control_messages > 0))
+    outcomes
+
+let test_fluid_vs_des_same_regime () =
+  let s = A.fluid_vs_des ~rates:[ 1000.0; 2000.0 ] ~duration:15.0 () in
+  let fluid = series_by_label s "fluid solver" in
+  let des = series_by_label s "event-driven" in
+  Array.iteri
+    (fun i f ->
+      let d = (Series.ys des).(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "point %d: fluid %.0f vs des %.0f" i f d)
+        true
+        (d >= f && d <= 4.0 *. f))
+    (Series.ys fluid)
+
+let test_churn_availability_high () =
+  let outcomes = A.churn ~m:7 ~duration:20.0 ~events_per_min:[ 0.0; 30.0 ] () in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "availability %.4f at %.0f events/min" o.A.availability
+           o.A.events_per_min)
+        true
+        (o.A.availability > 0.95))
+    outcomes
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "figure shapes",
+        [
+          Alcotest.test_case "fig5 ordering" `Slow test_fig5_ordering;
+          Alcotest.test_case "fig5 monotone" `Slow test_fig5_monotone_demand;
+          Alcotest.test_case "fig6 dead fractions" `Slow
+            test_fig6_dead_fractions_close;
+          Alcotest.test_case "fig7 ordering" `Slow test_fig7_ordering;
+          Alcotest.test_case "fig8 same regime" `Slow test_fig8_same_regime;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "hops O(log N)" `Slow test_hops_logarithmic;
+          Alcotest.test_case "eviction reduces fleet" `Slow
+            test_eviction_reduces_fleet;
+          Alcotest.test_case "fault tolerance vs b" `Slow
+            test_fault_tolerance_improves_with_b;
+          Alcotest.test_case "fluid vs des" `Slow test_fluid_vs_des_same_regime;
+          Alcotest.test_case "churn availability" `Slow
+            test_churn_availability_high;
+          Alcotest.test_case "hops covers all substrates" `Slow
+            test_hops_includes_all_substrates;
+          Alcotest.test_case "update cost tracks copies" `Slow
+            test_update_cost_tracks_copies;
+          Alcotest.test_case "lifecycle trims fleet" `Slow
+            test_lifecycle_trims_fleet;
+          Alcotest.test_case "session churn availability" `Slow
+            test_session_churn_stays_available;
+        ] );
+    ]

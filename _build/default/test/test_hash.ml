@@ -1,0 +1,66 @@
+module Fnv = Lesslog_hash.Fnv
+module Psi = Lesslog_hash.Psi
+
+let test_fnv_reference () =
+  (* Published FNV-1a 64-bit test vectors. *)
+  Alcotest.(check int64) "empty" 0xCBF29CE484222325L (Fnv.hash64 "");
+  Alcotest.(check int64) "a" 0xAF63DC4C8601EC8CL (Fnv.hash64 "a");
+  Alcotest.(check int64) "foobar" 0x85944171F73967E8L (Fnv.hash64 "foobar")
+
+let test_hash63_nonneg () =
+  List.iter
+    (fun s -> Alcotest.(check bool) s true (Fnv.hash63 s >= 0))
+    [ ""; "a"; "hello world"; "http://example.com/file.bin" ]
+
+let test_psi_range () =
+  let psi = Psi.create ~m:10 in
+  for i = 0 to 999 do
+    let t = Psi.target psi (Printf.sprintf "file-%d" i) in
+    Alcotest.(check bool) "in range" true (t >= 0 && t < 1024)
+  done
+
+let test_psi_deterministic () =
+  let psi = Psi.create ~m:8 in
+  Alcotest.(check int) "stable" (Psi.target psi "x") (Psi.target psi "x")
+
+let test_psi_spread () =
+  (* ψ should spread keys across the identifier space: with 4096 keys over
+     1024 slots, a majority of slots must be hit. *)
+  let psi = Psi.create ~m:10 in
+  let hit = Array.make 1024 false in
+  for i = 0 to 4095 do
+    hit.(Psi.target psi (Printf.sprintf "url/%d/object" i)) <- true
+  done;
+  let hits = Array.fold_left (fun a b -> if b then a + 1 else a) 0 hit in
+  Alcotest.(check bool) (Printf.sprintf "spread %d/1024" hits) true (hits > 900)
+
+let prop_fold_in_range =
+  Test_support.qcheck_case ~name:"fold_int64 within bits"
+    QCheck2.Gen.(pair (int_range 1 24) string)
+    (fun (bits, s) ->
+      let v = Fnv.fold_int64 (Fnv.hash64 s) ~bits in
+      v >= 0 && v < 1 lsl bits)
+
+let prop_psi_matches_fold =
+  Test_support.qcheck_case ~name:"psi = folded fnv"
+    QCheck2.Gen.(pair (int_range 1 24) string)
+    (fun (m, s) ->
+      let psi = Psi.create ~m in
+      Psi.target psi s = Fnv.fold_int64 (Fnv.hash64 s) ~bits:m)
+
+let () =
+  Alcotest.run "hash"
+    [
+      ( "fnv",
+        [
+          Alcotest.test_case "reference vectors" `Quick test_fnv_reference;
+          Alcotest.test_case "hash63 non-negative" `Quick test_hash63_nonneg;
+        ] );
+      ( "psi",
+        [
+          Alcotest.test_case "range" `Quick test_psi_range;
+          Alcotest.test_case "deterministic" `Quick test_psi_deterministic;
+          Alcotest.test_case "spread" `Quick test_psi_spread;
+        ] );
+      ("properties", [ prop_fold_in_range; prop_psi_matches_fold ]);
+    ]

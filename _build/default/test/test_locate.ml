@@ -1,0 +1,169 @@
+(* The distributed Section 5 search procedures must agree with the
+   registry-driven self-organized mechanism. *)
+
+open Lesslog_id
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Self_org = Lesslog.Self_org
+module Locate = Lesslog.Locate
+module Status_word = Lesslog_membership.Status_word
+module File_store = Lesslog_storage.File_store
+module Rng = Lesslog_prng.Rng
+
+let pid = Pid.unsafe_of_int
+
+let key_targeting cluster target =
+  let rec search i =
+    if i > 100_000 then failwith "no key found"
+    else
+      let key = Printf.sprintf "synthetic-%d" i in
+      if Pid.equal (Cluster.target_of_key cluster key) target then key
+      else search (i + 1)
+  in
+  search 0
+
+(* Random, failure-free history: inserts, replications, joins, leaves. *)
+let churned_cluster ~m ~seed ~files ~steps =
+  let params = Params.create ~m () in
+  let cluster = Cluster.create params in
+  let rng = Rng.create ~seed in
+  for i = 1 to files do
+    ignore (Ops.insert cluster ~key:(Printf.sprintf "f-%d-%d" seed i))
+  done;
+  for _ = 1 to steps do
+    let status = Cluster.status cluster in
+    match Rng.int rng 3 with
+    | 0 when Status_word.live_count status > 2 -> (
+        match Status_word.random_live status rng with
+        | Some p -> ignore (Self_org.leave cluster p)
+        | None -> ())
+    | 1 -> (
+        match Status_word.random_dead status rng with
+        | Some p -> ignore (Self_org.join cluster p)
+        | None -> ())
+    | _ -> (
+        let keys = Cluster.registered_keys cluster in
+        match keys with
+        | [] -> ()
+        | _ -> (
+            let key = Rng.pick_list rng keys in
+            match Cluster.holders cluster ~key with
+            | [] -> ()
+            | holders ->
+                ignore
+                  (Ops.replicate ~rng cluster
+                     ~overloaded:(Rng.pick_list rng holders)
+                     ~key)))
+  done;
+  (cluster, rng)
+
+(* --- classify ------------------------------------------------------------- *)
+
+let test_classify_fresh_insert () =
+  let params = Params.create ~m:4 () in
+  let cluster = Cluster.create params in
+  let key = key_targeting cluster (pid 4) in
+  ignore (Ops.insert cluster ~key);
+  Alcotest.(check bool) "target is inserted" true
+    (Locate.classify cluster ~at:(pid 4) ~key = File_store.Inserted);
+  Alcotest.(check bool) "elsewhere replica" true
+    (Locate.classify cluster ~at:(pid 5) ~key = File_store.Replicated)
+
+let test_classify_dead_target () =
+  let params = Params.create ~m:4 () in
+  let cluster = Cluster.create params in
+  Status_word.set_dead (Cluster.status cluster) (pid 4);
+  Status_word.set_dead (Cluster.status cluster) (pid 5);
+  let key = key_targeting cluster (pid 4) in
+  ignore (Ops.insert cluster ~key);
+  (* P(6) is the max-VID live node of the tree of P(4). *)
+  Alcotest.(check bool) "P(6) is inserted holder" true
+    (Locate.classify cluster ~at:(pid 6) ~key = File_store.Inserted)
+
+let prop_classification_matches_tags =
+  Test_support.qcheck_case ~count:100
+    ~name:"Section 5.2 rule = stored origin tags (failure-free history)"
+    QCheck2.Gen.(
+      int_range 3 6 >>= fun m ->
+      int_range 0 1_000_000 >>= fun seed ->
+      int_range 0 8 >>= fun files ->
+      int_range 0 20 >>= fun steps -> return (m, seed, files, steps))
+    (fun (m, seed, files, steps) ->
+      let cluster, _ = churned_cluster ~m ~seed ~files ~steps in
+      Status_word.fold_live (Cluster.status cluster) ~init:true ~f:(fun ok p ->
+          ok
+          && Locate.inserted_files cluster ~at:p
+             = File_store.inserted_keys (Cluster.store cluster p)))
+
+(* --- join_candidates -------------------------------------------------------- *)
+
+let test_join_candidates_paper_example () =
+  (* P(4), P(5) dead; f targets P(4), stored at P(6); P(5) registers as
+     live: the search must find f at P(6). *)
+  let params = Params.create ~m:4 () in
+  let cluster = Cluster.create params in
+  Status_word.set_dead (Cluster.status cluster) (pid 4);
+  Status_word.set_dead (Cluster.status cluster) (pid 5);
+  let key = key_targeting cluster (pid 4) in
+  ignore (Ops.insert cluster ~key);
+  Status_word.set_live (Cluster.status cluster) (pid 5);
+  Alcotest.(check (list (pair string int))) "found at P(6)"
+    [ (key, 6) ]
+    (List.map
+       (fun (k, p) -> (k, Pid.to_int p))
+       (Locate.join_candidates cluster ~joining:(pid 5)))
+
+let test_join_candidates_rejects_misuse () =
+  let cluster = Cluster.create (Params.create ~m:4 ()) in
+  Status_word.set_dead (Cluster.status cluster) (pid 3);
+  Alcotest.check_raises "dead joiner"
+    (Invalid_argument "Locate.join_candidates: joiner not registered live")
+    (fun () -> ignore (Locate.join_candidates cluster ~joining:(pid 3)));
+  let ft = Cluster.create (Params.create ~m:4 ~b:1 ()) in
+  Alcotest.check_raises "ft unsupported"
+    (Invalid_argument "Locate.join_candidates: b > 0 unsupported") (fun () ->
+      ignore (Locate.join_candidates ft ~joining:(pid 0)))
+
+let prop_join_search_matches_registry_mechanism =
+  Test_support.qcheck_case ~count:100
+    ~name:"Section 5.1 search = registry-driven join"
+    QCheck2.Gen.(
+      int_range 3 6 >>= fun m ->
+      int_range 0 1_000_000 >>= fun seed ->
+      int_range 1 8 >>= fun files ->
+      int_range 0 15 >>= fun steps -> return (m, seed, files, steps))
+    (fun (m, seed, files, steps) ->
+      let cluster, rng = churned_cluster ~m ~seed ~files ~steps in
+      match Status_word.random_dead (Cluster.status cluster) rng with
+      | None -> true (* nobody to join *)
+      | Some joiner ->
+          (* Run the paper's search on a registered-live joiner... *)
+          Status_word.set_live (Cluster.status cluster) joiner;
+          let searched = Locate.join_candidates cluster ~joining:joiner in
+          Status_word.set_dead (Cluster.status cluster) joiner;
+          (* ...and the registry mechanism on an identical copy. *)
+          let stats = Self_org.join cluster joiner in
+          List.sort compare searched
+          = List.sort compare stats.Self_org.took_over)
+
+let () =
+  Alcotest.run "locate"
+    [
+      ( "classify",
+        [
+          Alcotest.test_case "fresh insert" `Quick test_classify_fresh_insert;
+          Alcotest.test_case "dead target" `Quick test_classify_dead_target;
+        ] );
+      ( "join search",
+        [
+          Alcotest.test_case "paper example" `Quick
+            test_join_candidates_paper_example;
+          Alcotest.test_case "misuse rejected" `Quick
+            test_join_candidates_rejects_misuse;
+        ] );
+      ( "equivalence properties",
+        [
+          prop_classification_matches_tags;
+          prop_join_search_matches_registry_mechanism;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+module Stats = Lesslog_metrics.Stats
+module Histogram = Lesslog_metrics.Histogram
+module Timeseries = Lesslog_metrics.Timeseries
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* --- Stats ------------------------------------------------------------ *)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  feq "mean" 0.0 (Stats.mean s);
+  feq "variance" 0.0 (Stats.variance s)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  feq "mean" 5.0 (Stats.mean s);
+  feq "variance" 4.0 (Stats.variance s);
+  feq "stddev" 2.0 (Stats.stddev s);
+  feq "min" 2.0 (Stats.min_value s);
+  feq "max" 9.0 (Stats.max_value s);
+  feq "total" 40.0 (Stats.total s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  let xs = [ 1.0; 2.0; 3.0 ] and ys = [ 10.0; 20.0; 30.0; 40.0 ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add whole) (xs @ ys);
+  let merged = Stats.merge a b in
+  Alcotest.(check int) "count" (Stats.count whole) (Stats.count merged);
+  Alcotest.(check (float 1e-6)) "mean" (Stats.mean whole) (Stats.mean merged);
+  Alcotest.(check (float 1e-6)) "variance" (Stats.variance whole)
+    (Stats.variance merged);
+  feq "min" (Stats.min_value whole) (Stats.min_value merged);
+  feq "max" (Stats.max_value whole) (Stats.max_value merged)
+
+let test_stats_merge_empty () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add b 3.0;
+  feq "empty-left" 3.0 (Stats.mean (Stats.merge a b));
+  feq "empty-right" 3.0 (Stats.mean (Stats.merge b a))
+
+let prop_stats_mean_matches_naive =
+  Test_support.qcheck_case ~name:"welford mean = naive mean"
+    QCheck2.Gen.(list_size (int_range 1 100) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.mean s -. naive) < 1e-6)
+
+let prop_stats_merge_associative_count =
+  Test_support.qcheck_case ~name:"merge preserves counts/totals"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 50) (float_bound_inclusive 100.0))
+        (list_size (int_range 0 50) (float_bound_inclusive 100.0)))
+    (fun (xs, ys) ->
+      let a = Stats.create () and b = Stats.create () in
+      List.iter (Stats.add a) xs;
+      List.iter (Stats.add b) ys;
+      let m = Stats.merge a b in
+      Stats.count m = List.length xs + List.length ys
+      && Float.abs (Stats.total m -. (Stats.total a +. Stats.total b)) < 1e-6)
+
+(* --- Histogram --------------------------------------------------------- *)
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add_int h) (List.init 101 (fun i -> i));
+  feq "median" 50.0 (Histogram.median h);
+  feq "p0" 0.0 (Histogram.quantile h 0.0);
+  feq "p100" 100.0 (Histogram.quantile h 1.0);
+  feq "p25" 25.0 (Histogram.quantile h 0.25);
+  feq "mean" 50.0 (Histogram.mean h)
+
+let test_histogram_empty_raises () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Histogram.quantile: empty")
+    (fun () -> ignore (Histogram.quantile h 0.5))
+
+let test_histogram_buckets () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 0.1; 0.2; 1.5; 1.9; 3.0 ];
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "buckets"
+    [ (0.0, 2); (1.0, 2); (3.0, 1) ]
+    (Histogram.buckets h ~width:1.0)
+
+let prop_histogram_quantile_monotone =
+  Test_support.qcheck_case ~name:"quantiles monotone"
+    QCheck2.Gen.(list_size (int_range 2 80) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let qs = [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+      let vals = List.map (Histogram.quantile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+(* --- Timeseries --------------------------------------------------------- *)
+
+let test_timeseries_basic () =
+  let ts = Timeseries.create ~label:"x" () in
+  Timeseries.record ts ~time:0.0 1.0;
+  Timeseries.record ts ~time:1.0 2.0;
+  Timeseries.record ts ~time:5.0 3.0;
+  Alcotest.(check int) "length" 3 (Timeseries.length ts);
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9))))
+    "last" (Some (5.0, 3.0)) (Timeseries.last ts);
+  Alcotest.(check (option (float 1e-9))) "value_at 0.5" (Some 1.0)
+    (Timeseries.value_at ts ~time:0.5);
+  Alcotest.(check (option (float 1e-9))) "value_at 4.9" (Some 2.0)
+    (Timeseries.value_at ts ~time:4.9);
+  Alcotest.(check (option (float 1e-9))) "value_at 99" (Some 3.0)
+    (Timeseries.value_at ts ~time:99.0);
+  Alcotest.(check (option (float 1e-9))) "before first" None
+    (Timeseries.value_at ts ~time:(-1.0))
+
+let test_timeseries_rejects_backwards () =
+  let ts = Timeseries.create () in
+  Timeseries.record ts ~time:2.0 1.0;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Timeseries.record: time went backwards") (fun () ->
+      Timeseries.record ts ~time:1.0 0.0)
+
+let test_timeseries_points_chronological () =
+  let ts = Timeseries.create () in
+  List.iter (fun t -> Timeseries.record ts ~time:t t) [ 0.0; 1.0; 2.0 ];
+  Alcotest.(check bool) "ascending" true
+    (let pts = Timeseries.points ts in
+     pts = [| (0.0, 0.0); (1.0, 1.0); (2.0, 2.0) |])
+
+(* --- Fairness ------------------------------------------------------------ *)
+
+module Fairness = Lesslog_metrics.Fairness
+
+let test_jain_even () =
+  feq "even is 1" 1.0 (Fairness.jain [| 5.0; 5.0; 5.0; 5.0 |]);
+  feq "empty is 1" 1.0 (Fairness.jain [||]);
+  feq "all-zero is 1" 1.0 (Fairness.jain [| 0.0; 0.0 |])
+
+let test_jain_skewed () =
+  (* One node takes everything among n: index = 1/n. *)
+  feq "monopoly" 0.25 (Fairness.jain [| 8.0; 0.0; 0.0; 0.0 |]);
+  let mixed = Fairness.jain [| 4.0; 2.0; 2.0; 0.0 |] in
+  Alcotest.(check bool) "between" true (mixed > 0.25 && mixed < 1.0)
+
+let test_jain_nonzero_ignores_idle () =
+  feq "even among servers" 1.0 (Fairness.jain_nonzero [| 3.0; 0.0; 3.0; 0.0 |]);
+  Alcotest.(check bool) "whole-array view lower" true
+    (Fairness.jain [| 3.0; 0.0; 3.0; 0.0 |] < 1.0)
+
+let test_peak_to_mean () =
+  feq "even" 1.0 (Fairness.peak_to_mean [| 2.0; 2.0 |]);
+  feq "skewed" (4.0 /. 3.0) (Fairness.peak_to_mean [| 2.0; 4.0 |]);
+  feq "empty" 1.0 (Fairness.peak_to_mean [||])
+
+let prop_jain_bounds =
+  Test_support.qcheck_case ~name:"jain in [1/n, 1]"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let j = Fairness.jain a in
+      let n = float_of_int (Array.length a) in
+      j >= (1.0 /. n) -. 1e-9 && j <= 1.0 +. 1e-9)
+
+let prop_jain_scale_invariant =
+  Test_support.qcheck_case ~name:"jain scale-invariant"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 30) (float_range 0.1 100.0))
+        (float_range 0.5 10.0))
+    (fun (xs, k) ->
+      let a = Array.of_list xs in
+      let scaled = Array.map (fun x -> x *. k) a in
+      Float.abs (Fairness.jain a -. Fairness.jain scaled) < 1e-9)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "basic moments" `Quick test_stats_basic;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "merge with empty" `Quick test_stats_merge_empty;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "empty raises" `Quick test_histogram_empty_raises;
+          Alcotest.test_case "buckets" `Quick test_histogram_buckets;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "record/query" `Quick test_timeseries_basic;
+          Alcotest.test_case "monotone time" `Quick
+            test_timeseries_rejects_backwards;
+          Alcotest.test_case "chronological points" `Quick
+            test_timeseries_points_chronological;
+        ] );
+      ( "fairness",
+        [
+          Alcotest.test_case "even" `Quick test_jain_even;
+          Alcotest.test_case "skewed" `Quick test_jain_skewed;
+          Alcotest.test_case "nonzero view" `Quick test_jain_nonzero_ignores_idle;
+          Alcotest.test_case "peak-to-mean" `Quick test_peak_to_mean;
+        ] );
+      ( "properties",
+        [
+          prop_stats_mean_matches_naive;
+          prop_stats_merge_associative_count;
+          prop_histogram_quantile_monotone;
+          prop_jain_bounds;
+          prop_jain_scale_invariant;
+        ] );
+    ]

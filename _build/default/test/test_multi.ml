@@ -1,0 +1,236 @@
+(* Multi-file balancing and the churn-trace generator. *)
+
+open Lesslog_id
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Status_word = Lesslog_membership.Status_word
+module Demand = Lesslog_workload.Demand
+module Catalog = Lesslog_workload.Catalog
+module Multi_balance = Lesslog_flow.Multi_balance
+module Policy = Lesslog_flow.Policy
+module Churn_trace = Lesslog_des.Churn_trace
+module Des_sim = Lesslog_des.Des_sim
+module Rng = Lesslog_prng.Rng
+
+let make_catalog ?(files = 5) ?(total = 4000.0) ~m () =
+  let params = Params.create ~m () in
+  let cluster = Cluster.create params in
+  let rng = Rng.create ~seed:1 in
+  let spec =
+    Catalog.create (Cluster.status cluster) ~rng ~files ~total
+      ~spread:Catalog.Uniform
+  in
+  let catalog = Catalog.files spec in
+  List.iter (fun (key, _) -> ignore (Ops.insert cluster ~key)) catalog;
+  (cluster, catalog, rng)
+
+(* --- Multi_balance ------------------------------------------------------- *)
+
+let test_multi_balances_catalog () =
+  let cluster, catalog, rng = make_catalog ~m:7 () in
+  let outcome =
+    Multi_balance.run ~rng ~cluster ~catalog ~capacity:100.0
+      ~policy:Policy.Lesslog ()
+  in
+  Alcotest.(check bool) "balanced" true outcome.Multi_balance.balanced;
+  Alcotest.(check bool) "max load ok" true (outcome.Multi_balance.max_load <= 100.0);
+  (* The aggregate load check is the real invariant. *)
+  let total = Multi_balance.aggregate_loads ~cluster ~catalog in
+  Alcotest.(check bool) "no node above capacity" true
+    (Array.for_all (fun r -> r <= 100.0 +. 1e-9) total)
+
+let test_multi_hot_file_gets_most_replicas () =
+  let cluster, catalog, rng = make_catalog ~m:7 ~files:8 ~total:5000.0 () in
+  let outcome =
+    Multi_balance.run ~rng ~cluster ~catalog ~capacity:100.0
+      ~policy:Policy.Lesslog ()
+  in
+  let replicas_of key =
+    Option.value ~default:0
+      (List.assoc_opt key outcome.Multi_balance.replicas_per_key)
+  in
+  (* Zipf rank 0 carries the most demand, so it needs at least as many
+     replicas as the coldest rank. *)
+  let hottest, _ = List.hd catalog in
+  let coldest, _ = List.nth catalog (List.length catalog - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hot %d >= cold %d" (replicas_of hottest) (replicas_of coldest))
+    true
+    (replicas_of hottest >= replicas_of coldest)
+
+let test_multi_noop_under_capacity () =
+  let cluster, catalog, rng = make_catalog ~m:7 ~total:100.0 () in
+  let outcome =
+    Multi_balance.run ~rng ~cluster ~catalog ~capacity:100.0
+      ~policy:Policy.Lesslog ()
+  in
+  Alcotest.(check int) "no replicas" 0 outcome.Multi_balance.total_replicas;
+  Alcotest.(check bool) "balanced" true outcome.Multi_balance.balanced
+
+let test_per_key_loads_decomposition () =
+  let cluster, catalog, _ = make_catalog ~m:6 ~total:640.0 () in
+  let total = Multi_balance.aggregate_loads ~cluster ~catalog in
+  (* Per-key decomposition at each node sums back to the aggregate. *)
+  Status_word.iter_live (Cluster.status cluster) (fun p ->
+      let parts = Multi_balance.per_key_loads ~cluster ~catalog ~at:p in
+      let sum = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 parts in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "node %d" (Pid.to_int p))
+        total.(Pid.to_int p) sum)
+
+let prop_multi_balance_feasible =
+  Test_support.qcheck_case ~count:40 ~name:"multi-file balance succeeds when feasible"
+    QCheck2.Gen.(
+      int_range 4 7 >>= fun m ->
+      int_range 1 6 >>= fun files ->
+      int_range 0 1_000_000 >>= fun seed -> return (m, files, seed))
+    (fun (m, files, seed) ->
+      let params = Params.create ~m () in
+      let cluster = Cluster.create params in
+      let rng = Rng.create ~seed in
+      let capacity = 100.0 in
+      (* Keep total well under the aggregate capacity. *)
+      let total = 0.5 *. capacity *. float_of_int (Params.space params) in
+      let spec =
+        Catalog.create (Cluster.status cluster) ~rng ~files ~total
+          ~spread:Catalog.Uniform
+      in
+      let catalog = Catalog.files spec in
+      List.iter (fun (key, _) -> ignore (Ops.insert cluster ~key)) catalog;
+      let outcome =
+        Multi_balance.run ~rng ~cluster ~catalog ~capacity ~policy:Policy.Lesslog ()
+      in
+      outcome.Multi_balance.balanced)
+
+(* --- Churn trace ----------------------------------------------------------- *)
+
+let test_trace_sorted_and_alternating () =
+  let rng = Rng.create ~seed:2 in
+  let params = Params.create ~m:4 () in
+  let live = Pid.all params in
+  let trace =
+    Churn_trace.generate ~rng ~live
+      { Churn_trace.default with duration = 500.0 }
+  in
+  (* Sorted by time. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Des_sim.at <= b.Des_sim.at && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted trace);
+  (* Per node: strictly alternating departure/join, starting with a
+     departure (everyone starts online). *)
+  List.iter
+    (fun node ->
+      let mine =
+        List.filter_map
+          (fun e ->
+            match e.Des_sim.action with
+            | Des_sim.Join p when Pid.equal p node -> Some `Join
+            | Des_sim.Leave p when Pid.equal p node -> Some `Down
+            | Des_sim.Fail p when Pid.equal p node -> Some `Down
+            | _ -> None)
+          trace
+      in
+      let rec alternating expected = function
+        | [] -> true
+        | e :: rest ->
+            e = expected
+            && alternating (if expected = `Down then `Join else `Down) rest
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d alternates" (Pid.to_int node))
+        true
+        (alternating `Down mine))
+    live
+
+let test_trace_fail_fraction_extremes () =
+  let rng = Rng.create ~seed:3 in
+  let params = Params.create ~m:5 () in
+  let live = Pid.all params in
+  let all_fail =
+    Churn_trace.generate ~rng ~live
+      { Churn_trace.default with fail_fraction = 1.0; duration = 400.0 }
+  in
+  let _, leaves, _ = Churn_trace.summary all_fail in
+  Alcotest.(check int) "no clean leaves" 0 leaves;
+  let none_fail =
+    Churn_trace.generate ~rng ~live
+      { Churn_trace.default with fail_fraction = 0.0; duration = 400.0 }
+  in
+  let _, _, fails = Churn_trace.summary none_fail in
+  Alcotest.(check int) "no crashes" 0 fails
+
+let test_trace_horizon () =
+  let rng = Rng.create ~seed:4 in
+  let params = Params.create ~m:4 () in
+  let trace =
+    Churn_trace.generate ~rng ~live:(Pid.all params)
+      { Churn_trace.default with duration = 100.0 }
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "within horizon" true (e.Des_sim.at < 100.0))
+    trace
+
+let test_trace_intensity_scales () =
+  let rng = Rng.create ~seed:5 in
+  let params = Params.create ~m:5 () in
+  let live = Pid.all params in
+  let busy =
+    Churn_trace.generate ~rng ~live
+      { Churn_trace.default with mean_session = 20.0; mean_downtime = 10.0;
+        duration = 300.0 }
+  in
+  let calm =
+    Churn_trace.generate ~rng ~live
+      { Churn_trace.default with mean_session = 200.0; mean_downtime = 100.0;
+        duration = 300.0 }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "busy %d > calm %d" (List.length busy) (List.length calm))
+    true
+    (List.length busy > List.length calm)
+
+let test_trace_drives_des () =
+  let params = Params.create ~m:6 () in
+  let cluster = Cluster.create params in
+  ignore (Ops.insert cluster ~key:"traced");
+  let rng = Rng.create ~seed:6 in
+  let trace =
+    Churn_trace.generate ~rng
+      ~live:(Status_word.live_pids (Cluster.status cluster))
+      { Churn_trace.default with duration = 30.0; mean_session = 40.0 }
+  in
+  let demand = Demand.uniform (Cluster.status cluster) ~total:500.0 in
+  let result =
+    Des_sim.run ~churn:trace ~rng ~cluster ~key:"traced" ~demand ~duration:30.0 ()
+  in
+  Alcotest.(check bool) "system kept serving" true (result.Des_sim.served > 0)
+
+let () =
+  Alcotest.run "multi"
+    [
+      ( "multi_balance",
+        [
+          Alcotest.test_case "balances a catalogue" `Quick
+            test_multi_balances_catalog;
+          Alcotest.test_case "hot file dominates" `Quick
+            test_multi_hot_file_gets_most_replicas;
+          Alcotest.test_case "no-op under capacity" `Quick
+            test_multi_noop_under_capacity;
+          Alcotest.test_case "per-key decomposition" `Quick
+            test_per_key_loads_decomposition;
+        ] );
+      ( "churn_trace",
+        [
+          Alcotest.test_case "sorted + alternating" `Quick
+            test_trace_sorted_and_alternating;
+          Alcotest.test_case "fail fraction extremes" `Quick
+            test_trace_fail_fraction_extremes;
+          Alcotest.test_case "horizon" `Quick test_trace_horizon;
+          Alcotest.test_case "intensity scales" `Quick test_trace_intensity_scales;
+          Alcotest.test_case "drives the DES" `Quick test_trace_drives_des;
+        ] );
+      ("properties", [ prop_multi_balance_feasible ]);
+    ]

@@ -1,0 +1,140 @@
+open Lesslog_id
+module Engine = Lesslog_sim.Engine
+module Latency = Lesslog_net.Latency
+module Overlay = Lesslog_net.Overlay
+module Rng = Lesslog_prng.Rng
+
+let params = Params.create ~m:4 ()
+let pid = Pid.unsafe_of_int
+
+(* --- Latency ------------------------------------------------------------ *)
+
+let test_latency_constant () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10 do
+    Alcotest.(check (float 1e-9)) "constant" 0.05
+      (Latency.sample (Latency.Constant 0.05) rng)
+  done
+
+let test_latency_uniform_bounds () =
+  let rng = Rng.create ~seed:2 in
+  let model = Latency.Uniform { lo = 0.01; hi = 0.09 } in
+  for _ = 1 to 1000 do
+    let d = Latency.sample model rng in
+    Alcotest.(check bool) "in bounds" true (d >= 0.01 && d <= 0.09)
+  done
+
+let test_latency_exponential_floor () =
+  let rng = Rng.create ~seed:3 in
+  let model = Latency.Exponential { mean = 0.02; floor = 0.005 } in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above floor" true (Latency.sample model rng >= 0.005)
+  done
+
+let test_latency_means () =
+  Alcotest.(check (float 1e-9)) "constant" 0.1 (Latency.mean (Latency.Constant 0.1));
+  Alcotest.(check (float 1e-9)) "uniform" 0.05
+    (Latency.mean (Latency.Uniform { lo = 0.0; hi = 0.1 }));
+  Alcotest.(check (float 1e-9)) "exp" 0.025
+    (Latency.mean (Latency.Exponential { mean = 0.02; floor = 0.005 }))
+
+(* --- Overlay ------------------------------------------------------------ *)
+
+let make_overlay ?loss ?latency () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:4 in
+  let overlay = Overlay.create ~engine ~rng ?latency ?loss params in
+  (engine, overlay)
+
+let test_overlay_delivery () =
+  let engine, overlay = make_overlay ~latency:(Latency.Constant 0.1) () in
+  let received = ref [] in
+  Overlay.set_handler overlay (pid 3) (fun ~src msg ->
+      received := (Pid.to_int src, msg, Engine.now engine) :: !received);
+  Overlay.send overlay ~src:(pid 1) ~dst:(pid 3) "hello";
+  Alcotest.(check int) "not yet delivered" 0 (List.length !received);
+  Engine.run engine;
+  Alcotest.(check (list (triple int string (float 1e-9))))
+    "delivered with latency"
+    [ (1, "hello", 0.1) ]
+    !received;
+  Alcotest.(check int) "sent" 1 (Overlay.messages_sent overlay);
+  Alcotest.(check int) "delivered" 1 (Overlay.messages_delivered overlay)
+
+let test_overlay_no_handler_drops () =
+  let engine, overlay = make_overlay () in
+  Overlay.send overlay ~src:(pid 1) ~dst:(pid 9) "void";
+  Engine.run engine;
+  Alcotest.(check int) "dropped" 1 (Overlay.messages_dropped overlay);
+  Alcotest.(check int) "not delivered" 0 (Overlay.messages_delivered overlay)
+
+let test_overlay_clear_handler () =
+  let engine, overlay = make_overlay () in
+  let count = ref 0 in
+  Overlay.set_handler overlay (pid 2) (fun ~src:_ _ -> incr count);
+  Overlay.send overlay ~src:(pid 0) ~dst:(pid 2) ();
+  Engine.run engine;
+  Overlay.clear_handler overlay (pid 2);
+  Overlay.send overlay ~src:(pid 0) ~dst:(pid 2) ();
+  Engine.run engine;
+  Alcotest.(check int) "only first delivered" 1 !count;
+  Alcotest.(check int) "second dropped" 1 (Overlay.messages_dropped overlay)
+
+let test_overlay_loss () =
+  let engine, overlay = make_overlay ~loss:0.5 () in
+  let count = ref 0 in
+  Overlay.set_handler overlay (pid 2) (fun ~src:_ _ -> incr count);
+  for _ = 1 to 1000 do
+    Overlay.send overlay ~src:(pid 0) ~dst:(pid 2) ()
+  done;
+  Engine.run engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly half delivered (%d)" !count)
+    true
+    (!count > 400 && !count < 600);
+  Alcotest.(check int) "accounting adds up" 1000
+    (Overlay.messages_delivered overlay + Overlay.messages_dropped overlay)
+
+let test_overlay_in_flight_ordering () =
+  (* Two messages with different latencies arrive in latency order, not
+     send order. *)
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:5 in
+  let overlay = Overlay.create ~engine ~rng ~latency:(Latency.Constant 0.0) params in
+  ignore overlay;
+  let overlay_slow =
+    Overlay.create ~engine ~rng ~latency:(Latency.Constant 0.2) params
+  in
+  let overlay_fast =
+    Overlay.create ~engine ~rng ~latency:(Latency.Constant 0.1) params
+  in
+  let log = ref [] in
+  Overlay.set_handler overlay_slow (pid 1) (fun ~src:_ m -> log := m :: !log);
+  Overlay.set_handler overlay_fast (pid 1) (fun ~src:_ m -> log := m :: !log);
+  Overlay.send overlay_slow ~src:(pid 0) ~dst:(pid 1) "slow";
+  Overlay.send overlay_fast ~src:(pid 0) ~dst:(pid 1) "fast";
+  Engine.run engine;
+  Alcotest.(check (list string)) "latency order" [ "fast"; "slow" ] (List.rev !log)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "latency",
+        [
+          Alcotest.test_case "constant" `Quick test_latency_constant;
+          Alcotest.test_case "uniform bounds" `Quick test_latency_uniform_bounds;
+          Alcotest.test_case "exponential floor" `Quick
+            test_latency_exponential_floor;
+          Alcotest.test_case "means" `Quick test_latency_means;
+        ] );
+      ( "overlay",
+        [
+          Alcotest.test_case "delivery" `Quick test_overlay_delivery;
+          Alcotest.test_case "no handler drops" `Quick
+            test_overlay_no_handler_drops;
+          Alcotest.test_case "clear handler" `Quick test_overlay_clear_handler;
+          Alcotest.test_case "loss injection" `Quick test_overlay_loss;
+          Alcotest.test_case "latency ordering" `Quick
+            test_overlay_in_flight_ordering;
+        ] );
+    ]

@@ -1,0 +1,86 @@
+module Par = Lesslog_parallel.Par
+
+let test_map_identity_small () =
+  let a = Array.init 10 (fun i -> i) in
+  Alcotest.(check (array int)) "doubled"
+    (Array.map (fun x -> 2 * x) a)
+    (Par.map ~domains:3 ~f:(fun x -> 2 * x) a)
+
+let test_map_empty () =
+  Alcotest.(check (array int)) "empty" [||] (Par.map ~f:(fun x -> x) [||])
+
+let test_map_single_domain () =
+  let a = Array.init 100 (fun i -> i) in
+  Alcotest.(check (array int)) "sequential path"
+    (Array.map succ a)
+    (Par.map ~domains:1 ~f:succ a)
+
+let test_map_more_domains_than_elements () =
+  let a = [| 1; 2 |] in
+  Alcotest.(check (array int)) "clamped" [| 2; 3 |]
+    (Par.map ~domains:16 ~f:succ a)
+
+let test_map_list () =
+  Alcotest.(check (list int)) "list" [ 2; 4; 6 ]
+    (Par.map_list ~domains:2 ~f:(fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_map_exception_propagates () =
+  let a = Array.init 20 (fun i -> i) in
+  match
+    Par.map ~domains:4 ~f:(fun x -> if x = 13 then failwith "boom" else x) a
+  with
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+  | _ -> Alcotest.fail "expected exception"
+
+let test_recommended_domains_positive () =
+  let d = Par.recommended_domains () in
+  Alcotest.(check bool) "in range" true (d >= 1 && d <= 8)
+
+let prop_map_matches_sequential =
+  Test_support.qcheck_case ~count:50 ~name:"parallel map = Array.map"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 200) (int_range (-1000) 1000))
+        (int_range 1 8))
+    (fun (xs, domains) ->
+      let a = Array.of_list xs in
+      Par.map ~domains ~f:(fun x -> (x * 31) lxor 7) a
+      = Array.map (fun x -> (x * 31) lxor 7) a)
+
+let test_deterministic_experiment_under_parallelism () =
+  (* The harness guarantee: figure sweeps give identical results at any
+     domain count because every point is independently seeded. *)
+  let config = { Lesslog_harness.Experiments.quick with domains = 1 } in
+  let seq = Lesslog_harness.Experiments.fig5 ~config () in
+  let config = { config with domains = 4 } in
+  let par = Lesslog_harness.Experiments.fig5 ~config () in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "label" (Lesslog_report.Series.label a)
+        (Lesslog_report.Series.label b);
+      Alcotest.(check (array (float 1e-9)))
+        "identical ys"
+        (Lesslog_report.Series.ys a)
+        (Lesslog_report.Series.ys b))
+    seq par
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "par",
+        [
+          Alcotest.test_case "map" `Quick test_map_identity_small;
+          Alcotest.test_case "empty" `Quick test_map_empty;
+          Alcotest.test_case "one domain" `Quick test_map_single_domain;
+          Alcotest.test_case "domains > n" `Quick
+            test_map_more_domains_than_elements;
+          Alcotest.test_case "map_list" `Quick test_map_list;
+          Alcotest.test_case "exception propagates" `Quick
+            test_map_exception_propagates;
+          Alcotest.test_case "recommended domains" `Quick
+            test_recommended_domains_positive;
+          Alcotest.test_case "parallel sweeps deterministic" `Slow
+            test_deterministic_experiment_under_parallelism;
+        ] );
+      ("properties", [ prop_map_matches_sequential ]);
+    ]

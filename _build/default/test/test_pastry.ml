@@ -1,0 +1,170 @@
+open Lesslog_id
+module Pastry = Lesslog_pastry.Pastry
+module Rng = Lesslog_prng.Rng
+
+let pid = Pid.unsafe_of_int
+let params m = Params.create ~m ()
+
+let full m = Pastry.create (params m) ~live:(Pid.all (params m))
+
+let test_rows () =
+  let t = Pastry.create ~digit_bits:2 (params 8) ~live:(Pid.all (params 8)) in
+  Alcotest.(check int) "rows" 4 (Pastry.rows t);
+  Alcotest.(check int) "nodes" 256 (Pastry.node_count t)
+
+let test_digit_bits_must_divide () =
+  Alcotest.check_raises "non-dividing"
+    (Invalid_argument "Pastry.create: digit_bits must divide m") (fun () ->
+      ignore (Pastry.create ~digit_bits:3 (params 8) ~live:(Pid.all (params 8))))
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Pastry.create: empty population") (fun () ->
+      ignore (Pastry.create (params 4) ~live:[]))
+
+let test_owner_full_ring () =
+  let t = full 6 in
+  for x = 0 to 63 do
+    Alcotest.(check int) "self-owned" x (Pid.to_int (Pastry.owner_of t x))
+  done
+
+let test_owner_sparse () =
+  let t = Pastry.create (params 4) ~live:(Test_support.pids [ 2; 8; 14 ]) in
+  Alcotest.(check int) "near 2" 2 (Pid.to_int (Pastry.owner_of t 3));
+  Alcotest.(check int) "near 8" 8 (Pid.to_int (Pastry.owner_of t 6));
+  (* 0 is distance 2 from both 2 and 14 (ring): tie breaks to smaller. *)
+  Alcotest.(check int) "tie to smaller" 2 (Pid.to_int (Pastry.owner_of t 0))
+
+let test_lookup_local () =
+  let t = full 6 in
+  let r = Pastry.lookup t ~from:(pid 9) ~target:9 in
+  Alcotest.(check int) "owner" 9 (Pid.to_int r.Pastry.owner);
+  Alcotest.(check int) "no hops" 0 r.Pastry.hops
+
+let test_leaf_set_size () =
+  let t = Pastry.create ~leaf_set:4 (params 6) ~live:(Pid.all (params 6)) in
+  Alcotest.(check int) "leaf set" 4 (List.length (Pastry.leaf_set_of t (pid 0)));
+  (* Nearest first: distance-1 neighbours come before distance-2. *)
+  match Pastry.leaf_set_of t (pid 10) with
+  | a :: b :: _ ->
+      Alcotest.(check bool) "nearest are ring neighbours" true
+        (List.sort compare [ Pid.to_int a; Pid.to_int b ] = [ 9; 11 ])
+  | _ -> Alcotest.fail "leaf set too small"
+
+let test_lookup_rejects_stranger () =
+  let t = Pastry.create (params 4) ~live:(Test_support.pids [ 1; 2 ]) in
+  Alcotest.check_raises "stranger" (Invalid_argument "Pastry.lookup: unknown origin")
+    (fun () -> ignore (Pastry.lookup t ~from:(pid 7) ~target:1))
+
+(* --- Properties ----------------------------------------------------------- *)
+
+let gen_ring =
+  QCheck2.Gen.(
+    (* m must be even for digit_bits = 2. *)
+    oneofl [ 4; 6; 8 ] >>= fun m ->
+    let space = 1 lsl m in
+    int_range 1 space >>= fun n ->
+    int_range 0 1_000_000 >>= fun seed ->
+    let rng = Rng.create ~seed in
+    let live =
+      Rng.sample_without_replacement rng ~k:n (Array.init space (fun i -> i))
+      |> Array.to_list |> List.sort compare |> List.map Pid.unsafe_of_int
+    in
+    int_range 0 (space - 1) >>= fun target ->
+    int_range 0 (n - 1) >>= fun from_idx ->
+    return (params m, live, target, List.nth live from_idx))
+
+let brute_owner params live target =
+  let space = Params.space params in
+  let dist a b =
+    let d = abs (a - b) in
+    min d (space - d)
+  in
+  List.fold_left
+    (fun best p ->
+      let id = Pid.to_int p in
+      match best with
+      | None -> Some id
+      | Some b ->
+          if
+            dist id target < dist b target
+            || (dist id target = dist b target && id < b)
+          then Some id
+          else Some b)
+    None live
+  |> Option.get
+
+let prop_owner_matches_brute =
+  Test_support.qcheck_case ~count:150 ~name:"owner = numerically closest" gen_ring
+    (fun (params, live, target, _) ->
+      let t = Pastry.create params ~live in
+      Pid.to_int (Pastry.owner_of t target) = brute_owner params live target)
+
+let prop_lookup_reaches_owner =
+  Test_support.qcheck_case ~count:150 ~name:"prefix routing reaches the owner" gen_ring
+    (fun (params, live, target, from) ->
+      let t = Pastry.create params ~live in
+      let r = Pastry.lookup t ~from ~target in
+      Pid.to_int r.Pastry.owner = brute_owner params live target)
+
+let prop_hops_bounded =
+  Test_support.qcheck_case ~count:150 ~name:"hops <= rows + leaf hop + slack" gen_ring
+    (fun (params, live, target, from) ->
+      let t = Pastry.create params ~live in
+      let r = Pastry.lookup t ~from ~target in
+      (* One digit resolved per table hop, plus the leaf-set/rare-case
+         tail. *)
+      r.Pastry.hops <= Pastry.rows t + 4)
+
+let prop_path_consistent =
+  Test_support.qcheck_case ~count:150 ~name:"path origin->owner, length = hops + 1"
+    gen_ring (fun (params, live, target, from) ->
+      let t = Pastry.create params ~live in
+      let r = Pastry.lookup t ~from ~target in
+      match (r.Pastry.path, List.rev r.Pastry.path) with
+      | first :: _, last :: _ ->
+          Pid.equal first from
+          && Pid.equal last r.Pastry.owner
+          && List.length r.Pastry.path = r.Pastry.hops + 1
+      | _ -> false)
+
+let test_mean_hops_logarithmic () =
+  let t = full 10 in
+  let rng = Rng.create ~seed:5 in
+  let total = ref 0 in
+  let samples = 1000 in
+  for _ = 1 to samples do
+    let from = pid (Rng.int rng 1024) in
+    let target = Rng.int rng 1024 in
+    total := !total + (Pastry.lookup t ~from ~target).Pastry.hops
+  done;
+  let mean = float_of_int !total /. float_of_int samples in
+  (* log_4 1024 = 5 digits; mean resolved hops should sit well below. *)
+  Alcotest.(check bool) (Printf.sprintf "mean %.2f <= 6" mean) true (mean <= 6.0)
+
+let () =
+  Alcotest.run "pastry"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "rows" `Quick test_rows;
+          Alcotest.test_case "digit_bits divides" `Quick
+            test_digit_bits_must_divide;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "owner full ring" `Quick test_owner_full_ring;
+          Alcotest.test_case "owner sparse" `Quick test_owner_sparse;
+          Alcotest.test_case "lookup local" `Quick test_lookup_local;
+          Alcotest.test_case "leaf set" `Quick test_leaf_set_size;
+          Alcotest.test_case "stranger rejected" `Quick
+            test_lookup_rejects_stranger;
+          Alcotest.test_case "mean hops logarithmic" `Quick
+            test_mean_hops_logarithmic;
+        ] );
+      ( "properties",
+        [
+          prop_owner_matches_brute;
+          prop_lookup_reaches_owner;
+          prop_hops_bounded;
+          prop_path_consistent;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+module Series = Lesslog_report.Series
+module Table = Lesslog_report.Table
+module Csv = Lesslog_report.Csv
+module Ascii_plot = Lesslog_report.Ascii_plot
+
+let s1 = Series.make ~label:"a" [ (1.0, 10.0); (2.0, 20.0) ]
+let s2 = Series.make ~label:"b" [ (1.0, 5.0); (3.0, 15.0) ]
+
+(* --- Series ------------------------------------------------------------ *)
+
+let test_series_accessors () =
+  Alcotest.(check string) "label" "a" (Series.label s1);
+  Alcotest.(check (array (float 1e-9))) "xs" [| 1.0; 2.0 |] (Series.xs s1);
+  Alcotest.(check (array (float 1e-9))) "ys" [| 10.0; 20.0 |] (Series.ys s1);
+  Alcotest.(check (option (float 1e-9))) "y_at hit" (Some 20.0)
+    (Series.y_at s1 ~x:2.0);
+  Alcotest.(check (option (float 1e-9))) "y_at miss" None (Series.y_at s1 ~x:9.0)
+
+let test_series_map_y () =
+  let doubled = Series.map_y s1 ~f:(fun y -> y *. 2.0) in
+  Alcotest.(check (array (float 1e-9))) "mapped" [| 20.0; 40.0 |]
+    (Series.ys doubled);
+  Alcotest.(check string) "label kept" "a" (Series.label doubled)
+
+(* --- Table --------------------------------------------------------------- *)
+
+let test_table_alignment () =
+  let out = Table.render ~header:[ "x"; "longer" ] [ [ "1"; "2" ]; [ "100"; "3" ] ] in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "header + sep + 2 rows" 4 (List.length lines);
+  (* The separator mirrors the widths. *)
+  (match lines with
+  | _ :: sep :: _ ->
+      Alcotest.(check bool) "dashes" true (String.contains sep '-')
+  | _ -> Alcotest.fail "missing separator")
+
+let test_table_pads_short_rows () =
+  let out = Table.render ~header:[ "a"; "b"; "c" ] [ [ "1" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_table_of_series_union () =
+  let out = Table.of_series ~x_label:"x" [ s1; s2 ] in
+  (* x values 1,2,3; missing cells become "-". *)
+  Alcotest.(check bool) "has dash" true (String.contains out '-');
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "rows" 5 (List.length lines)
+
+(* --- Csv ------------------------------------------------------------------ *)
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_csv_of_series () =
+  let out = Csv.of_series ~x_label:"x" [ s1; s2 ] in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check (list string))
+    "document"
+    [ "x,a,b"; "1,10,5"; "2,20,"; "3,,15" ]
+    lines
+
+let test_csv_write_file () =
+  let path = Filename.temp_file "lesslog" ".csv" in
+  Csv.write_file ~path "x,y\n1,2\n";
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "roundtrip" "x,y\n1,2\n" contents
+
+(* --- Ascii plot ------------------------------------------------------------ *)
+
+let contains_sub haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i =
+    if i + n > h then false
+    else if String.sub haystack i n = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_plot_renders_markers_and_legend () =
+  let out = Ascii_plot.render ~width:40 ~height:10 [ s1; s2 ] in
+  Alcotest.(check bool) "marker a" true (String.contains out '*');
+  Alcotest.(check bool) "marker b" true (String.contains out '+');
+  Alcotest.(check bool) "legend" true (contains_sub out "legend:")
+
+let test_plot_empty () =
+  let out = Ascii_plot.render [] in
+  Alcotest.(check bool) "no data note" true (contains_sub out "no data")
+
+let test_plot_single_point () =
+  let s = Series.make ~label:"dot" [ (1.0, 1.0) ] in
+  let out = Ascii_plot.render [ s ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let prop_plot_never_raises =
+  Test_support.qcheck_case ~name:"plot total on arbitrary data"
+    QCheck2.Gen.(
+      list_size (int_range 0 4)
+        (list_size (int_range 0 20)
+           (pair (float_bound_inclusive 1000.0) (float_bound_inclusive 1000.0))))
+    (fun series_data ->
+      let series =
+        List.mapi
+          (fun i pts -> Series.make ~label:(Printf.sprintf "s%d" i) pts)
+          series_data
+      in
+      ignore (Ascii_plot.render ~width:30 ~height:8 series);
+      true)
+
+(* --- Bars -------------------------------------------------------------- *)
+
+let test_bars_scaling () =
+  let out =
+    Lesslog_report.Bars.render ~width:10 [ ("a", 10.0); ("bb", 5.0); ("c", 0.0) ]
+  in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "three bars" 3 (List.length lines);
+  (match lines with
+  | a :: b :: c :: _ ->
+      let count line = String.fold_left (fun n ch -> if ch = '#' then n + 1 else n) 0 line in
+      Alcotest.(check int) "full bar" 10 (count a);
+      Alcotest.(check int) "half bar" 5 (count b);
+      Alcotest.(check int) "empty bar" 0 (count c)
+  | _ -> Alcotest.fail "bad shape")
+
+let test_bars_empty () =
+  Alcotest.(check bool) "no data" true
+    (contains_sub (Lesslog_report.Bars.render []) "no data")
+
+let test_bars_negative_clamped () =
+  let out = Lesslog_report.Bars.render ~width:10 [ ("neg", -5.0); ("pos", 5.0) ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_bars_of_histogram () =
+  let h = Lesslog_metrics.Histogram.create () in
+  List.iter (Lesslog_metrics.Histogram.add h) [ 0.1; 0.2; 1.5 ];
+  let out = Lesslog_report.Bars.of_histogram ~bucket_width:1.0 h in
+  Alcotest.(check bool) "bucket labels" true (contains_sub out "[0, 1)")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "accessors" `Quick test_series_accessors;
+          Alcotest.test_case "map_y" `Quick test_series_map_y;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "of_series union" `Quick test_table_of_series_union;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "of_series" `Quick test_csv_of_series;
+          Alcotest.test_case "write_file" `Quick test_csv_write_file;
+        ] );
+      ( "ascii_plot",
+        [
+          Alcotest.test_case "markers + legend" `Quick
+            test_plot_renders_markers_and_legend;
+          Alcotest.test_case "empty" `Quick test_plot_empty;
+          Alcotest.test_case "single point" `Quick test_plot_single_point;
+          prop_plot_never_raises;
+        ] );
+      ( "bars",
+        [
+          Alcotest.test_case "scaling" `Quick test_bars_scaling;
+          Alcotest.test_case "empty" `Quick test_bars_empty;
+          Alcotest.test_case "negative clamped" `Quick test_bars_negative_clamped;
+          Alcotest.test_case "of_histogram" `Quick test_bars_of_histogram;
+        ] );
+    ]

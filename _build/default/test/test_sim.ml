@@ -1,0 +1,174 @@
+module Heap = Lesslog_sim.Heap
+module Engine = Lesslog_sim.Engine
+
+(* --- Heap -------------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check int) "length" 6 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  Alcotest.(check (list int)) "drain sorted" [ 1; 2; 3; 5; 8; 9 ]
+    (List.init 6 (fun _ -> Option.get (Heap.pop h)))
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_to_sorted_list_nondestructive () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "untouched" 3 (Heap.length h)
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  Test_support.qcheck_case ~name:"heap drain = List.sort"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range (-1000) 1000))
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let prop_heap_interleaved =
+  Test_support.qcheck_case ~name:"interleaved push/pop keeps min order"
+    QCheck2.Gen.(list_size (int_range 0 100) (option (int_range 0 1000)))
+    (fun ops ->
+      (* Some x = push x, None = pop; popped sequence must never exceed the
+         current min of remaining contents. *)
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+              Heap.push h x;
+              model := x :: !model;
+              true
+          | None -> (
+              match Heap.pop h with
+              | None -> !model = []
+              | Some v ->
+                  let min_model = List.fold_left min max_int !model in
+                  let ok = v = min_model in
+                  model := List.filter (( <> ) v) !model @ List.init
+                    (List.length (List.filter (( = ) v) !model) - 1)
+                    (fun _ -> v);
+                  ok))
+        ops)
+
+(* --- Engine ------------------------------------------------------------ *)
+
+let test_engine_time_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock" 3.0 (Engine.now e)
+
+let test_engine_fifo_at_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule_at e ~time:1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      log := "outer" :: !log;
+      Engine.schedule e ~delay:0.5 (fun () -> log := "inner" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock" 1.5 (Engine.now e)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~delay:1.0 (fun () -> incr fired);
+  Engine.schedule e ~delay:10.0 (fun () -> incr fired);
+  Engine.run ~until:5.0 e;
+  Alcotest.(check int) "only early event" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock clamped" 5.0 (Engine.now e);
+  Alcotest.(check int) "late event queued" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "late event runs" 2 !fired
+
+let test_engine_until_idle_advances_clock () =
+  let e = Engine.create () in
+  Engine.run ~until:7.0 e;
+  Alcotest.(check (float 1e-9)) "clock" 7.0 (Engine.now e)
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let rec forever () = Engine.schedule e ~delay:1.0 forever in
+  forever ();
+  Engine.run ~max_events:100 e;
+  Alcotest.(check int) "bounded" 100 (Engine.events_executed e)
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:5.0 (fun () -> ());
+  ignore (Engine.step e);
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> Engine.schedule_at e ~time:1.0 (fun () -> ()));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.0) (fun () -> ()))
+
+let prop_engine_executes_in_time_order =
+  Test_support.qcheck_case ~name:"events run in nondecreasing time"
+    QCheck2.Gen.(list_size (int_range 0 100) (float_bound_inclusive 100.0))
+    (fun delays ->
+      let e = Engine.create () in
+      let times = ref [] in
+      List.iter
+        (fun d -> Engine.schedule e ~delay:d (fun () -> times := Engine.now e :: !times))
+        delays;
+      Engine.run e;
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing (List.rev !times))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "to_sorted_list" `Quick
+            test_heap_to_sorted_list_nondestructive;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_engine_time_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_at_same_time;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_engine_nested_scheduling;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "until on idle queue" `Quick
+            test_engine_until_idle_advances_clock;
+          Alcotest.test_case "max_events guard" `Quick test_engine_max_events;
+          Alcotest.test_case "rejects past times" `Quick test_engine_rejects_past;
+        ] );
+      ( "properties",
+        [ prop_heap_sorts; prop_heap_interleaved; prop_engine_executes_in_time_order ] );
+    ]

@@ -1,0 +1,187 @@
+module File_store = Lesslog_storage.File_store
+module Access_counter = Lesslog_storage.Access_counter
+
+(* --- Access counter --------------------------------------------------- *)
+
+let test_counter_accumulates () =
+  let c = Access_counter.create ~tau:10.0 ~now:0.0 () in
+  Access_counter.record c ~now:0.0;
+  Access_counter.record c ~now:0.0;
+  Alcotest.(check (float 1e-9)) "two accesses" 2.0 (Access_counter.value c ~now:0.0)
+
+let test_counter_decays () =
+  let c = Access_counter.create ~tau:10.0 ~now:0.0 () in
+  Access_counter.record_many c ~now:0.0 ~count:100;
+  let v = Access_counter.value c ~now:10.0 in
+  (* One time constant: e^-1 of the mass remains. *)
+  Alcotest.(check (float 0.01)) "decayed" (100.0 *. exp (-1.0)) v;
+  let v2 = Access_counter.value c ~now:100.0 in
+  Alcotest.(check bool) "nearly gone" true (v2 < 0.01)
+
+let test_counter_rate_steady_state () =
+  (* Feeding r accesses/s for many tau, rate ~ r. *)
+  let c = Access_counter.create ~tau:5.0 ~now:0.0 () in
+  let r = 20 in
+  for t = 0 to 100 do
+    Access_counter.record_many c ~now:(float_of_int t) ~count:r
+  done;
+  let rate = Access_counter.rate c ~now:100.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.2f near %d" rate r)
+    true
+    (Float.abs (rate -. float_of_int r) < 3.0)
+
+let test_counter_reset () =
+  let c = Access_counter.create ~now:0.0 () in
+  Access_counter.record c ~now:1.0;
+  Access_counter.reset c ~now:2.0;
+  Alcotest.(check (float 1e-9)) "reset" 0.0 (Access_counter.value c ~now:2.0)
+
+let test_counter_monotone_time () =
+  (* Queries never rewind the clock: an earlier [now] after a later one is
+     treated as "no time elapsed". *)
+  let c = Access_counter.create ~tau:1.0 ~now:0.0 () in
+  Access_counter.record c ~now:10.0;
+  let v = Access_counter.value c ~now:5.0 in
+  Alcotest.(check (float 1e-9)) "no rewind" 1.0 v
+
+(* --- File store ------------------------------------------------------- *)
+
+let test_add_find () =
+  let s = File_store.create () in
+  File_store.add s ~key:"a" ~origin:File_store.Inserted ~version:0 ~now:0.0;
+  Alcotest.(check bool) "holds" true (File_store.holds s ~key:"a");
+  Alcotest.(check bool) "not holds" false (File_store.holds s ~key:"b");
+  Alcotest.(check (option int)) "version" (Some 0) (File_store.version s ~key:"a")
+
+let test_origin_upgrade () =
+  let s = File_store.create () in
+  File_store.add s ~key:"a" ~origin:File_store.Replicated ~version:0 ~now:0.0;
+  File_store.add s ~key:"a" ~origin:File_store.Inserted ~version:0 ~now:0.0;
+  Alcotest.(check bool) "upgraded" true
+    (File_store.origin s ~key:"a" = Some File_store.Inserted);
+  (* Inserted never silently downgrades by re-adding. *)
+  File_store.add s ~key:"a" ~origin:File_store.Replicated ~version:0 ~now:0.0;
+  Alcotest.(check bool) "sticky" true
+    (File_store.origin s ~key:"a" = Some File_store.Inserted)
+
+let test_version_keeps_max () =
+  let s = File_store.create () in
+  File_store.add s ~key:"a" ~origin:File_store.Replicated ~version:5 ~now:0.0;
+  File_store.add s ~key:"a" ~origin:File_store.Replicated ~version:3 ~now:0.0;
+  Alcotest.(check (option int)) "max kept" (Some 5) (File_store.version s ~key:"a")
+
+let test_key_partitions () =
+  let s = File_store.create () in
+  File_store.add s ~key:"ins" ~origin:File_store.Inserted ~version:0 ~now:0.0;
+  File_store.add s ~key:"rep1" ~origin:File_store.Replicated ~version:0 ~now:0.0;
+  File_store.add s ~key:"rep2" ~origin:File_store.Replicated ~version:0 ~now:0.0;
+  Alcotest.(check (list string)) "inserted" [ "ins" ] (File_store.inserted_keys s);
+  Alcotest.(check (list string)) "replicated" [ "rep1"; "rep2" ]
+    (File_store.replicated_keys s);
+  Alcotest.(check int) "size" 3 (File_store.size s)
+
+let test_drop_replicas () =
+  let s = File_store.create () in
+  File_store.add s ~key:"ins" ~origin:File_store.Inserted ~version:0 ~now:0.0;
+  File_store.add s ~key:"rep" ~origin:File_store.Replicated ~version:0 ~now:0.0;
+  let dropped = File_store.drop_replicas s in
+  Alcotest.(check (list string)) "dropped" [ "rep" ] dropped;
+  Alcotest.(check bool) "inserted kept" true (File_store.holds s ~key:"ins");
+  Alcotest.(check bool) "replica gone" false (File_store.holds s ~key:"rep")
+
+let test_demote () =
+  let s = File_store.create () in
+  File_store.add s ~key:"a" ~origin:File_store.Inserted ~version:2 ~now:0.0;
+  File_store.demote_to_replica s ~key:"a";
+  Alcotest.(check bool) "demoted" true
+    (File_store.origin s ~key:"a" = Some File_store.Replicated);
+  Alcotest.(check (option int)) "version kept" (Some 2)
+    (File_store.version s ~key:"a");
+  (* Demoting a missing key is a no-op. *)
+  File_store.demote_to_replica s ~key:"missing"
+
+let test_evict_cold_replicas () =
+  let s = File_store.create () in
+  File_store.add s ~key:"hot" ~origin:File_store.Replicated ~version:0 ~now:0.0;
+  File_store.add s ~key:"cold" ~origin:File_store.Replicated ~version:0 ~now:0.0;
+  File_store.add s ~key:"ins" ~origin:File_store.Inserted ~version:0 ~now:0.0;
+  (* Heat up "hot" only. *)
+  for t = 0 to 200 do
+    File_store.record_access s ~key:"hot" ~now:(float_of_int t *. 0.1)
+  done;
+  let evicted = File_store.evict_cold_replicas s ~now:20.0 ~min_rate:1.0 in
+  Alcotest.(check (list string)) "cold evicted" [ "cold" ] evicted;
+  Alcotest.(check bool) "hot kept" true (File_store.holds s ~key:"hot");
+  Alcotest.(check bool) "inserted immune" true (File_store.holds s ~key:"ins")
+
+let test_set_version () =
+  let s = File_store.create () in
+  File_store.add s ~key:"a" ~origin:File_store.Inserted ~version:0 ~now:0.0;
+  File_store.set_version s ~key:"a" ~version:7;
+  Alcotest.(check (option int)) "set" (Some 7) (File_store.version s ~key:"a");
+  File_store.set_version s ~key:"nope" ~version:9
+
+let test_remove () =
+  let s = File_store.create () in
+  File_store.add s ~key:"a" ~origin:File_store.Inserted ~version:0 ~now:0.0;
+  File_store.remove s ~key:"a";
+  Alcotest.(check bool) "removed" false (File_store.holds s ~key:"a");
+  Alcotest.(check int) "empty" 0 (File_store.size s)
+
+let prop_keys_sorted =
+  Test_support.qcheck_case ~name:"keys sorted and unique"
+    QCheck2.Gen.(list_size (int_range 0 30) (string_size (int_range 1 6)))
+    (fun keys ->
+      let s = File_store.create () in
+      List.iter
+        (fun key ->
+          File_store.add s ~key ~origin:File_store.Replicated ~version:0 ~now:0.0)
+        keys;
+      let ks = File_store.keys s in
+      ks = List.sort_uniq compare keys)
+
+let prop_partition_exhaustive =
+  Test_support.qcheck_case ~name:"inserted + replicated = keys"
+    QCheck2.Gen.(
+      list_size (int_range 0 30)
+        (pair (string_size (int_range 1 6)) bool))
+    (fun entries ->
+      let s = File_store.create () in
+      List.iter
+        (fun (key, ins) ->
+          let origin =
+            if ins then File_store.Inserted else File_store.Replicated
+          in
+          File_store.add s ~key ~origin ~version:0 ~now:0.0)
+        entries;
+      List.sort compare (File_store.inserted_keys s @ File_store.replicated_keys s)
+      = File_store.keys s)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "access_counter",
+        [
+          Alcotest.test_case "accumulates" `Quick test_counter_accumulates;
+          Alcotest.test_case "decays" `Quick test_counter_decays;
+          Alcotest.test_case "steady-state rate" `Quick
+            test_counter_rate_steady_state;
+          Alcotest.test_case "reset" `Quick test_counter_reset;
+          Alcotest.test_case "monotone time" `Quick test_counter_monotone_time;
+        ] );
+      ( "file_store",
+        [
+          Alcotest.test_case "add/find" `Quick test_add_find;
+          Alcotest.test_case "origin upgrade" `Quick test_origin_upgrade;
+          Alcotest.test_case "version max" `Quick test_version_keeps_max;
+          Alcotest.test_case "key partitions" `Quick test_key_partitions;
+          Alcotest.test_case "drop replicas" `Quick test_drop_replicas;
+          Alcotest.test_case "demote" `Quick test_demote;
+          Alcotest.test_case "counter-based eviction" `Quick
+            test_evict_cold_replicas;
+          Alcotest.test_case "set version" `Quick test_set_version;
+          Alcotest.test_case "remove" `Quick test_remove;
+        ] );
+      ("properties", [ prop_keys_sorted; prop_partition_exhaustive ]);
+    ]

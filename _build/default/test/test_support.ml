@@ -1,0 +1,70 @@
+(** Shared helpers for the test suites: Alcotest testables for the id
+    types, and QCheck generators for parameter spaces, memberships and
+    trees. *)
+
+open Lesslog_id
+module Status_word = Lesslog_membership.Status_word
+module Ptree = Lesslog_ptree.Ptree
+
+let pid : Pid.t Alcotest.testable = Alcotest.testable Pid.pp Pid.equal
+
+let vid : Vid.t Alcotest.testable = Alcotest.testable Vid.pp_plain Vid.equal
+
+let pids l = List.map Pid.unsafe_of_int l
+
+let ints_of_pids l = List.map Pid.to_int l
+
+(* QCheck generators ------------------------------------------------- *)
+
+let gen_m = QCheck2.Gen.int_range 2 8
+
+let gen_params = QCheck2.Gen.map (fun m -> Params.create ~m ()) gen_m
+
+let gen_params_ft =
+  (* Parameter sets with b > 0 for the fault-tolerant model. *)
+  QCheck2.Gen.(
+    int_range 3 8 >>= fun m ->
+    int_range 1 (min 3 (m - 1)) >>= fun b ->
+    return (Params.create ~m ~b ()))
+
+let gen_vid params =
+  QCheck2.Gen.map
+    (fun v -> Vid.unsafe_of_int v)
+    (QCheck2.Gen.int_range 0 (Params.mask params))
+
+let gen_pid params =
+  QCheck2.Gen.map
+    (fun p -> Pid.unsafe_of_int p)
+    (QCheck2.Gen.int_range 0 (Params.mask params))
+
+(* A membership with at least one live node. *)
+let gen_status params =
+  QCheck2.Gen.(
+    int_range 0 (Params.mask params) >>= fun guaranteed ->
+    list_size (return (Params.space params)) bool >>= fun flags ->
+    let status = Status_word.create params ~initially_live:false in
+    List.iteri
+      (fun i alive -> if alive then Status_word.set_live status (Pid.unsafe_of_int i))
+      flags;
+    Status_word.set_live status (Pid.unsafe_of_int guaranteed);
+    return status)
+
+(* (params, status, tree-root) triple. *)
+let gen_tree_setup =
+  QCheck2.Gen.(
+    gen_params >>= fun params ->
+    gen_status params >>= fun status ->
+    gen_pid params >>= fun root ->
+    return (params, status, Ptree.make params ~root))
+
+let print_tree_setup (params, status, tree) =
+  Format.asprintf "m=%d live=%d root=%a live_set=%s" (Params.m params)
+    (Status_word.live_count status) Pid.pp (Ptree.root tree)
+    (String.concat ","
+       (List.map
+          (fun p -> string_of_int (Pid.to_int p))
+          (Status_word.live_pids status)))
+
+let qcheck_case ?(count = 300) ~name gen law =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen law)

@@ -1,0 +1,415 @@
+open Lesslog_id
+module Status_word = Lesslog_membership.Status_word
+module Ptree = Lesslog_ptree.Ptree
+module Vtree = Lesslog_vtree.Vtree
+module Topology = Lesslog_topology.Topology
+module Subtrees = Lesslog_topology.Subtrees
+
+let params4 = Params.create ~m:4 ()
+let pid = Pid.unsafe_of_int
+
+(* The paper's running example: a 14-node system, lookup tree of P(4),
+   with P(0) and P(5) dead (Figure 3). *)
+let figure3 () =
+  let status = Status_word.create params4 ~initially_live:true in
+  Status_word.set_dead status (pid 0);
+  Status_word.set_dead status (pid 5);
+  (status, Ptree.make params4 ~root:(pid 4))
+
+let test_figure3_children_list () =
+  let status, tree = figure3 () in
+  (* Paper: the children list of P(4) is (P(6), P(7), P(1), P(12), P(13),
+     P(8)), sorted by VID. *)
+  Alcotest.(check (list int)) "children list of P(4)" [ 6; 7; 1; 12; 13; 8 ]
+    (List.map Pid.to_int (Topology.children_list tree status (pid 4)))
+
+let test_figure3_findlivenode () =
+  (* Paper (Section 3 / 5.1): with P(4) and P(5) dead, files targeting
+     P(4) are stored at P(6), the live node with the most offspring. *)
+  let status = Status_word.create params4 ~initially_live:true in
+  Status_word.set_dead status (pid 4);
+  Status_word.set_dead status (pid 5);
+  let tree = Ptree.make params4 ~root:(pid 4) in
+  Alcotest.(check (option int)) "insertion target" (Some 6)
+    (Option.map Pid.to_int (Topology.insertion_target tree status))
+
+let test_findlivenode_live_start () =
+  let status, tree = figure3 () in
+  Alcotest.(check (option int)) "live start returned" (Some 8)
+    (Option.map Pid.to_int (Topology.find_live_node tree status ~start:(pid 8)))
+
+let test_findlivenode_all_dead () =
+  let status = Status_word.create params4 ~initially_live:false in
+  let tree = Ptree.make params4 ~root:(pid 4) in
+  Alcotest.(check (option int)) "no live node" None
+    (Option.map Pid.to_int (Topology.insertion_target tree status))
+
+let test_first_alive_ancestor () =
+  let status, tree = figure3 () in
+  (* P(13) has VID 0110; parent VID 1110 = P(5), dead; grandparent VID
+     1111 = P(4), live. *)
+  Alcotest.(check (option int)) "skips dead parent" (Some 4)
+    (Option.map Pid.to_int (Topology.first_alive_ancestor tree status (pid 13)));
+  (* Live root has no ancestor. *)
+  Alcotest.(check (option int)) "root" None
+    (Option.map Pid.to_int (Topology.first_alive_ancestor tree status (pid 4)))
+
+let test_max_live () =
+  let status = Status_word.create params4 ~initially_live:true in
+  Status_word.set_dead status (pid 4);
+  Status_word.set_dead status (pid 5);
+  let tree = Ptree.make params4 ~root:(pid 4) in
+  Alcotest.(check (option int)) "max live = P(6)" (Some 6)
+    (Option.map Pid.to_int (Topology.max_live tree status));
+  Alcotest.(check bool) "P(6) has no greater live VID" false
+    (Topology.has_live_with_greater_vid tree status (pid 6));
+  Alcotest.(check bool) "P(8) has greater live VID" true
+    (Topology.has_live_with_greater_vid tree status (pid 8))
+
+let test_route_path_complete_tree () =
+  let status = Status_word.create params4 ~initially_live:true in
+  let tree = Ptree.make params4 ~root:(pid 4) in
+  Alcotest.(check (list int)) "P(8) path" [ 8; 0; 4 ]
+    (List.map Pid.to_int (Topology.route_path tree status ~origin:(pid 8)))
+
+let test_route_path_with_dead_root () =
+  let status = Status_word.create params4 ~initially_live:true in
+  Status_word.set_dead status (pid 4);
+  Status_word.set_dead status (pid 5);
+  let tree = Ptree.make params4 ~root:(pid 4) in
+  (* From P(8): P(0) live, P(4) dead; chain P(8) -> P(0); P(0)'s only
+     strict ancestor P(4) is dead, so the request migrates to P(6). *)
+  Alcotest.(check (list int)) "migrating path" [ 8; 0; 6 ]
+    (List.map Pid.to_int (Topology.route_path tree status ~origin:(pid 8)))
+
+let test_live_offspring_count () =
+  let status, tree = figure3 () in
+  (* P(4) is the root: all other 13 live nodes are its offspring. *)
+  Alcotest.(check int) "root offspring" 13
+    (Topology.live_offspring_count tree status (pid 4));
+  (* P(8) (VID 0011) has one child 0001=P(10)... VID 0011 children:
+     leading ones of 0011 is 0, so P(8) is a leaf in this tree. *)
+  Alcotest.(check int) "leaf" 0 (Topology.live_offspring_count tree status (pid 8))
+
+(* --- Fault-tolerant subtrees (Figure 4: m = 4, b = 2) ---------------- *)
+
+let params_ft = Params.create ~m:4 ~b:2 ()
+
+let test_subtree_decomposition () =
+  let tree = Ptree.make params_ft ~root:(pid 4) in
+  (* 4 subtrees of 4 slots each. *)
+  Alcotest.(check int) "count" 4 (Params.subtree_count params_ft);
+  Alcotest.(check int) "space" 4 (Params.subtree_space params_ft);
+  (* Subtree ids partition the slots. *)
+  let ids = List.map (fun p -> Subtrees.subtree_id_of_pid tree (pid p))
+      (List.init 16 (fun i -> i)) in
+  List.iter (fun sid -> Alcotest.(check bool) "sid in range" true (sid >= 0 && sid < 4)) ids;
+  let count_sid s = List.length (List.filter (( = ) s) ids) in
+  List.iter (fun s -> Alcotest.(check int) "4 members" 4 (count_sid s)) [ 0; 1; 2; 3 ]
+
+let test_subtree_vid_split () =
+  (* VID 1110: subtree id = 10, subtree VID = 11 (paper Figure 4 text). *)
+  let v = Vid.unsafe_of_int 0b1110 in
+  Alcotest.(check int) "sid" 0b10 (Subtrees.subtree_id_of_vid params_ft v);
+  Alcotest.(check int) "svid" 0b11 (Subtrees.subtree_vid_of_vid params_ft v);
+  Alcotest.(check int) "compose"
+    0b1110
+    (Vid.to_int (Subtrees.compose_vid params_ft ~subtree_vid:0b11 ~subtree_id:0b10))
+
+let test_subtree_roots () =
+  let tree = Ptree.make params_ft ~root:(pid 4) in
+  (* The subtree root has subtree VID 11; with comp(4)=1011 its PID is
+     (11 ++ sid) xor 1011. *)
+  List.iter
+    (fun sid ->
+      let root = Subtrees.subtree_root tree ~subtree_id:sid in
+      Alcotest.(check int) "root svid" 0b11
+        (Subtrees.subtree_vid_of_vid params_ft (Ptree.vid_of_pid tree root));
+      Alcotest.(check int) "root sid" sid (Subtrees.subtree_id_of_pid tree root))
+    [ 0; 1; 2; 3 ]
+
+let test_subtree_navigation_stays_inside () =
+  let tree = Ptree.make params_ft ~root:(pid 4) in
+  List.iter
+    (fun p ->
+      let p = pid p in
+      let sid = Subtrees.subtree_id_of_pid tree p in
+      (match Subtrees.parent_in_subtree tree p with
+      | Some q ->
+          Alcotest.(check int) "parent same subtree" sid
+            (Subtrees.subtree_id_of_pid tree q)
+      | None -> ());
+      List.iter
+        (fun c ->
+          Alcotest.(check int) "child same subtree" sid
+            (Subtrees.subtree_id_of_pid tree c))
+        (Subtrees.children_in_subtree tree p))
+    (List.init 16 (fun i -> i))
+
+let test_insertion_targets_ft () =
+  let status = Status_word.create params_ft ~initially_live:true in
+  let tree = Ptree.make params_ft ~root:(pid 4) in
+  let targets = Subtrees.insertion_targets tree status in
+  Alcotest.(check int) "2^b targets" 4 (List.length targets);
+  (* All targets distinct and in distinct subtrees. *)
+  let sids = List.map (Subtrees.subtree_id_of_pid tree) targets in
+  Alcotest.(check int) "distinct subtrees" 4
+    (List.length (List.sort_uniq compare sids))
+
+let test_migrate_vid () =
+  let v = Vid.unsafe_of_int 0b1110 in
+  let v' = Subtrees.migrate_vid params_ft v ~to_subtree:0b01 in
+  Alcotest.(check int) "migrated" 0b1101 (Vid.to_int v')
+
+(* --- Properties ------------------------------------------------------ *)
+
+(* Brute-force reference: max-VID live node with VID <= start's VID. *)
+let brute_find_live tree status ~start =
+  let rec scan vid =
+    if vid < 0 then None
+    else
+      let p = Ptree.pid_of_vid tree (Vid.unsafe_of_int vid) in
+      if Status_word.is_live status p then Some p else scan (vid - 1)
+  in
+  scan (Vid.to_int (Ptree.vid_of_pid tree start))
+
+let prop_find_live_node_matches_brute =
+  Test_support.qcheck_case ~name:"find_live_node = brute force"
+    QCheck2.Gen.(
+      Test_support.gen_tree_setup >>= fun (params, status, tree) ->
+      Test_support.gen_pid params >>= fun start ->
+      return (status, tree, start))
+    (fun (status, tree, start) ->
+      Topology.find_live_node tree status ~start
+      = brute_find_live tree status ~start)
+
+(* Brute-force reference for the dead-aware children list: the live
+   strict descendants whose intermediate ancestors are all dead. *)
+let brute_children_list tree status p =
+  let result = ref [] in
+  Ptree.iter_subtree tree p (fun q ->
+      if (not (Pid.equal q p)) && Status_word.is_live status q then begin
+        let rec intermediate_dead x =
+          match Ptree.parent tree x with
+          | None -> false
+          | Some parent ->
+              if Pid.equal parent p then true
+              else Status_word.is_dead status parent && intermediate_dead parent
+        in
+        if intermediate_dead q then result := q :: !result
+      end);
+  List.sort
+    (fun a b -> Vid.compare (Ptree.vid_of_pid tree b) (Ptree.vid_of_pid tree a))
+    !result
+
+let prop_children_list_matches_brute =
+  Test_support.qcheck_case ~name:"children_list = brute force"
+    QCheck2.Gen.(
+      Test_support.gen_tree_setup >>= fun (params, status, tree) ->
+      Test_support.gen_pid params >>= fun p -> return (status, tree, p))
+    (fun (status, tree, p) ->
+      Topology.children_list tree status p = brute_children_list tree status p)
+
+let prop_children_list_all_live =
+  Test_support.qcheck_case ~name:"children_list members are live"
+    QCheck2.Gen.(
+      Test_support.gen_tree_setup >>= fun (params, status, tree) ->
+      Test_support.gen_pid params >>= fun p -> return (status, tree, p))
+    (fun (status, tree, p) ->
+      List.for_all (Status_word.is_live status)
+        (Topology.children_list tree status p))
+
+let prop_route_terminates_at_holder_location =
+  Test_support.qcheck_case ~name:"route ends at live root or migration target"
+    QCheck2.Gen.(
+      Test_support.gen_tree_setup >>= fun (params, status, tree) ->
+      Test_support.gen_pid params >>= fun origin ->
+      return (params, status, tree, origin))
+    (fun (_, status, tree, origin) ->
+      (not (Status_word.is_live status origin))
+      ||
+      let path = Topology.route_path tree status ~origin in
+      match List.rev path with
+      | [] -> false
+      | last :: _ ->
+          let root = Ptree.root tree in
+          if Status_word.is_live status root then Pid.equal last root
+          else Topology.insertion_target tree status = Some last)
+
+let prop_route_all_live =
+  Test_support.qcheck_case ~name:"route visits only live nodes"
+    QCheck2.Gen.(
+      Test_support.gen_tree_setup >>= fun (params, status, tree) ->
+      Test_support.gen_pid params >>= fun origin ->
+      return (status, tree, origin))
+    (fun (status, tree, origin) ->
+      (not (Status_word.is_live status origin))
+      || List.for_all (Status_word.is_live status)
+           (Topology.route_path tree status ~origin))
+
+let prop_route_length_bounded =
+  Test_support.qcheck_case ~name:"route length <= m + 2"
+    QCheck2.Gen.(
+      Test_support.gen_tree_setup >>= fun (params, status, tree) ->
+      Test_support.gen_pid params >>= fun origin ->
+      return (params, status, tree, origin))
+    (fun (params, status, tree, origin) ->
+      (not (Status_word.is_live status origin))
+      || List.length (Topology.route_path tree status ~origin)
+         <= Params.m params + 2)
+
+let prop_subtree_route_stays_in_subtree =
+  Test_support.qcheck_case ~name:"FT subtree route stays in origin's subtree"
+    QCheck2.Gen.(
+      Test_support.gen_params_ft >>= fun params ->
+      Test_support.gen_status params >>= fun status ->
+      Test_support.gen_pid params >>= fun root ->
+      Test_support.gen_pid params >>= fun origin ->
+      return (status, Ptree.make params ~root, origin))
+    (fun (status, tree, origin) ->
+      (not (Status_word.is_live status origin))
+      ||
+      let sid = Subtrees.subtree_id_of_pid tree origin in
+      List.for_all
+        (fun p -> Subtrees.subtree_id_of_pid tree p = sid)
+        (Subtrees.route_path_in_subtree tree status ~origin))
+
+(* Brute-force references for the fault-tolerant subtree layer. *)
+
+let gen_ft_setup =
+  QCheck2.Gen.(
+    Test_support.gen_params_ft >>= fun params ->
+    Test_support.gen_status params >>= fun status ->
+    Test_support.gen_pid params >>= fun root ->
+    Test_support.gen_pid params >>= fun p ->
+    return (params, status, Ptree.make params ~root, p))
+
+let prop_subtree_find_live_matches_brute =
+  Test_support.qcheck_case ~name:"FT find_live_node = brute force"
+    gen_ft_setup (fun (params, status, tree, start) ->
+      let sid = Subtrees.subtree_id_of_pid tree start in
+      let svid p =
+        Subtrees.subtree_vid_of_vid params (Ptree.vid_of_pid tree p)
+      in
+      let brute =
+        (* Max-subtree-VID live member at or below start's subtree VID. *)
+        List.filter
+          (fun p -> Status_word.is_live status p && svid p <= svid start)
+          (Subtrees.members tree ~subtree_id:sid)
+        |> List.sort (fun a b -> compare (svid b) (svid a))
+        |> function
+        | [] -> None
+        | p :: _ -> Some p
+      in
+      Subtrees.find_live_node_in_subtree tree status ~subtree_id:sid ~start
+      = brute)
+
+let prop_subtree_children_list_matches_brute =
+  Test_support.qcheck_case ~name:"FT children_list = brute force"
+    gen_ft_setup (fun (params, status, tree, p) ->
+      let reduced = Subtrees.reduced_params params in
+      let sid = Subtrees.subtree_id_of_pid tree p in
+      let svid q =
+        Subtrees.subtree_vid_of_vid params (Ptree.vid_of_pid tree q)
+      in
+      (* Live members of p's subtree that are strict descendants of p in
+         the reduced tree, whose intermediate ancestors are all dead. *)
+      let is_reduced_ancestor a d =
+        Lesslog_vtree.Vtree.is_ancestor reduced
+          ~ancestor:(Vid.unsafe_of_int (svid a))
+          (Vid.unsafe_of_int (svid d))
+      in
+      let parent_in q = Subtrees.parent_in_subtree tree q in
+      let rec intermediates_dead q =
+        match parent_in q with
+        | None -> false
+        | Some parent ->
+            if Pid.equal parent p then true
+            else Status_word.is_dead status parent && intermediates_dead parent
+      in
+      let brute =
+        List.filter
+          (fun q ->
+            (not (Pid.equal q p))
+            && Status_word.is_live status q
+            && is_reduced_ancestor p q && intermediates_dead q)
+          (Subtrees.members tree ~subtree_id:sid)
+        |> List.sort (fun a b -> compare (svid b) (svid a))
+      in
+      Subtrees.children_list_in_subtree tree status p = brute)
+
+let prop_subtree_insertion_target_is_max_live =
+  Test_support.qcheck_case ~name:"FT insertion target = max live svid"
+    gen_ft_setup (fun (params, status, tree, p) ->
+      let sid = Subtrees.subtree_id_of_pid tree p in
+      let svid q =
+        Subtrees.subtree_vid_of_vid params (Ptree.vid_of_pid tree q)
+      in
+      let brute =
+        List.filter (Status_word.is_live status)
+          (Subtrees.members tree ~subtree_id:sid)
+        |> List.sort (fun a b -> compare (svid b) (svid a))
+        |> function
+        | [] -> None
+        | q :: _ -> Some q
+      in
+      Subtrees.insertion_target_in_subtree tree status ~subtree_id:sid = brute)
+
+let prop_live_offspring_bounded =
+  Test_support.qcheck_case ~name:"live offspring <= offspring"
+    QCheck2.Gen.(
+      Test_support.gen_tree_setup >>= fun (params, status, tree) ->
+      Test_support.gen_pid params >>= fun p -> return (status, tree, p))
+    (fun (status, tree, p) ->
+      let live = Topology.live_offspring_count tree status p in
+      live >= 0 && live <= Ptree.offspring_count tree p)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "figure 3 (advanced model)",
+        [
+          Alcotest.test_case "children list with dead nodes" `Quick
+            test_figure3_children_list;
+          Alcotest.test_case "FINDLIVENODE example" `Quick
+            test_figure3_findlivenode;
+          Alcotest.test_case "FINDLIVENODE live start" `Quick
+            test_findlivenode_live_start;
+          Alcotest.test_case "FINDLIVENODE empty system" `Quick
+            test_findlivenode_all_dead;
+          Alcotest.test_case "first alive ancestor" `Quick
+            test_first_alive_ancestor;
+          Alcotest.test_case "max live / greater VID" `Quick test_max_live;
+          Alcotest.test_case "route in complete tree" `Quick
+            test_route_path_complete_tree;
+          Alcotest.test_case "route with dead root" `Quick
+            test_route_path_with_dead_root;
+          Alcotest.test_case "live offspring count" `Quick
+            test_live_offspring_count;
+        ] );
+      ( "figure 4 (fault-tolerant subtrees)",
+        [
+          Alcotest.test_case "decomposition" `Quick test_subtree_decomposition;
+          Alcotest.test_case "vid split" `Quick test_subtree_vid_split;
+          Alcotest.test_case "subtree roots" `Quick test_subtree_roots;
+          Alcotest.test_case "navigation confined" `Quick
+            test_subtree_navigation_stays_inside;
+          Alcotest.test_case "2^b insertion targets" `Quick
+            test_insertion_targets_ft;
+          Alcotest.test_case "migrate vid" `Quick test_migrate_vid;
+        ] );
+      ( "properties",
+        [
+          prop_find_live_node_matches_brute;
+          prop_children_list_matches_brute;
+          prop_children_list_all_live;
+          prop_route_terminates_at_holder_location;
+          prop_route_all_live;
+          prop_route_length_bounded;
+          prop_subtree_route_stays_in_subtree;
+          prop_subtree_find_live_matches_brute;
+          prop_subtree_children_list_matches_brute;
+          prop_subtree_insertion_target_is_max_live;
+          prop_live_offspring_bounded;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+open Lesslog_id
+module Trace = Lesslog_trace.Trace
+module Event = Lesslog_trace.Trace.Event
+module Des_sim = Lesslog_des.Des_sim
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Demand = Lesslog_workload.Demand
+module Rng = Lesslog_prng.Rng
+
+let sample_events =
+  [
+    Event.Request { at = 0.5; origin = 3; server = Some 7; hops = 2 };
+    Event.Request { at = 1.25; origin = 9; server = None; hops = 4 };
+    Event.Replicate { at = 2.0; src = 7; dst = 12; key = "hot file %1" };
+    Event.Evict { at = 3.5; node = 12; key = "hot file %1" };
+    Event.Membership { at = 4.0; node = 5; change = `Fail };
+    Event.Membership { at = 4.5; node = 5; change = `Join };
+    Event.Membership { at = 5.0; node = 6; change = `Leave };
+  ]
+
+let test_roundtrip_each () =
+  List.iter
+    (fun e ->
+      match Event.of_line (Event.to_line e) with
+      | Ok e' -> Alcotest.(check bool) (Event.to_line e) true (Event.equal e e')
+      | Error msg -> Alcotest.fail msg)
+    sample_events
+
+let test_key_escaping () =
+  let nasty = "a b%c\nd\te" in
+  let e = Event.Replicate { at = 1.0; src = 0; dst = 1; key = nasty } in
+  let line = Event.to_line e in
+  Alcotest.(check bool) "single line" true (not (String.contains line '\n'));
+  match Event.of_line line with
+  | Ok (Event.Replicate { key; _ }) -> Alcotest.(check string) "key" nasty key
+  | _ -> Alcotest.fail "roundtrip failed"
+
+let test_malformed_rejected () =
+  List.iter
+    (fun line ->
+      match Event.of_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" line)
+    [ ""; "REQ"; "REQ x 1 2 3"; "ZZZ 1 2 3"; "MEM 1.0 3 explode" ]
+
+let test_writer_and_reader () =
+  let buf = Buffer.create 256 in
+  let w = Trace.Writer.to_buffer buf in
+  List.iter (Trace.Writer.emit w) sample_events;
+  Alcotest.(check int) "count" (List.length sample_events) (Trace.Writer.count w);
+  Trace.Writer.close w;
+  match Trace.read_string (Buffer.contents buf) with
+  | Ok events ->
+      Alcotest.(check int) "all back" (List.length sample_events)
+        (List.length events);
+      List.iter2
+        (fun a b -> Alcotest.(check bool) "equal" true (Event.equal a b))
+        sample_events events
+  | Error msg -> Alcotest.fail msg
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "lesslog" ".trace" in
+  let w = Trace.Writer.to_file path in
+  List.iter (Trace.Writer.emit w) sample_events;
+  Trace.Writer.close w;
+  Trace.Writer.close w;
+  (match Trace.read_file path with
+  | Ok events ->
+      Alcotest.(check int) "count" (List.length sample_events)
+        (List.length events)
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+let test_summary () =
+  let s = Trace.summarize sample_events in
+  Alcotest.(check int) "events" 7 s.Trace.events;
+  Alcotest.(check int) "requests" 2 s.Trace.requests;
+  Alcotest.(check int) "faults" 1 s.Trace.faults;
+  Alcotest.(check int) "replications" 1 s.Trace.replications;
+  Alcotest.(check int) "evictions" 1 s.Trace.evictions;
+  Alcotest.(check int) "membership" 3 s.Trace.membership_changes;
+  Alcotest.(check (float 1e-9)) "span" 4.5 s.Trace.span
+
+let test_des_emits_trace () =
+  let params = Params.create ~m:6 () in
+  let cluster = Cluster.create params in
+  let key = "traced-object" in
+  ignore (Ops.insert cluster ~key);
+  let rng = Rng.create ~seed:17 in
+  let demand = Demand.uniform (Cluster.status cluster) ~total:1500.0 in
+  let buf = Buffer.create 65536 in
+  let w = Trace.Writer.to_buffer buf in
+  let target = Cluster.target_of_key cluster key in
+  let other =
+    Pid.unsafe_of_int ((Pid.to_int target + 1) mod Params.space params)
+  in
+  let churn = [ { Des_sim.at = 5.0; action = Des_sim.Leave other } ] in
+  let result =
+    Des_sim.run ~churn ~sink:(Trace.Writer.emit w) ~rng ~cluster ~key ~demand
+      ~duration:10.0 ()
+  in
+  Trace.Writer.close w;
+  match Trace.read_string (Buffer.contents buf) with
+  | Error msg -> Alcotest.fail msg
+  | Ok events ->
+      let s = Trace.summarize events in
+      Alcotest.(check int) "requests recorded" result.Des_sim.served
+        (s.Trace.requests - s.Trace.faults);
+      Alcotest.(check int) "replications recorded"
+        result.Des_sim.replicas_created s.Trace.replications;
+      Alcotest.(check int) "membership recorded" 1 s.Trace.membership_changes;
+      (* Chronological order. *)
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> Event.time a <= Event.time b && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "chronological" true (sorted events)
+
+let prop_roundtrip_random =
+  Test_support.qcheck_case ~name:"random events round-trip"
+    QCheck2.Gen.(
+      let key = string_size ~gen:printable (int_range 0 12) in
+      let at = float_bound_inclusive 1000.0 in
+      let node = int_range 0 4095 in
+      oneof
+        [
+          map2
+            (fun (at, origin) (server, hops) ->
+              Event.Request { at; origin; server; hops })
+            (pair at node)
+            (pair (option node) (int_range 0 30));
+          map2
+            (fun (at, src) (dst, key) -> Event.Replicate { at; src; dst; key })
+            (pair at node) (pair node key);
+          map2
+            (fun (at, node) key -> Event.Evict { at; node; key })
+            (pair at node) key;
+          map2
+            (fun (at, node) change -> Event.Membership { at; node; change })
+            (pair at node)
+            (oneofl [ `Join; `Leave; `Fail ]);
+        ])
+    (fun e ->
+      match Event.of_line (Event.to_line e) with
+      | Ok e' -> Event.equal e e'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_each;
+          Alcotest.test_case "key escaping" `Quick test_key_escaping;
+          Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "writer/reader" `Quick test_writer_and_reader;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "summary" `Quick test_summary;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "DES emits a coherent trace" `Quick test_des_emits_trace ] );
+      ("properties", [ prop_roundtrip_random ]);
+    ]

@@ -1,0 +1,259 @@
+open Lesslog_id
+module Vtree = Lesslog_vtree.Vtree
+module Ptree = Lesslog_ptree.Ptree
+module Bitops = Lesslog_bits.Bitops
+
+let params4 = Params.create ~m:4 ()
+
+let vid v = Vid.unsafe_of_int v
+let pid p = Pid.unsafe_of_int p
+
+let vids = List.map Vid.to_int
+
+(* --- Virtual tree: the paper's Figure 1 (m = 4) ---------------------- *)
+
+let test_root () =
+  Alcotest.(check int) "root vid" 0b1111 (Vid.to_int (Vid.root params4));
+  Alcotest.(check bool) "is_root" true (Vtree.is_root params4 (vid 0b1111));
+  Alcotest.(check bool) "not root" false (Vtree.is_root params4 (vid 0b1110))
+
+let test_children_of_root () =
+  (* Property 1 on the root: 4 children, by descending offspring. *)
+  Alcotest.(check (list int)) "root children"
+    [ 0b1110; 0b1101; 0b1011; 0b0111 ]
+    (vids (Vtree.children params4 (vid 0b1111)))
+
+let test_children_figure1 () =
+  (* The node of VID 1100 has 2 children: 0100 and 1000 (paper text). *)
+  Alcotest.(check (list int)) "children of 1100" [ 0b1000; 0b0100 ]
+    (vids (Vtree.children params4 (vid 0b1100)));
+  (* 0111 is a leaf. *)
+  Alcotest.(check (list int)) "children of 0111" []
+    (vids (Vtree.children params4 (vid 0b0111)));
+  (* 1000 has exactly one child: 0000. *)
+  Alcotest.(check (list int)) "children of 1000" [ 0b0000 ]
+    (vids (Vtree.children params4 (vid 0b1000)))
+
+let test_parent_figure1 () =
+  (* Paper: parent of 1011 is obtained by converting the leftmost 0 to 1. *)
+  Alcotest.(check (option int)) "parent of 1011" (Some 0b1111)
+    (Option.map Vid.to_int (Vtree.parent params4 (vid 0b1011)));
+  Alcotest.(check (option int)) "parent of 0101" (Some 0b1101)
+    (Option.map Vid.to_int (Vtree.parent params4 (vid 0b0101)));
+  Alcotest.(check (option int)) "root parentless" None
+    (Option.map Vid.to_int (Vtree.parent params4 (vid 0b1111)))
+
+let test_offspring_figure1 () =
+  (* Paper: nodes of VID 1110 and 1101 have 7 and 3 offspring. *)
+  Alcotest.(check int) "offspring 1110" 7
+    (Vtree.offspring_count params4 (vid 0b1110));
+  Alcotest.(check int) "offspring 1101" 3
+    (Vtree.offspring_count params4 (vid 0b1101));
+  Alcotest.(check int) "offspring root" 15
+    (Vtree.offspring_count params4 (vid 0b1111));
+  Alcotest.(check int) "offspring leaf" 0
+    (Vtree.offspring_count params4 (vid 0b0111))
+
+let test_depth () =
+  Alcotest.(check int) "depth root" 0 (Vtree.depth params4 (vid 0b1111));
+  Alcotest.(check int) "depth 0000" 4 (Vtree.depth params4 (vid 0b0000));
+  Alcotest.(check int) "depth 1011" 1 (Vtree.depth params4 (vid 0b1011))
+
+let test_path_to_root () =
+  Alcotest.(check (list int)) "path 0000"
+    [ 0b0000; 0b1000; 0b1100; 0b1110; 0b1111 ]
+    (vids (Vtree.path_to_root params4 (vid 0b0000)))
+
+let test_subtree_iteration () =
+  let count = ref 0 in
+  Vtree.iter_subtree params4 (vid 0b1111) (fun _ -> incr count);
+  Alcotest.(check int) "whole tree" 16 !count;
+  let seen =
+    Vtree.fold_subtree params4 (vid 0b1110) ~init:[] ~f:(fun acc v ->
+        Vid.to_int v :: acc)
+  in
+  Alcotest.(check int) "subtree of 1110" 8 (List.length seen)
+
+(* --- Physical tree: the paper's Figure 2 (tree of P(4), m = 4) ------- *)
+
+let tree4 = Ptree.make params4 ~root:(pid 4)
+
+let test_figure2_mapping () =
+  (* comp(4) = 1011; PID = VID xor 1011. *)
+  Alcotest.(check int) "root pid" 4 (Pid.to_int (Ptree.root tree4));
+  Alcotest.(check int) "vid of P(4)" 0b1111
+    (Vid.to_int (Ptree.vid_of_pid tree4 (pid 4)));
+  Alcotest.(check int) "vid of P(8)" 0b0011
+    (Vid.to_int (Ptree.vid_of_pid tree4 (pid 8)));
+  Alcotest.(check int) "pid of 1110" 5
+    (Pid.to_int (Ptree.pid_of_vid tree4 (vid 0b1110)))
+
+let test_figure2_children_list () =
+  (* Paper: the children list of P(4) is (P(5), P(6), P(0), P(12)). *)
+  Alcotest.(check (list int)) "children list of P(4)" [ 5; 6; 0; 12 ]
+    (List.map Pid.to_int (Ptree.children tree4 (pid 4)))
+
+let test_figure2_routing () =
+  (* Paper: P(8) routes to P(0), which routes to P(4). *)
+  Alcotest.(check (option int)) "P(8) -> P(0)" (Some 0)
+    (Option.map Pid.to_int (Ptree.parent tree4 (pid 8)));
+  Alcotest.(check (option int)) "P(0) -> P(4)" (Some 4)
+    (Option.map Pid.to_int (Ptree.parent tree4 (pid 0)));
+  Alcotest.(check (list int)) "full path" [ 8; 0; 4 ]
+    (List.map Pid.to_int (Ptree.path_to_root tree4 (pid 8)))
+
+let test_ancestry () =
+  Alcotest.(check bool) "P(4) ancestor of P(8)" true
+    (Ptree.is_ancestor tree4 ~ancestor:(pid 4) (pid 8));
+  Alcotest.(check bool) "P(0) ancestor of P(8)" true
+    (Ptree.is_ancestor tree4 ~ancestor:(pid 0) (pid 8));
+  Alcotest.(check bool) "P(8) not ancestor of P(0)" false
+    (Ptree.is_ancestor tree4 ~ancestor:(pid 8) (pid 0));
+  Alcotest.(check bool) "reflexive" true
+    (Ptree.is_ancestor tree4 ~ancestor:(pid 8) (pid 8))
+
+(* --- Properties ------------------------------------------------------ *)
+
+let gen_params_vid =
+  QCheck2.Gen.(
+    Test_support.gen_params >>= fun params ->
+    Test_support.gen_vid params >>= fun v -> return (params, v))
+
+let prop_parent_child_inverse =
+  Test_support.qcheck_case ~name:"v is a child of parent v" gen_params_vid
+    (fun (params, v) ->
+      match Vtree.parent params v with
+      | None -> Vtree.is_root params v
+      | Some p -> List.exists (Vid.equal v) (Vtree.children params p))
+
+let prop_children_parent_inverse =
+  Test_support.qcheck_case ~name:"parent of each child is v" gen_params_vid
+    (fun (params, v) ->
+      List.for_all
+        (fun c ->
+          match Vtree.parent params c with
+          | Some p -> Vid.equal p v
+          | None -> false)
+        (Vtree.children params v))
+
+let prop_offspring_count_exact =
+  Test_support.qcheck_case ~name:"offspring_count = |subtree| - 1"
+    QCheck2.Gen.(
+      map (fun m -> Params.create ~m ()) (int_range 2 6) >>= fun params ->
+      Test_support.gen_vid params >>= fun v -> return (params, v))
+    (fun (params, v) ->
+      let n = Vtree.fold_subtree params v ~init:0 ~f:(fun a _ -> a + 1) in
+      Vtree.offspring_count params v = n - 1)
+
+let prop_offspring_monotone =
+  (* Property 3 of the paper. *)
+  Test_support.qcheck_case ~name:"offspring monotone in VID"
+    QCheck2.Gen.(
+      Test_support.gen_params >>= fun params ->
+      Test_support.gen_vid params >>= fun i ->
+      Test_support.gen_vid params >>= fun j -> return (params, i, j))
+    (fun (params, i, j) ->
+      let i, j = if Vid.compare i j >= 0 then (i, j) else (j, i) in
+      Vtree.offspring_count params i >= Vtree.offspring_count params j)
+
+let prop_depth_popcount =
+  Test_support.qcheck_case ~name:"depth = m - popcount" gen_params_vid
+    (fun (params, v) ->
+      Vtree.depth params v = Params.m params - Bitops.popcount (Vid.to_int v))
+
+let prop_path_increasing_and_bounded =
+  Test_support.qcheck_case ~name:"root path has increasing VIDs, len <= m+1"
+    gen_params_vid (fun (params, v) ->
+      let path = List.map Vid.to_int (Vtree.path_to_root params v) in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      increasing path
+      && List.length path <= Params.m params + 1
+      && List.nth path (List.length path - 1) = Params.mask params)
+
+let gen_tree_pid =
+  QCheck2.Gen.(
+    Test_support.gen_params >>= fun params ->
+    Test_support.gen_pid params >>= fun root ->
+    Test_support.gen_pid params >>= fun p ->
+    return (Ptree.make params ~root, p))
+
+let prop_xor_bijection =
+  Test_support.qcheck_case ~name:"pid<->vid round trip" gen_tree_pid
+    (fun (tree, p) ->
+      Pid.equal p (Ptree.pid_of_vid tree (Ptree.vid_of_pid tree p)))
+
+let prop_physical_root_vid =
+  Test_support.qcheck_case ~name:"root maps to all-ones VID" gen_tree_pid
+    (fun (tree, _) ->
+      Vid.to_int (Ptree.vid_of_pid tree (Ptree.root tree))
+      = Params.mask (Ptree.params tree))
+
+let prop_children_sorted_by_offspring =
+  Test_support.qcheck_case ~name:"children list sorted by offspring desc"
+    gen_tree_pid (fun (tree, p) ->
+      let counts = List.map (Ptree.offspring_count tree) (Ptree.children tree p) in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | _ -> true
+      in
+      non_increasing counts)
+
+let prop_all_trees_distinct_roots =
+  (* The XOR construction gives each node its own tree: P(r) is always the
+     root of the tree built from complement r. *)
+  Test_support.qcheck_case ~name:"tree of r rooted at r" gen_tree_pid
+    (fun (tree, _) -> Ptree.is_root tree (Ptree.root tree))
+
+let prop_path_through_parent =
+  Test_support.qcheck_case ~name:"physical path consistent with parent"
+    gen_tree_pid (fun (tree, p) ->
+      match Ptree.path_to_root tree p with
+      | [] -> false
+      | first :: rest -> (
+          Pid.equal first p
+          &&
+          match rest with
+          | [] -> Ptree.is_root tree p
+          | next :: _ -> Ptree.parent tree p = Some next))
+
+let () =
+  Alcotest.run "tree"
+    [
+      ( "virtual (figure 1)",
+        [
+          Alcotest.test_case "root" `Quick test_root;
+          Alcotest.test_case "children of root" `Quick test_children_of_root;
+          Alcotest.test_case "children examples" `Quick test_children_figure1;
+          Alcotest.test_case "parents" `Quick test_parent_figure1;
+          Alcotest.test_case "offspring counts" `Quick test_offspring_figure1;
+          Alcotest.test_case "depth" `Quick test_depth;
+          Alcotest.test_case "path to root" `Quick test_path_to_root;
+          Alcotest.test_case "subtree iteration" `Quick test_subtree_iteration;
+        ] );
+      ( "physical (figure 2)",
+        [
+          Alcotest.test_case "xor mapping" `Quick test_figure2_mapping;
+          Alcotest.test_case "children list of P(4)" `Quick
+            test_figure2_children_list;
+          Alcotest.test_case "routing P(8)->P(0)->P(4)" `Quick
+            test_figure2_routing;
+          Alcotest.test_case "ancestry" `Quick test_ancestry;
+        ] );
+      ( "properties",
+        [
+          prop_parent_child_inverse;
+          prop_children_parent_inverse;
+          prop_offspring_count_exact;
+          prop_offspring_monotone;
+          prop_depth_popcount;
+          prop_path_increasing_and_bounded;
+          prop_xor_bijection;
+          prop_physical_root_vid;
+          prop_children_sorted_by_offspring;
+          prop_all_trees_distinct_roots;
+          prop_path_through_parent;
+        ] );
+    ]
