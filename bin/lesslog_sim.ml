@@ -385,6 +385,127 @@ let trace_run_cmd =
       $ Arg.(value & opt string "lesslog.trace"
              & info [ "out" ] ~docv:"FILE" ~doc:"Trace output path."))
 
+let faults_cmd =
+  let run m rate duration crash restart_frac bursts partitions timeout retries
+      deadline loss seed =
+    let losses = match loss with Some l -> [ l ] | None -> [ 0.0; 0.1; 0.2; 0.3 ] in
+    let usage msg =
+      prerr_endline ("lesslog-sim: faults: " ^ msg);
+      exit 2
+    in
+    List.iter
+      (fun l -> if l < 0.0 || l >= 1.0 then usage "--loss must be in [0, 1)")
+      losses;
+    if retries < 0 then usage "--retries must be >= 0";
+    if timeout <= 0.0 then usage "--timeout must be > 0";
+    print_endline
+      "R1: request reliability under loss, crashes and partitions (no oracle)";
+    print_endline
+      "=======================================================================";
+    let rows =
+      List.map
+        (fun loss ->
+          let params = Lesslog_id.Params.create ~m () in
+          let cluster = Lesslog.Cluster.create params in
+          let key = "faults/hot-object" in
+          ignore (Lesslog.Ops.insert cluster ~key);
+          let rng = Lesslog_prng.Rng.create ~seed in
+          let demand =
+            Lesslog_workload.Demand.uniform (Lesslog.Cluster.status cluster)
+              ~total:rate
+          in
+          let live =
+            Lesslog_membership.Status_word.live_pids
+              (Lesslog.Cluster.status cluster)
+          in
+          let plan =
+            Lesslog_workload.Faults.generate ~rng ~live ~duration
+              ~crash_fraction:crash ~restart_fraction:restart_frac ~bursts
+              ~partitions ()
+          in
+          let config =
+            {
+              Lesslog_des.Fault_sim.default_config with
+              loss;
+              deadline;
+              rpc =
+                {
+                  Lesslog_net.Rpc.timeout;
+                  policy = Lesslog_net.Retry.create ~max_retries:retries ();
+                };
+            }
+          in
+          let r =
+            Lesslog_des.Fault_sim.run ~config ~plan ~rng ~cluster ~key ~demand
+              ~duration ()
+          in
+          let module F = Lesslog_des.Fault_sim in
+          let resolved = r.F.served + r.F.faulted in
+          let pct a b = if b = 0 then 100.0 else 100.0 *. float_of_int a /. float_of_int b in
+          [
+            Printf.sprintf "%.2f" loss;
+            string_of_int r.F.issued;
+            string_of_int r.F.served;
+            string_of_int r.F.faulted;
+            string_of_int r.F.pending_at_end;
+            Printf.sprintf "%.2f" (pct resolved r.F.issued);
+            Printf.sprintf "%.1f" (pct r.F.within_deadline r.F.issued);
+            string_of_int r.F.retransmissions;
+            string_of_int r.F.duplicate_serves;
+            Printf.sprintf "%d/%d" r.F.suspicions r.F.spurious_suspicions;
+            Printf.sprintf "%d/%d" r.F.migrations r.F.spurious_migrations;
+            Printf.sprintf "%.1f" (100.0 *. r.F.detector_agreement);
+            (match r.F.convergence with
+            | Some s -> Printf.sprintf "%.1f" s
+            | None -> "-");
+            string_of_int r.F.messages;
+          ])
+        losses
+    in
+    print_endline
+      (Lesslog_report.Table.render
+         ~header:
+           [ "loss"; "issued"; "served"; "faulted"; "pending"; "del|flt%";
+             "<=ddl%"; "rexmit"; "dup"; "susp/spur"; "migr/spur"; "agree%";
+             "conv(s)"; "msgs" ]
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "R1: the reliability layer under injected faults — request \
+          timeouts/retries over a lossy overlay, heartbeat-driven \
+          membership (no oracle), crash/restart, loss bursts and \
+          partitions.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 7 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ Arg.(value & opt float 1500.0
+             & info [ "rate" ] ~docv:"R" ~doc:"Total demand, requests/s.")
+      $ Arg.(value & opt float 60.0
+             & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+      $ Arg.(value & opt float 0.05
+             & info [ "crash" ] ~docv:"F"
+                 ~doc:"Fraction of nodes crashed during the run.")
+      $ Arg.(value & opt float 0.5
+             & info [ "restart" ] ~docv:"F"
+                 ~doc:"Fraction of crashed nodes that restart.")
+      $ Arg.(value & opt int 1
+             & info [ "bursts" ] ~docv:"N" ~doc:"Loss bursts injected.")
+      $ Arg.(value & opt int 1
+             & info [ "partitions" ] ~docv:"N" ~doc:"Partitions injected.")
+      $ Arg.(value & opt float 1.0
+             & info [ "timeout" ] ~docv:"S" ~doc:"Per-attempt timeout.")
+      $ Arg.(value & opt int 4
+             & info [ "retries" ] ~docv:"N" ~doc:"Retransmissions per request.")
+      $ Arg.(value & opt float 2.0
+             & info [ "deadline" ] ~docv:"S"
+                 ~doc:"Delivered-within-deadline threshold.")
+      $ Arg.(value & opt (some float) None
+             & info [ "loss" ] ~docv:"P"
+                 ~doc:"Single baseline loss (default: sweep 0, .1, .2, .3).")
+      $ seed_arg)
+
 (* --- Inspection --------------------------------------------------------- *)
 
 let tree_cmd =
@@ -437,5 +558,5 @@ let () =
             fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; all_cmd; hops_cmd;
             eviction_cmd; ft_cmd; propchoice_cmd; validate_cmd; churn_cmd;
             update_cost_cmd; sessions_cmd; lifecycle_cmd; trace_run_cmd;
-            tree_cmd;
+            faults_cmd; tree_cmd;
           ]))

@@ -1,0 +1,512 @@
+open Lesslog_id
+module Engine = Lesslog_sim.Engine
+module Overlay = Lesslog_net.Overlay
+module Latency = Lesslog_net.Latency
+module Rpc = Lesslog_net.Rpc
+module Heartbeat = Lesslog_net.Heartbeat
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Self_org = Lesslog.Self_org
+module Status_word = Lesslog_membership.Status_word
+module Topology = Lesslog_topology.Topology
+module File_store = Lesslog_storage.File_store
+module Access_counter = Lesslog_storage.Access_counter
+module Demand = Lesslog_workload.Demand
+module Faults = Lesslog_workload.Faults
+module Histogram = Lesslog_metrics.Histogram
+module Timeseries = Lesslog_metrics.Timeseries
+module Rng = Lesslog_prng.Rng
+module Trace = Lesslog_trace.Trace
+
+type config = {
+  capacity : float;
+  detection_tau : float;
+  cooldown : float;
+  latency : Latency.t;
+  loss : float;
+  rpc : Rpc.config;
+  heartbeat : Heartbeat.config;
+  deadline : float;
+  arrival_stop : float;
+  agreement_target : float;
+  sample_period : float;
+}
+
+let default_config =
+  {
+    capacity = 100.0;
+    detection_tau = 2.0;
+    cooldown = 0.5;
+    latency = Latency.default;
+    loss = 0.0;
+    rpc = Rpc.default_config;
+    heartbeat = Heartbeat.default_config;
+    deadline = 2.0;
+    arrival_stop = 0.65;
+    agreement_target = 0.95;
+    sample_period = 0.25;
+  }
+
+type result = {
+  issued : int;
+  served : int;
+  faulted : int;
+  pending_at_end : int;
+  within_deadline : int;
+  duplicate_serves : int;
+  retransmissions : int;
+  timeouts : int;
+  latencies : Histogram.t;
+  hops : Histogram.t;
+  replicas_created : int;
+  suspicions : int;
+  recoveries : int;
+  spurious_suspicions : int;
+  migrations : int;
+  spurious_migrations : int;
+  crashes : int;
+  restarts : int;
+  lost_keys : int;
+  detector_agreement : float;
+  convergence : float option;
+  agreement_timeline : Timeseries.t;
+  messages : int;
+}
+
+type msg =
+  | Get of { id : int; origin : Pid.t; issued_at : float; hops : int }
+  | Reply of { id : int; issued_at : float; hops : int }
+  | Push of { version : int }
+  | Ping of { seq : int }
+  | Pong of { seq : int }
+
+(* Per-request metadata threaded through the rpc tracker. *)
+type request = { origin : Pid.t; issued_at : float }
+
+type state = {
+  config : config;
+  rng : Rng.t;
+  cluster : Cluster.t;
+  key : string;
+  engine : Engine.t;
+  overlay : msg Overlay.t;
+  (* Injected ground truth: which processes are actually up. It runs the
+     physical world — handlers, who can act — and scores the detector; it
+     is never consulted for routing or placement. *)
+  truth : bool array;
+  monitored : Pid.t array;
+  mutable rpc : request Rpc.t option;
+      (* built after the state: transmit closes over it *)
+  mutable detector : Heartbeat.t option;
+  estimators : Access_counter.t array;
+  cooldown_until : float array;
+  dedup : Rpc.Dedup.t;
+  mutable served : int;
+  mutable within_deadline : int;
+  latencies : Histogram.t;
+  hops : Histogram.t;
+  mutable replicas_created : int;
+  mutable spurious_suspicions : int;
+  mutable migrations : int;
+  mutable spurious_migrations : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable lost_keys : int;
+  mutable convergence : float option;
+  agreement_timeline : Timeseries.t;
+  sink : (Trace.Event.t -> unit) option;
+}
+
+let now st = Engine.now st.engine
+let emit st event = match st.sink with None -> () | Some f -> f event
+let truth_live st p = st.truth.(Pid.to_int p)
+let rpc st = Option.get st.rpc
+let detector st = Option.get st.detector
+
+(* --- Serving and replication (as in Des_sim, minus oracle faults) ------- *)
+
+let maybe_replicate st ~overloaded =
+  let i = Pid.to_int overloaded in
+  let rate = Access_counter.rate st.estimators.(i) ~now:(now st) in
+  if rate > st.config.capacity && now st >= st.cooldown_until.(i) then begin
+    match
+      Ops.choose_replica_target ~rng:st.rng st.cluster ~overloaded ~key:st.key
+    with
+    | None -> ()
+    | Some dest ->
+        st.cooldown_until.(i) <- now st +. st.config.cooldown;
+        let version =
+          Option.value ~default:0
+            (File_store.version (Cluster.store st.cluster overloaded)
+               ~key:st.key)
+        in
+        Overlay.send st.overlay ~src:overloaded ~dst:dest (Push { version })
+  end
+
+(* First delivery of a request ID does the work; duplicates only re-send
+   the reply, so retransmission is idempotent at the server. *)
+let serve st ~server ~id ~origin ~issued_at ~hops =
+  if Rpc.Dedup.first st.dedup ~id then begin
+    let i = Pid.to_int server in
+    File_store.record_access (Cluster.store st.cluster server) ~key:st.key
+      ~now:(now st);
+    Access_counter.record st.estimators.(i) ~now:(now st);
+    emit st
+      (Trace.Event.Request
+         { at = now st; origin = Pid.to_int origin; server = Some i; hops });
+    maybe_replicate st ~overloaded:server
+  end;
+  if Pid.equal server origin then begin
+    match Rpc.complete (rpc st) ~id with
+    | Some _ ->
+        st.served <- st.served + 1;
+        let latency = now st -. issued_at in
+        Histogram.add st.latencies latency;
+        Histogram.add_int st.hops hops;
+        if latency <= st.config.deadline then
+          st.within_deadline <- st.within_deadline + 1
+    | None -> ()
+  end
+  else Overlay.send st.overlay ~src:server ~dst:origin (Reply { id; issued_at; hops })
+
+(* One transmission attempt: route the request from its origin. A dead
+   end (no live route right now) sends nothing — the attempt simply times
+   out and the retry may find a route once the detector has migrated the
+   subtree. *)
+let transmit st ~id ~attempt:_ { origin; issued_at } =
+  if truth_live st origin then begin
+    if Cluster.holds st.cluster origin ~key:st.key then
+      serve st ~server:origin ~id ~origin ~issued_at ~hops:0
+    else
+      let tree = Cluster.tree_of_key st.cluster st.key in
+      match Topology.route_next tree (Cluster.status st.cluster) origin with
+      | Some next ->
+          Overlay.send st.overlay ~src:origin ~dst:next
+            (Get { id; origin; issued_at; hops = 1 })
+      | None -> ()
+  end
+
+let handle st ~me ~src msg =
+  match msg with
+  | Get { id; origin; issued_at; hops } ->
+      if Cluster.holds st.cluster me ~key:st.key then
+        serve st ~server:me ~id ~origin ~issued_at ~hops
+      else begin
+        let tree = Cluster.tree_of_key st.cluster st.key in
+        match Topology.route_next tree (Cluster.status st.cluster) me with
+        | Some next ->
+            Overlay.send st.overlay ~src:me ~dst:next
+              (Get { id; origin; issued_at; hops = hops + 1 })
+        | None -> ()
+        (* Dead end: the rpc layer, not the router, reports the fault. *)
+      end
+  | Reply { id; issued_at; hops } -> (
+      match Rpc.complete (rpc st) ~id with
+      | Some _ ->
+          st.served <- st.served + 1;
+          let latency = now st -. issued_at in
+          Histogram.add st.latencies latency;
+          Histogram.add_int st.hops hops;
+          if latency <= st.config.deadline then
+            st.within_deadline <- st.within_deadline + 1
+      | None -> ())
+  | Push { version } ->
+      if not (Cluster.holds st.cluster me ~key:st.key) then begin
+        File_store.add (Cluster.store st.cluster me) ~key:st.key
+          ~origin:File_store.Replicated ~version ~now:(now st);
+        st.replicas_created <- st.replicas_created + 1;
+        emit st
+          (Trace.Event.Replicate
+             { at = now st; src = Pid.to_int src; dst = Pid.to_int me;
+               key = st.key })
+      end
+  | Ping { seq } -> Overlay.send st.overlay ~src:me ~dst:src (Pong { seq })
+  | Pong { seq } -> Heartbeat.pong (detector st) ~peer:src ~seq
+
+(* --- The detector drives membership -------------------------------------- *)
+
+(* Pings originate from some node that is actually up (only live
+   processes act); picking it needs no oracle because a process trivially
+   knows whether it itself is running. *)
+let pick_truth_live st =
+  let space = Array.length st.truth in
+  let rec try_random k =
+    if k = 0 then
+      (* Dense failure: scan from a random offset. *)
+      let off = Rng.int st.rng space in
+      let rec scan i =
+        if i = space then None
+        else
+          let j = (off + i) mod space in
+          if st.truth.(j) then Some (Pid.unsafe_of_int j) else scan (i + 1)
+      in
+      scan 0
+    else
+      let i = Rng.int st.rng space in
+      if st.truth.(i) then Some (Pid.unsafe_of_int i) else try_random (k - 1)
+  in
+  try_random 16
+
+let send_ping st ~seq peer =
+  match pick_truth_live st with
+  | None -> ()
+  | Some monitor ->
+      Overlay.send st.overlay ~src:monitor ~dst:peer (Ping { seq })
+
+(* A verdict change is what a real deployment would act on: mark the
+   status word and run the Section 5 self-organized migration. This is
+   the only writer of the status word after t = 0. *)
+let on_verdict st p verdict =
+  let status = Cluster.status st.cluster in
+  match verdict with
+  | `Suspect ->
+      emit st (Trace.Event.Suspect { at = now st; node = Pid.to_int p });
+      if Status_word.is_live status p then begin
+        st.migrations <- st.migrations + 1;
+        if truth_live st p then begin
+          (* False suspicion: the node is up, but the system routes and
+             re-homes as if it departed. *)
+          st.spurious_suspicions <- st.spurious_suspicions + 1;
+          st.spurious_migrations <- st.spurious_migrations + 1;
+          ignore (Self_org.leave ~now:(now st) st.cluster p)
+        end
+        else begin
+          let stats = Self_org.fail ~now:(now st) st.cluster p in
+          st.lost_keys <- st.lost_keys + List.length stats.Self_org.lost
+        end
+      end
+  | `Trust ->
+      emit st (Trace.Event.Trust { at = now st; node = Pid.to_int p });
+      if Status_word.is_dead status p then
+        ignore (Self_org.join ~now:(now st) st.cluster p)
+
+(* --- Fault injection ------------------------------------------------------ *)
+
+let install_handler st p =
+  Overlay.set_handler st.overlay p (fun ~src msg -> handle st ~me:p ~src msg)
+
+let crash st p =
+  if truth_live st p then begin
+    st.truth.(Pid.to_int p) <- false;
+    Overlay.clear_handler st.overlay p;
+    st.crashes <- st.crashes + 1;
+    emit st
+      (Trace.Event.Membership
+         { at = now st; node = Pid.to_int p; change = `Fail })
+  end
+
+let restart st p =
+  if not (truth_live st p) then begin
+    st.truth.(Pid.to_int p) <- true;
+    install_handler st p;
+    st.restarts <- st.restarts + 1;
+    emit st
+      (Trace.Event.Membership
+         { at = now st; node = Pid.to_int p; change = `Join })
+  end
+
+let schedule_plan st (plan : Faults.plan) =
+  let at time f = Engine.schedule_at st.engine ~time f in
+  List.iter
+    (fun (c : Faults.crash) ->
+      at c.at (fun () -> crash st c.node);
+      Option.iter (fun r -> at r (fun () -> restart st c.node)) c.restart_at)
+    plan.crashes;
+  (* Loss bursts stack: the effective loss is the max of the baseline and
+     every active burst. *)
+  let active_losses = ref [] in
+  let apply_loss () =
+    let eff = List.fold_left Float.max st.config.loss !active_losses in
+    Overlay.set_loss st.overlay eff
+  in
+  List.iter
+    (fun (b : Faults.burst) ->
+      at b.from_ (fun () ->
+          active_losses := b.loss :: !active_losses;
+          apply_loss ());
+      at b.until (fun () ->
+          (* Remove one occurrence. *)
+          let rec drop = function
+            | [] -> []
+            | x :: rest -> if x = b.loss then rest else x :: drop rest
+          in
+          active_losses := drop !active_losses;
+          apply_loss ()))
+    plan.bursts;
+  (* Partitions: a send is dropped when any active cut blocks the link. *)
+  let space = Array.length st.truth in
+  let active_cuts : (bool array * Faults.direction) list ref = ref [] in
+  Overlay.set_filter st.overlay
+    (Some
+       (fun ~src ~dst ->
+         List.for_all
+           (fun (in_group, direction) ->
+             let s = in_group.(Pid.to_int src)
+             and d = in_group.(Pid.to_int dst) in
+             match direction with
+             | Faults.Both -> s = d
+             | Faults.Inbound -> not (d && not s)
+             | Faults.Outbound -> not (s && not d))
+           !active_cuts));
+  List.iter
+    (fun (p : Faults.partition) ->
+      let in_group = Array.make space false in
+      List.iter (fun q -> in_group.(Pid.to_int q) <- true) p.group;
+      let cut = (in_group, p.direction) in
+      at p.from_ (fun () -> active_cuts := cut :: !active_cuts);
+      at p.until (fun () ->
+          active_cuts := List.filter (fun c -> c != cut) !active_cuts))
+    plan.partitions
+
+(* --- Detector accuracy ---------------------------------------------------- *)
+
+let agreement st =
+  let status = Cluster.status st.cluster in
+  let agree =
+    Array.fold_left
+      (fun acc p ->
+        if Status_word.is_live status p = truth_live st p then acc + 1
+        else acc)
+      0 st.monitored
+  in
+  float_of_int agree /. float_of_int (Array.length st.monitored)
+
+let start_sampling st ~quiet_from ~duration =
+  let rec tick time =
+    if time <= duration then
+      Engine.schedule_at st.engine ~time (fun () ->
+          let a = agreement st in
+          Timeseries.record st.agreement_timeline ~time a;
+          if
+            st.convergence = None && time >= quiet_from
+            && a >= st.config.agreement_target
+          then st.convergence <- Some (time -. quiet_from);
+          tick (time +. st.config.sample_period))
+  in
+  tick st.config.sample_period
+
+(* --- Arrivals ------------------------------------------------------------- *)
+
+let start_arrivals st ~demand ~until =
+  Status_word.iter_live (Cluster.status st.cluster) (fun origin ->
+      let rate = Demand.rate demand origin in
+      if rate > 0.0 then begin
+        let rec schedule_from t0 =
+          let t = t0 +. Rng.exponential st.rng ~rate in
+          if t < until then
+            Engine.schedule_at st.engine ~time:t (fun () ->
+                if truth_live st origin then
+                  ignore (Rpc.issue (rpc st) { origin; issued_at = now st });
+                schedule_from (now st))
+        in
+        schedule_from 0.0
+      end)
+
+(* --- Entry point ----------------------------------------------------------- *)
+
+let run ?(config = default_config) ?(plan = Faults.empty) ?sink ~rng ~cluster
+    ~key ~demand ~duration () =
+  let params = Cluster.params cluster in
+  let engine = Engine.create () in
+  let overlay =
+    Overlay.create ~engine ~rng ~latency:config.latency ~loss:config.loss
+      params
+  in
+  let space = Params.space params in
+  let truth = Array.make space false in
+  Status_word.iter_live (Cluster.status cluster) (fun p ->
+      truth.(Pid.to_int p) <- true);
+  let monitored = Status_word.live_array (Cluster.status cluster) in
+  let st =
+    {
+      config;
+      rng;
+      cluster;
+      key;
+      engine;
+      overlay;
+      truth;
+      monitored;
+      rpc = None;
+      detector = None;
+      estimators =
+        Array.init space (fun _ ->
+            Access_counter.create ~tau:config.detection_tau ~now:0.0 ());
+      cooldown_until = Array.make space 0.0;
+      dedup = Rpc.Dedup.create ();
+      served = 0;
+      within_deadline = 0;
+      latencies = Histogram.create ();
+      hops = Histogram.create ();
+      replicas_created = 0;
+      spurious_suspicions = 0;
+      migrations = 0;
+      spurious_migrations = 0;
+      crashes = 0;
+      restarts = 0;
+      lost_keys = 0;
+      convergence = None;
+      agreement_timeline = Timeseries.create ~label:"agreement" ();
+      sink;
+    }
+  in
+  let rpc_events = function
+    | Rpc.Timeout { id; attempt; meta } ->
+        emit st
+          (Trace.Event.Timeout
+             { at = now st; id; origin = Pid.to_int meta.origin; attempt })
+    | Rpc.Retransmit { id; attempt; meta } ->
+        emit st
+          (Trace.Event.Retry
+             { at = now st; id; origin = Pid.to_int meta.origin; attempt })
+    | Rpc.Exhausted { id = _; attempts = _; meta } ->
+        emit st
+          (Trace.Event.Request
+             { at = now st; origin = Pid.to_int meta.origin; server = None;
+               hops = 0 })
+  in
+  st.rpc <-
+    Some
+      (Rpc.create ~engine ~rng ~config:config.rpc ~on_event:rpc_events
+         ~transmit:(fun ~id ~attempt meta -> transmit st ~id ~attempt meta)
+         ());
+  st.detector <-
+    Some
+      (Heartbeat.create ~engine ~config:config.heartbeat ~peers:monitored
+         ~ping:(fun ~seq peer -> send_ping st ~seq peer)
+         ~on_change:(fun p verdict -> on_verdict st p verdict)
+         ());
+  Array.iter (fun p -> install_handler st p) monitored;
+  schedule_plan st plan;
+  Heartbeat.start (detector st) ~until:duration;
+  let quiet_from = Faults.last_disturbance plan in
+  start_sampling st ~quiet_from ~duration;
+  start_arrivals st ~demand ~until:(config.arrival_stop *. duration);
+  Engine.run ~until:duration engine;
+  let r = rpc st in
+  let d = detector st in
+  {
+    issued = Rpc.issued r;
+    served = st.served;
+    faulted = Rpc.exhausted r;
+    pending_at_end = Rpc.in_flight r;
+    within_deadline = st.within_deadline;
+    duplicate_serves = Rpc.Dedup.duplicates st.dedup;
+    retransmissions = Rpc.retransmissions r;
+    timeouts = Rpc.timeouts r;
+    latencies = st.latencies;
+    hops = st.hops;
+    replicas_created = st.replicas_created;
+    suspicions = Heartbeat.suspicions d;
+    recoveries = Heartbeat.recoveries d;
+    spurious_suspicions = st.spurious_suspicions;
+    migrations = st.migrations;
+    spurious_migrations = st.spurious_migrations;
+    crashes = st.crashes;
+    restarts = st.restarts;
+    lost_keys = st.lost_keys;
+    detector_agreement = agreement st;
+    convergence = st.convergence;
+    agreement_timeline = st.agreement_timeline;
+    messages = Overlay.messages_sent overlay;
+  }

@@ -1,0 +1,110 @@
+open Lesslog_id
+module Engine = Lesslog_sim.Engine
+
+type config = { period : float; suspect_after : int }
+
+let default_config = { period = 0.5; suspect_after = 5 }
+
+type verdict = [ `Suspect | `Trust ]
+
+type peer = {
+  pid : Pid.t;
+  mutable misses : int;
+  mutable suspected : bool;
+  mutable last_seq : int;  (* sequence number of the outstanding ping *)
+  mutable answered : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  peers : peer array;
+  index : (int, peer) Hashtbl.t;  (* PID int -> peer *)
+  ping : seq:int -> Pid.t -> unit;
+  on_change : Pid.t -> verdict -> unit;
+  mutable next_seq : int;
+  mutable rounds : int;
+  mutable suspicions : int;
+  mutable recoveries : int;
+}
+
+let create ~engine ?(config = default_config) ~peers ~ping ~on_change () =
+  if config.period <= 0.0 then invalid_arg "Heartbeat.create: period";
+  if config.suspect_after < 1 then invalid_arg "Heartbeat.create: suspect_after";
+  let peers =
+    Array.map
+      (fun pid ->
+        { pid; misses = 0; suspected = false; last_seq = -1; answered = true })
+      peers
+  in
+  let index = Hashtbl.create (Array.length peers) in
+  Array.iter (fun p -> Hashtbl.replace index (Pid.to_int p.pid) p) peers;
+  {
+    engine;
+    config;
+    peers;
+    index;
+    ping;
+    on_change;
+    next_seq = 0;
+    rounds = 0;
+    suspicions = 0;
+    recoveries = 0;
+  }
+
+let round t =
+  t.rounds <- t.rounds + 1;
+  Array.iter
+    (fun p ->
+      if (not p.answered) && p.last_seq >= 0 then begin
+        p.misses <- p.misses + 1;
+        if p.misses >= t.config.suspect_after && not p.suspected then begin
+          p.suspected <- true;
+          t.suspicions <- t.suspicions + 1;
+          t.on_change p.pid `Suspect
+        end
+      end;
+      let seq = t.next_seq in
+      t.next_seq <- t.next_seq + 1;
+      p.last_seq <- seq;
+      p.answered <- false;
+      t.ping ~seq p.pid)
+    t.peers
+
+let start t ~until =
+  let rec tick () =
+    if Engine.now t.engine <= until then begin
+      round t;
+      let next = Engine.now t.engine +. t.config.period in
+      if next <= until then Engine.schedule_at t.engine ~time:next tick
+    end
+  in
+  tick ()
+
+let pong t ~peer ~seq =
+  match Hashtbl.find_opt t.index (Pid.to_int peer) with
+  | None -> ()
+  | Some p ->
+      (* Accept any sequence number we actually sent to this peer: a pong
+         that raced the next round is still evidence of life. *)
+      if seq <= p.last_seq then begin
+        if seq = p.last_seq then p.answered <- true;
+        p.misses <- 0;
+        if p.suspected then begin
+          p.suspected <- false;
+          t.recoveries <- t.recoveries + 1;
+          t.on_change p.pid `Trust
+        end
+      end
+
+let suspected t pid =
+  match Hashtbl.find_opt t.index (Pid.to_int pid) with
+  | None -> false
+  | Some p -> p.suspected
+
+let suspected_count t =
+  Array.fold_left (fun acc p -> if p.suspected then acc + 1 else acc) 0 t.peers
+
+let rounds t = t.rounds
+let suspicions t = t.suspicions
+let recoveries t = t.recoveries

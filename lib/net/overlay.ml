@@ -6,33 +6,50 @@ type 'msg t = {
   engine : Engine.t;
   rng : Rng.t;
   latency : Latency.t;
-  loss : float;
+  mutable loss : float;
+  mutable filter : (src:Pid.t -> dst:Pid.t -> bool) option;
   handlers : (src:Pid.t -> 'msg -> unit) option array;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
 }
 
+let check_loss loss =
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Overlay: loss"
+
 let create ~engine ~rng ?(latency = Latency.default) ?(loss = 0.0) params =
-  if loss < 0.0 || loss >= 1.0 then invalid_arg "Overlay.create: loss";
+  check_loss loss;
   {
     engine;
     rng;
     latency;
     loss;
+    filter = None;
     handlers = Array.make (Params.space params) None;
     sent = 0;
     delivered = 0;
     dropped = 0;
   }
 
+let set_loss t loss =
+  check_loss loss;
+  t.loss <- loss
+
+let loss t = t.loss
+
+let set_filter t f = t.filter <- f
+
 let set_handler t p f = t.handlers.(Pid.to_int p) <- Some f
 
 let clear_handler t p = t.handlers.(Pid.to_int p) <- None
 
+let link_up t ~src ~dst =
+  match t.filter with None -> true | Some f -> f ~src ~dst
+
 let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
-  if t.loss > 0.0 && Rng.bernoulli t.rng ~p:t.loss then
+  if not (link_up t ~src ~dst) then t.dropped <- t.dropped + 1
+  else if t.loss > 0.0 && Rng.bernoulli t.rng ~p:t.loss then
     t.dropped <- t.dropped + 1
   else begin
     let delay = Latency.sample t.latency t.rng in

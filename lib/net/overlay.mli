@@ -15,6 +15,17 @@ val create :
   'msg t
 (** [loss] is the probability a message is silently dropped (default 0). *)
 
+val set_loss : 'msg t -> float -> unit
+(** Change the drop probability mid-run — loss bursts in fault-injection
+    scenarios. @raise Invalid_argument outside [[0, 1)]. *)
+
+val loss : 'msg t -> float
+
+val set_filter : 'msg t -> (src:Pid.t -> dst:Pid.t -> bool) option -> unit
+(** Install (or clear) a link filter consulted at send time: a message
+    whose link is down ([false]) is dropped and counted. Partitions —
+    including asymmetric ones — are expressed here. *)
+
 val set_handler : 'msg t -> Pid.t -> (src:Pid.t -> 'msg -> unit) -> unit
 
 val clear_handler : 'msg t -> Pid.t -> unit

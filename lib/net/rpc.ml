@@ -1,0 +1,122 @@
+module Engine = Lesslog_sim.Engine
+module Rng = Lesslog_prng.Rng
+
+type config = { timeout : float; policy : Retry.policy }
+
+let default_config = { timeout = 1.0; policy = Retry.default }
+
+type 'meta event =
+  | Timeout of { id : int; attempt : int; meta : 'meta }
+  | Retransmit of { id : int; attempt : int; meta : 'meta }
+  | Exhausted of { id : int; attempts : int; meta : 'meta }
+
+(* The engine has no timer cancellation: a timeout callback fires
+   unconditionally and checks that the request is still pending on the
+   same attempt it was armed for. Completion removes the pending entry, so
+   stale timers are no-ops. *)
+type 'meta request = { meta : 'meta; mutable attempt : int }
+
+type 'meta t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  config : config;
+  transmit : id:int -> attempt:int -> 'meta -> unit;
+  on_event : ('meta event -> unit) option;
+  live : (int, 'meta request) Hashtbl.t;
+  mutable next_id : int;
+  mutable issued : int;
+  mutable completed : int;
+  mutable exhausted : int;
+  mutable retransmissions : int;
+  mutable timeouts : int;
+}
+
+let create ~engine ~rng ?(config = default_config) ?on_event ~transmit () =
+  if config.timeout <= 0.0 then invalid_arg "Rpc.create: timeout";
+  {
+    engine;
+    rng;
+    config;
+    transmit;
+    on_event;
+    live = Hashtbl.create 64;
+    next_id = 0;
+    issued = 0;
+    completed = 0;
+    exhausted = 0;
+    retransmissions = 0;
+    timeouts = 0;
+  }
+
+let emit t e = match t.on_event with None -> () | Some f -> f e
+
+let rec arm t id attempt =
+  Engine.schedule t.engine ~delay:t.config.timeout (fun () ->
+      match Hashtbl.find_opt t.live id with
+      | Some r when r.attempt = attempt ->
+          t.timeouts <- t.timeouts + 1;
+          emit t (Timeout { id; attempt; meta = r.meta });
+          if attempt + 1 >= Retry.attempts t.config.policy then begin
+            Hashtbl.remove t.live id;
+            t.exhausted <- t.exhausted + 1;
+            emit t (Exhausted { id; attempts = attempt + 1; meta = r.meta })
+          end
+          else
+            let backoff =
+              Retry.delay t.config.policy t.rng ~retry:(attempt + 1)
+            in
+            Engine.schedule t.engine ~delay:backoff (fun () ->
+                match Hashtbl.find_opt t.live id with
+                | Some r when r.attempt = attempt ->
+                    r.attempt <- attempt + 1;
+                    t.retransmissions <- t.retransmissions + 1;
+                    emit t (Retransmit { id; attempt = attempt + 1; meta = r.meta });
+                    t.transmit ~id ~attempt:(attempt + 1) r.meta;
+                    arm t id (attempt + 1)
+                | _ -> ())
+      | _ -> ())
+
+let issue t meta =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  t.issued <- t.issued + 1;
+  Hashtbl.add t.live id { meta; attempt = 0 };
+  t.transmit ~id ~attempt:0 meta;
+  arm t id 0;
+  id
+
+let complete t ~id =
+  match Hashtbl.find_opt t.live id with
+  | Some r ->
+      Hashtbl.remove t.live id;
+      t.completed <- t.completed + 1;
+      Some r.meta
+  | None -> None
+
+let meta t ~id = Option.map (fun r -> r.meta) (Hashtbl.find_opt t.live id)
+let pending t ~id = Hashtbl.mem t.live id
+let in_flight t = Hashtbl.length t.live
+let issued t = t.issued
+let completed t = t.completed
+let exhausted t = t.exhausted
+let retransmissions t = t.retransmissions
+let timeouts t = t.timeouts
+
+module Dedup = struct
+  type t = { seen : (int, unit) Hashtbl.t; mutable duplicates : int }
+
+  let create () = { seen = Hashtbl.create 64; duplicates = 0 }
+
+  let first t ~id =
+    if Hashtbl.mem t.seen id then begin
+      t.duplicates <- t.duplicates + 1;
+      false
+    end
+    else begin
+      Hashtbl.add t.seen id ();
+      true
+    end
+
+  let seen t ~id = Hashtbl.mem t.seen id
+  let duplicates t = t.duplicates
+end

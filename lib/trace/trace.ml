@@ -4,10 +4,15 @@ module Event = struct
     | Replicate of { at : float; src : int; dst : int; key : string }
     | Evict of { at : float; node : int; key : string }
     | Membership of { at : float; node : int; change : [ `Join | `Leave | `Fail ] }
+    | Timeout of { at : float; id : int; origin : int; attempt : int }
+    | Retry of { at : float; id : int; origin : int; attempt : int }
+    | Suspect of { at : float; node : int }
+    | Trust of { at : float; node : int }
 
   let time = function
     | Request { at; _ } | Replicate { at; _ } | Evict { at; _ }
-    | Membership { at; _ } ->
+    | Membership { at; _ } | Timeout { at; _ } | Retry { at; _ }
+    | Suspect { at; _ } | Trust { at; _ } ->
         at
 
   (* Percent-encode anything that would break space-separated parsing. *)
@@ -54,6 +59,12 @@ module Event = struct
     | Membership { at; node; change } ->
         Printf.sprintf "MEM %s %d %s" (float_repr at) node
           (match change with `Join -> "join" | `Leave -> "leave" | `Fail -> "fail")
+    | Timeout { at; id; origin; attempt } ->
+        Printf.sprintf "TMO %s %d %d %d" (float_repr at) id origin attempt
+    | Retry { at; id; origin; attempt } ->
+        Printf.sprintf "RTY %s %d %d %d" (float_repr at) id origin attempt
+    | Suspect { at; node } -> Printf.sprintf "SUS %s %d" (float_repr at) node
+    | Trust { at; node } -> Printf.sprintf "TRU %s %d" (float_repr at) node
 
   let of_line line =
     let fail () = Error (Printf.sprintf "malformed trace line: %S" line) in
@@ -96,6 +107,23 @@ module Event = struct
         with
         | Some at, Some node, Some change ->
             Ok (Membership { at; node; change })
+        | _ -> fail ())
+    | [ (("TMO" | "RTY") as tag); at; id; origin; attempt ] -> (
+        match
+          ( float_of_string_opt at,
+            int_of_string_opt id,
+            int_of_string_opt origin,
+            int_of_string_opt attempt )
+        with
+        | Some at, Some id, Some origin, Some attempt ->
+            if tag = "TMO" then Ok (Timeout { at; id; origin; attempt })
+            else Ok (Retry { at; id; origin; attempt })
+        | _ -> fail ())
+    | [ (("SUS" | "TRU") as tag); at; node ] -> (
+        match (float_of_string_opt at, int_of_string_opt node) with
+        | Some at, Some node ->
+            if tag = "SUS" then Ok (Suspect { at; node })
+            else Ok (Trust { at; node })
         | _ -> fail ())
     | _ -> fail ()
 
@@ -163,6 +191,10 @@ type summary = {
   replications : int;
   evictions : int;
   membership_changes : int;
+  timeouts : int;
+  retries : int;
+  suspicions : int;
+  recoveries : int;
   span : float;
 }
 
@@ -172,6 +204,10 @@ let summarize events =
   and replications = ref 0
   and evictions = ref 0
   and membership = ref 0
+  and timeouts = ref 0
+  and retries = ref 0
+  and suspicions = ref 0
+  and recoveries = ref 0
   and t_min = ref infinity
   and t_max = ref neg_infinity in
   List.iter
@@ -185,7 +221,11 @@ let summarize events =
           if server = None then incr faults
       | Event.Replicate _ -> incr replications
       | Event.Evict _ -> incr evictions
-      | Event.Membership _ -> incr membership)
+      | Event.Membership _ -> incr membership
+      | Event.Timeout _ -> incr timeouts
+      | Event.Retry _ -> incr retries
+      | Event.Suspect _ -> incr suspicions
+      | Event.Trust _ -> incr recoveries)
     events;
   {
     events = List.length events;
@@ -194,5 +234,9 @@ let summarize events =
     replications = !replications;
     evictions = !evictions;
     membership_changes = !membership;
+    timeouts = !timeouts;
+    retries = !retries;
+    suspicions = !suspicions;
+    recoveries = !recoveries;
     span = (if events = [] then 0.0 else !t_max -. !t_min);
   }

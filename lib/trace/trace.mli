@@ -1,6 +1,8 @@
 (** Simulation event traces: capture what the event-driven simulator did,
     one event per line, for offline analysis and replay. The format is a
-    stable, human-greppable text codec with an exact round-trip. *)
+    stable, human-greppable text codec with an exact round-trip; see
+    [lib/trace/README.md] for the line grammar, one section per variant,
+    with example lines. *)
 
 module Event : sig
   type t =
@@ -13,6 +15,15 @@ module Event : sig
     | Replicate of { at : float; src : int; dst : int; key : string }
     | Evict of { at : float; node : int; key : string }
     | Membership of { at : float; node : int; change : [ `Join | `Leave | `Fail ] }
+    | Timeout of { at : float; id : int; origin : int; attempt : int }
+        (** Attempt [attempt] of request [id] went unanswered at [origin]. *)
+    | Retry of { at : float; id : int; origin : int; attempt : int }
+        (** [origin] retransmitted request [id] as attempt [attempt]. *)
+    | Suspect of { at : float; node : int }
+        (** The failure detector stopped trusting [node]. *)
+    | Trust of { at : float; node : int }
+        (** The failure detector trusts [node] again (false-suspicion
+            recovery, or a restarted node coming back). *)
 
   val time : t -> float
 
@@ -49,6 +60,10 @@ type summary = {
   replications : int;
   evictions : int;
   membership_changes : int;
+  timeouts : int;
+  retries : int;
+  suspicions : int;
+  recoveries : int;
   span : float;  (** Last event time minus first. *)
 }
 

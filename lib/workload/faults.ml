@@ -1,0 +1,113 @@
+open Lesslog_id
+module Rng = Lesslog_prng.Rng
+
+type burst = { from_ : float; until : float; loss : float }
+
+type crash = { node : Pid.t; at : float; restart_at : float option }
+
+type direction = Both | Inbound | Outbound
+
+type partition = {
+  from_ : float;
+  until : float;
+  group : Pid.t list;
+  direction : direction;
+}
+
+type plan = {
+  bursts : burst list;
+  crashes : crash list;
+  partitions : partition list;
+}
+
+let empty = { bursts = []; crashes = []; partitions = [] }
+
+let last_disturbance plan =
+  let m = ref 0.0 in
+  let see t = if t > !m then m := t in
+  List.iter (fun (b : burst) -> see b.until) plan.bursts;
+  List.iter
+    (fun c ->
+      see c.at;
+      Option.iter see c.restart_at)
+    plan.crashes;
+  List.iter (fun (p : partition) -> see p.until) plan.partitions;
+  !m
+
+let crashed_at plan ~time =
+  List.filter_map
+    (fun c ->
+      let down =
+        time >= c.at
+        && match c.restart_at with None -> true | Some r -> time < r
+      in
+      if down then Some c.node else None)
+    plan.crashes
+
+let generate ~rng ~live ~duration ?(active_until = 0.6)
+    ?(crash_fraction = 0.05) ?(restart_fraction = 0.5) ?mean_downtime
+    ?(bursts = 1) ?(burst_loss = 0.5) ?mean_burst ?(partitions = 0)
+    ?(partition_fraction = 0.25) ?mean_partition () =
+  if duration <= 0.0 then invalid_arg "Faults.generate: duration";
+  if active_until <= 0.05 || active_until > 0.75 then
+    invalid_arg "Faults.generate: active_until";
+  let mean_downtime = Option.value mean_downtime ~default:(duration /. 8.0) in
+  let mean_burst = Option.value mean_burst ~default:(duration /. 10.0) in
+  let mean_partition =
+    Option.value mean_partition ~default:(duration /. 10.0)
+  in
+  let settle = 0.75 *. duration in
+  let start_in () =
+    let lo = 0.05 *. duration and hi = active_until *. duration in
+    lo +. Rng.float rng (hi -. lo)
+  in
+  let window mean =
+    let from_ = start_in () in
+    let until =
+      Float.min settle (from_ +. Rng.exponential rng ~rate:(1.0 /. mean))
+    in
+    (from_, Float.max until (from_ +. (0.01 *. duration)))
+  in
+  let pool = Array.of_list live in
+  let n = Array.length pool in
+  let crash_count =
+    int_of_float (Float.round (crash_fraction *. float_of_int n))
+  in
+  let victims = Rng.sample_without_replacement rng ~k:crash_count pool in
+  let crashes =
+    Array.to_list victims
+    |> List.map (fun node ->
+           let at = start_in () in
+           let restart_at =
+             if Rng.bernoulli rng ~p:restart_fraction then
+               let back =
+                 at +. Rng.exponential rng ~rate:(1.0 /. mean_downtime)
+               in
+               (* A restart that would land in the quiet tail is pulled
+                  back so convergence is measured against a stable truth. *)
+               Some (Float.min settle back)
+             else None
+           in
+           { node; at; restart_at })
+  in
+  let bursts =
+    List.init bursts (fun _ ->
+        let from_, until = window mean_burst in
+        { from_; until; loss = burst_loss })
+  in
+  let partitions =
+    List.init partitions (fun _ ->
+        let from_, until = window mean_partition in
+        let k =
+          Stdlib.max 1
+            (int_of_float (Float.round (partition_fraction *. float_of_int n)))
+        in
+        let group =
+          Array.to_list (Rng.sample_without_replacement rng ~k pool)
+        in
+        let direction =
+          match Rng.int rng 3 with 0 -> Both | 1 -> Inbound | _ -> Outbound
+        in
+        { from_; until; group; direction })
+  in
+  { bursts; crashes; partitions }

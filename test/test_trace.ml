@@ -16,6 +16,10 @@ let sample_events =
     Event.Membership { at = 4.0; node = 5; change = `Fail };
     Event.Membership { at = 4.5; node = 5; change = `Join };
     Event.Membership { at = 5.0; node = 6; change = `Leave };
+    Event.Timeout { at = 5.5; id = 42; origin = 3; attempt = 0 };
+    Event.Retry { at = 5.75; id = 42; origin = 3; attempt = 1 };
+    Event.Suspect { at = 6.0; node = 7 };
+    Event.Trust { at = 6.5; node = 7 };
   ]
 
 let test_roundtrip_each () =
@@ -73,13 +77,17 @@ let test_file_roundtrip () =
 
 let test_summary () =
   let s = Trace.summarize sample_events in
-  Alcotest.(check int) "events" 7 s.Trace.events;
+  Alcotest.(check int) "events" 11 s.Trace.events;
   Alcotest.(check int) "requests" 2 s.Trace.requests;
   Alcotest.(check int) "faults" 1 s.Trace.faults;
   Alcotest.(check int) "replications" 1 s.Trace.replications;
   Alcotest.(check int) "evictions" 1 s.Trace.evictions;
   Alcotest.(check int) "membership" 3 s.Trace.membership_changes;
-  Alcotest.(check (float 1e-9)) "span" 4.5 s.Trace.span
+  Alcotest.(check int) "timeouts" 1 s.Trace.timeouts;
+  Alcotest.(check int) "retries" 1 s.Trace.retries;
+  Alcotest.(check int) "suspicions" 1 s.Trace.suspicions;
+  Alcotest.(check int) "recoveries" 1 s.Trace.recoveries;
+  Alcotest.(check (float 1e-9)) "span" 6.0 s.Trace.span
 
 let test_des_emits_trace () =
   let params = Params.create ~m:6 () in
@@ -116,6 +124,43 @@ let test_des_emits_trace () =
       in
       Alcotest.(check bool) "chronological" true (sorted events)
 
+let test_fault_sim_emits_trace () =
+  let params = Params.create ~m:6 () in
+  let cluster = Cluster.create params in
+  let key = "traced-object" in
+  ignore (Ops.insert cluster ~key);
+  let rng = Rng.create ~seed:23 in
+  let demand = Demand.uniform (Cluster.status cluster) ~total:300.0 in
+  let buf = Buffer.create 65536 in
+  let w = Trace.Writer.to_buffer buf in
+  let live =
+    Lesslog_membership.Status_word.live_pids (Cluster.status cluster)
+  in
+  let plan =
+    Lesslog_workload.Faults.generate ~rng ~live ~duration:30.0
+      ~crash_fraction:0.05 ~bursts:1 ()
+  in
+  let config = { Lesslog_des.Fault_sim.default_config with loss = 0.2 } in
+  let result =
+    Lesslog_des.Fault_sim.run ~config ~plan ~sink:(Trace.Writer.emit w) ~rng
+      ~cluster ~key ~demand ~duration:30.0 ()
+  in
+  Trace.Writer.close w;
+  match Trace.read_string (Buffer.contents buf) with
+  | Error msg -> Alcotest.fail msg
+  | Ok events ->
+      let s = Trace.summarize events in
+      let module F = Lesslog_des.Fault_sim in
+      Alcotest.(check int) "timeouts recorded" result.F.timeouts
+        s.Trace.timeouts;
+      Alcotest.(check int) "retries recorded" result.F.retransmissions
+        s.Trace.retries;
+      Alcotest.(check int) "suspicions recorded" result.F.suspicions
+        s.Trace.suspicions;
+      Alcotest.(check int) "recoveries recorded" result.F.recoveries
+        s.Trace.recoveries;
+      Alcotest.(check bool) "loss produced timeouts" true (s.Trace.timeouts > 0)
+
 let prop_roundtrip_random =
   Test_support.qcheck_case ~name:"random events round-trip"
     QCheck2.Gen.(
@@ -139,6 +184,18 @@ let prop_roundtrip_random =
             (fun (at, node) change -> Event.Membership { at; node; change })
             (pair at node)
             (oneofl [ `Join; `Leave; `Fail ]);
+          map2
+            (fun (at, id) (origin, attempt) ->
+              Event.Timeout { at; id; origin; attempt })
+            (pair at (int_range 0 100_000))
+            (pair node (int_range 0 8));
+          map2
+            (fun (at, id) (origin, attempt) ->
+              Event.Retry { at; id; origin; attempt })
+            (pair at (int_range 0 100_000))
+            (pair node (int_range 0 8));
+          map (fun (at, node) -> Event.Suspect { at; node }) (pair at node);
+          map (fun (at, node) -> Event.Trust { at; node }) (pair at node);
         ])
     (fun e ->
       match Event.of_line (Event.to_line e) with
@@ -161,6 +218,11 @@ let () =
           Alcotest.test_case "summary" `Quick test_summary;
         ] );
       ( "integration",
-        [ Alcotest.test_case "DES emits a coherent trace" `Quick test_des_emits_trace ] );
+        [
+          Alcotest.test_case "DES emits a coherent trace" `Quick
+            test_des_emits_trace;
+          Alcotest.test_case "fault sim emits reliability events" `Quick
+            test_fault_sim_emits_trace;
+        ] );
       ("properties", [ prop_roundtrip_random ]);
     ]
