@@ -2,12 +2,21 @@
 
    Part 1 — bechamel micro-benchmarks of the primitives the paper's claims
    rest on (bitwise tree navigation, logless placement, lookup routing).
+   The `naive/` entries run the uncached reference implementations
+   (Topology.Naive) on identical inputs, so each JSON snapshot carries its
+   own before/after pair.
 
    Part 2 — regeneration of every figure of the paper's evaluation
    (Figures 5–8) plus the ablation tables A1–A5 and the V1 engine
    cross-validation, at the paper's full scale (m = 10, 1024 slots).
 
-   Set LESSLOG_BENCH_QUICK=1 to run the figures at reduced scale. *)
+   Both parts append to the machine-readable trajectory files:
+   BENCH_micro.json (name -> ns/op) and BENCH_figures.json (figure ->
+   wall-clock seconds), written to $LESSLOG_BENCH_OUT or the working
+   directory. The format is documented in EXPERIMENTS.md.
+
+   Set LESSLOG_BENCH_QUICK=1 to run the figures at reduced scale and
+   LESSLOG_BENCH_MICRO_ONLY=1 to skip them entirely. *)
 
 open Bechamel
 open Toolkit
@@ -22,6 +31,11 @@ module Topology = Lesslog_topology.Topology
 module Demand = Lesslog_workload.Demand
 module Flow = Lesslog_flow.Flow
 module Rng = Lesslog_prng.Rng
+module Bench_json = Lesslog_report.Bench_json
+
+let out_file name =
+  let dir = Option.value (Sys.getenv_opt "LESSLOG_BENCH_OUT") ~default:"." in
+  Filename.concat dir name
 
 (* --- Part 1: micro-benchmarks ------------------------------------------ *)
 
@@ -34,6 +48,19 @@ let micro_tests () =
     let s = Status_word.create params10 ~initially_live:true in
     let rng = Rng.create ~seed:5 in
     ignore (Status_word.kill_fraction s rng ~fraction:0.3);
+    s
+  in
+  (* Correlated failure: a contiguous 30% band of the VID space is dead
+     (slots 40%..70%), the regime where FINDLIVENODE must skip long dead
+     runs. Random starts land in the band ~30% of the time, making the
+     scan length the dominant cost. *)
+  let block_holed =
+    let s = Status_word.create params10 ~initially_live:true in
+    let space = Params.space params10 in
+    let lo = 4 * space / 10 and hi = 7 * space / 10 in
+    for v = lo to hi - 1 do
+      Status_word.set_dead s (Ptree.pid_of_vid tree (Vid.unsafe_of_int v))
+    done;
     s
   in
   let mid = Pid.unsafe_of_int 777 in
@@ -76,7 +103,16 @@ let micro_tests () =
       (Staged.stage (fun () -> Ptree.depth tree (next_pid ())));
     Test.make ~name:"tree/children_list(30% dead)"
       (Staged.stage (fun () -> Topology.children_list tree holed (next_pid ())));
+    Test.make ~name:"naive/children_list(30% dead)"
+      (Staged.stage (fun () ->
+           Topology.Naive.children_list tree holed (next_pid ())));
     Test.make ~name:"tree/find_live_node(30% dead)"
+      (Staged.stage (fun () ->
+           Topology.find_live_node tree block_holed ~start:(next_pid ())));
+    Test.make ~name:"naive/find_live_node(30% dead)"
+      (Staged.stage (fun () ->
+           Topology.Naive.find_live_node tree block_holed ~start:(next_pid ())));
+    Test.make ~name:"tree/find_live_node(30% random dead)"
       (Staged.stage (fun () ->
            Topology.find_live_node tree holed ~start:(next_pid ())));
     Test.make ~name:"lookup/route_path(all live)"
@@ -89,6 +125,14 @@ let micro_tests () =
              | None -> mid
            in
            Topology.route_path tree holed ~origin));
+    Test.make ~name:"naive/route_path(30% dead)"
+      (Staged.stage (fun () ->
+           let origin =
+             match Topology.find_live_node tree holed ~start:(next_pid ()) with
+             | Some p -> p
+             | None -> mid
+           in
+           Topology.Naive.route_path tree holed ~origin));
     Test.make ~name:"lookup/psi"
       (Staged.stage (fun () -> Lesslog_hash.Psi.target psi "http://example.com/some/object.bin"));
     Test.make ~name:"lookup/chord"
@@ -142,9 +186,19 @@ let run_micro () =
   List.iter
     (fun (name, ns) -> Printf.printf "%-44s %12.1f ns\n" name ns)
     rows;
-  print_newline ()
+  print_newline ();
+  Bench_json.write ~path:(out_file "BENCH_micro.json") rows;
+  Printf.printf "wrote %s\n\n" (out_file "BENCH_micro.json")
 
 (* --- Part 2: paper figures and ablations -------------------------------- *)
+
+let figure_times : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  figure_times := (name, Unix.gettimeofday () -. t0) :: !figure_times;
+  result
 
 let show ~title ~x_label series =
   print_endline title;
@@ -159,27 +213,35 @@ let run_figures () =
     "Paper evaluation: m = %d (%d slots), capacity = %.0f req/s, %d trials\n\n"
     config.E.m (1 lsl config.E.m) config.E.capacity config.E.trials;
   show ~title:"Figure 5: replicas to balance vs demand (even load)"
-    ~x_label:"req/s" (E.fig5 ~config ());
+    ~x_label:"req/s"
+    (timed "fig5" (fun () -> E.fig5 ~config ()));
   show ~title:"Figure 6: LessLog with 10/20/30% dead nodes (even load)"
-    ~x_label:"req/s" (E.fig6 ~config ());
+    ~x_label:"req/s"
+    (timed "fig6" (fun () -> E.fig6 ~config ()));
   show ~title:"Figure 7: replicas to balance vs demand (locality 80/20)"
-    ~x_label:"req/s" (E.fig7 ~config ());
+    ~x_label:"req/s"
+    (timed "fig7" (fun () -> E.fig7 ~config ()));
   show ~title:"Figure 8: LessLog with 10/20/30% dead nodes (locality)"
-    ~x_label:"req/s" (E.fig8 ~config ());
+    ~x_label:"req/s"
+    (timed "fig8" (fun () -> E.fig8 ~config ()));
   show ~title:"A1: mean lookup hops vs m = log2 N (lesslog, chord, pastry, CAN)"
     ~x_label:"m"
-    (A.hops ~samples:(if quick then 500 else 2000) ());
+    (timed "A1" (fun () -> A.hops ~samples:(if quick then 500 else 2000) ()));
   show ~title:"A2: counter-based eviction after 10x demand decay"
-    ~x_label:"peak req/s" (A.eviction ~config ());
+    ~x_label:"peak req/s"
+    (timed "A2" (fun () -> A.eviction ~config ()));
   show ~title:"A3: read-fault rate vs simultaneously failed fraction"
-    ~x_label:"failed" (A.fault_tolerance ());
+    ~x_label:"failed"
+    (timed "A3" (fun () -> A.fault_tolerance ()));
   show ~title:"A5: proportional choice vs biased placements (locality, 30% dead)"
-    ~x_label:"req/s" (A.proportional_choice ~config ());
+    ~x_label:"req/s"
+    (timed "A5" (fun () -> A.proportional_choice ~config ()));
   let lifecycle =
-    A.eviction_lifecycle
-      ~peak_duration:(if quick then 15.0 else 40.0)
-      ~calm_duration:(if quick then 30.0 else 80.0)
-      ()
+    timed "A2_lifecycle" (fun () ->
+        A.eviction_lifecycle
+          ~peak_duration:(if quick then 15.0 else 40.0)
+          ~calm_duration:(if quick then 30.0 else 80.0)
+          ())
   in
   print_endline "A2 (message-level): flash-crowd replica lifecycle";
   print_endline "--------------------------------------------------";
@@ -188,12 +250,15 @@ let run_figures () =
     lifecycle.A.created lifecycle.A.evicted lifecycle.A.peak_copies
     lifecycle.A.final_copies lifecycle.A.lifecycle_faults;
   show ~title:"A6: UPDATEFILE messages vs replica population (m = 10)"
-    ~x_label:"copies" (A.update_cost ());
+    ~x_label:"copies"
+    (timed "A6" (fun () -> A.update_cost ()));
   show ~title:"V1: fluid solver vs event-driven simulator"
     ~x_label:"req/s"
-    (A.fluid_vs_des ~duration:(if quick then 10.0 else 30.0) ());
+    (timed "V1" (fun () ->
+         A.fluid_vs_des ~duration:(if quick then 10.0 else 30.0) ()));
   let sessions =
-    A.session_churn ~duration:(if quick then 30.0 else 120.0) ()
+    timed "A7" (fun () ->
+        A.session_churn ~duration:(if quick then 30.0 else 120.0) ())
   in
   print_endline "A7: availability under session-based churn (event-driven)";
   print_endline "----------------------------------------------------------";
@@ -219,7 +284,7 @@ let run_figures () =
           sessions));
   print_newline ();
   let outcomes =
-    A.churn ~duration:(if quick then 20.0 else 60.0) ()
+    timed "A4" (fun () -> A.churn ~duration:(if quick then 20.0 else 60.0) ())
   in
   print_endline "A4: availability under membership churn (event-driven)";
   print_endline "------------------------------------------------------";
@@ -235,8 +300,12 @@ let run_figures () =
               string_of_int o.A.faults;
               string_of_int o.A.replicas_created;
             ])
-          outcomes))
+          outcomes));
+  Bench_json.write
+    ~path:(out_file "BENCH_figures.json")
+    (List.rev !figure_times);
+  Printf.printf "\nwrote %s\n" (out_file "BENCH_figures.json")
 
 let () =
   run_micro ();
-  run_figures ()
+  if Sys.getenv_opt "LESSLOG_BENCH_MICRO_ONLY" <> Some "1" then run_figures ()

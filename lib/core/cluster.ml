@@ -3,6 +3,8 @@ module Status_word = Lesslog_membership.Status_word
 module Ptree = Lesslog_ptree.Ptree
 module File_store = Lesslog_storage.File_store
 module Psi = Lesslog_hash.Psi
+module Packed_bits = Lesslog_bits.Packed_bits
+module Topology = Lesslog_topology.Topology
 
 type t = {
   params : Params.t;
@@ -10,16 +12,58 @@ type t = {
   status : Status_word.t;
   stores : File_store.t array;
   registry : (string, unit) Hashtbl.t;
+  (* key -> lookup tree memo; ψ and the tree root are pure functions of
+     the key, so entries never invalidate. The one-slot [last_tree] keeps
+     the common case — the same key queried repeatedly — at a pointer
+     compare instead of a string hash. *)
+  trees : (string, Ptree.t) Hashtbl.t;
+  mutable last_tree : (string * Ptree.t) option;
+  (* key -> bitset of PID slots whose store holds a copy (live or dead),
+     maintained exactly by the per-store observers installed in [make].
+     [holds] is a bit test and [holders] a live-AND-holder word walk. *)
+  holder_index : (string, Packed_bits.t) Hashtbl.t;
+  mutable last_holders : (string * Packed_bits.t) option;
+  (* (key, status epoch, router) — revalidated by an int compare, saving
+     the domain-local cache lookup on every request walk. *)
+  mutable last_router : (string * int * Topology.router) option;
 }
 
+let holder_bits t key =
+  match t.last_holders with
+  | Some (k, bits) when k == key || String.equal k key -> bits
+  | _ -> (
+      match Hashtbl.find_opt t.holder_index key with
+      | Some bits ->
+          t.last_holders <- Some (key, bits);
+          bits
+      | None ->
+          let bits = Packed_bits.create (Params.space t.params) in
+          Hashtbl.add t.holder_index key bits;
+          t.last_holders <- Some (key, bits);
+          bits)
+
 let make params status =
-  {
-    params;
-    psi = Psi.create ~m:(Params.m params);
-    status;
-    stores = Array.init (Params.space params) (fun _ -> File_store.create ());
-    registry = Hashtbl.create 16;
-  }
+  let t =
+    {
+      params;
+      psi = Psi.create ~m:(Params.m params);
+      status;
+      stores = Array.init (Params.space params) (fun _ -> File_store.create ());
+      registry = Hashtbl.create 16;
+      trees = Hashtbl.create 16;
+      last_tree = None;
+      holder_index = Hashtbl.create 16;
+      last_holders = None;
+      last_router = None;
+    }
+  in
+  Array.iteri
+    (fun i store ->
+      File_store.set_observer store (fun key held ->
+          let bits = holder_bits t key in
+          if held then Packed_bits.set bits i else Packed_bits.clear bits i))
+    t.stores;
+  t
 
 let create ?live params =
   let status =
@@ -40,16 +84,43 @@ let psi t = t.psi
 let live_count t = Status_word.live_count t.status
 let store t p = t.stores.(Pid.to_int p)
 
-let target_of_key t key = Pid.unsafe_of_int (Psi.target t.psi key)
 let tree_of t p = Ptree.make t.params ~root:p
-let tree_of_key t key = tree_of t (target_of_key t key)
 
-let holds t p ~key = File_store.holds (store t p) ~key
+let tree_of_key t key =
+  match t.last_tree with
+  | Some (k, tree) when k == key || String.equal k key -> tree
+  | _ ->
+      let tree =
+        match Hashtbl.find_opt t.trees key with
+        | Some tree -> tree
+        | None ->
+            let tree = tree_of t (Pid.unsafe_of_int (Psi.target t.psi key)) in
+            Hashtbl.add t.trees key tree;
+            tree
+      in
+      t.last_tree <- Some (key, tree);
+      tree
+
+let target_of_key t key = Ptree.root (tree_of_key t key)
+
+let router_of_key t key =
+  let epoch = Status_word.epoch t.status in
+  match t.last_router with
+  | Some (k, e, r) when e = epoch && (k == key || String.equal k key) -> r
+  | _ ->
+      let r = Topology.router (tree_of_key t key) t.status in
+      t.last_router <- Some (key, epoch, r);
+      r
+
+let holds t p ~key = Packed_bits.get (holder_bits t key) (Pid.to_int p)
+
+let holder_bitset t ~key = holder_bits t key
 
 let holders t ~key =
-  Status_word.fold_live t.status ~init:[] ~f:(fun acc p ->
-      if holds t p ~key then p :: acc else acc)
-  |> List.rev
+  let acc = ref [] in
+  Packed_bits.iter_inter (Status_word.live_bits t.status) (holder_bits t key)
+    (fun i -> acc := Pid.unsafe_of_int i :: !acc);
+  List.rev !acc
 
 let register_key t key = Hashtbl.replace t.registry key ()
 
@@ -59,10 +130,13 @@ let registered_keys t =
   Hashtbl.fold (fun k () acc -> k :: acc) t.registry [] |> List.sort compare
 
 let count_copies t ~key pred =
-  Status_word.fold_live t.status ~init:0 ~f:(fun acc p ->
-      match File_store.origin (store t p) ~key with
-      | Some o when pred o -> acc + 1
-      | Some _ | None -> acc)
+  let acc = ref 0 in
+  Packed_bits.iter_inter (Status_word.live_bits t.status) (holder_bits t key)
+    (fun i ->
+      match File_store.origin t.stores.(i) ~key with
+      | Some o when pred o -> incr acc
+      | Some _ | None -> ());
+  !acc
 
 let replica_count t ~key =
   count_copies t ~key (fun o -> o = File_store.Replicated)

@@ -39,12 +39,27 @@ val target_of_key : t -> string -> Pid.t
 (** [P(ψ(f))]: the target node slot of a key. *)
 
 val tree_of_key : t -> string -> Ptree.t
-(** The lookup tree of the key's target node. *)
+(** The lookup tree of the key's target node. Memoized: ψ and the root
+    are pure functions of the key, so the same tree value is returned on
+    every call (the common repeated key costs a pointer compare). *)
+
+val router_of_key : t -> string -> Lesslog_topology.Topology.router
+(** The key's current next-hop table ({!Lesslog_topology.Topology.router}),
+    revalidated against the status word's epoch. Same freshness contract
+    as the router itself: fetch per walk, do not hold across membership
+    changes. *)
 
 val tree_of : t -> Pid.t -> Ptree.t
 (** The lookup tree rooted at an arbitrary node. *)
 
 val holds : t -> Pid.t -> key:string -> bool
+
+val holder_bitset : t -> key:string -> Lesslog_bits.Packed_bits.t
+(** The live-agnostic holder bitset of a key (bit [i] set iff slot [i]'s
+    store holds a copy), maintained by the store observers. Read-only:
+    callers test bits out of it on hot paths ({!Ops.get}'s walk) but must
+    never mutate it; it stays valid across store mutations because it IS
+    the index being maintained. *)
 
 val holders : t -> key:string -> Pid.t list
 (** Live nodes currently holding a copy, ascending PID. *)

@@ -54,14 +54,33 @@ let serve_along cluster ~now ~key path =
   find [] 0 path
 
 let get_single_tree cluster ~now ~origin ~key =
-  let tree = Cluster.tree_of_key cluster key in
-  let status = Cluster.status cluster in
-  let path = Topology.route_path tree status ~origin in
-  match serve_along cluster ~now ~key path with
-  | Some (p, hops, visited) ->
-      { server = Some p; hops; path = visited; subtree_migrations = 0 }
-  | None ->
-      { server = None; hops = List.length path - 1; path; subtree_migrations = 0 }
+  (* Walk hop by hop instead of materializing the full route first: the
+     common request is answered within a hop or two, so computing the
+     rest of the route (and its list) would be wasted work. *)
+  let held = Cluster.holder_bitset cluster ~key in
+  let router = Cluster.router_of_key cluster key in
+  let rec walk visited hops p =
+    if Lesslog_bits.Packed_bits.get held (Pid.to_int p) then begin
+      File_store.record_access (Cluster.store cluster p) ~key ~now;
+      {
+        server = Some p;
+        hops;
+        path = List.rev (p :: visited);
+        subtree_migrations = 0;
+      }
+    end
+    else
+      match Topology.next_hop_int router (Pid.to_int p) with
+      | -1 ->
+          {
+            server = None;
+            hops;
+            path = List.rev (p :: visited);
+            subtree_migrations = 0;
+          }
+      | q -> walk (p :: visited) (hops + 1) (Pid.unsafe_of_int q)
+  in
+  walk [] 0 origin
 
 let get_fault_tolerant cluster ~now ~origin ~key =
   let tree = Cluster.tree_of_key cluster key in

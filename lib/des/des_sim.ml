@@ -65,6 +65,8 @@ type state = {
   rng : Rng.t;
   cluster : Cluster.t;
   key : string;
+  tree : Lesslog_ptree.Ptree.t;
+      (* the key's lookup tree, fixed for the whole run *)
   engine : Engine.t;
   overlay : msg Overlay.t;
   estimators : Access_counter.t array;
@@ -126,8 +128,7 @@ let handle st ~me ~src msg =
       if Cluster.holds st.cluster me ~key:st.key then
         serve st ~server:me ~origin ~issued_at ~hops
       else begin
-        let tree = Cluster.tree_of_key st.cluster st.key in
-        match Topology.route_next tree (Cluster.status st.cluster) me with
+        match Topology.route_next st.tree (Cluster.status st.cluster) me with
         | Some next ->
             Overlay.send st.overlay ~src:me ~dst:next
               (Get { origin; issued_at; hops = hops + 1 })
@@ -158,8 +159,7 @@ let issue_request st ~origin =
   if Cluster.holds st.cluster origin ~key:st.key then
     serve st ~server:origin ~origin ~issued_at:(now st) ~hops:0
   else begin
-    let tree = Cluster.tree_of_key st.cluster st.key in
-    match Topology.route_next tree (Cluster.status st.cluster) origin with
+    match Topology.route_next st.tree (Cluster.status st.cluster) origin with
     | Some next ->
         Overlay.send st.overlay ~src:origin ~dst:next
           (Get { origin; issued_at = now st; hops = 1 })
@@ -277,6 +277,7 @@ let run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases ~duration =
       rng;
       cluster;
       key;
+      tree = Cluster.tree_of_key cluster key;
       engine;
       overlay;
       estimators =

@@ -88,6 +88,8 @@ type state = {
   rng : Rng.t;
   cluster : Cluster.t;
   key : string;
+  tree : Lesslog_ptree.Ptree.t;
+      (* the key's lookup tree, fixed for the whole run *)
   engine : Engine.t;
   overlay : msg Overlay.t;
   (* Injected ground truth: which processes are actually up. It runs the
@@ -178,8 +180,7 @@ let transmit st ~id ~attempt:_ { origin; issued_at } =
     if Cluster.holds st.cluster origin ~key:st.key then
       serve st ~server:origin ~id ~origin ~issued_at ~hops:0
     else
-      let tree = Cluster.tree_of_key st.cluster st.key in
-      match Topology.route_next tree (Cluster.status st.cluster) origin with
+      match Topology.route_next st.tree (Cluster.status st.cluster) origin with
       | Some next ->
           Overlay.send st.overlay ~src:origin ~dst:next
             (Get { id; origin; issued_at; hops = 1 })
@@ -192,8 +193,7 @@ let handle st ~me ~src msg =
       if Cluster.holds st.cluster me ~key:st.key then
         serve st ~server:me ~id ~origin ~issued_at ~hops
       else begin
-        let tree = Cluster.tree_of_key st.cluster st.key in
-        match Topology.route_next tree (Cluster.status st.cluster) me with
+        match Topology.route_next st.tree (Cluster.status st.cluster) me with
         | Some next ->
             Overlay.send st.overlay ~src:me ~dst:next
               (Get { id; origin; issued_at; hops = hops + 1 })
@@ -423,6 +423,7 @@ let run ?(config = default_config) ?(plan = Faults.empty) ?sink ~rng ~cluster
       rng;
       cluster;
       key;
+      tree = Cluster.tree_of_key cluster key;
       engine;
       overlay;
       truth;

@@ -89,9 +89,12 @@ let evict_cold ?(capacity = infinity) ~cluster ~key ~demand ~min_rate () =
   let continue = ref true in
   while !continue do
     let current = serve_now () in
-    (* Coldest eligible replica first. *)
+    (* Coldest eligible replica first. Only live holders can qualify, so
+       scan them (via the cluster's holder bitset) instead of folding over
+       every live node. *)
     let candidate =
-      Status_word.fold_live (Cluster.status cluster) ~init:None ~f:(fun acc p ->
+      List.fold_left
+        (fun acc p ->
           let i = Pid.to_int p in
           let store = Cluster.store cluster p in
           if
@@ -103,6 +106,8 @@ let evict_cold ?(capacity = infinity) ~cluster ~key ~demand ~min_rate () =
             | Some (_, rate) when rate <= current.Flow.serve.(i) -> acc
             | _ -> Some (p, current.Flow.serve.(i))
           else acc)
+        None
+        (Cluster.holders cluster ~key)
     in
     match candidate with
     | None -> continue := false

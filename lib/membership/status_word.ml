@@ -1,37 +1,52 @@
 open Lesslog_id
 module Rng = Lesslog_prng.Rng
+module Packed_bits = Lesslog_bits.Packed_bits
 
-type t = { params : Params.t; bits : Bytes.t; mutable live : int }
+type t = {
+  params : Params.t;
+  bits : Packed_bits.t;
+  mutable live : int;
+  mutable epoch : int;
+  uid : int;
+}
 
-let byte_len params = (Params.space params + 7) / 8
+(* Unique per status word, never reused: the key derived caches (the
+   topology cache) index by. Atomic because experiments fan out across
+   domains (Lesslog_parallel.Par). *)
+let next_uid = Atomic.make 0
 
 let create params ~initially_live =
-  let bits = Bytes.make (byte_len params) (if initially_live then '\xff' else '\x00') in
-  { params; bits; live = (if initially_live then Params.space params else 0) }
+  let space = Params.space params in
+  {
+    params;
+    bits =
+      (if initially_live then Packed_bits.create_full space
+       else Packed_bits.create space);
+    live = (if initially_live then space else 0);
+    epoch = 0;
+    uid = Atomic.fetch_and_add next_uid 1;
+  }
 
 let params t = t.params
+let epoch t = t.epoch
+let uid t = t.uid
+let live_bits t = t.bits
 
-let get_bit t i = Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
-
-let put_bit t i v =
-  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
-  let mask = 1 lsl (i land 7) in
-  let byte = if v then byte lor mask else byte land lnot mask in
-  Bytes.set t.bits (i lsr 3) (Char.chr byte)
-
-let is_live t p = get_bit t (Pid.to_int p)
+let is_live t p = Packed_bits.get t.bits (Pid.to_int p)
 let is_dead t p = not (is_live t p)
 
 let set_live t p =
   if not (is_live t p) then begin
-    put_bit t (Pid.to_int p) true;
-    t.live <- t.live + 1
+    Packed_bits.set t.bits (Pid.to_int p);
+    t.live <- t.live + 1;
+    t.epoch <- t.epoch + 1
   end
 
 let set_dead t p =
   if is_live t p then begin
-    put_bit t (Pid.to_int p) false;
-    t.live <- t.live - 1
+    Packed_bits.clear t.bits (Pid.to_int p);
+    t.live <- t.live - 1;
+    t.epoch <- t.epoch + 1
   end
 
 let of_live_list params pids =
@@ -39,28 +54,29 @@ let of_live_list params pids =
   List.iter (set_live t) pids;
   t
 
-let copy t = { params = t.params; bits = Bytes.copy t.bits; live = t.live }
+let copy t =
+  {
+    params = t.params;
+    bits = Packed_bits.copy t.bits;
+    live = t.live;
+    epoch = 0;
+    uid = Atomic.fetch_and_add next_uid 1;
+  }
 
 let live_count t = t.live
 let dead_count t = Params.space t.params - t.live
 
 let fold_live t ~init ~f =
-  let acc = ref init in
-  for i = 0 to Params.space t.params - 1 do
-    if get_bit t i then acc := f !acc (Pid.unsafe_of_int i)
-  done;
-  !acc
+  Packed_bits.fold_set t.bits ~init ~f:(fun acc i -> f acc (Pid.unsafe_of_int i))
 
-let iter_live t f = fold_live t ~init:() ~f:(fun () p -> f p)
+let iter_live t f = Packed_bits.iter_set t.bits (fun i -> f (Pid.unsafe_of_int i))
 
 let live_pids t = List.rev (fold_live t ~init:[] ~f:(fun acc p -> p :: acc))
 
 let dead_pids t =
   let acc = ref [] in
-  for i = Params.space t.params - 1 downto 0 do
-    if not (get_bit t i) then acc := Pid.unsafe_of_int i :: !acc
-  done;
-  !acc
+  Packed_bits.iter_clear t.bits (fun i -> acc := Pid.unsafe_of_int i :: !acc);
+  List.rev !acc
 
 let live_array t =
   let a = Array.make t.live (Pid.unsafe_of_int 0) in
@@ -70,41 +86,61 @@ let live_array t =
       incr j);
   a
 
+let first_live_at_or_below t p =
+  match Packed_bits.first_set_at_or_below t.bits (Pid.to_int p) with
+  | -1 -> None
+  | i -> Some (Pid.unsafe_of_int i)
+
+let first_live_in_range t ~lo ~hi =
+  match
+    Packed_bits.first_set_in_range t.bits ~lo:(Pid.to_int lo)
+      ~hi:(Pid.to_int hi)
+  with
+  | -1 -> None
+  | i -> Some (Pid.unsafe_of_int i)
+
+let nth_live t n =
+  match Packed_bits.nth_set t.bits n with
+  | -1 -> None
+  | i -> Some (Pid.unsafe_of_int i)
+
+let nth_dead t n =
+  match Packed_bits.nth_clear t.bits n with
+  | -1 -> None
+  | i -> Some (Pid.unsafe_of_int i)
+
+(* Rejection sampling is cheap when the wanted population is dense, which
+   holds for every experiment in the paper; after a few misses we switch
+   to exact rank/select, which costs one word scan. *)
+let max_sample_attempts = 16
+
 let random_live t rng =
   if t.live = 0 then None
   else begin
-    (* Rejection sampling over the slot space: cheap when the live fraction
-       is not tiny, which holds for every experiment in the paper. *)
     let space = Params.space t.params in
-    let attempts = ref 0 in
-    let found = ref None in
-    while !found = None do
-      incr attempts;
-      if !attempts > 64 * space then
-        (* Degenerate density: fall back to an exact scan. *)
-        found := Some (Lesslog_prng.Rng.pick rng (live_array t))
+    let rec try_random k =
+      if k = 0 then nth_live t (Rng.int rng t.live)
       else
         let i = Rng.int rng space in
-        if get_bit t i then found := Some (Pid.unsafe_of_int i)
-    done;
-    !found
+        if Packed_bits.get t.bits i then Some (Pid.unsafe_of_int i)
+        else try_random (k - 1)
+    in
+    try_random max_sample_attempts
   end
 
 let random_dead t rng =
-  if dead_count t = 0 then None
+  let dead = dead_count t in
+  if dead = 0 then None
   else begin
     let space = Params.space t.params in
-    let attempts = ref 0 in
-    let found = ref None in
-    while !found = None do
-      incr attempts;
-      if !attempts > 64 * space then
-        found := Some (Lesslog_prng.Rng.pick rng (Array.of_list (dead_pids t)))
+    let rec try_random k =
+      if k = 0 then nth_dead t (Rng.int rng dead)
       else
         let i = Rng.int rng space in
-        if not (get_bit t i) then found := Some (Pid.unsafe_of_int i)
-    done;
-    !found
+        if not (Packed_bits.get t.bits i) then Some (Pid.unsafe_of_int i)
+        else try_random (k - 1)
+    in
+    try_random max_sample_attempts
   end
 
 let kill_fraction t rng ~fraction =
@@ -115,7 +151,7 @@ let kill_fraction t rng ~fraction =
   Array.iter (set_dead t) victims;
   Array.to_list victims
 
-let equal a b = a.params = b.params && Bytes.equal a.bits b.bits
+let equal a b = a.params = b.params && Packed_bits.equal a.bits b.bits
 
 let pp fmt t =
   Format.fprintf fmt "status_word(live=%d/%d)" t.live (Params.space t.params)

@@ -1,7 +1,18 @@
 (** The status word (paper Section 5.1): one bit per PID slot indicating
     whether the corresponding node is live. Every live node maintains a
     copy; here it is the authoritative membership view of a simulated
-    cluster. *)
+    cluster.
+
+    The bits live in a packed [int]-array bitset
+    ({!Lesslog_bits.Packed_bits}), so membership tests are one word load,
+    iteration skips dead regions 62 slots at a time, and the topology
+    layer can answer "highest live PID below x" with a single popcount /
+    floor-log2 word scan.
+
+    Each mutation that actually changes a bit bumps a monotonic {!epoch}.
+    Derived structures (the topology cache) record the epoch they were
+    built at and rebuild lazily when it moves — the epoch-invalidation
+    contract documented in ARCHITECTURE.md. *)
 
 open Lesslog_id
 
@@ -14,8 +25,26 @@ val of_live_list : Params.t -> Pid.t list -> t
 (** Only the listed PIDs are live. *)
 
 val copy : t -> t
+(** Fresh status word with the same membership; it has its own {!uid} and
+    its epoch restarts at 0. *)
 
 val params : t -> Params.t
+
+val epoch : t -> int
+(** Monotonic mutation counter, bumped by every {!set_live}/{!set_dead}
+    that changes a bit (idempotent no-ops do not bump it). A derived
+    structure is valid exactly while the epoch it was built at is
+    current. *)
+
+val uid : t -> int
+(** Process-unique identity of this status word, distinct across {!copy}.
+    Cache keys combine [uid] with the query context so two words never
+    share derived state. *)
+
+val live_bits : t -> Lesslog_bits.Packed_bits.t
+(** The underlying bitset (bit [i] = PID [i] live). Read-only by
+    convention: mutate only through {!set_live}/{!set_dead}, otherwise
+    [epoch]/[live_count] go stale. *)
 
 val is_live : t -> Pid.t -> bool
 val is_dead : t -> Pid.t -> bool
@@ -40,8 +69,23 @@ val live_array : t -> Pid.t array
 val fold_live : t -> init:'a -> f:('a -> Pid.t -> 'a) -> 'a
 val iter_live : t -> (Pid.t -> unit) -> unit
 
+val first_live_at_or_below : t -> Pid.t -> Pid.t option
+(** Highest live PID [<= p] — a word-level select, O(space/62) worst
+    case. *)
+
+val first_live_in_range : t -> lo:Pid.t -> hi:Pid.t -> Pid.t option
+(** Lowest live PID in [\[lo, hi\]]. *)
+
+val nth_live : t -> int -> Pid.t option
+(** [nth_live t n] is the [n]-th live PID in ascending order (0-based),
+    or [None] when [n >= live_count t] — rank/select over words. *)
+
+val nth_dead : t -> int -> Pid.t option
+
 val random_live : t -> Lesslog_prng.Rng.t -> Pid.t option
-(** Uniform live PID, [None] when the system is empty. *)
+(** Uniform live PID, [None] when the system is empty. Rejection-samples
+    a few slots, then falls back to exact rank/select ({!nth_live}) so
+    degenerate densities stay O(space/62) instead of looping. *)
 
 val random_dead : t -> Lesslog_prng.Rng.t -> Pid.t option
 

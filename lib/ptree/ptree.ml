@@ -9,6 +9,7 @@ let make params ~root =
 
 let params t = t.params
 let root t = t.root
+let comp t = t.comp
 
 let vid_of_pid t p = Vid.unsafe_of_int (Pid.to_int p lxor t.comp)
 let pid_of_vid t v = Pid.unsafe_of_int (Vid.to_int v lxor t.comp)

@@ -17,6 +17,11 @@ val make : Params.t -> root:Pid.t -> t
 val params : t -> Params.t
 val root : t -> Pid.t
 
+val comp : t -> int
+(** The XOR constant [comp(root)] mapping PID↔VID. Two trees with the same
+    parameters and the same [comp] are the same tree — the topology cache
+    keys derived state on it. *)
+
 val vid_of_pid : t -> Pid.t -> Vid.t
 val pid_of_vid : t -> Vid.t -> Pid.t
 

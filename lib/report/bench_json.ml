@@ -1,0 +1,38 @@
+(* Minimal JSON emission — only what the benchmark trajectory files need
+   (flat string->number objects), so the repo stays dependency-free. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number x =
+  (* JSON has no NaN/infinity literals; emit null so readers fail loudly
+     on a missing measurement rather than on a parse error. *)
+  if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then "null"
+  else Printf.sprintf "%.3f" x
+
+let to_string pairs =
+  let body =
+    pairs
+    |> List.map (fun (k, v) -> Printf.sprintf "  \"%s\": %s" (escape k) (number v))
+    |> String.concat ",\n"
+  in
+  "{\n" ^ body ^ "\n}\n"
+
+let write ~path pairs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string pairs))

@@ -1,0 +1,11 @@
+(** Writer for the machine-readable benchmark trajectory files
+    ([BENCH_micro.json], [BENCH_figures.json]): a flat JSON object mapping
+    benchmark name to a number (ns/op for micro-benchmarks, wall-clock
+    seconds for figure regenerations). The format is documented in
+    EXPERIMENTS.md; keep the two in sync. *)
+
+val to_string : (string * float) list -> string
+(** Render pairs as a flat JSON object, one key per line, preserving
+    order. Non-finite numbers render as [null]. *)
+
+val write : path:string -> (string * float) list -> unit

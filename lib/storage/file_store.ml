@@ -11,14 +11,22 @@ type entry = {
   counter : Access_counter.t;
 }
 
-type t = (string, entry) Hashtbl.t
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable on_change : (string -> bool -> unit) option;
+}
 
-let create () = Hashtbl.create 16
+let create () = { entries = Hashtbl.create 16; on_change = None }
+
+let set_observer t f = t.on_change <- Some f
+
+let notify t key held =
+  match t.on_change with None -> () | Some f -> f key held
 
 let add t ~key ~origin ~version ~now =
-  match Hashtbl.find_opt t key with
+  (match Hashtbl.find_opt t.entries key with
   | None ->
-      Hashtbl.replace t key
+      Hashtbl.replace t.entries key
         { key; origin; version; counter = Access_counter.create ~now () }
   | Some e ->
       let origin =
@@ -26,43 +34,52 @@ let add t ~key ~origin ~version ~now =
         | Inserted, _ | _, Inserted -> Inserted
         | Replicated, Replicated -> Replicated
       in
-      Hashtbl.replace t key
-        { e with origin; version = max e.version version }
+      Hashtbl.replace t.entries key
+        { e with origin; version = max e.version version });
+  notify t key true
 
-let remove t ~key = Hashtbl.remove t key
-let holds t ~key = Hashtbl.mem t key
-let find t ~key = Hashtbl.find_opt t key
+let remove t ~key =
+  if Hashtbl.mem t.entries key then begin
+    Hashtbl.remove t.entries key;
+    notify t key false
+  end
+
+let holds t ~key = Hashtbl.mem t.entries key
+let find t ~key = Hashtbl.find_opt t.entries key
 let version t ~key = Option.map (fun e -> e.version) (find t ~key)
 let origin t ~key = Option.map (fun e -> e.origin) (find t ~key)
 
 let record_access t ~key ~now =
-  match Hashtbl.find_opt t key with
+  match Hashtbl.find_opt t.entries key with
   | None -> ()
   | Some e -> Access_counter.record e.counter ~now
 
 let set_version t ~key ~version =
-  match Hashtbl.find_opt t key with
+  match Hashtbl.find_opt t.entries key with
   | None -> ()
   | Some e -> e.version <- version
 
-let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort compare
 
 let keys_with_origin t o =
-  Hashtbl.fold (fun k e acc -> if e.origin = o then k :: acc else acc) t []
+  Hashtbl.fold
+    (fun k e acc -> if e.origin = o then k :: acc else acc)
+    t.entries []
   |> List.sort compare
 
 let inserted_keys t = keys_with_origin t Inserted
 let replicated_keys t = keys_with_origin t Replicated
-let size t = Hashtbl.length t
+let size t = Hashtbl.length t.entries
 
 let demote_to_replica t ~key =
-  match Hashtbl.find_opt t key with
+  match Hashtbl.find_opt t.entries key with
   | None -> ()
-  | Some e -> Hashtbl.replace t key { e with origin = Replicated }
+  | Some e -> Hashtbl.replace t.entries key { e with origin = Replicated }
 
 let drop_replicas t =
   let dropped = replicated_keys t in
-  List.iter (fun key -> Hashtbl.remove t key) dropped;
+  List.iter (fun key -> remove t ~key) dropped;
   dropped
 
 let evict_cold_replicas t ~now ~min_rate =
@@ -72,10 +89,10 @@ let evict_cold_replicas t ~now ~min_rate =
         if e.origin = Replicated && Access_counter.rate e.counter ~now < min_rate
         then k :: acc
         else acc)
-      t []
+      t.entries []
     |> List.sort compare
   in
-  List.iter (fun key -> Hashtbl.remove t key) cold;
+  List.iter (fun key -> remove t ~key) cold;
   cold
 
-let iter t f = Hashtbl.iter (fun _ e -> f e) t
+let iter t f = Hashtbl.iter (fun _ e -> f e) t.entries

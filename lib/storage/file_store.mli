@@ -22,6 +22,16 @@ type t
 
 val create : unit -> t
 
+val set_observer : t -> (string -> bool -> unit) -> unit
+(** [set_observer t f] registers the single change observer: [f key true]
+    fires after every {!add} and [f key false] after every removal that
+    actually dropped a copy ({!remove}, {!drop_replicas},
+    {!evict_cold_replicas}). Notifications are idempotent with respect to
+    holding — an [add] of an already-held key still fires [f key true] —
+    so observers maintaining an index must treat them as "now holds" /
+    "now does not hold" statements, not as deltas. {!Cluster} uses this to
+    keep a per-key holder bitset exact without scanning stores. *)
+
 val add : t -> key:string -> origin:origin -> version:int -> now:float -> unit
 (** Store a copy. Re-adding an existing key keeps the entry but upgrades
     its origin to [Inserted] if either is inserted, and raises the stored

@@ -2,80 +2,213 @@ open Lesslog_id
 module Status_word = Lesslog_membership.Status_word
 module Ptree = Lesslog_ptree.Ptree
 module Vtree = Lesslog_vtree.Vtree
+module Bitops = Lesslog_bits.Bitops
+module Packed_bits = Lesslog_bits.Packed_bits
 
-let find_live_node tree status ~start =
-  if Status_word.is_live status start then Some start
-  else begin
+(* The reference implementations: the seed's per-node scans, kept verbatim
+   as the differential-test oracle for the cached word-level versions
+   below. test/test_topology.ml asserts bit-identical answers under
+   randomized kill/revive sequences. *)
+module Naive = struct
+  let find_live_node tree status ~start =
+    if Status_word.is_live status start then Some start
+    else begin
+      let rec scan vid =
+        if vid < 0 then None
+        else
+          let p = Ptree.pid_of_vid tree (Vid.unsafe_of_int vid) in
+          if Status_word.is_live status p then Some p else scan (vid - 1)
+      in
+      scan (Vid.to_int (Ptree.vid_of_pid tree start) - 1)
+    end
+
+  let insertion_target tree status =
+    find_live_node tree status ~start:(Ptree.root tree)
+
+  let first_alive_ancestor tree status p =
+    let rec climb p =
+      match Ptree.parent tree p with
+      | None -> None
+      | Some q -> if Status_word.is_live status q then Some q else climb q
+    in
+    climb p
+
+  let children_list tree status p =
+    (* Expand dead children recursively, then sort by descending VID, which
+       the paper specifies and which also orders by descending offspring. *)
+    let rec expand acc p =
+      List.fold_left
+        (fun acc c ->
+          if Status_word.is_live status c then c :: acc else expand acc c)
+        acc (Ptree.children tree p)
+    in
+    let live_children = expand [] p in
+    List.sort
+      (fun a b ->
+        Vid.compare (Ptree.vid_of_pid tree b) (Ptree.vid_of_pid tree a))
+      live_children
+
+  let max_live tree status =
     let rec scan vid =
       if vid < 0 then None
       else
         let p = Ptree.pid_of_vid tree (Vid.unsafe_of_int vid) in
         if Status_word.is_live status p then Some p else scan (vid - 1)
     in
-    scan (Vid.to_int (Ptree.vid_of_pid tree start) - 1)
-  end
+    scan (Params.mask (Ptree.params tree))
 
-let insertion_target tree status =
-  find_live_node tree status ~start:(Ptree.root tree)
+  let has_live_with_greater_vid tree status p =
+    match max_live tree status with
+    | None -> false
+    | Some g ->
+        Vid.compare (Ptree.vid_of_pid tree g) (Ptree.vid_of_pid tree p) > 0
 
-let first_alive_ancestor tree status p =
-  let rec climb p =
-    match Ptree.parent tree p with
-    | None -> None
-    | Some q -> if Status_word.is_live status q then Some q else climb q
-  in
-  climb p
+  let live_offspring_count tree status p =
+    Status_word.fold_live status ~init:0 ~f:(fun acc q ->
+        if (not (Pid.equal q p)) && Ptree.is_ancestor tree ~ancestor:p q then
+          acc + 1
+        else acc)
 
-let children_list tree status p =
-  (* Expand dead children recursively, then sort by descending VID, which
-     the paper specifies and which also orders by descending offspring. *)
-  let rec expand acc p =
-    List.fold_left
-      (fun acc c ->
-        if Status_word.is_live status c then c :: acc else expand acc c)
-      acc (Ptree.children tree p)
-  in
-  let live_children = expand [] p in
-  List.sort
-    (fun a b ->
-      Vid.compare (Ptree.vid_of_pid tree b) (Ptree.vid_of_pid tree a))
-    live_children
+  let route_next tree status p =
+    match first_alive_ancestor tree status p with
+    | Some a -> Some a
+    | None ->
+        if Status_word.is_live status (Ptree.root tree) then None
+        else begin
+          match insertion_target tree status with
+          | Some g when not (Pid.equal g p) -> Some g
+          | Some _ | None -> None
+        end
+
+  let route_path tree status ~origin =
+    let rec go acc p =
+      match route_next tree status p with
+      | None -> List.rev (p :: acc)
+      | Some q -> go (p :: acc) q
+    in
+    go [] origin
+end
+
+(* --- Cached word-level implementations --------------------------------- *)
+
+let entry tree status = Topology_cache.get status ~comp:(Ptree.comp tree)
+
+let find_live_node tree status ~start =
+  if Status_word.is_live status start then Some start
+  else
+    let v = Vid.to_int (Ptree.vid_of_pid tree start) in
+    if v = 0 then None
+    else
+      let e = entry tree status in
+      match Packed_bits.first_set_at_or_below e.Topology_cache.vids (v - 1) with
+      | -1 -> None
+      | u -> Some (Ptree.pid_of_vid tree (Vid.unsafe_of_int u))
 
 let max_live tree status =
-  let rec scan vid =
-    if vid < 0 then None
+  let e = entry tree status in
+  match e.Topology_cache.max_live_vid with
+  | -1 -> None
+  | v -> Some (Ptree.pid_of_vid tree (Vid.unsafe_of_int v))
+
+(* FINDLIVENODE(r, r) starts at the root, whose VID is the maximum, so the
+   answer is just the maximum live VID. *)
+let insertion_target = max_live
+
+let first_alive_ancestor tree status p =
+  (* Climb in VID space: the parent sets the highest zero bit (P2). Pure
+     bit arithmetic over the status word's own bitset — individual
+     liveness tests translate through comp directly, so this path never
+     touches the cache. *)
+  let mask = Params.mask (Ptree.params tree) in
+  let comp = Ptree.comp tree in
+  let bits = Status_word.live_bits status in
+  let rec climb v =
+    let zeros = lnot v land mask in
+    if zeros = 0 then None
     else
-      let p = Ptree.pid_of_vid tree (Vid.unsafe_of_int vid) in
-      if Status_word.is_live status p then Some p else scan (vid - 1)
+      let v' = v lor (1 lsl Bitops.floor_log2 zeros) in
+      let p' = v' lxor comp in
+      if Packed_bits.get bits p' then Some (Pid.unsafe_of_int p') else climb v'
   in
-  scan (Params.mask (Ptree.params tree))
+  climb (Pid.to_int p lxor comp)
 
 let has_live_with_greater_vid tree status p =
-  match max_live tree status with
-  | None -> false
-  | Some g -> Vid.compare (Ptree.vid_of_pid tree g) (Ptree.vid_of_pid tree p) > 0
+  let e = entry tree status in
+  e.Topology_cache.max_live_vid > Vid.to_int (Ptree.vid_of_pid tree p)
+
+let children_list tree status p =
+  let e = entry tree status in
+  let pi = Pid.to_int p in
+  match Hashtbl.find_opt e.Topology_cache.children pi with
+  | Some l -> l
+  | None ->
+      let m = Params.m (Ptree.params tree) in
+      let vids = e.Topology_cache.vids in
+      (* Same recursion as Naive.children_list, but in VID space over the
+         cached bitset: a child of v clears one of its n leading one bits
+         (bit m-n+i); dead children are transparently expanded. *)
+      let rec expand acc v =
+        let n = Bitops.leading_ones ~width:m v in
+        let acc = ref acc in
+        for i = 0 to n - 1 do
+          let c = v land lnot (1 lsl (m - n + i)) in
+          if Packed_bits.get vids c then acc := c :: !acc
+          else acc := expand !acc c
+        done;
+        !acc
+      in
+      let vs = expand [] (Vid.to_int (Ptree.vid_of_pid tree p)) in
+      let vs = List.sort (fun a b -> compare b a) vs in
+      let l = List.map (fun v -> Ptree.pid_of_vid tree (Vid.unsafe_of_int v)) vs in
+      Hashtbl.add e.Topology_cache.children pi l;
+      l
 
 let live_offspring_count tree status p =
-  Status_word.fold_live status ~init:0 ~f:(fun acc q ->
-      if (not (Pid.equal q p)) && Ptree.is_ancestor tree ~ancestor:p q then
-        acc + 1
-      else acc)
+  let params = Ptree.params tree in
+  let m = Params.m params in
+  let v = Vid.to_int (Ptree.vid_of_pid tree p) in
+  let n = Bitops.leading_ones ~width:m v in
+  if n = 0 then 0
+  else begin
+    let e = entry tree status in
+    let vids = e.Topology_cache.vids in
+    (* The subtree of v is exactly the residue class of v modulo
+       2^(m-n): descendants clear subsets of the n leading one bits and
+       keep the low m-n bits. Count live members by whichever enumeration
+       is smaller — the 2^n strided candidates or the live set. *)
+    let size = 1 lsl n in
+    let low = v land ((1 lsl (m - n)) - 1) in
+    let count = ref 0 in
+    if size <= Status_word.live_count status then
+      for j = 0 to size - 1 do
+        if Packed_bits.get vids ((j lsl (m - n)) lor low) then incr count
+      done
+    else begin
+      let period_mask = (1 lsl (m - n)) - 1 in
+      Packed_bits.iter_set vids (fun u ->
+          if u land period_mask = low then incr count)
+    end;
+    if Packed_bits.get vids v then !count - 1 else !count
+  end
 
-let route_next tree status p =
-  match first_alive_ancestor tree status p with
-  | Some a -> Some a
-  | None ->
-      if Status_word.is_live status (Ptree.root tree) then None
-      else begin
-        match insertion_target tree status with
-        | Some g when not (Pid.equal g p) -> Some g
-        | Some _ | None -> None
-      end
+type router = int array
+
+let router tree status = Topology_cache.next_pids (entry tree status)
+
+let next_hop_int (r : router) pi = Array.unsafe_get r pi
+
+let next_hop r p =
+  match next_hop_int r (Pid.to_int p) with
+  | -1 -> None
+  | q -> Some (Pid.unsafe_of_int q)
+
+let route_next tree status p = next_hop (router tree status) p
 
 let route_path tree status ~origin =
+  let r = router tree status in
   let rec go acc p =
-    match route_next tree status p with
-    | None -> List.rev (p :: acc)
-    | Some q -> go (p :: acc) q
+    match next_hop_int r (Pid.to_int p) with
+    | -1 -> List.rev (p :: acc)
+    | q -> go (p :: acc) (Pid.unsafe_of_int q)
   in
   go [] origin

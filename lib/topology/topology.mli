@@ -2,8 +2,15 @@
     (Section 3).
 
     All queries combine a physical lookup tree with the membership status
-    word; like the trees themselves they are computed on demand with bit
-    operations, never materialized. *)
+    word. The toplevel functions answer out of the domain-local
+    {!Topology_cache}: the live set re-expressed in VID space as a packed
+    bitset, revalidated lazily against the status word's epoch. Selects
+    like {!find_live_node} and {!max_live} become word scans
+    (O(space/62)), ancestry climbs become pure bit arithmetic, and
+    {!children_list} is memoized per (epoch, node).
+
+    {!Naive} keeps the original per-node scans; the cached versions are
+    verified bit-identical against them by the differential tests. *)
 
 open Lesslog_id
 module Status_word = Lesslog_membership.Status_word
@@ -30,7 +37,10 @@ val children_list : Ptree.t -> Status_word.t -> Pid.t -> Pid.t list
     each dead child transparently replaced by its own (recursively
     expanded) children list; the result is sorted by descending VID. For
     the 14-node example of Figure 3 this yields
-    (P(6), P(7), P(1), P(12), P(13), P(8)) for P(4). *)
+    (P(6), P(7), P(1), P(12), P(13), P(8)) for P(4).
+
+    The returned list is memoized inside the cache entry; treat it as
+    immutable and do not hold it across status-word mutations. *)
 
 val has_live_with_greater_vid : Ptree.t -> Status_word.t -> Pid.t -> bool
 (** Whether some live node has a strictly larger VID than the given node in
@@ -43,7 +53,26 @@ val max_live : Ptree.t -> Status_word.t -> Pid.t option
 
 val live_offspring_count : Ptree.t -> Status_word.t -> Pid.t -> int
 (** Number of live strict descendants — the numerator of the proportional
-    choice made by the max-VID live node. O(live nodes × m). *)
+    choice made by the max-VID live node. The subtree of a node with [n]
+    leading one bits is its residue class modulo [2^(m-n)], so this counts
+    live members of that class: O(min(2^n, live) ) bit tests instead of a
+    fold over every live node with an ancestry climb each. *)
+
+type router
+(** A snapshot of every ROUTE-NEXT answer for one (tree, status) pair —
+    the cache's lazily built per-PID next-hop table. Valid until the next
+    status-word mutation: fetch it once per request walk, use it
+    immediately, do not store it across mutations. *)
+
+val router : Ptree.t -> Status_word.t -> router
+
+val next_hop : router -> Pid.t -> Pid.t option
+(** Same answer as {!route_next}, as one array load. *)
+
+val next_hop_int : router -> int -> int
+(** [next_hop_int r (Pid.to_int p)] is [Pid.to_int] of the next hop, or
+    [-1] at the end of the route. No bounds check: the caller guarantees
+    the argument is a valid PID of the router's tree. *)
 
 val route_next : Ptree.t -> Status_word.t -> Pid.t -> Pid.t option
 (** One forwarding hop of the advanced GETFILE from a live node: the first
@@ -55,3 +84,20 @@ val route_path : Ptree.t -> Status_word.t -> origin:Pid.t -> Pid.t list
 (** The complete resolution path from a live origin: origin inclusive,
     following {!route_next} to the end. Every request for this tree's
     target travels a prefix of this path. *)
+
+(** The original uncached implementations — straight per-node scans over
+    PIDs. They are the semantic ground truth: the differential tests
+    assert every toplevel query equals its [Naive] counterpart after
+    arbitrary kill/revive sequences. Also useful as honest baselines in
+    benchmarks. *)
+module Naive : sig
+  val find_live_node : Ptree.t -> Status_word.t -> start:Pid.t -> Pid.t option
+  val insertion_target : Ptree.t -> Status_word.t -> Pid.t option
+  val first_alive_ancestor : Ptree.t -> Status_word.t -> Pid.t -> Pid.t option
+  val children_list : Ptree.t -> Status_word.t -> Pid.t -> Pid.t list
+  val has_live_with_greater_vid : Ptree.t -> Status_word.t -> Pid.t -> bool
+  val max_live : Ptree.t -> Status_word.t -> Pid.t option
+  val live_offspring_count : Ptree.t -> Status_word.t -> Pid.t -> int
+  val route_next : Ptree.t -> Status_word.t -> Pid.t -> Pid.t option
+  val route_path : Ptree.t -> Status_word.t -> origin:Pid.t -> Pid.t list
+end

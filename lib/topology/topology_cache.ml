@@ -1,0 +1,111 @@
+open Lesslog_id
+module Status_word = Lesslog_membership.Status_word
+module Packed_bits = Lesslog_bits.Packed_bits
+
+type entry = {
+  status : Status_word.t;
+  comp : int;
+  mutable epoch : int;
+  vids : Packed_bits.t;
+  mutable max_live_vid : int;
+  mutable next_pids : int array;
+  children : (int, Pid.t list) Hashtbl.t;
+}
+
+type state = { mutable last : entry option; table : (int, entry) Hashtbl.t }
+
+(* Domain-local: Lesslog_parallel.Par spawns real domains, and a shared
+   table would race. Entries are pure derived state, so building them
+   independently per domain is merely a little redundant work. *)
+let dls =
+  Domain.DLS.new_key (fun () -> { last = None; table = Hashtbl.create 16 })
+
+(* comp < 2^max_width = 2^24, so (uid, comp) packs into one int key. *)
+let key_of ~uid ~comp = (uid lsl Lesslog_bits.Bitops.max_width) lor comp
+
+(* Keep runaway experiments (thousands of short-lived status words) from
+   pinning dead entries; a reset only costs rebuilds. *)
+let max_entries = 512
+
+let rebuild e =
+  Packed_bits.clear_all e.vids;
+  let comp = e.comp in
+  let vids = e.vids in
+  Packed_bits.iter_set (Status_word.live_bits e.status) (fun p ->
+      Packed_bits.set vids (p lxor comp));
+  e.max_live_vid <-
+    Packed_bits.first_set_at_or_below vids (Packed_bits.length vids - 1);
+  e.next_pids <- [||];
+  Hashtbl.reset e.children;
+  e.epoch <- Status_word.epoch e.status
+
+let make status ~comp =
+  let space = Params.space (Status_word.params status) in
+  let e =
+    {
+      status;
+      comp;
+      epoch = -1;
+      vids = Packed_bits.create space;
+      max_live_vid = -1;
+      next_pids = [||];
+      children = Hashtbl.create 16;
+    }
+  in
+  rebuild e;
+  e
+
+let validate e =
+  if e.epoch <> Status_word.epoch e.status then rebuild e;
+  e
+
+let next_pids e =
+  if Array.length e.next_pids <> 0 then e.next_pids
+  else begin
+    let space = Packed_bits.length e.vids in
+    let mask = space - 1 in
+    let comp = e.comp in
+    let vids = e.vids in
+    let root_live = Packed_bits.get vids mask in
+    let g = e.max_live_vid in
+    (* First alive ancestor per VID, by descending-VID dynamic
+       programming: parents have larger VIDs, so faa.(parent) is final
+       when v is processed — O(space) total instead of O(space * m). *)
+    let faa = Array.make space (-1) in
+    for v = space - 2 downto 0 do
+      let pv =
+        v lor (1 lsl Lesslog_bits.Bitops.floor_log2 (lnot v land mask))
+      in
+      faa.(v) <- (if Packed_bits.get vids pv then pv else faa.(pv))
+    done;
+    let next = Array.make space (-1) in
+    for v = 0 to space - 1 do
+      let a = faa.(v) in
+      next.(v lxor comp) <-
+        (if a >= 0 then a lxor comp
+         else if root_live then -1
+         else if g >= 0 && g <> v then g lxor comp
+         else -1)
+    done;
+    e.next_pids <- next;
+    next
+  end
+
+let get status ~comp =
+  let s = Domain.DLS.get dls in
+  match s.last with
+  | Some e when e.status == status && e.comp = comp -> validate e
+  | _ ->
+      let k = key_of ~uid:(Status_word.uid status) ~comp in
+      let e =
+        match Hashtbl.find_opt s.table k with
+        | Some e -> validate e
+        | None ->
+            if Hashtbl.length s.table >= max_entries then
+              Hashtbl.reset s.table;
+            let e = make status ~comp in
+            Hashtbl.add s.table k e;
+            e
+      in
+      s.last <- Some e;
+      e

@@ -1,4 +1,5 @@
 module Bitops = Lesslog_bits.Bitops
+module Packed_bits = Lesslog_bits.Packed_bits
 
 let check = Alcotest.(check int)
 
@@ -106,6 +107,154 @@ let prop_floor_log2 =
       let l = Bitops.floor_log2 x in
       x lsr l = 1)
 
+(* Packed bitsets ------------------------------------------------------- *)
+
+let members t =
+  let acc = ref [] in
+  Packed_bits.iter_set t (fun i -> acc := i :: !acc);
+  List.rev !acc
+
+let non_members t =
+  let acc = ref [] in
+  Packed_bits.iter_clear t (fun i -> acc := i :: !acc);
+  List.rev !acc
+
+let test_packed_basics () =
+  let t = Packed_bits.create 124 in
+  check "empty count" 0 (Packed_bits.count t);
+  (* Word boundaries for 62-bit words: 61|62 and 123 (tail). *)
+  List.iter (Packed_bits.set t) [ 0; 61; 62; 123 ];
+  check "count" 4 (Packed_bits.count t);
+  Alcotest.(check (list int)) "members" [ 0; 61; 62; 123 ] (members t);
+  Alcotest.(check bool) "get 61" true (Packed_bits.get t 61);
+  Alcotest.(check bool) "get 60" false (Packed_bits.get t 60);
+  Packed_bits.clear t 61;
+  Alcotest.(check (list int)) "after clear" [ 0; 62; 123 ] (members t);
+  Packed_bits.clear_all t;
+  check "cleared" 0 (Packed_bits.count t)
+
+let test_packed_full () =
+  (* space = 2^m exactly fills words only when 62 | space: check both a
+     power of two (1024 = 16*62 + 32: partial tail) and a multiple. *)
+  List.iter
+    (fun len ->
+      let t = Packed_bits.create_full len in
+      check (Printf.sprintf "full count %d" len) len (Packed_bits.count t);
+      Alcotest.(check bool) "last set" true (Packed_bits.get t (len - 1));
+      check "nth_clear overflow" (-1) (Packed_bits.nth_clear t 0);
+      check "first above" 0 (Packed_bits.first_set_at_or_above t 0))
+    [ 1; 62; 124; 1024; 4096 ]
+
+let test_packed_selects () =
+  let t = Packed_bits.create 1024 in
+  List.iter (Packed_bits.set t) [ 5; 100; 700; 1023 ];
+  check "below 1023" 1023 (Packed_bits.first_set_at_or_below t 1023);
+  check "below 1022" 700 (Packed_bits.first_set_at_or_below t 1022);
+  check "below 699" 100 (Packed_bits.first_set_at_or_below t 699);
+  check "below 4" (-1) (Packed_bits.first_set_at_or_below t 4);
+  check "above 0" 5 (Packed_bits.first_set_at_or_above t 0);
+  check "above 701" 1023 (Packed_bits.first_set_at_or_above t 701);
+  check "range empty" (-1) (Packed_bits.first_set_in_range t ~lo:101 ~hi:699);
+  check "range hit" 700 (Packed_bits.first_set_in_range t ~lo:101 ~hi:700);
+  check "range inverted" (-1) (Packed_bits.first_set_in_range t ~lo:9 ~hi:3);
+  check "nth 0" 5 (Packed_bits.nth_set t 0);
+  check "nth 2" 700 (Packed_bits.nth_set t 2);
+  check "nth overflow" (-1) (Packed_bits.nth_set t 4);
+  check "nth_clear 0" 0 (Packed_bits.nth_clear t 0);
+  check "nth_clear 5" 6 (Packed_bits.nth_clear t 5)
+
+let test_packed_index_arithmetic () =
+  (* The magic-number division by 62 must agree with real division for
+     every index in use. nth_set/iter_set compute positions independently
+     of word_of_index, so a single-bit roundtrip catches a misplaced
+     word. Sweep all indices of a multi-word set plus boundaries. *)
+  let len = 5 * 62 + 17 in
+  let t = Packed_bits.create len in
+  for i = 0 to len - 1 do
+    Packed_bits.clear_all t;
+    Packed_bits.set t i;
+    Alcotest.(check (list int))
+      (Printf.sprintf "single bit %d" i)
+      [ i ] (members t);
+    check "nth_set roundtrip" i (Packed_bits.nth_set t 0)
+  done;
+  (* Large indices: spot-check the magic constant far beyond any m. *)
+  let big = Packed_bits.create 1_000_000 in
+  List.iter
+    (fun i ->
+      Packed_bits.set big i;
+      Alcotest.(check bool) (Printf.sprintf "big %d" i) true
+        (Packed_bits.get big i))
+    [ 0; 61; 62; 999_998; 999_999; 123_456; 619_999 ];
+  check "big count" 7 (Packed_bits.count big)
+
+let test_packed_inter () =
+  let a = Packed_bits.create 200 and b = Packed_bits.create 200 in
+  List.iter (Packed_bits.set a) [ 1; 63; 64; 150; 199 ];
+  List.iter (Packed_bits.set b) [ 0; 63; 150; 160; 199 ];
+  let acc = ref [] in
+  Packed_bits.iter_inter a b (fun i -> acc := i :: !acc);
+  Alcotest.(check (list int)) "intersection" [ 63; 150; 199 ] (List.rev !acc)
+
+(* Model-based property: a packed set behaves like a bool array. *)
+let prop_packed_model =
+  Test_support.qcheck_case ~name:"packed_bits matches bool-array model"
+    QCheck2.Gen.(
+      int_range 1 300 >>= fun len ->
+      list_size (int_range 0 120) (pair bool (int_range 0 (len - 1)))
+      >>= fun ops -> return (len, ops))
+    (fun (len, ops) ->
+      let t = Packed_bits.create len in
+      let model = Array.make len false in
+      List.iter
+        (fun (set, i) ->
+          if set then begin
+            Packed_bits.set t i;
+            model.(i) <- true
+          end
+          else begin
+            Packed_bits.clear t i;
+            model.(i) <- false
+          end)
+        ops;
+      let model_members =
+        List.filter (fun i -> model.(i)) (List.init len Fun.id)
+      in
+      let model_clear =
+        List.filter (fun i -> not model.(i)) (List.init len Fun.id)
+      in
+      let below i =
+        let rec go j = if j < 0 then -1 else if model.(j) then j else go (j - 1) in
+        go i
+      in
+      let above i =
+        let rec go j = if j >= len then -1 else if model.(j) then j else go (j + 1) in
+        go i
+      in
+      members t = model_members
+      && non_members t = model_clear
+      && Packed_bits.count t = List.length model_members
+      && List.for_all (fun i -> Packed_bits.get t i = model.(i))
+           (List.init len Fun.id)
+      && List.for_all
+           (fun i -> Packed_bits.first_set_at_or_below t i = below i)
+           (List.init len Fun.id)
+      && List.for_all
+           (fun i -> Packed_bits.first_set_at_or_above t i = above i)
+           (List.init len Fun.id)
+      && List.for_all
+           (fun n ->
+             Packed_bits.nth_set t n
+             = (match List.nth_opt model_members n with Some i -> i | None -> -1))
+           (List.init (List.length model_members + 2) Fun.id)
+      && List.for_all
+           (fun n ->
+             Packed_bits.nth_clear t n
+             = (match List.nth_opt model_clear n with Some i -> i | None -> -1))
+           (List.init (List.length model_clear + 2) Fun.id)
+      && Packed_bits.equal t t
+      && Packed_bits.equal (Packed_bits.copy t) t)
+
 let () =
   Alcotest.run "bits"
     [
@@ -129,5 +278,15 @@ let () =
           prop_leading_ones_bound;
           prop_splice_inverse;
           prop_floor_log2;
+        ] );
+      ( "packed_bits",
+        [
+          Alcotest.test_case "basics" `Quick test_packed_basics;
+          Alcotest.test_case "create_full" `Quick test_packed_full;
+          Alcotest.test_case "selects" `Quick test_packed_selects;
+          Alcotest.test_case "index arithmetic" `Quick
+            test_packed_index_arithmetic;
+          Alcotest.test_case "intersection" `Quick test_packed_inter;
+          prop_packed_model;
         ] );
     ]

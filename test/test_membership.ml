@@ -80,6 +80,72 @@ let test_equal () =
   Status_word.set_dead b (pid 1);
   Alcotest.(check bool) "not equal" false (Status_word.equal a b)
 
+let test_epoch () =
+  let s = Status_word.create params ~initially_live:true in
+  let e0 = Status_word.epoch s in
+  (* No-op mutations must not bump the epoch (caches stay valid). *)
+  Status_word.set_live s (pid 4);
+  Alcotest.(check int) "no-op set_live" e0 (Status_word.epoch s);
+  Status_word.set_dead s (pid 4);
+  Alcotest.(check bool) "effective set_dead bumps" true
+    (Status_word.epoch s > e0);
+  let e1 = Status_word.epoch s in
+  Status_word.set_dead s (pid 4);
+  Alcotest.(check int) "no-op set_dead" e1 (Status_word.epoch s);
+  Status_word.set_live s (pid 4);
+  Alcotest.(check bool) "effective set_live bumps" true
+    (Status_word.epoch s > e1)
+
+let test_uid_distinct () =
+  let a = Status_word.create params ~initially_live:true in
+  let b = Status_word.create params ~initially_live:true in
+  let c = Status_word.copy a in
+  Alcotest.(check bool) "fresh uid" true (Status_word.uid a <> Status_word.uid b);
+  Alcotest.(check bool) "copy gets own uid" true
+    (Status_word.uid c <> Status_word.uid a)
+
+let test_selects () =
+  let s = Status_word.of_live_list params (Test_support.pids [ 3; 8; 20 ]) in
+  let get f x = Option.map Pid.to_int (f x) in
+  Alcotest.(check (option int)) "at_or_below 31" (Some 20)
+    (get (Status_word.first_live_at_or_below s) (pid 31));
+  Alcotest.(check (option int)) "at_or_below 8" (Some 8)
+    (get (Status_word.first_live_at_or_below s) (pid 8));
+  Alcotest.(check (option int)) "at_or_below 2" None
+    (get (Status_word.first_live_at_or_below s) (pid 2));
+  Alcotest.(check (option int)) "in_range hit" (Some 8)
+    (Option.map Pid.to_int
+       (Status_word.first_live_in_range s ~lo:(pid 4) ~hi:(pid 19)));
+  Alcotest.(check (option int)) "in_range miss" None
+    (Option.map Pid.to_int
+       (Status_word.first_live_in_range s ~lo:(pid 9) ~hi:(pid 19)));
+  Alcotest.(check (option int)) "nth_live 1" (Some 8)
+    (get (Status_word.nth_live s) 1);
+  Alcotest.(check (option int)) "nth_live overflow" None
+    (get (Status_word.nth_live s) 3);
+  Alcotest.(check (option int)) "nth_dead 0" (Some 0)
+    (get (Status_word.nth_dead s) 0);
+  (* PIDs 0..2 and 4..7 are dead: the 4th dead pid (index 3) is 4. *)
+  Alcotest.(check (option int)) "nth_dead skips live" (Some 4)
+    (get (Status_word.nth_dead s) 3)
+
+(* Rejection sampling must terminate (and stay uniform over the candidate
+   set) even at degenerate density: a single live node among 2^m. *)
+let test_random_degenerate () =
+  let big = Params.create ~m:10 () in
+  let s = Status_word.of_live_list big [ pid 777 ] in
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 100 do
+    Alcotest.(check (option int)) "sparse live" (Some 777)
+      (Option.map Pid.to_int (Status_word.random_live s rng))
+  done;
+  let t = Status_word.create big ~initially_live:true in
+  Status_word.set_dead t (pid 123);
+  for _ = 1 to 100 do
+    Alcotest.(check (option int)) "sparse dead" (Some 123)
+      (Option.map Pid.to_int (Status_word.random_dead t rng))
+  done
+
 let prop_live_count_consistent =
   Test_support.qcheck_case ~name:"live_count = |live_pids|"
     QCheck2.Gen.(
@@ -131,6 +197,11 @@ let () =
           Alcotest.test_case "random_dead" `Quick test_random_dead;
           Alcotest.test_case "kill_fraction" `Quick test_kill_fraction;
           Alcotest.test_case "equality" `Quick test_equal;
+          Alcotest.test_case "epoch semantics" `Quick test_epoch;
+          Alcotest.test_case "uid uniqueness" `Quick test_uid_distinct;
+          Alcotest.test_case "word-level selects" `Quick test_selects;
+          Alcotest.test_case "degenerate-density sampling" `Quick
+            test_random_degenerate;
         ] );
       ( "properties",
         [ prop_live_count_consistent; prop_fold_matches_list; prop_kill_fraction_counts ] );

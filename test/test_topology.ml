@@ -364,6 +364,80 @@ let prop_live_offspring_bounded =
       let live = Topology.live_offspring_count tree status p in
       live >= 0 && live <= Ptree.offspring_count tree p)
 
+(* --- Differential tests: cached layer vs. the naive oracle ----------- *)
+
+(* Every cached query must return bit-identical answers to the naive
+   reference implementations in [Topology.Naive], across a randomized
+   kill/revive sequence. Checking after every mutation exercises the
+   epoch-invalidation machinery: each effective [set_live]/[set_dead]
+   must force a cache rebuild, and a stale answer shows up as a
+   divergence from the oracle here. *)
+let all_queries_agree params tree status =
+  let module T = Topology in
+  let module N = Topology.Naive in
+  let space = Params.space params in
+  T.max_live tree status = N.max_live tree status
+  && T.insertion_target tree status = N.insertion_target tree status
+  && List.for_all
+       (fun i ->
+         let p = pid i in
+         T.find_live_node tree status ~start:p
+         = N.find_live_node tree status ~start:p
+         && T.children_list tree status p = N.children_list tree status p
+         && T.first_alive_ancestor tree status p
+            = N.first_alive_ancestor tree status p
+         && T.has_live_with_greater_vid tree status p
+            = N.has_live_with_greater_vid tree status p
+         && T.live_offspring_count tree status p
+            = N.live_offspring_count tree status p
+         && T.route_next tree status p = N.route_next tree status p
+         && T.route_path tree status ~origin:p
+            = N.route_path tree status ~origin:p)
+       (List.init space Fun.id)
+
+let prop_cached_matches_naive =
+  Test_support.qcheck_case ~name:"cached topology = naive oracle under churn"
+    QCheck2.Gen.(
+      Test_support.gen_params >>= fun params ->
+      Test_support.gen_pid params >>= fun root ->
+      bool >>= fun initially_live ->
+      list_size (int_range 1 30)
+        (pair bool (int_range 0 (Params.space params - 1)))
+      >>= fun churn -> return (params, root, initially_live, churn))
+    (fun (params, root, initially_live, churn) ->
+      let status = Status_word.create params ~initially_live in
+      let tree = Ptree.make params ~root in
+      all_queries_agree params tree status
+      && List.for_all
+           (fun (revive, i) ->
+             if revive then Status_word.set_live status (pid i)
+             else Status_word.set_dead status (pid i);
+             all_queries_agree params tree status)
+           churn)
+
+(* Two trees sharing one status word must not poison each other's cache
+   entries, and a copied status word must not alias the original's. *)
+let test_cache_isolation () =
+  let status, tree4 = figure3 () in
+  let tree9 = Ptree.make params4 ~root:(pid 9) in
+  let check_both () =
+    List.iter
+      (fun tree ->
+        Alcotest.(check bool) "matches naive" true
+          (all_queries_agree params4 tree status))
+      [ tree4; tree9 ]
+  in
+  check_both ();
+  Status_word.set_dead status (pid 6);
+  check_both ();
+  let snapshot = Status_word.copy status in
+  Status_word.set_live status (pid 6);
+  check_both ();
+  Alcotest.(check bool) "copy unaffected" true
+    (all_queries_agree params4 tree4 snapshot);
+  Alcotest.(check bool) "copy still sees P(6) dead" true
+    (Status_word.is_dead snapshot (pid 6))
+
 let () =
   Alcotest.run "topology"
     [
@@ -411,5 +485,11 @@ let () =
           prop_subtree_children_list_matches_brute;
           prop_subtree_insertion_target_is_max_live;
           prop_live_offspring_bounded;
+        ] );
+      ( "differential (cached vs naive)",
+        [
+          prop_cached_matches_naive;
+          Alcotest.test_case "cache isolation across trees/copies" `Quick
+            test_cache_isolation;
         ] );
     ]
