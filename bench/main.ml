@@ -15,6 +15,10 @@
    wall-clock seconds), written to $LESSLOG_BENCH_OUT or the working
    directory. The format is documented in EXPERIMENTS.md.
 
+   Part 3 — `main.exe des` runs only the event-core throughput benchmark
+   (Des_bench): packed scheduler vs the closure+heap baseline, plus full
+   Des_sim runs at m = 10 and m = 16, appending BENCH_des.json.
+
    Set LESSLOG_BENCH_QUICK=1 to run the figures at reduced scale and
    LESSLOG_BENCH_MICRO_ONLY=1 to skip them entirely. *)
 
@@ -307,5 +311,8 @@ let run_figures () =
   Printf.printf "\nwrote %s\n" (out_file "BENCH_figures.json")
 
 let () =
-  run_micro ();
-  if Sys.getenv_opt "LESSLOG_BENCH_MICRO_ONLY" <> Some "1" then run_figures ()
+  if Array.exists (( = ) "des") Sys.argv then Des_bench.run ()
+  else begin
+    run_micro ();
+    if Sys.getenv_opt "LESSLOG_BENCH_MICRO_ONLY" <> Some "1" then run_figures ()
+  end

@@ -506,6 +506,43 @@ let faults_cmd =
                  ~doc:"Single baseline loss (default: sweep 0, .1, .2, .3).")
       $ seed_arg)
 
+let msweep_cmd =
+  let run ms rate_per_node duration capacity seed =
+    let ms =
+      match ms with
+      | [] -> [ 10; 11; 12; 13; 14; 15; 16 ]
+      | ms -> ms
+    in
+    print_endline
+      "S1: DES scale-up sweep over the identifier-space exponent m";
+    print_endline
+      "===========================================================";
+    let points =
+      E.des_sweep ~ms ~rate_per_node ~duration ~capacity ~seed ()
+    in
+    print_endline (E.render_des_sweep points)
+  in
+  Cmd.v
+    (Cmd.info "msweep"
+       ~doc:
+         "S1: run the full event-driven simulator at m = 10..16 on the \
+          packed event core and report events/s, latency quantiles and \
+          replication outcomes per point.")
+    Term.(
+      const run
+      $ Arg.(value & opt_all int []
+             & info [ "m" ] ~docv:"M"
+                 ~doc:"Space width; repeatable (default 10..16).")
+      $ Arg.(value & opt float 2.0
+             & info [ "rate" ] ~docv:"R"
+                 ~doc:"Demand per live node, requests/s.")
+      $ Arg.(value & opt float 5.0
+             & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+      $ Arg.(value & opt float 100.0
+             & info [ "capacity" ] ~docv:"R"
+                 ~doc:"Per-node capacity in requests/s.")
+      $ seed_arg)
+
 (* --- Inspection --------------------------------------------------------- *)
 
 let tree_cmd =
@@ -558,5 +595,5 @@ let () =
             fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; all_cmd; hops_cmd;
             eviction_cmd; ft_cmd; propchoice_cmd; validate_cmd; churn_cmd;
             update_cost_cmd; sessions_cmd; lifecycle_cmd; trace_run_cmd;
-            faults_cmd; tree_cmd;
+            faults_cmd; msweep_cmd; tree_cmd;
           ]))

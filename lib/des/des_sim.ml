@@ -40,10 +40,25 @@ type churn_action = Join of Pid.t | Leave of Pid.t | Fail of Pid.t
 
 type churn_event = { at : float; action : churn_action }
 
-type msg =
-  | Get of { origin : Pid.t; issued_at : float; hops : int }
-  | Reply of { issued_at : float; hops : int }
-  | Push of { version : int }
+(* Overlay messages ride the packed plane: the tag lives in bits 0-2 of
+   the payload word [b], fields above it, and the float slot [x] carries
+   the issue timestamp where one is needed.
+
+     GET    b = 0 | origin << 3 | hops << 27     x = issued_at
+     REPLY  b = 1 | hops << 3                    x = issued_at
+     PUSH   b = 2 | version << 3
+
+   No message constructor allocates. *)
+
+let tag_get = 0
+let tag_reply = 1
+let tag_push = 2
+let origin_bits = 24
+let origin_mask = (1 lsl origin_bits) - 1
+
+let get_b ~origin ~hops = tag_get lor (origin lsl 3) lor (hops lsl (3 + origin_bits))
+let reply_b ~hops = tag_reply lor (hops lsl 3)
+let push_b ~version = tag_push lor (version lsl 3)
 
 type result = {
   served : int;
@@ -58,6 +73,7 @@ type result = {
   control_messages : int;
   file_transfers : int;
   overloaded_at_end : int;
+  events : int;
 }
 
 type state = {
@@ -68,9 +84,14 @@ type state = {
   tree : Lesslog_ptree.Ptree.t;
       (* the key's lookup tree, fixed for the whole run *)
   engine : Engine.t;
-  overlay : msg Overlay.t;
+  overlay : unit Overlay.t;
   estimators : Access_counter.t array;
   cooldown_until : float array;
+  (* one demand/deadline pair per workload phase, indexed by the arrival
+     event's [b] word *)
+  phase_demand : Demand.t array;
+  phase_until : float array;
+  mutable h_arrival : int;
   mutable served : int;
   mutable faults : int;
   latencies : Histogram.t;
@@ -103,7 +124,8 @@ let maybe_replicate st ~overloaded =
           Option.value ~default:0
             (File_store.version (Cluster.store st.cluster overloaded) ~key:st.key)
         in
-        Overlay.send st.overlay ~src:overloaded ~dst:dest (Push { version })
+        Overlay.send_packed st.overlay ~src:overloaded ~dst:dest
+          ~b:(push_b ~version) ~x:0.0
   end
 
 let serve st ~server ~origin ~issued_at ~hops =
@@ -119,29 +141,34 @@ let serve st ~server ~origin ~issued_at ~hops =
   if Pid.equal server origin then
     (* Served locally: the reply needs no network hop. *)
     Histogram.add st.latencies (now st -. issued_at)
-  else Overlay.send st.overlay ~src:server ~dst:origin (Reply { issued_at; hops });
+  else
+    Overlay.send_packed st.overlay ~src:server ~dst:origin ~b:(reply_b ~hops)
+      ~x:issued_at;
   maybe_replicate st ~overloaded:server
 
-let handle st ~me ~src msg =
-  match msg with
-  | Get { origin; issued_at; hops } ->
+let handle st ~me ~src b x =
+  match b land 7 with
+  | 0 (* GET *) ->
+      let origin = Pid.unsafe_of_int ((b lsr 3) land origin_mask) in
+      let hops = b lsr (3 + origin_bits) in
       if Cluster.holds st.cluster me ~key:st.key then
-        serve st ~server:me ~origin ~issued_at ~hops
+        serve st ~server:me ~origin ~issued_at:x ~hops
       else begin
         match Topology.route_next st.tree (Cluster.status st.cluster) me with
         | Some next ->
-            Overlay.send st.overlay ~src:me ~dst:next
-              (Get { origin; issued_at; hops = hops + 1 })
+            Overlay.send_packed st.overlay ~src:me ~dst:next
+              ~b:(get_b ~origin:(Pid.to_int origin) ~hops:(hops + 1))
+              ~x
         | None ->
             st.faults <- st.faults + 1;
             emit st
               (Trace.Event.Request
                  { at = now st; origin = Pid.to_int origin; server = None; hops })
       end
-  | Reply { issued_at; hops = _ } ->
-      Histogram.add st.latencies (now st -. issued_at)
-  | Push { version } ->
+  | 1 (* REPLY *) -> Histogram.add st.latencies (now st -. x)
+  | 2 (* PUSH *) ->
       if not (Cluster.holds st.cluster me ~key:st.key) then begin
+        let version = b lsr 3 in
         File_store.add (Cluster.store st.cluster me) ~key:st.key
           ~origin:File_store.Replicated ~version ~now:(now st);
         st.replicas_created <- st.replicas_created + 1;
@@ -153,6 +180,7 @@ let handle st ~me ~src msg =
         Timeseries.record st.replica_timeline ~time:(now st)
           (float_of_int (Cluster.total_copies st.cluster ~key:st.key))
       end
+  | _ -> ()
 
 let issue_request st ~origin =
   (* The client contacts its node directly; local service costs no hop. *)
@@ -161,27 +189,38 @@ let issue_request st ~origin =
   else begin
     match Topology.route_next st.tree (Cluster.status st.cluster) origin with
     | Some next ->
-        Overlay.send st.overlay ~src:origin ~dst:next
-          (Get { origin; issued_at = now st; hops = 1 })
+        Overlay.send_packed st.overlay ~src:origin ~dst:next
+          ~b:(get_b ~origin:(Pid.to_int origin) ~hops:1)
+          ~x:(now st)
     | None -> st.faults <- st.faults + 1
+  end
+
+(* One Poisson arrival at a node: serve/forward the request, then draw the
+   next inter-arrival gap — a self-rescheduling packed event, no closure
+   chain. A node that died since stops its chain (and a later rejoin does
+   not restart it, matching the documented semantics). *)
+let on_arrival st origin_i phase _x =
+  let origin = Pid.unsafe_of_int origin_i in
+  if Status_word.is_live (Cluster.status st.cluster) origin then begin
+    issue_request st ~origin;
+    let rate = Demand.rate st.phase_demand.(phase) origin in
+    let t = now st +. Rng.exponential st.rng ~rate in
+    if t < st.phase_until.(phase) then
+      Engine.post_at st.engine ~time:t ~h:st.h_arrival ~a:origin_i ~b:phase
+        ~x:0.0
   end
 
 (* Poisson arrivals for one demand phase: per origin, events on
    [from_time, until). *)
-let start_arrivals st ~demand ~from_time ~until =
+let start_arrivals st ~phase ~from_time =
+  let demand = st.phase_demand.(phase) and until = st.phase_until.(phase) in
   Status_word.iter_live (Cluster.status st.cluster) (fun origin ->
       let rate = Demand.rate demand origin in
       if rate > 0.0 then begin
-        let rec schedule_from t0 =
-          let t = t0 +. Rng.exponential st.rng ~rate in
-          if t < until then
-            Engine.schedule_at st.engine ~time:t (fun () ->
-                if Status_word.is_live (Cluster.status st.cluster) origin then begin
-                  issue_request st ~origin;
-                  schedule_from (now st)
-                end)
-        in
-        schedule_from from_time
+        let t = from_time +. Rng.exponential st.rng ~rate in
+        if t < until then
+          Engine.post_at st.engine ~time:t ~h:st.h_arrival
+            ~a:(Pid.to_int origin) ~b:phase ~x:0.0
       end)
 
 (* The counter-based mechanism of Section 2.2: each node periodically
@@ -240,8 +279,7 @@ let apply_churn st events =
                 let stats = Self_org.join ~now:(now st) st.cluster p in
                 account_churn st
                   ~relocated:(List.length stats.Self_org.took_over);
-                Overlay.set_handler st.overlay p (fun ~src msg ->
-                    handle st ~me:p ~src msg)
+                Overlay.attach st.overlay p
               end
           | Leave p ->
               if Status_word.is_live status p then begin
@@ -251,7 +289,7 @@ let apply_churn st events =
                 let stats = Self_org.leave ~now:(now st) st.cluster p in
                 account_churn st
                   ~relocated:(List.length stats.Self_org.reinserted);
-                Overlay.clear_handler st.overlay p
+                Overlay.detach st.overlay p
               end
           | Fail p ->
               if Status_word.is_live status p then begin
@@ -261,7 +299,7 @@ let apply_churn st events =
                 let stats = Self_org.fail ~now:(now st) st.cluster p in
                 account_churn st
                   ~relocated:(List.length stats.Self_org.recovered);
-                Overlay.clear_handler st.overlay p
+                Overlay.detach st.overlay p
               end))
     events
 
@@ -271,6 +309,16 @@ let run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases ~duration =
   let overlay =
     Overlay.create ~engine ~rng ~latency:config.latency ~loss:config.loss params
   in
+  let nphases = List.length phases in
+  let phase_demand = Array.make (max 1 nphases) (Demand.of_rates [||]) in
+  let phase_until = Array.make (max 1 nphases) 0.0 in
+  let offset = ref 0.0 in
+  List.iteri
+    (fun i (demand, phase_duration) ->
+      phase_demand.(i) <- demand;
+      offset := !offset +. phase_duration;
+      phase_until.(i) <- !offset)
+    phases;
   let st =
     {
       config;
@@ -284,6 +332,9 @@ let run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases ~duration =
         Array.init (Params.space params) (fun _ ->
             Access_counter.create ~tau:config.detection_tau ~now:0.0 ());
       cooldown_until = Array.make (Params.space params) 0.0;
+      phase_demand;
+      phase_until;
+      h_arrival = -1;
       served = 0;
       faults = 0;
       latencies = Histogram.create ();
@@ -297,18 +348,19 @@ let run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases ~duration =
       sink;
     }
   in
+  st.h_arrival <- Engine.register_handler engine (on_arrival st);
+  Overlay.set_packed_recv overlay
+    (Some (fun ~src ~dst b x -> handle st ~me:dst ~src b x));
   Status_word.iter_live (Cluster.status cluster) (fun p ->
-      Overlay.set_handler overlay p (fun ~src msg -> handle st ~me:p ~src msg));
+      Overlay.attach overlay p);
   Timeseries.record st.replica_timeline ~time:0.0
     (float_of_int (Cluster.total_copies cluster ~key));
   apply_churn st churn;
-  List.fold_left
-    (fun offset (demand, phase_duration) ->
-      start_arrivals st ~demand ~from_time:offset
-        ~until:(offset +. phase_duration);
-      offset +. phase_duration)
-    0.0 phases
-  |> ignore;
+  List.iteri
+    (fun i (_, _) ->
+      start_arrivals st ~phase:i
+        ~from_time:(if i = 0 then 0.0 else st.phase_until.(i - 1)))
+    phases;
   start_eviction st ~duration;
   Engine.run ~until:duration engine;
   let overloaded_at_end =
@@ -331,6 +383,7 @@ let run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases ~duration =
     control_messages = st.control_messages;
     file_transfers = st.file_transfers;
     overloaded_at_end;
+    events = Engine.events_executed engine;
   }
 
 let run ?(config = default_config) ?(churn = []) ?sink ~rng ~cluster ~key

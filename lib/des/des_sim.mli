@@ -66,6 +66,9 @@ type result = {
   overloaded_at_end : int;
       (** Nodes whose estimated serve rate still exceeded capacity when
           the run ended. *)
+  events : int;
+      (** Engine events executed — the throughput denominator for
+          events/sec benchmarks. *)
 }
 
 (** Both entry points accept an optional [sink] receiving a

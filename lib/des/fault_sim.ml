@@ -73,12 +73,32 @@ type result = {
   messages : int;
 }
 
-type msg =
-  | Get of { id : int; origin : Pid.t; issued_at : float; hops : int }
-  | Reply of { id : int; issued_at : float; hops : int }
-  | Push of { version : int }
-  | Ping of { seq : int }
-  | Pong of { seq : int }
+(* Overlay messages ride the packed plane (tag in bits 0-2 of [b], fields
+   above, issue timestamp in [x] where needed):
+
+     GET    b = 0 | origin << 3 | hops << 27 | id << 33   x = issued_at
+     REPLY  b = 1 | hops << 3 | id << 9                   x = issued_at
+     PUSH   b = 2 | version << 3
+     PING   b = 3 | seq << 3
+     PONG   b = 4 | seq << 3
+
+   Request ids are per-run monotone counters, comfortably under the 30
+   bits the GET layout leaves them. *)
+
+let origin_bits = 24
+let origin_mask = (1 lsl origin_bits) - 1
+let hops_bits = 6
+let hops_mask = (1 lsl hops_bits) - 1
+
+let get_b ~id ~origin ~hops =
+  0 lor (origin lsl 3)
+  lor (hops lsl (3 + origin_bits))
+  lor (id lsl (3 + origin_bits + hops_bits))
+
+let reply_b ~id ~hops = 1 lor (hops lsl 3) lor (id lsl (3 + hops_bits))
+let push_b ~version = 2 lor (version lsl 3)
+let ping_b ~seq = 3 lor (seq lsl 3)
+let pong_b ~seq = 4 lor (seq lsl 3)
 
 (* Per-request metadata threaded through the rpc tracker. *)
 type request = { origin : Pid.t; issued_at : float }
@@ -91,7 +111,7 @@ type state = {
   tree : Lesslog_ptree.Ptree.t;
       (* the key's lookup tree, fixed for the whole run *)
   engine : Engine.t;
-  overlay : msg Overlay.t;
+  overlay : unit Overlay.t;
   (* Injected ground truth: which processes are actually up. It runs the
      physical world — handlers, who can act — and scores the detector; it
      is never consulted for routing or placement. *)
@@ -142,7 +162,8 @@ let maybe_replicate st ~overloaded =
             (File_store.version (Cluster.store st.cluster overloaded)
                ~key:st.key)
         in
-        Overlay.send st.overlay ~src:overloaded ~dst:dest (Push { version })
+        Overlay.send_packed st.overlay ~src:overloaded ~dst:dest
+          ~b:(push_b ~version) ~x:0.0
   end
 
 (* First delivery of a request ID does the work; duplicates only re-send
@@ -169,7 +190,9 @@ let serve st ~server ~id ~origin ~issued_at ~hops =
           st.within_deadline <- st.within_deadline + 1
     | None -> ()
   end
-  else Overlay.send st.overlay ~src:server ~dst:origin (Reply { id; issued_at; hops })
+  else
+    Overlay.send_packed st.overlay ~src:server ~dst:origin
+      ~b:(reply_b ~id ~hops) ~x:issued_at
 
 (* One transmission attempt: route the request from its origin. A dead
    end (no live route right now) sends nothing — the attempt simply times
@@ -182,36 +205,44 @@ let transmit st ~id ~attempt:_ { origin; issued_at } =
     else
       match Topology.route_next st.tree (Cluster.status st.cluster) origin with
       | Some next ->
-          Overlay.send st.overlay ~src:origin ~dst:next
-            (Get { id; origin; issued_at; hops = 1 })
+          Overlay.send_packed st.overlay ~src:origin ~dst:next
+            ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:1)
+            ~x:issued_at
       | None -> ()
   end
 
-let handle st ~me ~src msg =
-  match msg with
-  | Get { id; origin; issued_at; hops } ->
+let handle st ~me ~src b x =
+  match b land 7 with
+  | 0 (* GET *) ->
+      let origin = Pid.unsafe_of_int ((b lsr 3) land origin_mask) in
+      let hops = (b lsr (3 + origin_bits)) land hops_mask in
+      let id = b lsr (3 + origin_bits + hops_bits) in
       if Cluster.holds st.cluster me ~key:st.key then
-        serve st ~server:me ~id ~origin ~issued_at ~hops
+        serve st ~server:me ~id ~origin ~issued_at:x ~hops
       else begin
         match Topology.route_next st.tree (Cluster.status st.cluster) me with
         | Some next ->
-            Overlay.send st.overlay ~src:me ~dst:next
-              (Get { id; origin; issued_at; hops = hops + 1 })
+            Overlay.send_packed st.overlay ~src:me ~dst:next
+              ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:(hops + 1))
+              ~x
         | None -> ()
         (* Dead end: the rpc layer, not the router, reports the fault. *)
       end
-  | Reply { id; issued_at; hops } -> (
+  | 1 (* REPLY *) -> (
+      let hops = (b lsr 3) land hops_mask in
+      let id = b lsr (3 + hops_bits) in
       match Rpc.complete (rpc st) ~id with
       | Some _ ->
           st.served <- st.served + 1;
-          let latency = now st -. issued_at in
+          let latency = now st -. x in
           Histogram.add st.latencies latency;
           Histogram.add_int st.hops hops;
           if latency <= st.config.deadline then
             st.within_deadline <- st.within_deadline + 1
       | None -> ())
-  | Push { version } ->
+  | 2 (* PUSH *) ->
       if not (Cluster.holds st.cluster me ~key:st.key) then begin
+        let version = b lsr 3 in
         File_store.add (Cluster.store st.cluster me) ~key:st.key
           ~origin:File_store.Replicated ~version ~now:(now st);
         st.replicas_created <- st.replicas_created + 1;
@@ -220,8 +251,11 @@ let handle st ~me ~src msg =
              { at = now st; src = Pid.to_int src; dst = Pid.to_int me;
                key = st.key })
       end
-  | Ping { seq } -> Overlay.send st.overlay ~src:me ~dst:src (Pong { seq })
-  | Pong { seq } -> Heartbeat.pong (detector st) ~peer:src ~seq
+  | 3 (* PING *) ->
+      Overlay.send_packed st.overlay ~src:me ~dst:src
+        ~b:(pong_b ~seq:(b lsr 3)) ~x:0.0
+  | 4 (* PONG *) -> Heartbeat.pong (detector st) ~peer:src ~seq:(b lsr 3)
+  | _ -> ()
 
 (* --- The detector drives membership -------------------------------------- *)
 
@@ -251,7 +285,8 @@ let send_ping st ~seq peer =
   match pick_truth_live st with
   | None -> ()
   | Some monitor ->
-      Overlay.send st.overlay ~src:monitor ~dst:peer (Ping { seq })
+      Overlay.send_packed st.overlay ~src:monitor ~dst:peer ~b:(ping_b ~seq)
+        ~x:0.0
 
 (* A verdict change is what a real deployment would act on: mark the
    status word and run the Section 5 self-organized migration. This is
@@ -282,13 +317,12 @@ let on_verdict st p verdict =
 
 (* --- Fault injection ------------------------------------------------------ *)
 
-let install_handler st p =
-  Overlay.set_handler st.overlay p (fun ~src msg -> handle st ~me:p ~src msg)
+let install_handler st p = Overlay.attach st.overlay p
 
 let crash st p =
   if truth_live st p then begin
     st.truth.(Pid.to_int p) <- false;
-    Overlay.clear_handler st.overlay p;
+    Overlay.detach st.overlay p;
     st.crashes <- st.crashes + 1;
     emit st
       (Trace.Event.Membership
@@ -477,6 +511,8 @@ let run ?(config = default_config) ?(plan = Faults.empty) ?sink ~rng ~cluster
          ~ping:(fun ~seq peer -> send_ping st ~seq peer)
          ~on_change:(fun p verdict -> on_verdict st p verdict)
          ());
+  Overlay.set_packed_recv overlay
+    (Some (fun ~src ~dst b x -> handle st ~me:dst ~src b x));
   Array.iter (fun p -> install_handler st p) monitored;
   schedule_plan st plan;
   Heartbeat.start (detector st) ~until:duration;

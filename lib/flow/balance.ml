@@ -1,4 +1,5 @@
 open Lesslog_id
+module Packed_bits = Lesslog_bits.Packed_bits
 module Cluster = Lesslog.Cluster
 module Status_word = Lesslog_membership.Status_word
 module File_store = Lesslog_storage.File_store
@@ -16,7 +17,7 @@ let overloaded_pids ~capacity (loads : Flow.loads) =
   Array.iteri
     (fun i rate -> if rate > capacity then acc := (i, rate) :: !acc)
     loads.Flow.serve;
-  List.sort (fun (_, a) (_, b) -> compare b a) !acc
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) !acc
   |> List.map (fun (i, _) -> Pid.unsafe_of_int i)
 
 let run ?max_steps ~rng ~cluster ~key ~demand ~capacity ~policy () =
@@ -85,7 +86,7 @@ let evict_cold ?(capacity = infinity) ~cluster ~key ~demand ~min_rate () =
   let holders p = Cluster.holds cluster p ~key in
   let serve_now () = Flow.serve_rates flow ~holders ~demand in
   let evicted = ref 0 in
-  let blocked : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let blocked = Packed_bits.create (Params.space (Cluster.params cluster)) in
   let continue = ref true in
   while !continue do
     let current = serve_now () in
@@ -98,7 +99,7 @@ let evict_cold ?(capacity = infinity) ~cluster ~key ~demand ~min_rate () =
           let i = Pid.to_int p in
           let store = Cluster.store cluster p in
           if
-            (not (Hashtbl.mem blocked i))
+            (not (Packed_bits.get blocked i))
             && File_store.origin store ~key = Some File_store.Replicated
             && current.Flow.serve.(i) < min_rate
           then
@@ -122,7 +123,7 @@ let evict_cold ?(capacity = infinity) ~cluster ~key ~demand ~min_rate () =
              it again. *)
           File_store.add store ~key ~origin:File_store.Replicated ~version
             ~now:0.0;
-          Hashtbl.replace blocked (Pid.to_int p) ()
+          Packed_bits.set blocked (Pid.to_int p)
         end
         else incr evicted
   done;

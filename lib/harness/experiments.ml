@@ -130,6 +130,89 @@ let fig6 ?(config = default) () = dead_series config ~demand_model:Even
 let fig7 ?(config = default) () = policy_series config ~demand_model:Locality
 let fig8 ?(config = default) () = dead_series config ~demand_model:Locality
 
+(* --- DES m-sweep --------------------------------------------------------- *)
+
+module Des_sim = Lesslog_des.Des_sim
+module Histogram = Lesslog_metrics.Histogram
+
+type des_point = {
+  des_m : int;
+  nodes : int;
+  events : int;
+  secs : float;
+  events_per_sec : float;
+  served : int;
+  faults : int;
+  replicas : int;
+  messages : int;
+  p50_latency : float;
+  p99_latency : float;
+  mean_hops : float;
+}
+
+let des_point ~m ~rate_per_node ~duration ~capacity ~seed =
+  let params = Params.create ~m () in
+  let cluster = Cluster.create params in
+  (match Ops.insert cluster ~key:hot_file with
+  | [] -> invalid_arg "Experiments.des_point: empty system"
+  | _ -> ());
+  let status = Cluster.status cluster in
+  let nodes = Status_word.live_count status in
+  let total = rate_per_node *. float_of_int nodes in
+  let demand = Demand.uniform status ~total in
+  let tag = Printf.sprintf "%d|des|%d" seed m in
+  let rng = Rng.create ~seed:(Lesslog_hash.Fnv.hash63 tag land 0x3FFFFFFF) in
+  let config = { Des_sim.default_config with capacity } in
+  let t0 = Sys.time () in
+  let r = Des_sim.run ~config ~rng ~cluster ~key:hot_file ~demand ~duration () in
+  let secs = Sys.time () -. t0 in
+  let q h p = if Histogram.count h = 0 then 0.0 else Histogram.quantile h p in
+  {
+    des_m = m;
+    nodes;
+    events = r.Des_sim.events;
+    secs;
+    events_per_sec =
+      (if secs > 0.0 then float_of_int r.Des_sim.events /. secs else 0.0);
+    served = r.Des_sim.served;
+    faults = r.Des_sim.faults;
+    replicas = r.Des_sim.replicas_created;
+    messages = r.Des_sim.messages;
+    p50_latency = q r.Des_sim.latencies 0.5;
+    p99_latency = q r.Des_sim.latencies 0.99;
+    mean_hops = Histogram.mean r.Des_sim.hops;
+  }
+
+let des_sweep ?(ms = [ 10; 11; 12; 13; 14; 15; 16 ]) ?(rate_per_node = 2.0)
+    ?(duration = 5.0) ?(capacity = 100.0) ?(seed = 42) () =
+  List.map
+    (fun m -> des_point ~m ~rate_per_node ~duration ~capacity ~seed)
+    ms
+
+let render_des_sweep points =
+  let header =
+    [ "m"; "nodes"; "events"; "ev/s"; "served"; "faults"; "replicas";
+      "p50 lat"; "p99 lat"; "hops" ]
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.des_m;
+          string_of_int p.nodes;
+          string_of_int p.events;
+          Printf.sprintf "%.3g" p.events_per_sec;
+          string_of_int p.served;
+          string_of_int p.faults;
+          string_of_int p.replicas;
+          Printf.sprintf "%.4f" p.p50_latency;
+          Printf.sprintf "%.4f" p.p99_latency;
+          Printf.sprintf "%.2f" p.mean_hops;
+        ])
+      points
+  in
+  Lesslog_report.Table.render ~header rows
+
 let render ~title ~x_label ~y_label series =
   String.concat "\n"
     [

@@ -74,3 +74,50 @@ val fig8 : ?config:config -> unit -> Series.t list
 val render :
   title:string -> x_label:string -> y_label:string -> Series.t list -> string
 (** Table plus ASCII plot, ready to print. *)
+
+(** {1 DES m-sweep}
+
+    Scale-up runs of the full discrete-event simulation on the packed
+    event core, from the paper's m = 10 (1,024 slots) up to m = 16
+    (65,536 slots). Demand is uniform and scales with the number of live
+    nodes, so events per simulated second grow with the identifier
+    space. *)
+
+type des_point = {
+  des_m : int;  (** Identifier-space exponent for this row. *)
+  nodes : int;  (** Live nodes at the start of the run. *)
+  events : int;  (** Engine events executed. *)
+  secs : float;  (** CPU seconds ([Sys.time]) for the run. *)
+  events_per_sec : float;  (** [events /. secs]; the headline number. *)
+  served : int;
+  faults : int;
+  replicas : int;  (** Replicas created by flow balancing. *)
+  messages : int;
+  p50_latency : float;  (** Sketch-histogram quantiles (0 if unserved). *)
+  p99_latency : float;
+  mean_hops : float;
+}
+
+val des_point :
+  m:int ->
+  rate_per_node:float ->
+  duration:float ->
+  capacity:float ->
+  seed:int ->
+  des_point
+(** One {!Lesslog_des.Des_sim} run at identifier-space exponent [m] with
+    total demand [rate_per_node * live_nodes], timed with [Sys.time]. *)
+
+val des_sweep :
+  ?ms:int list ->
+  ?rate_per_node:float ->
+  ?duration:float ->
+  ?capacity:float ->
+  ?seed:int ->
+  unit ->
+  des_point list
+(** {!des_point} for each exponent in [ms] (default 10–16, 2 req/s per
+    node, 5 simulated seconds, capacity 100, seed 42). *)
+
+val render_des_sweep : des_point list -> string
+(** One table row per sweep point, ready to print. *)

@@ -1,62 +1,126 @@
-type t = { mutable samples : float list; mutable sorted : float array option }
+(* Streaming log-bucketed histogram (DDSketch-style). A positive sample
+   [x] lands in bucket [round (ln x / ln gamma)]; the bucket's
+   representative value [gamma^i] is within half a bucket — about 0.25%
+   relative error at gamma = 1.005 — of every sample it holds. Counts
+   live in a lazily grown window array indexed from [base], so [add],
+   [count], [mean] and [quantile] are all O(1)-ish (quantile walks the
+   bucket window, whose size is bounded by the value range, not by the
+   sample count). Count, sum, min and max are tracked exactly; samples
+   [<= 0] go to a dedicated zero bucket (the sketch targets the
+   non-negative latency/hop data of the simulators). *)
 
-let create () = { samples = []; sorted = None }
+let gamma = 1.005
+let inv_ln_gamma = 1.0 /. log gamma
+
+(* |idx| cap: gamma^6000 ~ 1e13, gamma^-6000 ~ 1e-13. Values beyond are
+   clamped into the edge buckets, bounding the window at ~12001 slots. *)
+let max_idx = 6000
+
+type t = {
+  mutable counts : int array;
+  mutable base : int; (* bucket index of counts.(0) *)
+  mutable zero : int; (* samples <= 0 *)
+  mutable n : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  {
+    counts = [||];
+    base = 0;
+    zero = 0;
+    n = 0;
+    sum = 0.0;
+    mn = infinity;
+    mx = neg_infinity;
+  }
+
+let bucket_idx x =
+  let i = int_of_float (Float.round (log x *. inv_ln_gamma)) in
+  if i < -max_idx then -max_idx else if i > max_idx then max_idx else i
+
+let representative i = gamma ** float_of_int i
+
+let grow t i =
+  let lo = min t.base i - 16 and hi = max (t.base + Array.length t.counts) (i + 1) + 16 in
+  let lo = max lo (-max_idx) and hi = min hi (max_idx + 1) in
+  let grown = Array.make (hi - lo) 0 in
+  Array.blit t.counts 0 grown (t.base - lo) (Array.length t.counts);
+  t.counts <- grown;
+  t.base <- lo
 
 let add t x =
-  t.samples <- x :: t.samples;
-  t.sorted <- None
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  if x <= 0.0 then t.zero <- t.zero + 1
+  else begin
+    let i = bucket_idx x in
+    if Array.length t.counts = 0 then begin
+      t.counts <- Array.make 32 0;
+      t.base <- max (-max_idx) (i - 16)
+    end;
+    if i < t.base || i >= t.base + Array.length t.counts then grow t i;
+    t.counts.(i - t.base) <- t.counts.(i - t.base) + 1
+  end
 
 let add_int t x = add t (float_of_int x)
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
 
-let count t = List.length t.samples
-
-let sorted t =
-  match t.sorted with
-  | Some a -> a
-  | None ->
-      let a = Array.of_list t.samples in
-      Array.sort compare a;
-      t.sorted <- Some a;
-      a
-
-let mean t =
-  match t.samples with
-  | [] -> 0.0
-  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+let clamp t v = Float.max t.mn (Float.min t.mx v)
 
 let quantile t q =
-  let a = sorted t in
-  if Array.length a = 0 then invalid_arg "Histogram.quantile: empty";
+  if t.n = 0 then invalid_arg "Histogram.quantile: empty";
   if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: out of range";
-  let n = Array.length a in
-  let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) in
-  a.(rank)
+  if q = 0.0 then t.mn
+  else if q = 1.0 then t.mx
+  else begin
+    let rank = int_of_float (Float.round (q *. float_of_int (t.n - 1))) in
+    if rank < t.zero then clamp t 0.0
+    else begin
+      let cum = ref t.zero and res = ref t.mx in
+      (try
+         for i = 0 to Array.length t.counts - 1 do
+           cum := !cum + t.counts.(i);
+           if rank < !cum then begin
+             res := representative (t.base + i);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      clamp t !res
+    end
+  end
 
 let median t = quantile t 0.5
 
 let max_value t =
-  let a = sorted t in
-  if Array.length a = 0 then invalid_arg "Histogram.max_value: empty";
-  a.(Array.length a - 1)
+  if t.n = 0 then invalid_arg "Histogram.max_value: empty";
+  t.mx
 
 let min_value t =
-  let a = sorted t in
-  if Array.length a = 0 then invalid_arg "Histogram.min_value: empty";
-  a.(0)
+  if t.n = 0 then invalid_arg "Histogram.min_value: empty";
+  t.mn
 
 let buckets t ~width =
   if width <= 0.0 then invalid_arg "Histogram.buckets";
-  let a = sorted t in
-  if Array.length a = 0 then []
+  if t.n = 0 then []
   else begin
     let tbl = Hashtbl.create 16 in
-    Array.iter
-      (fun x ->
-        let b = floor (x /. width) *. width in
-        Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
-      a;
+    let put v c =
+      if c > 0 then begin
+        let b = floor (v /. width) *. width in
+        Hashtbl.replace tbl b (c + Option.value ~default:0 (Hashtbl.find_opt tbl b))
+      end
+    in
+    put (clamp t 0.0) t.zero;
+    Array.iteri (fun i c -> if c > 0 then put (clamp t (representative (t.base + i))) c) t.counts;
     Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
   end
 
 let pp fmt t =
@@ -64,3 +128,75 @@ let pp fmt t =
   else
     Format.fprintf fmt "n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g" (count t)
       (mean t) (median t) (quantile t 0.99) (max_value t)
+
+(* Exact sample-retaining variant, kept for tests and small data. *)
+module Exact = struct
+  type t = {
+    mutable samples : float list;
+    mutable sorted : float array option;
+    mutable n : int;
+    mutable sum : float;
+  }
+
+  let create () = { samples = []; sorted = None; n = 0; sum = 0.0 }
+
+  let add t x =
+    t.samples <- x :: t.samples;
+    t.sorted <- None;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x
+
+  let add_int t x = add t (float_of_int x)
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+  let sorted t =
+    match t.sorted with
+    | Some a -> a
+    | None ->
+        let a = Array.of_list t.samples in
+        Array.sort Float.compare a;
+        t.sorted <- Some a;
+        a
+
+  let quantile t q =
+    let a = sorted t in
+    if Array.length a = 0 then invalid_arg "Histogram.quantile: empty";
+    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: out of range";
+    let n = Array.length a in
+    let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+    a.(rank)
+
+  let median t = quantile t 0.5
+
+  let max_value t =
+    let a = sorted t in
+    if Array.length a = 0 then invalid_arg "Histogram.max_value: empty";
+    a.(Array.length a - 1)
+
+  let min_value t =
+    let a = sorted t in
+    if Array.length a = 0 then invalid_arg "Histogram.min_value: empty";
+    a.(0)
+
+  let buckets t ~width =
+    if width <= 0.0 then invalid_arg "Histogram.buckets";
+    let a = sorted t in
+    if Array.length a = 0 then []
+    else begin
+      let tbl = Hashtbl.create 16 in
+      Array.iter
+        (fun x ->
+          let b = floor (x /. width) *. width in
+          Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+        a;
+      Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+    end
+
+  let pp fmt t =
+    if count t = 0 then Format.pp_print_string fmt "(empty)"
+    else
+      Format.fprintf fmt "n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g" (count t)
+        (mean t) (median t) (quantile t 0.99) (max_value t)
+end

@@ -1,23 +1,64 @@
-(** Sample-retaining histogram with exact quantiles. Used for hop-count
-    and latency distributions, which are small enough to keep. *)
+(** Streaming log-bucketed histogram for latency and hop-count
+    distributions. [add]/[count]/[mean] are O(1); [quantile] walks a
+    bucket window whose size is bounded by the value range rather than
+    the sample count, and answers within ~0.25% relative error (bucket
+    boundaries at powers of gamma = 1.005, nearest-bucket rounding).
+    Count, sum, min and max are exact; samples [<= 0] share one zero
+    bucket, so quantiles are approximate only over positive data — the
+    intended use. Quantiles are clamped into [[min, max]].
+
+    {!Exact} is the old sample-retaining implementation with exact
+    nearest-rank quantiles — the test oracle, and still fine for small
+    sample sets. *)
 
 type t
 
 val create : unit -> t
 val add : t -> float -> unit
 val add_int : t -> int -> unit
+
 val count : t -> int
+(** O(1). *)
+
 val mean : t -> float
+(** O(1), exact (running sum). 0 when empty. *)
 
 val quantile : t -> float -> float
-(** [quantile t q] for [q] in [\[0, 1\]], by nearest-rank on the sorted
-    samples. @raise Invalid_argument when empty or [q] out of range. *)
+(** [quantile t q] for [q] in [\[0, 1\]], nearest-rank over the bucket
+    counts; [q = 0]/[q = 1] return the exact min/max.
+    @raise Invalid_argument when empty or [q] out of range. *)
 
 val median : t -> float
 val max_value : t -> float
+(** Exact. @raise Invalid_argument when empty. *)
+
 val min_value : t -> float
+(** Exact. @raise Invalid_argument when empty. *)
 
 val buckets : t -> width:float -> (float * int) list
-(** Fixed-width bucketing [(lower_bound, count)], ascending, for display. *)
+(** Fixed-width bucketing [(lower_bound, count)] of the bucket
+    representatives, ascending, for display. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Exact sample-retaining histogram: keeps every sample, sorts on
+    demand, nearest-rank quantiles with no error. [count]/[mean] are
+    O(1) via running count/sum. *)
+module Exact : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val add_int : t -> int -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val quantile : t -> float -> float
+  (** @raise Invalid_argument when empty or [q] out of range. *)
+
+  val median : t -> float
+  val max_value : t -> float
+  val min_value : t -> float
+  val buckets : t -> width:float -> (float * int) list
+  val pp : Format.formatter -> t -> unit
+end

@@ -12,24 +12,51 @@ type 'msg t = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  (* packed plane: one engine handler for every delivery, src/dst bit-packed
+     into the event's [a] word, node liveness as a byte per slot *)
+  mutable deliver_h : int;
+  mutable packed_recv : (src:Pid.t -> dst:Pid.t -> int -> float -> unit) option;
+  attached : Bytes.t;
 }
 
 let check_loss loss =
   if loss < 0.0 || loss >= 1.0 then invalid_arg "Overlay: loss"
 
+let dst_bits = 24
+let dst_mask = (1 lsl dst_bits) - 1
+
 let create ~engine ~rng ?(latency = Latency.default) ?(loss = 0.0) params =
   check_loss loss;
-  {
-    engine;
-    rng;
-    latency;
-    loss;
-    filter = None;
-    handlers = Array.make (Params.space params) None;
-    sent = 0;
-    delivered = 0;
-    dropped = 0;
-  }
+  let space = Params.space params in
+  if space > dst_mask + 1 then invalid_arg "Overlay.create: space too large";
+  let t =
+    {
+      engine;
+      rng;
+      latency;
+      loss;
+      filter = None;
+      handlers = Array.make space None;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      deliver_h = -1;
+      packed_recv = None;
+      attached = Bytes.make space '\000';
+    }
+  in
+  t.deliver_h <-
+    Engine.register_handler engine (fun a b x ->
+        let dst = a land dst_mask and src = a lsr dst_bits in
+        if Bytes.unsafe_get t.attached dst = '\001' then begin
+          match t.packed_recv with
+          | Some recv ->
+              t.delivered <- t.delivered + 1;
+              recv ~src:(Pid.unsafe_of_int src) ~dst:(Pid.unsafe_of_int dst) b x
+          | None -> t.dropped <- t.dropped + 1
+        end
+        else t.dropped <- t.dropped + 1);
+  t
 
 let set_loss t loss =
   check_loss loss;
@@ -59,6 +86,23 @@ let send t ~src ~dst msg =
             t.delivered <- t.delivered + 1;
             handler ~src msg
         | None -> t.dropped <- t.dropped + 1)
+  end
+
+let set_packed_recv t f = t.packed_recv <- f
+
+let attach t p = Bytes.set t.attached (Pid.to_int p) '\001'
+let detach t p = Bytes.set t.attached (Pid.to_int p) '\000'
+
+let send_packed t ~src ~dst ~b ~x =
+  t.sent <- t.sent + 1;
+  if not (link_up t ~src ~dst) then t.dropped <- t.dropped + 1
+  else if t.loss > 0.0 && Rng.bernoulli t.rng ~p:t.loss then
+    t.dropped <- t.dropped + 1
+  else begin
+    let delay = Latency.sample t.latency t.rng in
+    Engine.post t.engine ~delay ~h:t.deliver_h
+      ~a:((Pid.to_int src lsl dst_bits) lor Pid.to_int dst)
+      ~b ~x
   end
 
 let messages_sent t = t.sent

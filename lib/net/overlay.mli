@@ -35,6 +35,32 @@ val send : 'msg t -> src:Pid.t -> dst:Pid.t -> 'msg -> unit
 (** Schedule delivery after one latency sample. Delivery to a node without
     a handler counts as dropped. *)
 
+(** {2 Packed plane}
+
+    Allocation-free counterpart of {!send}: the message is an [(int,
+    float)] payload carried inside a packed engine event (src/dst share
+    one word), dispatched to a single per-overlay receive function —
+    node-level demux is the receiver's job. Loss, filters, latency
+    sampling and the counters behave exactly as for {!send}, and both
+    planes share them. Liveness is per-plane: {!attach}/{!detach} play
+    the role of {!set_handler}/{!clear_handler} — a detached destination
+    drops the delivery. *)
+
+val set_packed_recv :
+  'msg t -> (src:Pid.t -> dst:Pid.t -> int -> float -> unit) option -> unit
+(** The simulator's demux: receives every packed delivery as
+    [(src, dst, b, x)]. *)
+
+val attach : 'msg t -> Pid.t -> unit
+(** Mark a node live for packed deliveries. *)
+
+val detach : 'msg t -> Pid.t -> unit
+(** A detached node silently drops packed deliveries (a crashed node). *)
+
+val send_packed : 'msg t -> src:Pid.t -> dst:Pid.t -> b:int -> x:float -> unit
+(** Schedule a packed delivery after one latency sample; no per-message
+    closure. [b] and [x] are opaque payload words. *)
+
 val messages_sent : 'msg t -> int
 val messages_delivered : 'msg t -> int
 val messages_dropped : 'msg t -> int

@@ -1,57 +1,137 @@
-type event = { time : float; seq : int; action : unit -> unit }
+type handler = int -> int -> float -> unit
 
 type t = {
-  queue : event Heap.t;
+  q : Ladder_queue.t;
   mutable clock : float;
   mutable next_seq : int;
   mutable executed : int;
+  mutable handlers : handler array;
+  mutable nhandlers : int;
+  (* slot store for legacy closure events, dispatched by handler 0 *)
+  mutable thunks : (unit -> unit) array;
+  mutable free : int list;
+  mutable nthunks : int;
 }
 
-let compare_event a b =
-  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+let noop_handler (_ : int) (_ : int) (_ : float) = ()
+let noop_thunk () = ()
+
+let run_thunk t slot =
+  let f = t.thunks.(slot) in
+  t.thunks.(slot) <- noop_thunk;
+  t.free <- slot :: t.free;
+  f ()
 
 let create () =
-  { queue = Heap.create ~cmp:compare_event; clock = 0.0; next_seq = 0; executed = 0 }
+  let t =
+    {
+      q = Ladder_queue.create ();
+      clock = 0.0;
+      next_seq = 0;
+      executed = 0;
+      handlers = Array.make 8 noop_handler;
+      nhandlers = 1;
+      thunks = [||];
+      free = [];
+      nthunks = 0;
+    }
+  in
+  t.handlers.(0) <- (fun a _ _ -> run_thunk t a);
+  t
 
 let now t = t.clock
 
+let register_handler t f =
+  if t.nhandlers = Array.length t.handlers then begin
+    let grown = Array.make (2 * t.nhandlers) noop_handler in
+    Array.blit t.handlers 0 grown 0 t.nhandlers;
+    t.handlers <- grown
+  end;
+  let id = t.nhandlers in
+  t.handlers.(id) <- f;
+  t.nhandlers <- id + 1;
+  id
+
+let enqueue t ~time ~h ~a ~b ~x =
+  Ladder_queue.push t.q ~time ~seq:t.next_seq ~h ~a ~b ~x;
+  t.next_seq <- t.next_seq + 1
+
+let post_at t ~time ~h ~a ~b ~x =
+  if time < t.clock then invalid_arg "Engine.post_at: time in the past";
+  enqueue t ~time ~h ~a ~b ~x
+
+let post t ~delay ~h ~a ~b ~x =
+  if delay < 0.0 then invalid_arg "Engine.post: negative delay";
+  enqueue t ~time:(t.clock +. delay) ~h ~a ~b ~x
+
+let alloc_slot t action =
+  match t.free with
+  | slot :: rest ->
+      t.free <- rest;
+      t.thunks.(slot) <- action;
+      slot
+  | [] ->
+      if t.nthunks = Array.length t.thunks then begin
+        let cap = max 16 (2 * t.nthunks) in
+        let grown = Array.make cap noop_thunk in
+        Array.blit t.thunks 0 grown 0 t.nthunks;
+        t.thunks <- grown
+      end;
+      let slot = t.nthunks in
+      t.thunks.(slot) <- action;
+      t.nthunks <- slot + 1;
+      slot
+
 let schedule_at t ~time action =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Heap.push t.queue { time; seq = t.next_seq; action };
-  t.next_seq <- t.next_seq + 1
+  enqueue t ~time ~h:0 ~a:(alloc_slot t action) ~b:0 ~x:0.0
 
 let schedule t ~delay action =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.clock +. delay) action
+  enqueue t ~time:(t.clock +. delay) ~h:0 ~a:(alloc_slot t action) ~b:0 ~x:0.0
 
-let pending t = Heap.length t.queue
+let pending t = Ladder_queue.length t.q
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-      t.clock <- ev.time;
-      t.executed <- t.executed + 1;
-      ev.action ();
-      true
+  if Ladder_queue.pop t.q then begin
+    (* read the cursor before dispatch: the handler may push reentrantly *)
+    let time = Ladder_queue.time t.q in
+    let h = Ladder_queue.handler t.q in
+    let a = Ladder_queue.arg_a t.q in
+    let b = Ladder_queue.arg_b t.q in
+    let x = Ladder_queue.arg_x t.q in
+    t.clock <- time;
+    t.executed <- t.executed + 1;
+    t.handlers.(h) a b x;
+    true
+  end
+  else false
 
 let run ?until ?(max_events = max_int) t =
-  let budget = ref max_events in
-  let continue = ref true in
-  while !continue && !budget > 0 do
-    match Heap.peek t.queue with
-    | None -> continue := false
-    | Some ev -> (
-        match until with
-        | Some limit when ev.time > limit ->
-            t.clock <- Float.max t.clock limit;
-            continue := false
-        | _ ->
-            ignore (step t);
-            decr budget)
-  done;
+  (match until with
+  | None ->
+      (* no horizon: drain without peeking at the next timestamp *)
+      let budget = ref max_events in
+      while !budget > 0 && step t do
+        decr budget
+      done
+  | Some limit ->
+      let budget = ref max_events in
+      let continue = ref true in
+      while !continue && !budget > 0 do
+        if Ladder_queue.is_empty t.q then continue := false
+        else if Ladder_queue.min_time t.q > limit then begin
+          t.clock <- Float.max t.clock limit;
+          continue := false
+        end
+        else begin
+          ignore (step t);
+          decr budget
+        end
+      done);
   match until with
-  | Some limit when Heap.is_empty t.queue && t.clock < limit -> t.clock <- limit
+  | Some limit when Ladder_queue.is_empty t.q && t.clock < limit ->
+      t.clock <- limit
   | _ -> ()
 
 let events_executed t = t.executed

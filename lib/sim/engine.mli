@@ -1,7 +1,19 @@
-(** Discrete-event simulation engine: a simulated clock and an ordered
-    event queue of callbacks. Events scheduled for the same instant fire
-    in scheduling order (a monotone sequence number breaks ties), which
-    keeps runs deterministic. *)
+(** Discrete-event simulation engine: a simulated clock over a ladder
+    event queue ({!Ladder_queue}). Events scheduled for the same instant
+    fire in scheduling order (a monotone sequence number breaks ties),
+    which keeps runs deterministic.
+
+    Two scheduling planes share one timeline:
+
+    - the {b packed} plane — {!register_handler} + {!post}/{!post_at} —
+      stores events as plain scalars [(h, a, b, x)] and dispatches through
+      a handler table, so the hot path allocates nothing per event;
+    - the {b closure} plane — {!schedule}/{!schedule_at} — accepts
+      arbitrary thunks, parked in a slot store and fired by a reserved
+      handler. Convenient for rare timers (ticks, timeouts) and tests.
+
+    Simulators should post packed events for per-message work and reserve
+    closures for low-frequency control events. *)
 
 type t
 
@@ -10,11 +22,29 @@ val create : unit -> t
 val now : t -> float
 (** Current simulated time, seconds. Starts at 0. *)
 
+(** {2 Packed events} *)
+
+val register_handler : t -> (int -> int -> float -> unit) -> int
+(** Add a dispatch-table entry; the returned id is passed to {!post}.
+    The handler receives the event payload [(a, b, x)]. Ids are engine-
+    specific and never reused. *)
+
+val post : t -> delay:float -> h:int -> a:int -> b:int -> x:float -> unit
+(** Enqueue a packed event [delay] seconds from now for handler [h].
+    [delay >= 0]. Allocation-free once queue capacity is warm. *)
+
+val post_at : t -> time:float -> h:int -> a:int -> b:int -> x:float -> unit
+(** Same at an absolute time [>= now]. *)
+
+(** {2 Closure events} *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** Run a callback [delay] seconds from now. [delay >= 0]. *)
 
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** Run a callback at an absolute time [>= now]. *)
+
+(** {2 Driving the clock} *)
 
 val pending : t -> int
 (** Events still queued. *)

@@ -1,0 +1,45 @@
+(** Ladder (calendar) event queue with struct-of-arrays storage.
+
+    Holds fixed-shape events — [(time, seq, h, a, b, x)] where [h] names a
+    handler and [a]/[b]/[x] are its payload — ordered by [(time, seq)].
+    Near-horizon events live in windowed buckets with O(1) amortized
+    push/pop; far timers spill to a binary heap that is re-scattered into
+    buckets when the horizon reaches them; a bucket that turns out to be
+    crowded is split into a finer child rung. [seq] must be unique per
+    queue (the engine's monotone counter), which makes the order total:
+    for the same inputs the pop order is bit-identical to a binary heap
+    keyed by [(Float.compare, Int.compare)] — [Heap] stays in-tree as the
+    differential oracle for exactly that property.
+
+    Popping uses a cursor so the hot path allocates nothing: [pop] returns
+    whether an event was dequeued and the accessors read its fields. *)
+
+type t
+
+val create : ?buckets:int -> ?split_threshold:int -> unit -> t
+(** [buckets] is the bucket count per rung (default 64, min 2);
+    [split_threshold] is the bucket population above which a bucket is
+    split into a child rung instead of heapified (default 64). *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val push :
+  t -> time:float -> seq:int -> h:int -> a:int -> b:int -> x:float -> unit
+(** [time] must be finite and [seq] unique within the queue. Events may be
+    pushed at any time value, including below already-popped times. *)
+
+val min_time : t -> float
+(** Time of the next event to pop. @raise Invalid_argument when empty. *)
+
+val pop : t -> bool
+(** Dequeue the minimum event into the cursor; [false] when empty. *)
+
+(** {2 Cursor accessors} — fields of the most recently popped event. *)
+
+val time : t -> float
+val seq : t -> int
+val handler : t -> int
+val arg_a : t -> int
+val arg_b : t -> int
+val arg_x : t -> float

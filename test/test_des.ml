@@ -9,6 +9,7 @@ module Policy = Lesslog_flow.Policy
 module Histogram = Lesslog_metrics.Histogram
 module Latency = Lesslog_net.Latency
 module Rng = Lesslog_prng.Rng
+module Trace = Lesslog_trace.Trace
 
 let key = "des/test-object"
 
@@ -172,6 +173,48 @@ let test_eviction_never_removes_inserted_copy () =
     (Cluster.total_copies cluster ~key);
   Alcotest.(check int) "no faults" 0 r.Des_sim.faults
 
+(* Golden trace: the full event log of a fixed-seed run — churn, loss,
+   eviction, all features on — captured on the closure+binary-heap engine
+   before the ladder-queue/packed-event port. The port is required to
+   reproduce it bit for bit: every event at the same simulated time, in
+   the same order, with the same RNG draws. Any scheduling or RNG
+   reordering shows up here as a digest mismatch. *)
+let test_golden_trace_reproduced () =
+  let params = Params.create ~m:6 () in
+  let cluster = Cluster.create params in
+  let key = "golden/object" in
+  ignore (Ops.insert cluster ~key);
+  let rng = Rng.create ~seed:77 in
+  let demand = Demand.uniform (Cluster.status cluster) ~total:1500.0 in
+  let target = Cluster.target_of_key cluster key in
+  let churn =
+    [ { Des_sim.at = 4.0; action = Des_sim.Fail target };
+      { Des_sim.at = 7.0; action = Des_sim.Join target } ]
+  in
+  let config =
+    { Des_sim.default_config with
+      loss = 0.03;
+      eviction = Some { Des_sim.period = 2.0; min_rate = 5.0 } }
+  in
+  let buf = Buffer.create 65536 in
+  let writer = Trace.Writer.to_buffer buf in
+  let r =
+    Des_sim.run ~config ~churn ~sink:(Trace.Writer.emit writer) ~rng ~cluster
+      ~key ~demand ~duration:10.0 ()
+  in
+  Alcotest.(check int) "trace digest" 4045666517057985694
+    (Lesslog_hash.Fnv.hash63 (Buffer.contents buf));
+  Alcotest.(check int) "trace events" 14512 (Trace.Writer.count writer);
+  Alcotest.(check int) "served" 13980 r.Des_sim.served;
+  Alcotest.(check int) "faults" 405 r.Des_sim.faults;
+  Alcotest.(check int) "replicas" 68 r.Des_sim.replicas_created;
+  Alcotest.(check int) "evicted" 57 r.Des_sim.replicas_evicted;
+  Alcotest.(check int) "messages" 29479 r.Des_sim.messages;
+  Alcotest.(check (float 0.0)) "max latency (bit-exact)" 0x1.79ff3939ab99ep-2
+    (Histogram.max_value r.Des_sim.latencies);
+  Alcotest.(check (float 0.0)) "max hops (bit-exact)" 0x1.8p+2
+    (Histogram.max_value r.Des_sim.hops)
+
 let test_replica_timeline_monotone () =
   let _, r = run ~total:2000.0 ~duration:15.0 () in
   let pts = Lesslog_metrics.Timeseries.points r.Des_sim.replica_timeline in
@@ -194,6 +237,8 @@ let () =
           Alcotest.test_case "seed-sensitive" `Quick test_seed_sensitivity;
           Alcotest.test_case "replica timeline monotone" `Quick
             test_replica_timeline_monotone;
+          Alcotest.test_case "golden trace reproduced" `Quick
+            test_golden_trace_reproduced;
         ] );
       ( "integration",
         [

@@ -229,6 +229,29 @@ let test_evict_cold_never_removes_inserted () =
   Alcotest.(check bool) "inserted copy stays" true
     (Cluster.holds cluster (pid 9) ~key)
 
+let test_evict_cold_blocks_unbalancing_removal () =
+  let cluster, key = setup ~target:9 () in
+  let replica = pid 20 in
+  File_store.add (Cluster.store cluster replica) ~key
+    ~origin:File_store.Replicated ~version:0 ~now:0.0;
+  let demand = Demand.uniform (Cluster.status cluster) ~total:120.0 in
+  (* Both copies are cold (min_rate far above either serve rate), but
+     dropping the replica would concentrate all 120 req/s on the one
+     remaining copy — beyond capacity 100. The rollback path must restore
+     the copy, mark the node blocked, and terminate with no eviction
+     instead of retrying it forever. *)
+  let evicted =
+    Balance.evict_cold ~capacity:100.0 ~cluster ~key ~demand ~min_rate:1000.0 ()
+  in
+  Alcotest.(check int) "eviction blocked" 0 evicted;
+  Alcotest.(check bool) "replica restored" true
+    (Cluster.holds cluster replica ~key);
+  (* Without the capacity constraint the same replica goes. *)
+  let evicted = Balance.evict_cold ~cluster ~key ~demand ~min_rate:1000.0 () in
+  Alcotest.(check int) "unconstrained eviction proceeds" 1 evicted;
+  Alcotest.(check bool) "replica gone" true
+    (not (Cluster.holds cluster replica ~key))
+
 (* --- Properties ------------------------------------------------------------ *)
 
 let gen_setup =
@@ -303,6 +326,8 @@ let () =
             test_evict_cold_keeps_balance;
           Alcotest.test_case "eviction spares inserted" `Quick
             test_evict_cold_never_removes_inserted;
+          Alcotest.test_case "eviction blocked by capacity" `Quick
+            test_evict_cold_blocks_unbalancing_removal;
         ] );
       ( "properties",
         [ prop_balance_always_ends_balanced_when_feasible; prop_flow_mass_conservation ] );

@@ -171,6 +171,30 @@ let test_fluid_vs_des_same_regime () =
         (d >= f && d <= 4.0 *. f))
     (Series.ys fluid)
 
+(* --- m-sweep ---------------------------------------------------------------- *)
+
+let test_des_sweep_smoke () =
+  let points =
+    E.des_sweep ~ms:[ 6; 8 ] ~rate_per_node:1.0 ~duration:1.0 ~capacity:50.0
+      ~seed:7 ()
+  in
+  Alcotest.(check int) "one point per m" 2 (List.length points);
+  List.iter
+    (fun (p : E.des_point) ->
+      Alcotest.(check int) "nodes = 2^m" (1 lsl p.E.des_m) p.E.nodes;
+      Alcotest.(check bool) "events executed" true (p.E.events > 0);
+      Alcotest.(check bool) "requests served" true (p.E.served > 0);
+      Alcotest.(check bool) "quantiles ordered" true
+        (p.E.p50_latency <= p.E.p99_latency);
+      Alcotest.(check bool) "positive throughput" true (p.E.events_per_sec > 0.0))
+    points;
+  (* Demand scales with population, so the larger exponent serves more. *)
+  match points with
+  | [ small; big ] ->
+      Alcotest.(check bool) "bigger system serves more" true
+        (big.E.served > small.E.served)
+  | _ -> Alcotest.fail "expected two points"
+
 let test_churn_availability_high () =
   let outcomes = A.churn ~m:7 ~duration:20.0 ~events_per_min:[ 0.0; 30.0 ] () in
   List.iter
@@ -213,4 +237,6 @@ let () =
           Alcotest.test_case "session churn availability" `Slow
             test_session_churn_stays_available;
         ] );
+      ( "m-sweep",
+        [ Alcotest.test_case "des sweep smoke" `Slow test_des_sweep_smoke ] );
     ]

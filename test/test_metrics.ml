@@ -68,27 +68,51 @@ let prop_stats_merge_associative_count =
 
 (* --- Histogram --------------------------------------------------------- *)
 
-let test_histogram_quantiles () =
+let test_histogram_exact_quantiles () =
+  let h = Histogram.Exact.create () in
+  List.iter (Histogram.Exact.add_int h) (List.init 101 (fun i -> i));
+  feq "median" 50.0 (Histogram.Exact.median h);
+  feq "p0" 0.0 (Histogram.Exact.quantile h 0.0);
+  feq "p100" 100.0 (Histogram.Exact.quantile h 1.0);
+  feq "p25" 25.0 (Histogram.Exact.quantile h 0.25);
+  feq "mean" 50.0 (Histogram.Exact.mean h);
+  Alcotest.(check int) "count" 101 (Histogram.Exact.count h)
+
+let test_histogram_sketch_quantiles () =
   let h = Histogram.create () in
   List.iter (Histogram.add_int h) (List.init 101 (fun i -> i));
-  feq "median" 50.0 (Histogram.median h);
+  (* min/max/count/mean are exact; interior quantiles within 0.5%. *)
   feq "p0" 0.0 (Histogram.quantile h 0.0);
   feq "p100" 100.0 (Histogram.quantile h 1.0);
-  feq "p25" 25.0 (Histogram.quantile h 0.25);
-  feq "mean" 50.0 (Histogram.mean h)
+  feq "mean" 50.0 (Histogram.mean h);
+  Alcotest.(check int) "count" 101 (Histogram.count h);
+  Alcotest.(check (float 0.5)) "median" 50.0 (Histogram.median h);
+  Alcotest.(check (float 0.25)) "p25" 25.0 (Histogram.quantile h 0.25)
 
 let test_histogram_empty_raises () =
   let h = Histogram.create () in
   Alcotest.check_raises "empty" (Invalid_argument "Histogram.quantile: empty")
-    (fun () -> ignore (Histogram.quantile h 0.5))
+    (fun () -> ignore (Histogram.quantile h 0.5));
+  let e = Histogram.Exact.create () in
+  Alcotest.check_raises "exact empty"
+    (Invalid_argument "Histogram.quantile: empty") (fun () ->
+      ignore (Histogram.Exact.quantile e 0.5))
 
 let test_histogram_buckets () =
-  let h = Histogram.create () in
-  List.iter (Histogram.add h) [ 0.1; 0.2; 1.5; 1.9; 3.0 ];
+  let h = Histogram.Exact.create () in
+  List.iter (Histogram.Exact.add h) [ 0.1; 0.2; 1.5; 1.9; 3.0 ];
   Alcotest.(check (list (pair (float 1e-9) int)))
     "buckets"
     [ (0.0, 2); (1.0, 2); (3.0, 1) ]
-    (Histogram.buckets h ~width:1.0)
+    (Histogram.Exact.buckets h ~width:1.0);
+  (* The sketch bins representatives, which sit within 0.25% of the
+     samples — same buckets for values this far from the boundaries. *)
+  let s = Histogram.create () in
+  List.iter (Histogram.add s) [ 0.1; 0.2; 1.5; 1.9; 3.1 ];
+  Alcotest.(check (list (pair (float 1e-2) int)))
+    "sketch buckets"
+    [ (0.0, 2); (1.0, 2); (3.0, 1) ]
+    (Histogram.buckets s ~width:1.0)
 
 let prop_histogram_quantile_monotone =
   Test_support.qcheck_case ~name:"quantiles monotone"
@@ -103,6 +127,26 @@ let prop_histogram_quantile_monotone =
         | _ -> true
       in
       mono vals)
+
+let prop_histogram_sketch_tracks_exact =
+  Test_support.qcheck_case ~name:"sketch quantile within 0.5% of exact"
+    QCheck2.Gen.(list_size (int_range 1 200) (float_range 1e-3 1e6))
+    (fun xs ->
+      let s = Histogram.create () and e = Histogram.Exact.create () in
+      List.iter
+        (fun x ->
+          Histogram.add s x;
+          Histogram.Exact.add e x)
+        xs;
+      Histogram.count s = Histogram.Exact.count e
+      && Float.abs (Histogram.mean s -. Histogram.Exact.mean e)
+         <= 1e-9 *. Float.abs (Histogram.Exact.mean e)
+      && List.for_all
+           (fun q ->
+             let a = Histogram.quantile s q
+             and b = Histogram.Exact.quantile e q in
+             Float.abs (a -. b) <= 0.005 *. Float.abs b)
+           [ 0.0; 0.1; 0.5; 0.9; 0.99; 1.0 ])
 
 (* --- Timeseries --------------------------------------------------------- *)
 
@@ -194,7 +238,10 @@ let () =
         ] );
       ( "histogram",
         [
-          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "exact quantiles" `Quick
+            test_histogram_exact_quantiles;
+          Alcotest.test_case "sketch quantiles" `Quick
+            test_histogram_sketch_quantiles;
           Alcotest.test_case "empty raises" `Quick test_histogram_empty_raises;
           Alcotest.test_case "buckets" `Quick test_histogram_buckets;
         ] );
@@ -218,6 +265,7 @@ let () =
           prop_stats_mean_matches_naive;
           prop_stats_merge_associative_count;
           prop_histogram_quantile_monotone;
+          prop_histogram_sketch_tracks_exact;
           prop_jain_bounds;
           prop_jain_scale_invariant;
         ] );

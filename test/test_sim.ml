@@ -1,4 +1,5 @@
 module Heap = Lesslog_sim.Heap
+module Ladder = Lesslog_sim.Ladder_queue
 module Engine = Lesslog_sim.Engine
 
 (* --- Heap -------------------------------------------------------------- *)
@@ -63,6 +64,117 @@ let prop_heap_interleaved =
                     (List.length (List.filter (( = ) v) !model) - 1)
                     (fun _ -> v);
                   ok))
+        ops)
+
+(* --- Ladder queue ------------------------------------------------------- *)
+
+(* The contract under test: for the same pushes, the ladder queue pops in
+   exactly the order of a binary heap keyed by (Float.compare time,
+   Int.compare seq) — the differential oracle of the scheduler swap. *)
+
+let event_cmp (t1, s1) (t2, s2) =
+  match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+
+let ladder_drain lq =
+  let rec go acc =
+    if Ladder.pop lq then go ((Ladder.time lq, Ladder.seq lq) :: acc)
+    else List.rev acc
+  in
+  go []
+
+let ladder_of_times ?buckets ?split_threshold times =
+  let lq = Ladder.create ?buckets ?split_threshold () in
+  List.iteri
+    (fun i t -> Ladder.push lq ~time:t ~seq:i ~h:0 ~a:i ~b:0 ~x:t)
+    times;
+  lq
+
+let oracle_order times =
+  let h = Heap.create ~cmp:event_cmp in
+  List.iteri (fun i t -> Heap.push h (t, i)) times;
+  Heap.to_sorted_list h
+
+let test_ladder_basic () =
+  let lq = ladder_of_times [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  Alcotest.(check int) "length" 5 (Ladder.length lq);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "sorted"
+    [ (1.0, 1); (2.0, 3); (3.0, 2); (4.0, 4); (5.0, 0) ]
+    (ladder_drain lq);
+  Alcotest.(check bool) "drained" true (Ladder.is_empty lq)
+
+let test_ladder_fifo_ties () =
+  let lq = ladder_of_times [ 1.0; 1.0; 1.0; 0.5; 1.0 ] in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "seq breaks ties"
+    [ (0.5, 3); (1.0, 0); (1.0, 1); (1.0, 2); (1.0, 4) ]
+    (ladder_drain lq)
+
+let test_ladder_payload_roundtrip () =
+  let lq = Ladder.create () in
+  Ladder.push lq ~time:2.0 ~seq:0 ~h:7 ~a:123 ~b:456 ~x:3.25;
+  Ladder.push lq ~time:1.0 ~seq:1 ~h:8 ~a:(-9) ~b:0 ~x:0.0;
+  Alcotest.(check bool) "pop" true (Ladder.pop lq);
+  Alcotest.(check int) "h" 8 (Ladder.handler lq);
+  Alcotest.(check int) "a" (-9) (Ladder.arg_a lq);
+  Alcotest.(check bool) "pop2" true (Ladder.pop lq);
+  Alcotest.(check int) "h2" 7 (Ladder.handler lq);
+  Alcotest.(check int) "a2" 123 (Ladder.arg_a lq);
+  Alcotest.(check int) "b2" 456 (Ladder.arg_b lq);
+  Alcotest.(check (float 0.0)) "x2" 3.25 (Ladder.arg_x lq);
+  Alcotest.(check bool) "empty" false (Ladder.pop lq)
+
+let ladder_matches_oracle ?buckets ?split_threshold times =
+  ladder_drain (ladder_of_times ?buckets ?split_threshold times)
+  = oracle_order times
+
+let prop_ladder_uniform =
+  Test_support.qcheck_case ~name:"ladder = heap (uniform times)"
+    QCheck2.Gen.(list_size (int_range 0 400) (float_bound_inclusive 100.0))
+    ladder_matches_oracle
+
+let prop_ladder_duplicates =
+  Test_support.qcheck_case ~name:"ladder = heap (clustered duplicate times)"
+    QCheck2.Gen.(list_size (int_range 0 400) (float_bound_inclusive 8.0))
+    (fun xs ->
+      (* Quarter-resolution rounding manufactures exact duplicates, the
+         FIFO-tie stressor. Small rungs force splits and refills. *)
+      let times = List.map (fun x -> Float.round (x *. 4.0) /. 4.0) xs in
+      ladder_matches_oracle ~buckets:4 ~split_threshold:4 times)
+
+let prop_ladder_wide_range =
+  Test_support.qcheck_case ~name:"ladder = heap (wide-range times)"
+    QCheck2.Gen.(list_size (int_range 0 300) (float_bound_inclusive 100.0))
+    (fun xs ->
+      (* x^4 spreads times over ~8 orders of magnitude: far-band spills,
+         refills, and bucket splits all trigger. *)
+      let times = List.map (fun x -> x *. x *. x *. x) xs in
+      ladder_matches_oracle ~buckets:8 ~split_threshold:8 times)
+
+let prop_ladder_interleaved =
+  Test_support.qcheck_case ~name:"interleaved ladder pops = heap pops"
+    QCheck2.Gen.(
+      list_size (int_range 0 300) (option (float_bound_inclusive 50.0)))
+    (fun ops ->
+      (* Some t = push at time t, None = pop: pushes interleave with pops
+         (including below already-popped times, as a zero-delay message
+         would) and every pop must agree with the oracle heap. *)
+      let lq = Ladder.create ~buckets:8 ~split_threshold:8 () in
+      let h = Heap.create ~cmp:event_cmp in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some t ->
+              Ladder.push lq ~time:t ~seq:!seq ~h:0 ~a:0 ~b:0 ~x:0.0;
+              Heap.push h (t, !seq);
+              incr seq;
+              true
+          | None -> (
+              match (Heap.pop h, Ladder.pop lq) with
+              | None, false -> true
+              | Some (t, s), true -> Ladder.time lq = t && Ladder.seq lq = s
+              | _ -> false))
         ops)
 
 (* --- Engine ------------------------------------------------------------ *)
@@ -130,6 +242,57 @@ let test_engine_rejects_past () =
     (Invalid_argument "Engine.schedule: negative delay") (fun () ->
       Engine.schedule e ~delay:(-1.0) (fun () -> ()))
 
+let test_engine_packed_dispatch () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let h = Engine.register_handler e (fun a b x -> log := (a, b, x) :: !log) in
+  Engine.post e ~delay:2.0 ~h ~a:1 ~b:10 ~x:0.5;
+  Engine.post_at e ~time:1.0 ~h ~a:2 ~b:20 ~x:1.5;
+  Engine.schedule e ~delay:1.5 (fun () -> log := (99, 0, 0.0) :: !log);
+  Engine.run e;
+  Alcotest.(check (list (triple int int (float 0.0))))
+    "payloads in time order"
+    [ (2, 20, 1.5); (99, 0, 0.0); (1, 10, 0.5) ]
+    (List.rev !log);
+  Alcotest.(check int) "executed" 3 (Engine.events_executed e)
+
+let test_engine_packed_fifo_with_closures () =
+  (* Same-time events fire in scheduling order across both planes. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let h = Engine.register_handler e (fun a _ _ -> log := a :: !log) in
+  Engine.schedule_at e ~time:1.0 (fun () -> log := 0 :: !log);
+  Engine.post_at e ~time:1.0 ~h ~a:1 ~b:0 ~x:0.0;
+  Engine.schedule_at e ~time:1.0 (fun () -> log := 2 :: !log);
+  Engine.post_at e ~time:1.0 ~h ~a:3 ~b:0 ~x:0.0;
+  Engine.run e;
+  Alcotest.(check (list int)) "cross-plane fifo" [ 0; 1; 2; 3 ] (List.rev !log)
+
+let test_engine_packed_reentrant () =
+  (* A handler posting to itself: the arrival-chain shape of Des_sim. *)
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let h = ref (-1) in
+  h :=
+    Engine.register_handler e (fun a _ _ ->
+        incr fired;
+        if a > 0 then Engine.post e ~delay:1.0 ~h:!h ~a:(a - 1) ~b:0 ~x:0.0);
+  Engine.post e ~delay:1.0 ~h:!h ~a:9 ~b:0 ~x:0.0;
+  Engine.run e;
+  Alcotest.(check int) "chain length" 10 !fired;
+  Alcotest.(check (float 1e-9)) "clock" 10.0 (Engine.now e)
+
+let test_engine_post_rejects_past () =
+  let e = Engine.create () in
+  let h = Engine.register_handler e (fun _ _ _ -> ()) in
+  Engine.post e ~delay:5.0 ~h ~a:0 ~b:0 ~x:0.0;
+  ignore (Engine.step e);
+  Alcotest.check_raises "past" (Invalid_argument "Engine.post_at: time in the past")
+    (fun () -> Engine.post_at e ~time:1.0 ~h ~a:0 ~b:0 ~x:0.0);
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.post: negative delay") (fun () ->
+      Engine.post e ~delay:(-1.0) ~h ~a:0 ~b:0 ~x:0.0)
+
 let prop_engine_executes_in_time_order =
   Test_support.qcheck_case ~name:"events run in nondecreasing time"
     QCheck2.Gen.(list_size (int_range 0 100) (float_bound_inclusive 100.0))
@@ -157,6 +320,13 @@ let () =
             test_heap_to_sorted_list_nondestructive;
           Alcotest.test_case "clear" `Quick test_heap_clear;
         ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "ordering" `Quick test_ladder_basic;
+          Alcotest.test_case "fifo ties" `Quick test_ladder_fifo_ties;
+          Alcotest.test_case "payload roundtrip" `Quick
+            test_ladder_payload_roundtrip;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "time ordering" `Quick test_engine_time_ordering;
@@ -168,7 +338,22 @@ let () =
             test_engine_until_idle_advances_clock;
           Alcotest.test_case "max_events guard" `Quick test_engine_max_events;
           Alcotest.test_case "rejects past times" `Quick test_engine_rejects_past;
+          Alcotest.test_case "packed dispatch" `Quick test_engine_packed_dispatch;
+          Alcotest.test_case "packed fifo with closures" `Quick
+            test_engine_packed_fifo_with_closures;
+          Alcotest.test_case "packed reentrant chain" `Quick
+            test_engine_packed_reentrant;
+          Alcotest.test_case "packed rejects past" `Quick
+            test_engine_post_rejects_past;
         ] );
       ( "properties",
-        [ prop_heap_sorts; prop_heap_interleaved; prop_engine_executes_in_time_order ] );
+        [
+          prop_heap_sorts;
+          prop_heap_interleaved;
+          prop_ladder_uniform;
+          prop_ladder_duplicates;
+          prop_ladder_wide_range;
+          prop_ladder_interleaved;
+          prop_engine_executes_in_time_order;
+        ] );
     ]
