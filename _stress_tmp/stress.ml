@@ -1,0 +1,63 @@
+module L = Lesslog_sim.Ladder_queue
+
+let () =
+  let rng = Random.State.make [| 42 |] in
+  for trial = 0 to 199 do
+    let lq = L.create ~buckets:4 ~split_threshold:4 () in
+    let n = 5000 in
+    let seq = ref 0 in
+    let pushed = ref 0 and popped = ref 0 in
+    let last_t = ref neg_infinity and last_s = ref (-1) in
+    (* adversarial times: clustered at multiples of irrational-ish widths,
+       plus 1-ulp perturbations around bucket-boundary-like values *)
+    let draw () =
+      let base = float_of_int (Random.State.int rng 50) *. 0.7 in
+      let eps = match Random.State.int rng 5 with
+        | 0 -> 0.0
+        | 1 -> epsilon_float *. base
+        | 2 -> -. (epsilon_float *. base)
+        | 3 -> Random.State.float rng 1e-12
+        | _ -> Random.State.float rng 0.7
+      in
+      Float.abs (base +. eps)
+    in
+    for _ = 1 to n do
+      (* interleave: mostly push, some pops *)
+      if Random.State.int rng 3 = 0 && !popped < !pushed then begin
+        if L.pop lq then begin
+          let t = L.time lq and s = L.seq lq in
+          if t < !last_t || (t = !last_t && s < !last_s) then begin
+            Printf.printf "ORDER VIOLATION trial=%d t=%h last=%h\n" trial t !last_t;
+            exit 1
+          end;
+          (* reentrant push at/near current time, like zero-delay msgs *)
+          last_t := t; last_s := s; incr popped;
+          if Random.State.int rng 4 = 0 then begin
+            L.push lq ~time:(t +. Random.State.float rng 0.01) ~seq:!seq ~h:0 ~a:0 ~b:0 ~x:0.0;
+            incr seq; incr pushed
+          end
+        end
+      end
+      else begin
+        L.push lq ~time:(!last_t +. draw ()) ~seq:!seq ~h:0 ~a:0 ~b:0 ~x:0.0;
+        incr seq; incr pushed
+      end
+    done;
+    (* drain *)
+    let guard = ref 0 in
+    while L.pop lq do
+      let t = L.time lq and s = L.seq lq in
+      if t < !last_t || (t = !last_t && s < !last_s) then begin
+        Printf.printf "DRAIN ORDER VIOLATION trial=%d\n" trial; exit 1
+      end;
+      last_t := t; last_s := s; incr popped;
+      incr guard;
+      if !guard > n * 3 then (Printf.printf "RUNAWAY trial=%d\n" trial; exit 1)
+    done;
+    if !popped <> !pushed then begin
+      Printf.printf "LOST EVENTS trial=%d pushed=%d popped=%d remaining(len)=%d\n"
+        trial !pushed !popped (L.length lq);
+      exit 1
+    end
+  done;
+  print_endline "stress OK"
