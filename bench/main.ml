@@ -19,6 +19,10 @@
    (Des_bench): packed scheduler vs the closure+heap baseline, plus full
    Des_sim runs at m = 10 and m = 16, appending BENCH_des.json.
 
+   Part 4 — `main.exe obs` runs the observability overhead gate
+   (Obs_bench): the des m = 10 workload plain vs instrumented, enforcing
+   the < 5% budget and appending BENCH_obs.json.
+
    Set LESSLOG_BENCH_QUICK=1 to run the figures at reduced scale and
    LESSLOG_BENCH_MICRO_ONLY=1 to skip them entirely. *)
 
@@ -312,6 +316,7 @@ let run_figures () =
 
 let () =
   if Array.exists (( = ) "des") Sys.argv then Des_bench.run ()
+  else if Array.exists (( = ) "obs") Sys.argv then Obs_bench.run ()
   else begin
     run_micro ();
     if Sys.getenv_opt "LESSLOG_BENCH_MICRO_ONLY" <> Some "1" then run_figures ()

@@ -1,0 +1,139 @@
+(* `bench obs`: the observability overhead gate.
+
+   Runs the `bench des` m = 10 workload (full event-driven simulator,
+   one Poisson arrival process per node) twice per round — plain, and
+   with a metrics registry plus span sink attached — on identical seeds,
+   interleaved so neither variant systematically lands on a noisier
+   stretch of the machine. Each variant keeps its best (minimum) wall
+   time across the rounds: the minimum is the run that dodged
+   preemption and GC jitter, so it converges on the clean cost of each
+   variant where means and medians keep the noise in. The gate is that
+   the instrumented best is within 5% of the plain best. Results append
+   to BENCH_obs.json ($LESSLOG_BENCH_OUT or the working directory);
+   LESSLOG_BENCH_QUICK=1 shrinks the workload for CI smoke. *)
+
+module Des_sim = Lesslog_des.Des_sim
+module Obs = Lesslog_obs.Obs
+module Rng = Lesslog_prng.Rng
+module Bench_json = Lesslog_report.Bench_json
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Status_word = Lesslog_membership.Status_word
+module Demand = Lesslog_workload.Demand
+module Params = Lesslog_id.Params
+
+let key = "bench/hot-object"
+
+(* One full simulator run on a fresh cluster; returns wall seconds and
+   engine events. A fresh Obs.t per instrumented run keeps rounds
+   independent. *)
+let one_run ~m ~rate_per_node ~duration ~seed ~obs () =
+  let params = Params.create ~m () in
+  let cluster = Cluster.create params in
+  (match Ops.insert cluster ~key with
+  | [] -> failwith "bench obs: empty system"
+  | _ -> ());
+  let status = Cluster.status cluster in
+  let total = rate_per_node *. float_of_int (Status_word.live_count status) in
+  let demand = Demand.uniform status ~total in
+  let rng = Rng.create ~seed in
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  let r = Des_sim.run ?obs ~rng ~cluster ~key ~demand ~duration () in
+  let dt = Unix.gettimeofday () -. t0 in
+  (dt, r.Des_sim.events)
+
+let out_file name =
+  let dir = Option.value (Sys.getenv_opt "LESSLOG_BENCH_OUT") ~default:"." in
+  Filename.concat dir name
+
+let run () =
+  let quick = Sys.getenv_opt "LESSLOG_BENCH_QUICK" = Some "1" in
+  let m = 10 in
+  let rate_per_node = 2.0 in
+  (* Short runs, many rounds: disturbances (preemption, GC pauses from
+     a neighbour) arrive roughly as a Poisson process, so the chance a
+     run dodges all of them falls exponentially with its length — each
+     variant's minimum converges much faster over many short runs than
+     over a few long ones. Runs still simulate long enough that timer
+     granularity is negligible. *)
+  let duration = if quick then 10.0 else 15.0 in
+  let rounds = if quick then 25 else 81 in
+  print_endline "bench obs: instrumentation overhead on the des workload";
+  print_endline "-------------------------------------------------------";
+  Printf.printf "des m=%d, %.0f s simulated, best of %d rounds per variant\n%!"
+    m duration rounds;
+  let plain () = one_run ~m ~rate_per_node ~duration ~seed:42 ~obs:None () in
+  let instrumented () =
+    let obs = Obs.create () in
+    let dt, events =
+      one_run ~m ~rate_per_node ~duration ~seed:42 ~obs:(Some obs) ()
+    in
+    (dt, events, obs)
+  in
+  (* Warm-up pair: page in code and let the allocator settle. *)
+  ignore (plain ());
+  ignore (instrumented ());
+  (* One full measurement: interleaved rounds, alternating which variant
+     goes first so neither systematically sits on the warmer (or
+     noisier) half of each round. *)
+  let measure () =
+    let best_plain = ref infinity and best_inst = ref infinity in
+    let events = ref 0 and last_obs = ref None in
+    for r = 1 to rounds do
+      let run_plain () =
+        let dt, ev = plain () in
+        best_plain := Float.min !best_plain dt;
+        events := ev
+      and run_inst () =
+        let dt', _, obs = instrumented () in
+        best_inst := Float.min !best_inst dt';
+        last_obs := Some obs
+      in
+      if r land 1 = 0 then (run_plain (); run_inst ())
+      else (run_inst (); run_plain ())
+    done;
+    (!best_plain, !best_inst, !events, Option.get !last_obs)
+  in
+  (* The gate certifies the clean-floor ratio, but a measurement on a
+     busy box can overestimate it when one variant's minimum never finds
+     an undisturbed run. Re-measuring on failure keeps the gate from
+     tripping on that noise: one clean measurement under budget is the
+     evidence the budget holds. *)
+  let max_attempts = 3 in
+  let rec attempt n =
+    let ((best_plain, best_inst, events, obs) as meas) = measure () in
+    let overhead = (best_inst /. best_plain) -. 1.0 in
+    Printf.printf "plain:        %8.3f s best   %10.0f events/s\n%!" best_plain
+      (float_of_int events /. best_plain);
+    Printf.printf "instrumented: %8.3f s best   %10.0f events/s\n%!" best_inst
+      (float_of_int events /. best_inst);
+    Printf.printf
+      "overhead %+.2f%% best-of-%d, attempt %d/%d (budget < 5%%); %d spans \
+       completed, %d dropped, %d metrics registered\n%!"
+      (100.0 *. overhead) rounds n max_attempts
+      (Obs.Span.completed obs.Obs.spans)
+      (Obs.Span.dropped obs.Obs.spans)
+      (List.length (Obs.Registry.snapshot obs.Obs.registry));
+    if overhead > 0.05 && n < max_attempts then attempt (n + 1)
+    else (meas, overhead)
+  in
+  let (best_plain, best_inst, events, obs), overhead = attempt 1 in
+  Bench_json.write
+    ~path:(out_file "BENCH_obs.json")
+    [
+      ("obs/plain_best_s", best_plain);
+      ("obs/instrumented_best_s", best_inst);
+      ("obs/plain_events_per_sec", float_of_int events /. best_plain);
+      ("obs/instrumented_events_per_sec", float_of_int events /. best_inst);
+      ("obs/overhead_frac", overhead);
+      ("obs/spans_completed", float_of_int (Obs.Span.completed obs.Obs.spans));
+      ("obs/spans_dropped", float_of_int (Obs.Span.dropped obs.Obs.spans));
+    ];
+  Printf.printf "wrote %s\n" (out_file "BENCH_obs.json");
+  if overhead > 0.05 then begin
+    Printf.eprintf
+      "bench obs: FAIL: instrumentation overhead %.2f%% above the 5%% budget\n"
+      (100.0 *. overhead);
+    exit 1
+  end

@@ -543,6 +543,139 @@ let msweep_cmd =
                  ~doc:"Per-node capacity in requests/s.")
       $ seed_arg)
 
+(* --- Observability ------------------------------------------------------ *)
+
+module Obs = Lesslog_obs.Obs
+
+(* One instrumented DES run shared by [stats] and [trace]. *)
+let instrumented_run ~m ~rate ~duration ~capacity ~seed =
+  let params = Lesslog_id.Params.create ~m () in
+  let cluster = Lesslog.Cluster.create params in
+  let key = "obs/hot-object" in
+  ignore (Lesslog.Ops.insert cluster ~key);
+  let rng = Lesslog_prng.Rng.create ~seed in
+  let demand =
+    Lesslog_workload.Demand.uniform (Lesslog.Cluster.status cluster)
+      ~total:rate
+  in
+  (* A generous ring so a whole CLI-scale run exports in full — the
+     cache-sized default only retains the newest 16384 spans. *)
+  let obs = Obs.create ~span_capacity:(1 lsl 18) () in
+  let config = { Lesslog_des.Des_sim.default_config with capacity } in
+  let result =
+    Lesslog_des.Des_sim.run ~config ~obs ~rng ~cluster ~key ~demand ~duration
+      ()
+  in
+  (obs, result)
+
+let stats_cmd =
+  let run m rate duration capacity seed json =
+    let obs, result = instrumented_run ~m ~rate ~duration ~capacity ~seed in
+    print_endline "O1: metrics registry after an instrumented DES run";
+    print_endline "==================================================";
+    let num v = if Float.is_nan v then "-" else Printf.sprintf "%.4g" v in
+    let rows =
+      List.map
+        (fun (s : Obs.Registry.snapshot) ->
+          [
+            s.Obs.Registry.name;
+            (match s.Obs.Registry.kind with
+            | `Counter -> "counter"
+            | `Gauge -> "gauge"
+            | `Timer -> "timer");
+            string_of_int s.Obs.Registry.count;
+            num s.Obs.Registry.value;
+            num s.Obs.Registry.p50;
+            num s.Obs.Registry.p99;
+            num s.Obs.Registry.max_v;
+          ])
+        (Obs.Registry.snapshot obs.Obs.registry)
+    in
+    print_endline
+      (Lesslog_report.Table.render
+         ~header:[ "metric"; "kind"; "count"; "value"; "p50"; "p99"; "max" ]
+         rows);
+    Printf.printf
+      "spans: %d completed, %d retained, %d dropped, %d open; run served %d, \
+       faults %d\n"
+      (Obs.Span.completed obs.Obs.spans)
+      (Obs.Span.retained obs.Obs.spans)
+      (Obs.Span.dropped obs.Obs.spans)
+      (Obs.Span.open_spans obs.Obs.spans)
+      result.Lesslog_des.Des_sim.served result.Lesslog_des.Des_sim.faults;
+    match json with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Registry.to_json obs.Obs.registry);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "O1: run the event-driven simulator with the metrics registry \
+          attached and print every des/* and core/* metric.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 10 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ Arg.(value & opt float 2000.0
+             & info [ "rate" ] ~docv:"R" ~doc:"Total demand, requests/s.")
+      $ Arg.(value & opt float 10.0
+             & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+      $ Arg.(value & opt float 100.0
+             & info [ "capacity" ] ~docv:"R"
+                 ~doc:"Per-node capacity in requests/s.")
+      $ seed_arg
+      $ Arg.(value & opt (some string) None
+             & info [ "json" ] ~docv:"FILE"
+                 ~doc:"Also write the registry snapshot as JSON."))
+
+let trace_cmd =
+  let run m rate duration capacity seed spans lines =
+    let obs, result = instrumented_run ~m ~rate ~duration ~capacity ~seed in
+    Obs.Span.write_chrome ~path:spans obs.Obs.spans;
+    Printf.printf
+      "wrote %s: %d spans (%d completed, %d dropped; run served %d, faults \
+       %d) — load it in chrome://tracing or Perfetto\n"
+      spans
+      (Obs.Span.retained obs.Obs.spans)
+      (Obs.Span.completed obs.Obs.spans)
+      (Obs.Span.dropped obs.Obs.spans)
+      result.Lesslog_des.Des_sim.served result.Lesslog_des.Des_sim.faults;
+    match lines with
+    | Some path ->
+        let writer = Lesslog_trace.Trace.Writer.to_file path in
+        Obs.Span.iter obs.Obs.spans (Lesslog_trace.Trace.Writer.emit writer);
+        Lesslog_trace.Trace.Writer.close writer;
+        Printf.printf "wrote %s: %d SPN lines\n" path
+          (Lesslog_trace.Trace.Writer.count writer)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "O2: run the event-driven simulator with span tracing attached and \
+          export the per-request spans as Chrome trace_event JSON.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 10 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ Arg.(value & opt float 2000.0
+             & info [ "rate" ] ~docv:"R" ~doc:"Total demand, requests/s.")
+      $ Arg.(value & opt float 10.0
+             & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+      $ Arg.(value & opt float 100.0
+             & info [ "capacity" ] ~docv:"R"
+                 ~doc:"Per-node capacity in requests/s.")
+      $ seed_arg
+      $ Arg.(value & opt string "spans.json"
+             & info [ "spans" ] ~docv:"FILE"
+                 ~doc:"Chrome trace_event output path.")
+      $ Arg.(value & opt (some string) None
+             & info [ "lines" ] ~docv:"FILE"
+                 ~doc:"Also write the spans as SPN trace lines."))
+
 (* --- Inspection --------------------------------------------------------- *)
 
 let tree_cmd =
@@ -595,5 +728,5 @@ let () =
             fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; all_cmd; hops_cmd;
             eviction_cmd; ft_cmd; propchoice_cmd; validate_cmd; churn_cmd;
             update_cost_cmd; sessions_cmd; lifecycle_cmd; trace_run_cmd;
-            faults_cmd; msweep_cmd; tree_cmd;
+            faults_cmd; msweep_cmd; stats_cmd; trace_cmd; tree_cmd;
           ]))

@@ -5,6 +5,7 @@ module Topology = Lesslog_topology.Topology
 module Subtrees = Lesslog_topology.Subtrees
 module File_store = Lesslog_storage.File_store
 module Rng = Lesslog_prng.Rng
+module Obs = Lesslog_obs.Obs
 
 type get_result = {
   server : Pid.t option;
@@ -129,11 +130,28 @@ let get_fault_tolerant cluster ~now ~origin ~key =
   in
   attempt 0 [] 0 0
 
-let get ?(now = 0.0) cluster ~origin ~key =
+(* Attribution of a finished lookup. The handles are re-fetched per call
+   (a hashtable hit each): [get] with a registry is the inspection path,
+   the hot simulators resolve their handles once at start-up instead. *)
+let record_get registry (r : get_result) =
+  Obs.Registry.incr (Obs.Registry.counter registry "core/get");
+  if r.server = None then
+    Obs.Registry.incr (Obs.Registry.counter registry "core/get_fault");
+  Obs.Registry.observe_int (Obs.Registry.timer registry "core/get_hops") r.hops;
+  if r.subtree_migrations > 0 then
+    Obs.Registry.add
+      (Obs.Registry.counter registry "core/get_migrations")
+      r.subtree_migrations
+
+let get ?(now = 0.0) ?registry cluster ~origin ~key =
   if Status_word.is_dead (Cluster.status cluster) origin then
     invalid_arg "Ops.get: dead origin";
-  if fault_tolerant cluster then get_fault_tolerant cluster ~now ~origin ~key
-  else get_single_tree cluster ~now ~origin ~key
+  let r =
+    if fault_tolerant cluster then get_fault_tolerant cluster ~now ~origin ~key
+    else get_single_tree cluster ~now ~origin ~key
+  in
+  Option.iter (fun reg -> record_get reg r) registry;
+  r
 
 let non_holders cluster ~key pids =
   List.filter (fun p -> not (Cluster.holds cluster p ~key)) pids
@@ -205,7 +223,11 @@ let choose_replica_target ~rng cluster ~overloaded ~key =
         in
         if Rng.bernoulli rng ~p then Some own_first else Some root_first
 
-let replicate ?(now = 0.0) ~rng cluster ~overloaded ~key =
+let replicate ?(now = 0.0) ?registry ~rng cluster ~overloaded ~key =
+  (match registry with
+  | None -> ()
+  | Some reg ->
+      Obs.Registry.incr (Obs.Registry.counter reg "core/replicate"));
   match choose_replica_target ~rng cluster ~overloaded ~key with
   | None ->
       Log.debug (fun f ->
@@ -213,6 +235,10 @@ let replicate ?(now = 0.0) ~rng cluster ~overloaded ~key =
             (Pid.to_int overloaded));
       None
   | Some dest ->
+      (match registry with
+      | None -> ()
+      | Some reg ->
+          Obs.Registry.incr (Obs.Registry.counter reg "core/replicate_placed"));
       let version = current_version cluster ~key ~overloaded in
       File_store.add (Cluster.store cluster dest) ~key
         ~origin:File_store.Replicated ~version ~now;

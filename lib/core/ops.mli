@@ -30,13 +30,21 @@ val insert : ?now:float -> Cluster.t -> key:string -> Pid.t list
     {e each} of the [2^b] subtrees. Returns the nodes that received the
     inserted copy ([\[\]] iff no live node exists). Registers the key. *)
 
-val get : ?now:float -> Cluster.t -> origin:Pid.t -> key:string -> get_result
+val get :
+  ?now:float ->
+  ?registry:Lesslog_obs.Obs.Registry.t ->
+  Cluster.t ->
+  origin:Pid.t ->
+  key:string ->
+  get_result
 (** GETFILE from a live [origin]: serve locally when a copy is present,
     otherwise forward along first-alive-ancestors in the target's lookup
     tree, with the Section 3 migration to the most-offspring live node when
     the target is dead, and (for [b > 0]) the Section 4 migration to
     sibling subtrees when the origin's subtree faults. Records an access on
-    the serving store. @raise Invalid_argument when [origin] is dead. *)
+    the serving store. With [registry], attributes the lookup to the
+    [core/get]* metrics (request/fault counters, hop histogram, subtree
+    migrations). @raise Invalid_argument when [origin] is dead. *)
 
 val replication_candidates :
   Cluster.t -> overloaded:Pid.t -> key:string -> Pid.t list * Pid.t list
@@ -60,13 +68,15 @@ val choose_replica_target :
 
 val replicate :
   ?now:float ->
+  ?registry:Lesslog_obs.Obs.Registry.t ->
   rng:Lesslog_prng.Rng.t ->
   Cluster.t ->
   overloaded:Pid.t ->
   key:string ->
   Pid.t option
 (** One REPLICATEFILE step: {!choose_replica_target}, then create the copy
-    there. *)
+    there. With [registry], counts the decision ([core/replicate]) and
+    the actual placement ([core/replicate_placed]). *)
 
 val update : ?now:float -> Cluster.t -> key:string -> update_result
 (** UPDATEFILE: bump the version at the target(s) and broadcast top-down

@@ -14,6 +14,7 @@ module Histogram = Lesslog_metrics.Histogram
 module Timeseries = Lesslog_metrics.Timeseries
 module Rng = Lesslog_prng.Rng
 module Trace = Lesslog_trace.Trace
+module Obs = Lesslog_obs.Obs
 
 type eviction = { period : float; min_rate : float }
 
@@ -44,20 +45,35 @@ type churn_event = { at : float; action : churn_action }
    the payload word [b], fields above it, and the float slot [x] carries
    the issue timestamp where one is needed.
 
-     GET    b = 0 | origin << 3 | hops << 27     x = issued_at
-     REPLY  b = 1 | hops << 3                    x = issued_at
+     GET    b = 0 | origin << 3 | hops << 27 | id << 33     x = issued_at
+     REPLY  b = 1 | hops << 3 | server << 9 | id << 33      x = issued_at
      PUSH   b = 2 | version << 3
 
-   No message constructor allocates. *)
+   The request id (a per-run monotone counter, masked to 30 bits — far
+   beyond any run length) sits at bit 33 in both request and reply, and
+   is what keys the per-request span in the observability sink. No
+   message constructor allocates. *)
 
 let tag_get = 0
 let tag_reply = 1
 let tag_push = 2
 let origin_bits = 24
 let origin_mask = (1 lsl origin_bits) - 1
+let hops_bits = 6
+let hops_mask = (1 lsl hops_bits) - 1
+let id_mask = (1 lsl 30) - 1
 
-let get_b ~origin ~hops = tag_get lor (origin lsl 3) lor (hops lsl (3 + origin_bits))
-let reply_b ~hops = tag_reply lor (hops lsl 3)
+let get_b ~id ~origin ~hops =
+  tag_get lor (origin lsl 3)
+  lor ((hops land hops_mask) lsl (3 + origin_bits))
+  lor (id lsl (3 + origin_bits + hops_bits))
+
+let reply_b ~id ~server ~hops =
+  tag_reply
+  lor ((hops land hops_mask) lsl 3)
+  lor (server lsl (3 + hops_bits))
+  lor (id lsl (3 + hops_bits + origin_bits))
+
 let push_b ~version = tag_push lor (version lsl 3)
 
 type result = {
@@ -75,6 +91,25 @@ type result = {
   overloaded_at_end : int;
   events : int;
 }
+
+(* Observability handles, resolved once per run. Only the span sink is
+   touched per event — the des/* counters duplicate tallies the simulator
+   keeps anyway, so they are filled in once at end of run
+   ({!finalize_obs}), and the latency and hop timers are backed by the
+   run's own result histograms ({!Obs.Registry.timer_backed}): per-request
+   attribution costs exactly one span open and one span close. *)
+type instruments = {
+  spans : Obs.Span.sink;
+  sp_lookup : int;
+  sp_replicate : int;
+}
+
+let make_instruments (obs : Obs.t) =
+  {
+    spans = obs.Obs.spans;
+    sp_lookup = Obs.Span.intern obs.Obs.spans "lookup";
+    sp_replicate = Obs.Span.intern obs.Obs.spans "replicate";
+  }
 
 type state = {
   config : config;
@@ -102,12 +137,30 @@ type state = {
   mutable last_replication : float option;
   mutable control_messages : int;
   mutable file_transfers : int;
+  mutable next_req : int;
   sink : (Trace.Event.t -> unit) option;
+  obs : instruments option;
 }
 
 let now st = Engine.now st.engine
 
 let emit st event = match st.sink with None -> () | Some f -> f event
+
+(* A request resolved at [origin] ([server < 0] = fault): record its
+   whole span in one call. The wire already carries the issue timestamp
+   on every GET and REPLY, and a reply's destination is the origin, so
+   the sink's open-span table is never touched — requests in flight when
+   the engine stops simply leave no span. Outcome counts and latency/hop
+   quantiles flow into the registry at end of run, through the
+   simulator's own tallies and the backing histograms — not here. *)
+let obs_resolved st ~id ~origin ~server ~hops ~issued_at =
+  match st.obs with
+  | None -> ()
+  | Some i ->
+      Obs.Span.emit_int i.spans ~name:i.sp_lookup ~id ~origin
+        ~at:issued_at
+        ~dur:(now st -. issued_at)
+        ~server ~hops ~attempt:0
 
 (* Trigger a replication from [overloaded] when its estimated serve rate
    exceeds capacity and its cooldown has expired. The copy travels the
@@ -128,7 +181,7 @@ let maybe_replicate st ~overloaded =
           ~b:(push_b ~version) ~x:0.0
   end
 
-let serve st ~server ~origin ~issued_at ~hops =
+let serve st ~server ~id ~origin ~issued_at ~hops =
   let i = Pid.to_int server in
   File_store.record_access (Cluster.store st.cluster server) ~key:st.key
     ~now:(now st);
@@ -138,34 +191,45 @@ let serve st ~server ~origin ~issued_at ~hops =
   emit st
     (Trace.Event.Request
        { at = now st; origin = Pid.to_int origin; server = Some i; hops });
-  if Pid.equal server origin then
+  if Pid.equal server origin then begin
     (* Served locally: the reply needs no network hop. *)
-    Histogram.add st.latencies (now st -. issued_at)
+    Histogram.add st.latencies (now st -. issued_at);
+    obs_resolved st ~id ~origin:(Pid.to_int origin) ~server:i ~hops ~issued_at
+  end
   else
-    Overlay.send_packed st.overlay ~src:server ~dst:origin ~b:(reply_b ~hops)
-      ~x:issued_at;
+    Overlay.send_packed st.overlay ~src:server ~dst:origin
+      ~b:(reply_b ~id ~server:i ~hops) ~x:issued_at;
   maybe_replicate st ~overloaded:server
 
 let handle st ~me ~src b x =
   match b land 7 with
   | 0 (* GET *) ->
       let origin = Pid.unsafe_of_int ((b lsr 3) land origin_mask) in
-      let hops = b lsr (3 + origin_bits) in
+      let hops = (b lsr (3 + origin_bits)) land hops_mask in
+      let id = b lsr (3 + origin_bits + hops_bits) in
       if Cluster.holds st.cluster me ~key:st.key then
-        serve st ~server:me ~origin ~issued_at:x ~hops
+        serve st ~server:me ~id ~origin ~issued_at:x ~hops
       else begin
         match Topology.route_next st.tree (Cluster.status st.cluster) me with
         | Some next ->
             Overlay.send_packed st.overlay ~src:me ~dst:next
-              ~b:(get_b ~origin:(Pid.to_int origin) ~hops:(hops + 1))
+              ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:(hops + 1))
               ~x
         | None ->
             st.faults <- st.faults + 1;
             emit st
               (Trace.Event.Request
-                 { at = now st; origin = Pid.to_int origin; server = None; hops })
+                 { at = now st; origin = Pid.to_int origin; server = None; hops });
+            obs_resolved st ~id ~origin:(Pid.to_int origin) ~server:(-1) ~hops
+              ~issued_at:x
       end
-  | 1 (* REPLY *) -> Histogram.add st.latencies (now st -. x)
+  | 1 (* REPLY *) ->
+      (* A reply's destination is the request's origin. *)
+      let hops = (b lsr 3) land hops_mask in
+      let server = (b lsr (3 + hops_bits)) land origin_mask in
+      let id = b lsr (3 + hops_bits + origin_bits) in
+      Histogram.add st.latencies (now st -. x);
+      obs_resolved st ~id ~origin:(Pid.to_int me) ~server ~hops ~issued_at:x
   | 2 (* PUSH *) ->
       if not (Cluster.holds st.cluster me ~key:st.key) then begin
         let version = b lsr 3 in
@@ -177,22 +241,33 @@ let handle st ~me ~src b x =
           (Trace.Event.Replicate
              { at = now st; src = Pid.to_int src; dst = Pid.to_int me;
                key = st.key });
+        (match st.obs with
+        | None -> ()
+        | Some i ->
+            Obs.Span.emit i.spans ~name:i.sp_replicate ~id:(Pid.to_int src)
+              ~origin:(Pid.to_int src) ~at:(now st) ~dur:0.0
+              ~server:(Some (Pid.to_int me)) ~hops:0 ~attempt:0);
         Timeseries.record st.replica_timeline ~time:(now st)
           (float_of_int (Cluster.total_copies st.cluster ~key:st.key))
       end
   | _ -> ()
 
 let issue_request st ~origin =
+  let id = st.next_req land id_mask in
+  st.next_req <- st.next_req + 1;
   (* The client contacts its node directly; local service costs no hop. *)
   if Cluster.holds st.cluster origin ~key:st.key then
-    serve st ~server:origin ~origin ~issued_at:(now st) ~hops:0
+    serve st ~server:origin ~id ~origin ~issued_at:(now st) ~hops:0
   else begin
     match Topology.route_next st.tree (Cluster.status st.cluster) origin with
     | Some next ->
         Overlay.send_packed st.overlay ~src:origin ~dst:next
-          ~b:(get_b ~origin:(Pid.to_int origin) ~hops:1)
+          ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:1)
           ~x:(now st)
-    | None -> st.faults <- st.faults + 1
+    | None ->
+        st.faults <- st.faults + 1;
+        obs_resolved st ~id ~origin:(Pid.to_int origin) ~server:(-1) ~hops:0
+          ~issued_at:(now st)
   end
 
 (* One Poisson arrival at a node: serve/forward the request, then draw the
@@ -257,6 +332,22 @@ let start_eviction st ~duration =
       in
       tick ()
 
+(* Registry attribution, once per run: counters from the simulator's own
+   tallies (so the hot path never touches them), timers backed by the
+   result histograms the run filled anyway. [des/served] counts requests
+   served at a server; spans close at the origin when the reply lands, so
+   at engine stop the difference is the replies still in flight. *)
+let finalize_obs st (obs : Obs.t) =
+  let r = obs.Obs.registry in
+  let count name v = Obs.Registry.add (Obs.Registry.counter r name) v in
+  count "des/requests" st.next_req;
+  count "des/served" st.served;
+  count "des/faults" st.faults;
+  count "des/replications" st.replicas_created;
+  count "des/evictions" st.replicas_evicted;
+  ignore (Obs.Registry.timer_backed r "des/latency_s" st.latencies);
+  ignore (Obs.Registry.timer_backed r "des/hops" st.hops)
+
 (* Control-traffic model for a membership event: the status word is
    broadcast to every live node (Section 5), and each relocated file costs
    one transfer. *)
@@ -303,7 +394,7 @@ let apply_churn st events =
               end))
     events
 
-let run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases ~duration =
+let run_internal ~config ~churn ~sink ~obs ~rng ~cluster ~key ~phases ~duration =
   let params = Cluster.params cluster in
   let engine = Engine.create () in
   let overlay =
@@ -319,6 +410,7 @@ let run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases ~duration =
       offset := !offset +. phase_duration;
       phase_until.(i) <- !offset)
     phases;
+  let latencies = Histogram.create () and hops = Histogram.create () in
   let st =
     {
       config;
@@ -337,15 +429,17 @@ let run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases ~duration =
       h_arrival = -1;
       served = 0;
       faults = 0;
-      latencies = Histogram.create ();
-      hops = Histogram.create ();
+      latencies;
+      hops;
       replicas_created = 0;
       replicas_evicted = 0;
       replica_timeline = Timeseries.create ~label:"copies" ();
       last_replication = None;
       control_messages = 0;
       file_transfers = 0;
+      next_req = 0;
       sink;
+      obs = Option.map make_instruments obs;
     }
   in
   st.h_arrival <- Engine.register_handler engine (on_arrival st);
@@ -363,6 +457,7 @@ let run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases ~duration =
     phases;
   start_eviction st ~duration;
   Engine.run ~until:duration engine;
+  Option.iter (finalize_obs st) obs;
   let overloaded_at_end =
     Status_word.fold_live (Cluster.status cluster) ~init:0 ~f:(fun acc p ->
         let rate =
@@ -386,18 +481,18 @@ let run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases ~duration =
     events = Engine.events_executed engine;
   }
 
-let run ?(config = default_config) ?(churn = []) ?sink ~rng ~cluster ~key
+let run ?(config = default_config) ?(churn = []) ?sink ?obs ~rng ~cluster ~key
     ~demand ~duration () =
-  run_internal ~config ~churn ~sink ~rng ~cluster ~key
+  run_internal ~config ~churn ~sink ~obs ~rng ~cluster ~key
     ~phases:[ (demand, duration) ] ~duration
 
-let run_scenario ?(config = default_config) ?(churn = []) ?sink ~rng ~cluster
-    ~key ~scenario () =
+let run_scenario ?(config = default_config) ?(churn = []) ?sink ?obs ~rng
+    ~cluster ~key ~scenario () =
   let phases =
     List.map
       (fun p ->
         (p.Lesslog_workload.Scenario.demand, p.Lesslog_workload.Scenario.duration))
       (Lesslog_workload.Scenario.phases scenario)
   in
-  run_internal ~config ~churn ~sink ~rng ~cluster ~key ~phases
+  run_internal ~config ~churn ~sink ~obs ~rng ~cluster ~key ~phases
     ~duration:(Lesslog_workload.Scenario.total_duration scenario)

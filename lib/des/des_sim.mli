@@ -74,12 +74,24 @@ type result = {
 (** Both entry points accept an optional [sink] receiving a
     {!Lesslog_trace.Trace.Event.t} for every served/faulted request,
     replica push, eviction and membership change — feed it a
-    [Trace.Writer] to record the run. *)
+    [Trace.Writer] to record the run.
+
+    With [obs], the run is instrumented: the [des/]* metrics land in
+    [obs.registry] (request/served/fault/replication/eviction counters
+    filled from the run's own tallies, latency and hop timers backed by
+    the result histograms) and every resolved request records a
+    ["lookup"] span in [obs.spans] keyed by its wire-level id, carrying
+    origin, serving node (absent on a fault) and hop count — emitted in
+    one call at resolution, since the wire already carries the issue
+    timestamp. Requests still in flight when the engine stops leave no
+    span. Each replica push records an instant ["replicate"] span. The
+    hot path stays allocation-flat. *)
 
 val run :
   ?config:config ->
   ?churn:churn_event list ->
   ?sink:(Lesslog_trace.Trace.Event.t -> unit) ->
+  ?obs:Lesslog_obs.Obs.t ->
   rng:Lesslog_prng.Rng.t ->
   cluster:Lesslog.Cluster.t ->
   key:string ->
@@ -96,6 +108,7 @@ val run_scenario :
   ?config:config ->
   ?churn:churn_event list ->
   ?sink:(Lesslog_trace.Trace.Event.t -> unit) ->
+  ?obs:Lesslog_obs.Obs.t ->
   rng:Lesslog_prng.Rng.t ->
   cluster:Lesslog.Cluster.t ->
   key:string ->

@@ -17,6 +17,7 @@ module Histogram = Lesslog_metrics.Histogram
 module Timeseries = Lesslog_metrics.Timeseries
 module Rng = Lesslog_prng.Rng
 module Trace = Lesslog_trace.Trace
+module Obs = Lesslog_obs.Obs
 
 type config = {
   capacity : float;
@@ -77,13 +78,14 @@ type result = {
    above, issue timestamp in [x] where needed):
 
      GET    b = 0 | origin << 3 | hops << 27 | id << 33   x = issued_at
-     REPLY  b = 1 | hops << 3 | id << 9                   x = issued_at
+     REPLY  b = 1 | hops << 3 | server << 9 | id << 33    x = issued_at
      PUSH   b = 2 | version << 3
      PING   b = 3 | seq << 3
      PONG   b = 4 | seq << 3
 
    Request ids are per-run monotone counters, comfortably under the 30
-   bits the GET layout leaves them. *)
+   bits both layouts leave them at bit 33. The reply carries the serving
+   node so the origin can attribute the request's span. *)
 
 let origin_bits = 24
 let origin_mask = (1 lsl origin_bits) - 1
@@ -95,13 +97,42 @@ let get_b ~id ~origin ~hops =
   lor (hops lsl (3 + origin_bits))
   lor (id lsl (3 + origin_bits + hops_bits))
 
-let reply_b ~id ~hops = 1 lor (hops lsl 3) lor (id lsl (3 + hops_bits))
+let reply_b ~id ~server ~hops =
+  1 lor (hops lsl 3)
+  lor (server lsl (3 + hops_bits))
+  lor (id lsl (3 + hops_bits + origin_bits))
 let push_b ~version = 2 lor (version lsl 3)
 let ping_b ~seq = 3 lor (seq lsl 3)
 let pong_b ~seq = 4 lor (seq lsl 3)
 
 (* Per-request metadata threaded through the rpc tracker. *)
 type request = { origin : Pid.t; issued_at : float }
+
+(* Observability handles, resolved once per run (see {!Des_sim}). The
+   [rpc/]* counters live in the tracker itself (it is created with the
+   registry); here we keep the spans — one ["lookup"] span per request id,
+   instant marks for timeouts/retries — and the serve-side attribution. *)
+type instruments = {
+  spans : Obs.Span.sink;
+  sp_lookup : int;
+  sp_timeout : int;
+  sp_retry : int;
+  sp_replicate : int;
+  ob_served : Obs.Registry.counter;
+}
+
+let make_instruments ~latencies ~hops (obs : Obs.t) =
+  let r = obs.Obs.registry in
+  ignore (Obs.Registry.timer_backed r "fsim/latency_s" latencies);
+  ignore (Obs.Registry.timer_backed r "fsim/hops" hops);
+  {
+    spans = obs.Obs.spans;
+    sp_lookup = Obs.Span.intern obs.Obs.spans "lookup";
+    sp_timeout = Obs.Span.intern obs.Obs.spans "rpc/timeout";
+    sp_retry = Obs.Span.intern obs.Obs.spans "rpc/retry";
+    sp_replicate = Obs.Span.intern obs.Obs.spans "replicate";
+    ob_served = Obs.Registry.counter r "fsim/served";
+  }
 
 type state = {
   config : config;
@@ -137,10 +168,21 @@ type state = {
   mutable convergence : float option;
   agreement_timeline : Timeseries.t;
   sink : (Trace.Event.t -> unit) option;
+  obs : instruments option;
 }
 
 let now st = Engine.now st.engine
 let emit st event = match st.sink with None -> () | Some f -> f event
+
+(* A request served at its origin: close its span and count it. Faults
+   are closed from the Exhausted rpc event; latency and hops flow into
+   the registry through the backing histograms. *)
+let obs_completed st ~id ~server ~hops =
+  match st.obs with
+  | None -> ()
+  | Some i ->
+      Obs.Span.end_span_int i.spans ~id ~at:(now st) ~server ~hops;
+      Obs.Registry.incr i.ob_served
 let truth_live st p = st.truth.(Pid.to_int p)
 let rpc st = Option.get st.rpc
 let detector st = Option.get st.detector
@@ -187,12 +229,14 @@ let serve st ~server ~id ~origin ~issued_at ~hops =
         Histogram.add st.latencies latency;
         Histogram.add_int st.hops hops;
         if latency <= st.config.deadline then
-          st.within_deadline <- st.within_deadline + 1
+          st.within_deadline <- st.within_deadline + 1;
+        obs_completed st ~id ~server:(Pid.to_int server) ~hops
     | None -> ()
   end
   else
     Overlay.send_packed st.overlay ~src:server ~dst:origin
-      ~b:(reply_b ~id ~hops) ~x:issued_at
+      ~b:(reply_b ~id ~server:(Pid.to_int server) ~hops)
+      ~x:issued_at
 
 (* One transmission attempt: route the request from its origin. A dead
    end (no live route right now) sends nothing — the attempt simply times
@@ -230,7 +274,8 @@ let handle st ~me ~src b x =
       end
   | 1 (* REPLY *) -> (
       let hops = (b lsr 3) land hops_mask in
-      let id = b lsr (3 + hops_bits) in
+      let server = (b lsr (3 + hops_bits)) land origin_mask in
+      let id = b lsr (3 + hops_bits + origin_bits) in
       match Rpc.complete (rpc st) ~id with
       | Some _ ->
           st.served <- st.served + 1;
@@ -238,7 +283,8 @@ let handle st ~me ~src b x =
           Histogram.add st.latencies latency;
           Histogram.add_int st.hops hops;
           if latency <= st.config.deadline then
-            st.within_deadline <- st.within_deadline + 1
+            st.within_deadline <- st.within_deadline + 1;
+          obs_completed st ~id ~server ~hops
       | None -> ())
   | 2 (* PUSH *) ->
       if not (Cluster.holds st.cluster me ~key:st.key) then begin
@@ -249,7 +295,13 @@ let handle st ~me ~src b x =
         emit st
           (Trace.Event.Replicate
              { at = now st; src = Pid.to_int src; dst = Pid.to_int me;
-               key = st.key })
+               key = st.key });
+        match st.obs with
+        | None -> ()
+        | Some i ->
+            Obs.Span.emit i.spans ~name:i.sp_replicate ~id:(Pid.to_int src)
+              ~origin:(Pid.to_int src) ~at:(now st) ~dur:0.0
+              ~server:(Some (Pid.to_int me)) ~hops:0 ~attempt:0
       end
   | 3 (* PING *) ->
       Overlay.send_packed st.overlay ~src:me ~dst:src
@@ -429,8 +481,14 @@ let start_arrivals st ~demand ~until =
           let t = t0 +. Rng.exponential st.rng ~rate in
           if t < until then
             Engine.schedule_at st.engine ~time:t (fun () ->
-                if truth_live st origin then
-                  ignore (Rpc.issue (rpc st) { origin; issued_at = now st });
+                if truth_live st origin then begin
+                  let id = Rpc.issue (rpc st) { origin; issued_at = now st } in
+                  match st.obs with
+                  | None -> ()
+                  | Some i ->
+                      Obs.Span.begin_span i.spans ~name:i.sp_lookup ~id
+                        ~origin:(Pid.to_int origin) ~at:(now st)
+                end;
                 schedule_from (now st))
         in
         schedule_from 0.0
@@ -438,8 +496,8 @@ let start_arrivals st ~demand ~until =
 
 (* --- Entry point ----------------------------------------------------------- *)
 
-let run ?(config = default_config) ?(plan = Faults.empty) ?sink ~rng ~cluster
-    ~key ~demand ~duration () =
+let run ?(config = default_config) ?(plan = Faults.empty) ?sink ?obs ~rng
+    ~cluster ~key ~demand ~duration () =
   let params = Cluster.params cluster in
   let engine = Engine.create () in
   let overlay =
@@ -451,6 +509,7 @@ let run ?(config = default_config) ?(plan = Faults.empty) ?sink ~rng ~cluster
   Status_word.iter_live (Cluster.status cluster) (fun p ->
       truth.(Pid.to_int p) <- true);
   let monitored = Status_word.live_array (Cluster.status cluster) in
+  let latencies = Histogram.create () and hops = Histogram.create () in
   let st =
     {
       config;
@@ -471,8 +530,8 @@ let run ?(config = default_config) ?(plan = Faults.empty) ?sink ~rng ~cluster
       dedup = Rpc.Dedup.create ();
       served = 0;
       within_deadline = 0;
-      latencies = Histogram.create ();
-      hops = Histogram.create ();
+      latencies;
+      hops;
       replicas_created = 0;
       spurious_suspicions = 0;
       migrations = 0;
@@ -483,26 +542,46 @@ let run ?(config = default_config) ?(plan = Faults.empty) ?sink ~rng ~cluster
       convergence = None;
       agreement_timeline = Timeseries.create ~label:"agreement" ();
       sink;
+      obs = Option.map (make_instruments ~latencies ~hops) obs;
     }
+  in
+  let mark name ~id ~origin ~attempt =
+    match st.obs with
+    | None -> ()
+    | Some i ->
+        Obs.Span.emit i.spans ~name:(name i) ~id ~origin ~at:(now st) ~dur:0.0
+          ~server:None ~hops:0 ~attempt
   in
   let rpc_events = function
     | Rpc.Timeout { id; attempt; meta } ->
         emit st
           (Trace.Event.Timeout
-             { at = now st; id; origin = Pid.to_int meta.origin; attempt })
+             { at = now st; id; origin = Pid.to_int meta.origin; attempt });
+        mark (fun i -> i.sp_timeout) ~id ~origin:(Pid.to_int meta.origin)
+          ~attempt
     | Rpc.Retransmit { id; attempt; meta } ->
         emit st
           (Trace.Event.Retry
-             { at = now st; id; origin = Pid.to_int meta.origin; attempt })
-    | Rpc.Exhausted { id = _; attempts = _; meta } ->
+             { at = now st; id; origin = Pid.to_int meta.origin; attempt });
+        (match st.obs with
+        | None -> ()
+        | Some i -> Obs.Span.set_attempt i.spans ~id ~attempt);
+        mark (fun i -> i.sp_retry) ~id ~origin:(Pid.to_int meta.origin)
+          ~attempt
+    | Rpc.Exhausted { id; attempts = _; meta } ->
         emit st
           (Trace.Event.Request
              { at = now st; origin = Pid.to_int meta.origin; server = None;
-               hops = 0 })
+               hops = 0 });
+        (match st.obs with
+        | None -> ()
+        | Some i ->
+            Obs.Span.end_span i.spans ~id ~at:(now st) ~server:None ~hops:0)
   in
   st.rpc <-
     Some
       (Rpc.create ~engine ~rng ~config:config.rpc ~on_event:rpc_events
+         ?registry:(Option.map (fun (o : Obs.t) -> o.Obs.registry) obs)
          ~transmit:(fun ~id ~attempt meta -> transmit st ~id ~attempt meta)
          ());
   st.detector <-

@@ -92,6 +92,7 @@ val run :
   ?config:config ->
   ?plan:Lesslog_workload.Faults.plan ->
   ?sink:(Trace.Event.t -> unit) ->
+  ?obs:Lesslog_obs.Obs.t ->
   rng:Lesslog_prng.Rng.t ->
   cluster:Lesslog.Cluster.t ->
   key:string ->
@@ -101,4 +102,11 @@ val run :
   result
 (** Run the scenario. The cluster's status word must initially agree with
     truth (it is never written by the harness afterwards — only by
-    {!Lesslog.Self_org} calls triggered by detector verdicts). *)
+    {!Lesslog.Self_org} calls triggered by detector verdicts).
+
+    With [obs], the rpc tracker keeps the [rpc/]* metrics in
+    [obs.registry], serve completions feed the [fsim/]* counters and
+    timers, and each request opens a ["lookup"] span keyed by its rpc id:
+    retransmissions bump the span's attempt and drop instant
+    ["rpc/retry"]/["rpc/timeout"] marks, completion closes it with the
+    serving node and hop count, exhaustion closes it as a fault. *)

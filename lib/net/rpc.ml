@@ -1,9 +1,32 @@
 module Engine = Lesslog_sim.Engine
 module Rng = Lesslog_prng.Rng
+module Obs = Lesslog_obs.Obs
 
 type config = { timeout : float; policy : Retry.policy }
 
 let default_config = { timeout = 1.0; policy = Retry.default }
+
+(* Registry handles resolved once at [create]; per-event updates are a
+   field write each. *)
+type metrics = {
+  m_issued : Obs.Registry.counter;
+  m_completed : Obs.Registry.counter;
+  m_timeouts : Obs.Registry.counter;
+  m_retransmissions : Obs.Registry.counter;
+  m_exhausted : Obs.Registry.counter;
+  m_latency : Obs.Registry.timer;
+      (* issue-to-completion, including every retry *)
+}
+
+let make_metrics registry =
+  {
+    m_issued = Obs.Registry.counter registry "rpc/issued";
+    m_completed = Obs.Registry.counter registry "rpc/completed";
+    m_timeouts = Obs.Registry.counter registry "rpc/timeouts";
+    m_retransmissions = Obs.Registry.counter registry "rpc/retransmissions";
+    m_exhausted = Obs.Registry.counter registry "rpc/exhausted";
+    m_latency = Obs.Registry.timer registry "rpc/request_s";
+  }
 
 type 'meta event =
   | Timeout of { id : int; attempt : int; meta : 'meta }
@@ -14,7 +37,7 @@ type 'meta event =
    unconditionally and checks that the request is still pending on the
    same attempt it was armed for. Completion removes the pending entry, so
    stale timers are no-ops. *)
-type 'meta request = { meta : 'meta; mutable attempt : int }
+type 'meta request = { meta : 'meta; issued_at : float; mutable attempt : int }
 
 type 'meta t = {
   engine : Engine.t;
@@ -22,6 +45,7 @@ type 'meta t = {
   config : config;
   transmit : id:int -> attempt:int -> 'meta -> unit;
   on_event : ('meta event -> unit) option;
+  metrics : metrics option;
   live : (int, 'meta request) Hashtbl.t;
   mutable next_id : int;
   mutable issued : int;
@@ -31,7 +55,8 @@ type 'meta t = {
   mutable timeouts : int;
 }
 
-let create ~engine ~rng ?(config = default_config) ?on_event ~transmit () =
+let create ~engine ~rng ?(config = default_config) ?on_event ?registry
+    ~transmit () =
   if config.timeout <= 0.0 then invalid_arg "Rpc.create: timeout";
   {
     engine;
@@ -39,6 +64,7 @@ let create ~engine ~rng ?(config = default_config) ?on_event ~transmit () =
     config;
     transmit;
     on_event;
+    metrics = Option.map make_metrics registry;
     live = Hashtbl.create 64;
     next_id = 0;
     issued = 0;
@@ -50,15 +76,19 @@ let create ~engine ~rng ?(config = default_config) ?on_event ~transmit () =
 
 let emit t e = match t.on_event with None -> () | Some f -> f e
 
+let count t f = match t.metrics with None -> () | Some m -> Obs.Registry.incr (f m)
+
 let rec arm t id attempt =
   Engine.schedule t.engine ~delay:t.config.timeout (fun () ->
       match Hashtbl.find_opt t.live id with
       | Some r when r.attempt = attempt ->
           t.timeouts <- t.timeouts + 1;
+          count t (fun m -> m.m_timeouts);
           emit t (Timeout { id; attempt; meta = r.meta });
           if attempt + 1 >= Retry.attempts t.config.policy then begin
             Hashtbl.remove t.live id;
             t.exhausted <- t.exhausted + 1;
+            count t (fun m -> m.m_exhausted);
             emit t (Exhausted { id; attempts = attempt + 1; meta = r.meta })
           end
           else
@@ -70,6 +100,7 @@ let rec arm t id attempt =
                 | Some r when r.attempt = attempt ->
                     r.attempt <- attempt + 1;
                     t.retransmissions <- t.retransmissions + 1;
+                    count t (fun m -> m.m_retransmissions);
                     emit t (Retransmit { id; attempt = attempt + 1; meta = r.meta });
                     t.transmit ~id ~attempt:(attempt + 1) r.meta;
                     arm t id (attempt + 1)
@@ -80,7 +111,8 @@ let issue t meta =
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
   t.issued <- t.issued + 1;
-  Hashtbl.add t.live id { meta; attempt = 0 };
+  count t (fun m -> m.m_issued);
+  Hashtbl.add t.live id { meta; issued_at = Engine.now t.engine; attempt = 0 };
   t.transmit ~id ~attempt:0 meta;
   arm t id 0;
   id
@@ -90,6 +122,11 @@ let complete t ~id =
   | Some r ->
       Hashtbl.remove t.live id;
       t.completed <- t.completed + 1;
+      (match t.metrics with
+      | None -> ()
+      | Some m ->
+          Obs.Registry.incr m.m_completed;
+          Obs.Registry.observe m.m_latency (Engine.now t.engine -. r.issued_at));
       Some r.meta
   | None -> None
 

@@ -41,11 +41,15 @@ val create :
   rng:Lesslog_prng.Rng.t ->
   ?config:config ->
   ?on_event:('meta event -> unit) ->
+  ?registry:Lesslog_obs.Obs.Registry.t ->
   transmit:(id:int -> attempt:int -> 'meta -> unit) ->
   unit ->
   'meta t
 (** [transmit] is called synchronously from {!issue} (attempt 0) and from
-    the engine's timer callbacks (retransmissions).
+    the engine's timer callbacks (retransmissions). With [registry], the
+    tracker keeps the [rpc/]* metrics: issued / completed / timeouts /
+    retransmissions / exhausted counters and an issue-to-completion
+    latency timer ([rpc/request_s], retries included).
     @raise Invalid_argument when [config.timeout <= 0]. *)
 
 val issue : 'meta t -> 'meta -> int

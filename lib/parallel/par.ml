@@ -10,18 +10,32 @@ let map ?domains ~f a =
     if domains = 1 then Array.map f a
     else begin
       let results = Array.make n None in
+      (* If [f] raises, every domain must still be joined — including when
+         the failure is on the caller's own stride (worker 0), where an
+         uncaught exception would leak the spawned domains. Each worker
+         traps its first exception; the first one by worker index is
+         re-raised after all joins, so the choice is deterministic. *)
+      let failures = Array.make domains None in
       let worker w () =
-        let i = ref w in
-        while !i < n do
-          results.(!i) <- Some (f a.(!i));
-          i := !i + domains
-        done
+        try
+          let i = ref w in
+          while !i < n do
+            results.(!i) <- Some (f a.(!i));
+            i := !i + domains
+          done
+        with e ->
+          failures.(w) <- Some (e, Printexc.get_raw_backtrace ())
       in
       let handles =
         List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1)))
       in
       worker 0 ();
       List.iter Domain.join handles;
+      Array.iter
+        (function
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
+        failures;
       Array.map
         (function
           | Some r -> r

@@ -10,6 +10,9 @@ val map : ?domains:int -> f:('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains ~f a] applies [f] to every element, splitting the index
     space across [domains] (default {!recommended_domains}) worker
     domains in strides. [f] must be safe to run concurrently (no shared
-    mutable state). Exceptions in workers are re-raised in the caller. *)
+    mutable state). When [f] raises, every domain is still joined before
+    the exception propagates (no leaked domains, whichever stride failed),
+    and when several strides fail the exception of the lowest-numbered
+    worker is re-raised — deterministic at any domain count. *)
 
 val map_list : ?domains:int -> f:('a -> 'b) -> 'a list -> 'b list

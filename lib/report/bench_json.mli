@@ -4,6 +4,10 @@
     seconds for figure regenerations). The format is documented in
     EXPERIMENTS.md; keep the two in sync. *)
 
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control bytes) —
+    shared with every JSON emitter in the repo so they agree on it. *)
+
 val to_string : (string * float) list -> string
 (** Render pairs as a flat JSON object, one key per line, preserving
     order. Non-finite numbers render as [null]. *)

@@ -8,11 +8,21 @@ module Event = struct
     | Retry of { at : float; id : int; origin : int; attempt : int }
     | Suspect of { at : float; node : int }
     | Trust of { at : float; node : int }
+    | Span of {
+        at : float;
+        dur : float;
+        name : string;
+        id : int;
+        origin : int;
+        server : int option;
+        hops : int;
+        attempt : int;
+      }
 
   let time = function
     | Request { at; _ } | Replicate { at; _ } | Evict { at; _ }
     | Membership { at; _ } | Timeout { at; _ } | Retry { at; _ }
-    | Suspect { at; _ } | Trust { at; _ } ->
+    | Suspect { at; _ } | Trust { at; _ } | Span { at; _ } ->
         at
 
   (* Percent-encode anything that would break space-separated parsing. *)
@@ -65,6 +75,11 @@ module Event = struct
         Printf.sprintf "RTY %s %d %d %d" (float_repr at) id origin attempt
     | Suspect { at; node } -> Printf.sprintf "SUS %s %d" (float_repr at) node
     | Trust { at; node } -> Printf.sprintf "TRU %s %d" (float_repr at) node
+    | Span { at; dur; name; id; origin; server; hops; attempt } ->
+        Printf.sprintf "SPN %s %s %s %d %d %s %d %d" (float_repr at)
+          (float_repr dur) (encode_key name) id origin
+          (match server with Some s -> string_of_int s | None -> "fault")
+          hops attempt
 
   let of_line line =
     let fail () = Error (Printf.sprintf "malformed trace line: %S" line) in
@@ -118,6 +133,31 @@ module Event = struct
         | Some at, Some id, Some origin, Some attempt ->
             if tag = "TMO" then Ok (Timeout { at; id; origin; attempt })
             else Ok (Retry { at; id; origin; attempt })
+        | _ -> fail ())
+    | [ "SPN"; at; dur; name; id; origin; server; hops; attempt ] -> (
+        match
+          ( float_of_string_opt at,
+            float_of_string_opt dur,
+            int_of_string_opt id,
+            int_of_string_opt origin,
+            int_of_string_opt hops,
+            int_of_string_opt attempt )
+        with
+        | Some at, Some dur, Some id, Some origin, Some hops, Some attempt -> (
+            let name = decode_key name in
+            match server with
+            | "fault" ->
+                Ok
+                  (Span
+                     { at; dur; name; id; origin; server = None; hops; attempt })
+            | s -> (
+                match int_of_string_opt s with
+                | Some server ->
+                    Ok
+                      (Span
+                         { at; dur; name; id; origin; server = Some server;
+                           hops; attempt })
+                | None -> fail ()))
         | _ -> fail ())
     | [ (("SUS" | "TRU") as tag); at; node ] -> (
         match (float_of_string_opt at, int_of_string_opt node) with
@@ -195,6 +235,7 @@ type summary = {
   retries : int;
   suspicions : int;
   recoveries : int;
+  spans : int;
   span : float;
 }
 
@@ -208,6 +249,7 @@ let summarize events =
   and retries = ref 0
   and suspicions = ref 0
   and recoveries = ref 0
+  and spans = ref 0
   and t_min = ref infinity
   and t_max = ref neg_infinity in
   List.iter
@@ -225,7 +267,8 @@ let summarize events =
       | Event.Timeout _ -> incr timeouts
       | Event.Retry _ -> incr retries
       | Event.Suspect _ -> incr suspicions
-      | Event.Trust _ -> incr recoveries)
+      | Event.Trust _ -> incr recoveries
+      | Event.Span _ -> incr spans)
     events;
   {
     events = List.length events;
@@ -238,5 +281,6 @@ let summarize events =
     retries = !retries;
     suspicions = !suspicions;
     recoveries = !recoveries;
+    spans = !spans;
     span = (if events = [] then 0.0 else !t_max -. !t_min);
   }

@@ -24,6 +24,19 @@ module Event : sig
     | Trust of { at : float; node : int }
         (** The failure detector trusts [node] again (false-suspicion
             recovery, or a restarted node coming back). *)
+    | Span of {
+        at : float;  (** Start time. *)
+        dur : float;  (** Duration, simulated seconds ([0] = instant). *)
+        name : string;  (** Span kind, e.g. ["lookup"]; percent-encoded. *)
+        id : int;  (** Request id the span is attributed to. *)
+        origin : int;
+        server : int option;  (** [None] = the request faulted. *)
+        hops : int;
+        attempt : int;
+      }
+        (** A timed span from the observability layer ({!Lesslog_obs.Obs}):
+            one per-request interval (or instant marker) with its hop
+            attribution. *)
 
   val time : t -> float
 
@@ -64,6 +77,7 @@ type summary = {
   retries : int;
   suspicions : int;
   recoveries : int;
+  spans : int;
   span : float;  (** Last event time minus first. *)
 }
 

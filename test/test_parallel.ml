@@ -32,6 +32,40 @@ let test_map_exception_propagates () =
   | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
   | _ -> Alcotest.fail "expected exception"
 
+let test_exception_on_caller_stride_joins_all () =
+  (* Worker 0 runs on the caller's own stack; if [f] raises there, the
+     spawned domains must still be joined before the exception escapes.
+     Index 0 is worker 0's first element, so the failure fires before any
+     spawned worker could be joined by accident — every other worker's
+     stride completing proves the join-all path ran. *)
+  let n = 40 and domains = 4 in
+  let processed = Atomic.make 0 in
+  let f x =
+    if x = 0 then failwith "w0"
+    else begin
+      Atomic.incr processed;
+      x
+    end
+  in
+  (match Par.map ~domains ~f (Array.init n (fun i -> i)) with
+  | exception Failure msg -> Alcotest.(check string) "message" "w0" msg
+  | _ -> Alcotest.fail "expected exception");
+  (* Workers 1..3 own 30 of the 40 indices; worker 0 stopped at its
+     first. All 30 must have run to completion. *)
+  Alcotest.(check int) "other strides completed" 30 (Atomic.get processed)
+
+let test_two_failures_lowest_worker_wins () =
+  (* Indices 1 and 2 live on workers 1 and 2; when both raise, the
+     re-raised exception is deterministically the lowest worker's. *)
+  let f x =
+    if x = 1 then failwith "worker1"
+    else if x = 2 then failwith "worker2"
+    else x
+  in
+  match Par.map ~domains:4 ~f (Array.init 40 (fun i -> i)) with
+  | exception Failure msg -> Alcotest.(check string) "deterministic" "worker1" msg
+  | _ -> Alcotest.fail "expected exception"
+
 let test_recommended_domains_positive () =
   let d = Par.recommended_domains () in
   Alcotest.(check bool) "in range" true (d >= 1 && d <= 8)
@@ -77,6 +111,10 @@ let () =
           Alcotest.test_case "map_list" `Quick test_map_list;
           Alcotest.test_case "exception propagates" `Quick
             test_map_exception_propagates;
+          Alcotest.test_case "caller-stride failure joins all" `Quick
+            test_exception_on_caller_stride_joins_all;
+          Alcotest.test_case "two failures: lowest worker wins" `Quick
+            test_two_failures_lowest_worker_wins;
           Alcotest.test_case "recommended domains" `Quick
             test_recommended_domains_positive;
           Alcotest.test_case "parallel sweeps deterministic" `Slow
