@@ -676,6 +676,95 @@ let trace_cmd =
              & info [ "lines" ] ~docv:"FILE"
                  ~doc:"Also write the spans as SPN trace lines."))
 
+(* --- Deterministic checking --------------------------------------------- *)
+
+module Checker = Lesslog_check.Checker
+module Check_schedule = Lesslog_check.Schedule
+
+let check_cmd =
+  let run m seed iterations budget out mutate =
+    (match out with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    let stop =
+      match budget with
+      | None -> fun () -> false
+      | Some b ->
+          let t0 = Sys.time () in
+          fun () -> Sys.time () -. t0 > b
+    in
+    Printf.printf "check: m=%d seed=%d iterations=%d%s%s\n" m seed iterations
+      (if mutate then " [mutation: broken FINDLIVENODE]" else "")
+      (match budget with
+      | Some b -> Printf.sprintf " budget=%.0fs" b
+      | None -> "");
+    match
+      Checker.explore ~mutation:mutate ?out_dir:out ~stop
+        ~log:print_endline ~seed ~m ~iterations ()
+    with
+    | Checker.Clean { trials } ->
+        Printf.printf "clean: %d schedules, 0 oracle violations\n" trials
+    | Checker.Found f ->
+        Printf.printf
+          "FOUND: trial %d violated %s; shrunk to %d steps (%d runs)%s\n"
+          f.Checker.trial f.Checker.shrunk_violation.Checker.oracle
+          (List.length f.Checker.shrunk.Check_schedule.steps)
+          f.Checker.shrink_stats.Lesslog_check.Shrink.runs
+          (match f.Checker.repro_path with
+          | Some p -> Printf.sprintf "; repro: %s" p
+          | None -> "");
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "C1: deterministic simulation checking — run seeded random \
+          churn/fault schedules through the simulators with invariant \
+          oracles attached; on violation, shrink to a minimal \
+          counterexample and write a replayable repro file. Exits 1 when \
+          a violation is found.")
+    Term.(
+      const run
+      $ Arg.(value & opt int 10 & info [ "m" ] ~docv:"M" ~doc:"Space width.")
+      $ seed_arg
+      $ Arg.(value & opt int 100
+             & info [ "iterations" ] ~docv:"N"
+                 ~doc:"Maximum schedules to explore.")
+      $ Arg.(value & opt (some float) None
+             & info [ "budget" ] ~docv:"SEC"
+                 ~doc:"Stop after this much CPU time even if iterations \
+                       remain (iteration output stays deterministic; the \
+                       cut-off point does not).")
+      $ Arg.(value & opt (some string) None
+             & info [ "out" ] ~docv:"DIR"
+                 ~doc:"Directory for repro files (created if missing).")
+      $ Arg.(value & flag
+             & info [ "mutate" ]
+                 ~doc:"Self-test: enable the deliberately broken \
+                       FINDLIVENODE and demand the checker catch it."))
+
+let replay_cmd =
+  let run path =
+    match Check_schedule.load path with
+    | Error msg ->
+        Printf.eprintf "cannot load %s: %s\n" path msg;
+        exit 2
+    | Ok decoded -> (
+        match Checker.replay ~log:print_endline decoded with
+        | Checker.Reproduced _ | Checker.Clean_run -> ()
+        | Checker.Mismatch _ -> exit 1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "C2: re-execute a checker repro file and verify it reproduces \
+          the recorded violation (or clean run) deterministically. Exits \
+          1 on mismatch.")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None
+             & info [] ~docv:"FILE" ~doc:"Repro file written by check."))
+
 (* --- Inspection --------------------------------------------------------- *)
 
 let tree_cmd =
@@ -728,5 +817,6 @@ let () =
             fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; all_cmd; hops_cmd;
             eviction_cmd; ft_cmd; propchoice_cmd; validate_cmd; churn_cmd;
             update_cost_cmd; sessions_cmd; lifecycle_cmd; trace_run_cmd;
-            faults_cmd; msweep_cmd; stats_cmd; trace_cmd; tree_cmd;
+            faults_cmd; msweep_cmd; stats_cmd; trace_cmd; check_cmd;
+            replay_cmd; tree_cmd;
           ]))

@@ -1,0 +1,215 @@
+open Lesslog_id
+module Rng = Lesslog_prng.Rng
+module Topology = Lesslog_topology.Topology
+module Cluster = Lesslog.Cluster
+module Ops = Lesslog.Ops
+module Des_sim = Lesslog_des.Des_sim
+module Fault_sim = Lesslog_des.Fault_sim
+module Obs = Lesslog_obs.Obs
+
+type violation = { oracle : string; at : float; detail : string }
+
+type stats = { served : int; faults : int; checks : int; events : int }
+
+let with_mutation mutation f =
+  if not mutation then f ()
+  else begin
+    Topology.Testing.broken_find_live_node := true;
+    Fun.protect
+      ~finally:(fun () -> Topology.Testing.broken_find_live_node := false)
+      f
+  end
+
+let run ?(mutation = false) (sch : Schedule.t) =
+  with_mutation mutation @@ fun () ->
+  let params = Params.create ~m:sch.m () in
+  let cluster = Cluster.create params in
+  for i = 0 to sch.keys - 1 do
+    ignore (Ops.insert cluster ~key:(Schedule.key_of_index i))
+  done;
+  let rng = Rng.create ~seed:sch.seed in
+  let demand = Schedule.demand sch (Cluster.status cluster) in
+  let oracle = Oracle.create cluster ~sim:sch.sim in
+  let sink = Oracle.on_event oracle in
+  let key = Schedule.key_of_index 0 in
+  try
+    match sch.sim with
+    | Schedule.Des ->
+        let churn = Schedule.to_churn sch in
+        let obs = Obs.create ~span_capacity:(1 lsl 15) () in
+        let config =
+          { Des_sim.default_config with capacity = sch.capacity }
+        in
+        let result =
+          Des_sim.run ~config ~churn ~sink ~obs ~rng ~cluster ~key ~demand
+            ~duration:sch.duration ()
+        in
+        Oracle.at_end ~obs ~result oracle ~now:sch.duration;
+        Ok
+          {
+            served = result.Des_sim.served;
+            faults = result.Des_sim.faults;
+            checks = Oracle.heavy_checks oracle;
+            events = Oracle.events_seen oracle;
+          }
+    | Schedule.Faults ->
+        let plan = Schedule.to_plan sch in
+        let config =
+          { Fault_sim.default_config with capacity = sch.capacity }
+        in
+        let result =
+          Fault_sim.run ~config ~plan ~sink ~rng ~cluster ~key ~demand
+            ~duration:sch.duration ()
+        in
+        Oracle.at_end oracle ~now:sch.duration;
+        Ok
+          {
+            served = result.Fault_sim.served;
+            faults = result.Fault_sim.faulted;
+            checks = Oracle.heavy_checks oracle;
+            events = Oracle.events_seen oracle;
+          }
+  with Oracle.Violation { oracle; at; detail } -> Error { oracle; at; detail }
+
+(* --- Shrinking ---------------------------------------------------------- *)
+
+let shrink ~mutation (sch : Schedule.t) (v : violation) =
+  let pred steps =
+    match run ~mutation { sch with steps } with
+    | Error v' -> v'.oracle = v.oracle
+    | Ok _ -> false
+  in
+  let steps, stats = Shrink.minimize ~pred sch.Schedule.steps in
+  ({ sch with steps }, stats)
+
+(* --- Exploration -------------------------------------------------------- *)
+
+(* Splitmix-style odd-constant spacing keeps derived seeds well apart and
+   the whole run a pure function of (master seed, index). *)
+let derive_seed master i = (master + ((i + 1) * 0x9E3779B1)) land 0x3FFFFFFF
+
+type found = {
+  trial : int;
+  schedule : Schedule.t;
+  violation : violation;
+  shrunk : Schedule.t;
+  shrunk_violation : violation;
+  shrink_stats : Shrink.stats;
+  repro_path : string option;
+}
+
+type exploration = Clean of { trials : int } | Found of found
+
+let pp_violation fmt (v : violation) =
+  Format.fprintf fmt "%s at t=%.3f: %s" v.oracle v.at v.detail
+
+let sim_name = function Schedule.Des -> "des" | Schedule.Faults -> "faults"
+
+let explore ?(mutation = false) ?out_dir ?(stop = fun () -> false)
+    ~log ~seed ~m ~iterations () =
+  let result = ref None in
+  let trials = ref 0 in
+  (try
+     for i = 0 to iterations - 1 do
+       if stop () then raise Exit;
+       let trial_seed = derive_seed seed i in
+       let sim = if i mod 2 = 0 then Schedule.Des else Schedule.Faults in
+       let sch = Schedule.generate ~seed:trial_seed ~m ~sim in
+       incr trials;
+       match run ~mutation sch with
+       | Ok s ->
+           log
+             (Printf.sprintf
+                "trial %d sim=%s seed=%d steps=%d ok served=%d faults=%d \
+                 checks=%d events=%d"
+                i (sim_name sim) trial_seed
+                (List.length sch.Schedule.steps)
+                s.served s.faults s.checks s.events)
+       | Error v ->
+           log
+             (Printf.sprintf "trial %d sim=%s seed=%d steps=%d VIOLATION %s" i
+                (sim_name sim) trial_seed
+                (List.length sch.Schedule.steps)
+                (Format.asprintf "%a" pp_violation v));
+           let shrunk, shrink_stats = shrink ~mutation sch v in
+           (* One confirming re-run of the minimal schedule pins down the
+              violation the repro file promises. *)
+           let shrunk_violation =
+             match run ~mutation shrunk with
+             | Error v' -> v'
+             | Ok _ ->
+                 (* Shrinking only keeps failing candidates, so this can
+                    only mean nondeterminism — itself a bug worth loud
+                    reporting. *)
+                 {
+                   oracle = "checker-nondeterminism";
+                   at = 0.0;
+                   detail =
+                     "minimal schedule passed on the confirming re-run";
+                 }
+           in
+           log
+             (Printf.sprintf "shrunk %d -> %d steps in %d runs: %s"
+                (List.length sch.Schedule.steps)
+                (List.length shrunk.Schedule.steps)
+                shrink_stats.Shrink.runs
+                (Format.asprintf "%a" pp_violation shrunk_violation));
+           let repro_path =
+             match out_dir with
+             | None -> None
+             | Some dir ->
+                 let path =
+                   Filename.concat dir (Printf.sprintf "repro-%d.trace" trial_seed)
+                 in
+                 Schedule.save ~expect:shrunk_violation.oracle ~mutation path
+                   shrunk;
+                 log (Printf.sprintf "repro written to %s" path);
+                 Some path
+           in
+           result :=
+             Some
+               {
+                 trial = i;
+                 schedule = sch;
+                 violation = v;
+                 shrunk;
+                 shrunk_violation;
+                 shrink_stats;
+                 repro_path;
+               };
+           raise Exit
+     done
+   with Exit -> ());
+  match !result with
+  | Some found -> Found found
+  | None -> Clean { trials = !trials }
+
+(* --- Replay ------------------------------------------------------------- *)
+
+type replay_outcome =
+  | Reproduced of violation
+  | Clean_run
+  | Mismatch of { expected : string option; got : violation option }
+
+let replay ~log (d : Schedule.decoded) =
+  log
+    (Printf.sprintf "replaying %s%s%s"
+       (Format.asprintf "%a" Schedule.pp d.Schedule.schedule)
+       (if d.Schedule.mutation then " [mutation enabled]" else "")
+       (match d.Schedule.expect with
+       | Some o -> Printf.sprintf " expecting %s" o
+       | None -> " expecting a clean run"));
+  let outcome = run ~mutation:d.Schedule.mutation d.Schedule.schedule in
+  match (outcome, d.Schedule.expect) with
+  | Error v, Some oracle when v.oracle = oracle ->
+      log (Format.asprintf "reproduced: %a" pp_violation v);
+      Reproduced v
+  | Ok _, None ->
+      log "clean run, as expected";
+      Clean_run
+  | Error v, _ ->
+      log (Format.asprintf "violation did not match: %a" pp_violation v);
+      Mismatch { expected = d.Schedule.expect; got = Some v }
+  | Ok _, Some oracle ->
+      log (Printf.sprintf "expected %s but the run was clean" oracle);
+      Mismatch { expected = d.Schedule.expect; got = None }

@@ -1,0 +1,72 @@
+(** The deterministic simulation checker: generate → run → check →
+    shrink → repro.
+
+    A trial is a pure function of its {!Schedule.t}: {!run} builds a
+    fresh cluster, inserts the schedule's keys, attaches an {!Oracle} as
+    the simulator sink and plays the schedule through {!Lesslog_des}
+    ({!Lesslog_des.Des_sim} or {!Lesslog_des.Fault_sim} by mode).
+    {!explore} drives seeded trials — alternating Des and Fault mode —
+    until a violation, then delta-debugs the schedule with {!Shrink} and
+    writes a replayable repro file; {!replay} re-executes one. All output
+    goes through the caller's [log], carries no wall-clock times, and is
+    byte-identical across runs of the same seed list. *)
+
+type violation = { oracle : string; at : float; detail : string }
+
+type stats = {
+  served : int;
+  faults : int;
+  checks : int;  (** Heavy oracle sweeps that ran. *)
+  events : int;  (** Trace events the oracle saw. *)
+}
+
+val run : ?mutation:bool -> Schedule.t -> (stats, violation) result
+(** One trial. [mutation] enables the deliberately broken FINDLIVENODE
+    ({!Lesslog_topology.Topology.Testing}) for the duration of the run —
+    the checker's self-test. *)
+
+val shrink :
+  mutation:bool -> Schedule.t -> violation -> Schedule.t * Shrink.stats
+(** Minimize the schedule's steps so the same oracle still fires. *)
+
+type found = {
+  trial : int;
+  schedule : Schedule.t;  (** As generated. *)
+  violation : violation;  (** What the full schedule raised. *)
+  shrunk : Schedule.t;
+  shrunk_violation : violation;  (** From the confirming re-run. *)
+  shrink_stats : Shrink.stats;
+  repro_path : string option;
+}
+
+type exploration = Clean of { trials : int } | Found of found
+
+val explore :
+  ?mutation:bool ->
+  ?out_dir:string ->
+  ?stop:(unit -> bool) ->
+  log:(string -> unit) ->
+  seed:int ->
+  m:int ->
+  iterations:int ->
+  unit ->
+  exploration
+(** Up to [iterations] seeded trials (seed [i] derived from [seed]), even
+    trials in Des mode, odd in Fault mode; stops early when [stop ()]
+    turns true (the CLI's wall-clock budget) or at the first violation,
+    which is shrunk and — when [out_dir] is given — saved as
+    [out_dir/repro-<seed>.trace]. *)
+
+val derive_seed : int -> int -> int
+(** The per-trial seed derivation, exposed for the tests. *)
+
+type replay_outcome =
+  | Reproduced of violation
+  | Clean_run
+  | Mismatch of { expected : string option; got : violation option }
+
+val replay : log:(string -> unit) -> Schedule.decoded -> replay_outcome
+(** Re-execute a loaded repro and compare against its recorded
+    expectation. *)
+
+val pp_violation : Format.formatter -> violation -> unit

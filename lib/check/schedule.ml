@@ -1,0 +1,358 @@
+open Lesslog_id
+module Rng = Lesslog_prng.Rng
+module Zipf = Lesslog_prng.Zipf
+module Status_word = Lesslog_membership.Status_word
+module Trace = Lesslog_trace.Trace
+module Des_sim = Lesslog_des.Des_sim
+module Churn_trace = Lesslog_des.Churn_trace
+module Faults = Lesslog_workload.Faults
+module Demand = Lesslog_workload.Demand
+
+type sim = Des | Faults
+
+type step =
+  | Join of { at : float; node : int }
+  | Leave of { at : float; node : int }
+  | Fail of { at : float; node : int }
+  | Loss of { at : float; until : float; rate : float }
+  | Cut of {
+      at : float;
+      until : float;
+      direction : [ `Both | `In | `Out ];
+      nodes : int list;
+    }
+
+type t = {
+  m : int;
+  seed : int;
+  sim : sim;
+  rate : float;
+  duration : float;
+  capacity : float;
+  keys : int;
+  steps : step list;
+}
+
+let step_time = function
+  | Join { at; _ } | Leave { at; _ } | Fail { at; _ } | Loss { at; _ }
+  | Cut { at; _ } ->
+      at
+
+let sort_steps steps =
+  List.stable_sort (fun a b -> Float.compare (step_time a) (step_time b)) steps
+
+let key_of_index i = Printf.sprintf "check/k%d" i
+
+(* --- Generation -------------------------------------------------------- *)
+
+(* Churn is confined to a small set of churner nodes so schedules stay
+   short enough to delta-debug (a few dozen steps, not one per node). *)
+let churner_count = 8
+
+let generate ~seed ~m ~sim =
+  let rng = Rng.create ~seed in
+  let params = Params.create ~m () in
+  let status = Status_word.create params ~initially_live:true in
+  let rate = 40.0 +. Rng.float rng 60.0 in
+  let capacity = 60.0 +. Rng.float rng 60.0 in
+  let keys = 1 + Rng.int rng 3 in
+  match sim with
+  | Des ->
+      let duration = 20.0 in
+      let live = Status_word.live_pids status in
+      let churners =
+        Array.to_list
+          (Rng.sample_without_replacement rng ~k:churner_count
+             (Array.of_list live))
+      in
+      let churn =
+        Churn_trace.generate ~rng ~live:churners
+          {
+            Churn_trace.mean_session = duration /. 2.5;
+            mean_downtime = duration /. 4.0;
+            fail_fraction = 0.3;
+            duration;
+          }
+      in
+      let steps =
+        List.map
+          (fun { Des_sim.at; action } ->
+            match action with
+            | Des_sim.Join p -> Join { at; node = Pid.to_int p }
+            | Des_sim.Leave p -> Leave { at; node = Pid.to_int p }
+            | Des_sim.Fail p -> Fail { at; node = Pid.to_int p })
+          churn
+      in
+      { m; seed; sim; rate; duration; capacity; keys; steps }
+  | Faults ->
+      let duration = 30.0 in
+      let live = Status_word.live_pids status in
+      let crash_fraction = 4.0 /. float_of_int (List.length live) in
+      let plan =
+        Faults.generate ~rng ~live ~duration ~crash_fraction
+          ~restart_fraction:0.5 ~bursts:1 ~burst_loss:0.3
+          ~partitions:(Rng.int rng 2)
+          ~partition_fraction:0.1 ()
+      in
+      let steps =
+        List.concat_map
+          (fun { Faults.node; at; restart_at } ->
+            let node = Pid.to_int node in
+            Fail { at; node }
+            ::
+            (match restart_at with
+            | Some r -> [ Join { at = r; node } ]
+            | None -> []))
+          plan.Faults.crashes
+        @ List.map
+            (fun { Faults.from_; until; loss } ->
+              Loss { at = from_; until; rate = loss })
+            plan.Faults.bursts
+        @ List.map
+            (fun { Faults.from_; until; group; direction } ->
+              Cut
+                {
+                  at = from_;
+                  until;
+                  direction =
+                    (match direction with
+                    | Faults.Both -> `Both
+                    | Faults.Inbound -> `In
+                    | Faults.Outbound -> `Out);
+                  nodes = List.map Pid.to_int group;
+                })
+            plan.Faults.partitions
+      in
+      { m; seed; sim; rate; duration; capacity; keys; steps = sort_steps steps }
+
+(* --- Interpretation ---------------------------------------------------- *)
+
+(* Shrinking drops arbitrary steps, which can leave a Join for a live node
+   or a Leave/Fail for a dead one. Self_org raises on those, so the
+   conversion sanitizes against a predicted liveness trace: impossible
+   steps become no-ops. Purely data-driven, hence deterministic. *)
+let to_churn t =
+  let space = Params.space (Params.create ~m:t.m ()) in
+  let live = Array.make space true in
+  List.filter_map
+    (fun step ->
+      match step with
+      | Join { at; node } when node < space && not live.(node) ->
+          live.(node) <- true;
+          Some { Des_sim.at; action = Des_sim.Join (Pid.unsafe_of_int node) }
+      | Leave { at; node } when node < space && live.(node) ->
+          live.(node) <- false;
+          Some { Des_sim.at; action = Des_sim.Leave (Pid.unsafe_of_int node) }
+      | Fail { at; node } when node < space && live.(node) ->
+          live.(node) <- false;
+          Some { Des_sim.at; action = Des_sim.Fail (Pid.unsafe_of_int node) }
+      | Join _ | Leave _ | Fail _ | Loss _ | Cut _ -> None)
+    (sort_steps t.steps)
+
+let to_plan t =
+  let space = Params.space (Params.create ~m:t.m ()) in
+  let down = Array.make space false in
+  let crashes = ref [] and bursts = ref [] and partitions = ref [] in
+  List.iter
+    (fun step ->
+      match step with
+      | Fail { at; node } when node < space && not down.(node) ->
+          down.(node) <- true;
+          crashes :=
+            { Faults.node = Pid.unsafe_of_int node; at; restart_at = None }
+            :: !crashes
+      | Join { at; node } when node < space && down.(node) ->
+          down.(node) <- false;
+          (* Attach the restart to this node's latest crash — the first
+             match in the newest-first accumulator. *)
+          let attached = ref false in
+          crashes :=
+            List.map
+              (fun c ->
+                if
+                  (not !attached)
+                  && Pid.to_int c.Faults.node = node
+                  && c.Faults.restart_at = None
+                then begin
+                  attached := true;
+                  { c with Faults.restart_at = Some at }
+                end
+                else c)
+              !crashes
+      | Loss { at; until; rate } ->
+          bursts := { Faults.from_ = at; until; loss = rate } :: !bursts
+      | Cut { at; until; direction; nodes } ->
+          let nodes = List.filter (fun n -> n >= 0 && n < space) nodes in
+          if nodes <> [] then
+            partitions :=
+              {
+                Faults.from_ = at;
+                until;
+                group = List.map Pid.unsafe_of_int nodes;
+                direction =
+                  (match direction with
+                  | `Both -> Faults.Both
+                  | `In -> Faults.Inbound
+                  | `Out -> Faults.Outbound);
+              }
+              :: !partitions
+      | Fail _ | Join _ | Leave _ -> ())
+    (sort_steps t.steps);
+  {
+    Faults.bursts = List.rev !bursts;
+    crashes = List.rev !crashes;
+    partitions = List.rev !partitions;
+  }
+
+let demand t status =
+  let rng = Rng.create ~seed:(t.seed lxor 0x5eed) in
+  let live = Status_word.live_array status in
+  Rng.shuffle rng live;
+  let zipf = Zipf.create ~n:(Array.length live) ~s:0.8 in
+  let rates =
+    Array.make (Params.space (Params.create ~m:t.m ())) 0.0
+  in
+  Array.iteri
+    (fun rank p ->
+      rates.(Pid.to_int p) <- t.rate *. Zipf.probability zipf rank)
+    live;
+  Demand.of_rates rates
+
+(* --- Codec ------------------------------------------------------------- *)
+
+let mark name value = Trace.Event.Mark { at = 0.0; name; value }
+
+let to_events ?expect ?(mutation = false) t =
+  let header =
+    [
+      mark "check/version" 1.0;
+      mark "check/m" (float_of_int t.m);
+      mark "check/seed" (float_of_int t.seed);
+      mark "check/sim" (match t.sim with Des -> 0.0 | Faults -> 1.0);
+      mark "check/rate" t.rate;
+      mark "check/duration" t.duration;
+      mark "check/capacity" t.capacity;
+      mark "check/keys" (float_of_int t.keys);
+      mark "check/mutation" (if mutation then 1.0 else 0.0);
+    ]
+    @ (match expect with
+      | Some oracle -> [ mark ("check/expect/" ^ oracle) 1.0 ]
+      | None -> [])
+  in
+  let body =
+    List.map
+      (fun step ->
+        match step with
+        | Join { at; node } ->
+            Trace.Event.Membership { at; node; change = `Join }
+        | Leave { at; node } ->
+            Trace.Event.Membership { at; node; change = `Leave }
+        | Fail { at; node } ->
+            Trace.Event.Membership { at; node; change = `Fail }
+        | Loss { at; until; rate } -> Trace.Event.Loss { at; until; rate }
+        | Cut { at; until; direction; nodes } ->
+            Trace.Event.Cut { at; until; direction; nodes })
+      (sort_steps t.steps)
+  in
+  header @ body
+
+type decoded = { schedule : t; mutation : bool; expect : string option }
+
+let expect_prefix = "check/expect/"
+
+let of_events events =
+  let marks = Hashtbl.create 16 in
+  let expect = ref None in
+  let steps = ref [] in
+  let err = ref None in
+  List.iter
+    (fun e ->
+      match e with
+      | Trace.Event.Mark { name; value; _ } ->
+          if
+            String.length name > String.length expect_prefix
+            && String.sub name 0 (String.length expect_prefix) = expect_prefix
+          then
+            expect :=
+              Some
+                (String.sub name
+                   (String.length expect_prefix)
+                   (String.length name - String.length expect_prefix))
+          else Hashtbl.replace marks name value
+      | Trace.Event.Membership { at; node; change } ->
+          steps :=
+            (match change with
+            | `Join -> Join { at; node }
+            | `Leave -> Leave { at; node }
+            | `Fail -> Fail { at; node })
+            :: !steps
+      | Trace.Event.Loss { at; until; rate } ->
+          steps := Loss { at; until; rate } :: !steps
+      | Trace.Event.Cut { at; until; direction; nodes } ->
+          steps := Cut { at; until; direction; nodes } :: !steps
+      | _ -> err := Some "repro file contains non-schedule events")
+    events;
+  match !err with
+  | Some msg -> Error msg
+  | None -> (
+      let get name =
+        match Hashtbl.find_opt marks name with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "repro file missing %s mark" name)
+      in
+      let ( let* ) = Result.bind in
+      let* _version = get "check/version" in
+      let* m = get "check/m" in
+      let* seed = get "check/seed" in
+      let* sim = get "check/sim" in
+      let* rate = get "check/rate" in
+      let* duration = get "check/duration" in
+      let* capacity = get "check/capacity" in
+      let* keys = get "check/keys" in
+      let* mutation = get "check/mutation" in
+      let m = int_of_float m in
+      if m < 2 || m > 20 then Error "check/m out of range"
+      else
+        Ok
+          {
+            schedule =
+              {
+                m;
+                seed = int_of_float seed;
+                sim = (if sim = 0.0 then Des else Faults);
+                rate;
+                duration;
+                capacity;
+                keys = int_of_float keys;
+                steps = sort_steps (List.rev !steps);
+              };
+            mutation = mutation <> 0.0;
+            expect = !expect;
+          })
+
+let save ?expect ?mutation path t =
+  let w = Trace.Writer.to_file path in
+  List.iter (Trace.Writer.emit w) (to_events ?expect ?mutation t);
+  Trace.Writer.close w
+
+let load path =
+  match Trace.read_file path with
+  | Error msg -> Error msg
+  | Ok events -> of_events events
+
+let pp_step fmt = function
+  | Join { at; node } -> Format.fprintf fmt "t=%.3f join %d" at node
+  | Leave { at; node } -> Format.fprintf fmt "t=%.3f leave %d" at node
+  | Fail { at; node } -> Format.fprintf fmt "t=%.3f fail %d" at node
+  | Loss { at; until; rate } ->
+      Format.fprintf fmt "t=%.3f..%.3f loss %.2f" at until rate
+  | Cut { at; until; direction; nodes } ->
+      Format.fprintf fmt "t=%.3f..%.3f cut/%s {%s}" at until
+        (match direction with `Both -> "both" | `In -> "in" | `Out -> "out")
+        (String.concat "," (List.map string_of_int nodes))
+
+let pp fmt t =
+  Format.fprintf fmt "m=%d seed=%d sim=%s rate=%.1f capacity=%.1f keys=%d %d steps"
+    t.m t.seed
+    (match t.sim with Des -> "des" | Faults -> "faults")
+    t.rate t.capacity t.keys (List.length t.steps)

@@ -1,0 +1,83 @@
+(** Checker schedules: the pure-data description of one simulation trial.
+
+    A schedule fixes everything a trial needs — system size, RNG seed,
+    workload shape, and an explicit list of disturbance steps — so a trial
+    is a deterministic function of its schedule. The shrinker edits the
+    [steps] list; {!to_churn}/{!to_plan} interpret whatever list results,
+    sanitizing impossible steps into no-ops so delta-debugging can drop
+    any subset. Schedules round-trip through the {!Lesslog_trace.Trace}
+    codec ({!save}/{!load}); that file is the replayable repro format
+    documented in [lib/check/README.md]. *)
+
+module Status_word = Lesslog_membership.Status_word
+module Trace = Lesslog_trace.Trace
+module Des_sim = Lesslog_des.Des_sim
+module Faults = Lesslog_workload.Faults
+module Demand = Lesslog_workload.Demand
+
+type sim =
+  | Des  (** Oracle-driven {!Lesslog_des.Des_sim}: churn writes the status
+             word directly. *)
+  | Faults
+      (** Oracle-free {!Lesslog_des.Fault_sim}: a heartbeat detector
+          drives the status word; steps become a fault plan. *)
+
+type step =
+  | Join of { at : float; node : int }
+  | Leave of { at : float; node : int }
+  | Fail of { at : float; node : int }
+  | Loss of { at : float; until : float; rate : float }
+  | Cut of {
+      at : float;
+      until : float;
+      direction : [ `Both | `In | `Out ];
+      nodes : int list;
+    }
+
+type t = {
+  m : int;
+  seed : int;
+  sim : sim;
+  rate : float;  (** Total request rate, req/s, Zipf-spread over nodes. *)
+  duration : float;
+  capacity : float;  (** Per-node serve capacity, req/s. *)
+  keys : int;  (** Registered keys ["check/k0"] .. ["check/k<n-1>"]. *)
+  steps : step list;
+}
+
+val key_of_index : int -> string
+
+val generate : seed:int -> m:int -> sim:sim -> t
+(** A random schedule, deterministic in [seed]: churn steps from
+    {!Lesslog_des.Churn_trace} over a small churner subset (Des mode), or
+    crashes/bursts/partitions from {!Lesslog_workload.Faults.generate}
+    (Faults mode). *)
+
+val to_churn : t -> Des_sim.churn_event list
+(** The steps as a churn trace, skipping steps impossible under the
+    predicted liveness (join of a live node, leave/fail of a dead one) so
+    shrunk step lists stay executable. Loss/Cut steps are ignored —
+    [Des_sim] has no burst hooks. *)
+
+val to_plan : t -> Faults.plan
+(** The steps as a fault plan: Fail = crash (a later Join of the same node
+    becomes its restart), Loss = burst, Cut = partition. Leave steps are
+    ignored — [Fault_sim] models crashes, not clean departures. *)
+
+val demand : t -> Status_word.t -> Demand.t
+(** Zipf(0.8)-distributed per-node request rates totalling [t.rate], node
+    ranks drawn by a seed-derived shuffle. *)
+
+val to_events : ?expect:string -> ?mutation:bool -> t -> Trace.Event.t list
+(** The repro-file encoding: [MRK t=0] header lines for the scalar
+    parameters (plus the enabled mutation flag and, optionally, the oracle
+    expected to fire), then one [MEM]/[LOS]/[CUT] line per step. *)
+
+type decoded = { schedule : t; mutation : bool; expect : string option }
+
+val of_events : Trace.Event.t list -> (decoded, string) result
+val save : ?expect:string -> ?mutation:bool -> string -> t -> unit
+val load : string -> (decoded, string) result
+
+val pp_step : Format.formatter -> step -> unit
+val pp : Format.formatter -> t -> unit

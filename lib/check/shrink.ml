@@ -1,0 +1,65 @@
+(* Delta debugging over schedule steps: drop-chunk passes with halving
+   chunk sizes, then drop-single to a local fixpoint. The predicate
+   re-runs the candidate deterministically, so "still fails" means the
+   same oracle fires again — classic ddmin specialized to one-level
+   deletion (steps are independent events; the interpreters in Schedule
+   turn impossible leftovers into no-ops). *)
+
+type stats = { runs : int; kept : int; dropped : int }
+
+let remove_chunk arr start len =
+  let n = Array.length arr in
+  let out = Array.make (n - len) arr.(0) in
+  Array.blit arr 0 out 0 start;
+  Array.blit arr (start + len) out start (n - start - len);
+  out
+
+let minimize ~pred steps =
+  match steps with
+  | [] -> (steps, { runs = 0; kept = 0; dropped = 0 })
+  | _ ->
+      let runs = ref 0 in
+      let test arr =
+        incr runs;
+        pred (Array.to_list arr)
+      in
+      let current = ref (Array.of_list steps) in
+      let chunk = ref (max 1 (Array.length !current / 2)) in
+      let continue = ref true in
+      while !continue do
+        (* One pass at the current chunk size: try deleting each chunk,
+           restarting the scan position after a successful deletion. *)
+        let progressed = ref false in
+        let i = ref 0 in
+        while !i * !chunk < Array.length !current do
+          let n = Array.length !current in
+          let start = !i * !chunk in
+          let len = min !chunk (n - start) in
+          if len = n then incr i (* never test the empty schedule twice *)
+          else begin
+            let candidate = remove_chunk !current start len in
+            if Array.length candidate > 0 && test candidate then begin
+              current := candidate;
+              progressed := true
+              (* keep [i]: the next chunk slid into this position *)
+            end
+            else incr i
+          end
+        done;
+        if !chunk = 1 then begin
+          (* At granularity one, a pass with no progress is the fixpoint. *)
+          if not !progressed then continue := false
+        end
+        else chunk := max 1 (!chunk / 2)
+      done;
+      (* The empty schedule is a legitimate minimum when the failure does
+         not need any disturbance at all. *)
+      let final =
+        if test [||] then [] else Array.to_list !current
+      in
+      ( final,
+        {
+          runs = !runs;
+          kept = List.length final;
+          dropped = List.length steps - List.length final;
+        } )

@@ -1,0 +1,19 @@
+(** Delta debugging for checker schedules.
+
+    One-level ddmin over the step list: chunk-deletion passes with
+    halving chunk sizes down to single steps, iterated to a fixpoint, and
+    a final attempt at the empty schedule. The result is 1-minimal: no
+    single remaining step can be dropped without losing the failure. *)
+
+type stats = {
+  runs : int;  (** Predicate evaluations (i.e. full re-runs). *)
+  kept : int;
+  dropped : int;
+}
+
+val minimize :
+  pred:('a list -> bool) -> 'a list -> 'a list * stats
+(** [minimize ~pred steps] with [pred candidate] true iff the trial still
+    fails the same way. [pred] is assumed deterministic; it is never
+    called on the input list itself (the caller has already seen it
+    fail). *)

@@ -91,15 +91,32 @@ end
 
 (* --- Cached word-level implementations --------------------------------- *)
 
+(* Test-only fault injection: the deterministic checker (lib/check) proves
+   it can catch real bugs by flipping this flag and demanding a shrunk
+   counterexample. Never set outside tests. *)
+module Testing = struct
+  let broken_find_live_node = ref false
+end
+
 let entry tree status = Topology_cache.get status ~comp:(Ptree.comp tree)
 
 let find_live_node tree status ~start =
   if Status_word.is_live status start then Some start
   else
     let v = Vid.to_int (Ptree.vid_of_pid tree start) in
-    if v = 0 then None
+    let e = entry tree status in
+    if !Testing.broken_find_live_node then
+      (* Deliberately wrong: scans *upward* in VID space, violating the
+         paper's FINDLIVENODE contract (first live node strictly below). *)
+      let mask = Params.mask (Ptree.params tree) in
+      match
+        if v >= mask then -1
+        else Packed_bits.first_set_at_or_above e.Topology_cache.vids (v + 1)
+      with
+      | -1 -> None
+      | u -> Some (Ptree.pid_of_vid tree (Vid.unsafe_of_int u))
+    else if v = 0 then None
     else
-      let e = entry tree status in
       match Packed_bits.first_set_at_or_below e.Topology_cache.vids (v - 1) with
       | -1 -> None
       | u -> Some (Ptree.pid_of_vid tree (Vid.unsafe_of_int u))

@@ -16,6 +16,16 @@ open Lesslog_id
 module Status_word = Lesslog_membership.Status_word
 module Ptree = Lesslog_ptree.Ptree
 
+(** Test-only fault injection used by the deterministic checker
+    ([lib/check]) to validate itself: with {!Testing.broken_find_live_node}
+    set, the cached {!find_live_node} deliberately scans {e upward} in VID
+    space, violating FINDLIVENODE whenever the start node is dead. The
+    checker must then find and shrink a counterexample. Never set this
+    outside tests. *)
+module Testing : sig
+  val broken_find_live_node : bool ref
+end
+
 val find_live_node : Ptree.t -> Status_word.t -> start:Pid.t -> Pid.t option
 (** The paper's FINDLIVENODE(s, r): if [start] is live return it; otherwise
     scan VIDs downward from [start]'s VID and return the first live node —

@@ -18,11 +18,20 @@ module Event = struct
         hops : int;
         attempt : int;
       }
+    | Loss of { at : float; until : float; rate : float }
+    | Cut of {
+        at : float;
+        until : float;
+        direction : [ `Both | `In | `Out ];
+        nodes : int list;
+      }
+    | Mark of { at : float; name : string; value : float }
 
   let time = function
     | Request { at; _ } | Replicate { at; _ } | Evict { at; _ }
     | Membership { at; _ } | Timeout { at; _ } | Retry { at; _ }
-    | Suspect { at; _ } | Trust { at; _ } | Span { at; _ } ->
+    | Suspect { at; _ } | Trust { at; _ } | Span { at; _ }
+    | Loss { at; _ } | Cut { at; _ } | Mark { at; _ } ->
         at
 
   (* Percent-encode anything that would break space-separated parsing. *)
@@ -80,6 +89,16 @@ module Event = struct
           (float_repr dur) (encode_key name) id origin
           (match server with Some s -> string_of_int s | None -> "fault")
           hops attempt
+    | Loss { at; until; rate } ->
+        Printf.sprintf "LOS %s %s %s" (float_repr at) (float_repr until)
+          (float_repr rate)
+    | Cut { at; until; direction; nodes } ->
+        Printf.sprintf "CUT %s %s %s %s" (float_repr at) (float_repr until)
+          (match direction with `Both -> "both" | `In -> "in" | `Out -> "out")
+          (String.concat "," (List.map string_of_int nodes))
+    | Mark { at; name; value } ->
+        Printf.sprintf "MRK %s %s %s" (float_repr at) (encode_key name)
+          (float_repr value)
 
   let of_line line =
     let fail () = Error (Printf.sprintf "malformed trace line: %S" line) in
@@ -164,6 +183,41 @@ module Event = struct
         | Some at, Some node ->
             if tag = "SUS" then Ok (Suspect { at; node })
             else Ok (Trust { at; node })
+        | _ -> fail ())
+    | [ "LOS"; at; until; rate ] -> (
+        match
+          ( float_of_string_opt at,
+            float_of_string_opt until,
+            float_of_string_opt rate )
+        with
+        | Some at, Some until, Some rate -> Ok (Loss { at; until; rate })
+        | _ -> fail ())
+    | [ "CUT"; at; until; direction; nodes ] -> (
+        match
+          ( float_of_string_opt at,
+            float_of_string_opt until,
+            match direction with
+            | "both" -> Some `Both
+            | "in" -> Some `In
+            | "out" -> Some `Out
+            | _ -> None )
+        with
+        | Some at, Some until, Some direction -> (
+            let parts =
+              if nodes = "" then []
+              else String.split_on_char ',' nodes
+            in
+            let ids = List.map int_of_string_opt parts in
+            if List.exists (fun o -> o = None) ids then fail ()
+            else
+              Ok
+                (Cut
+                   { at; until; direction;
+                     nodes = List.filter_map Fun.id ids }))
+        | _ -> fail ())
+    | [ "MRK"; at; name; value ] -> (
+        match (float_of_string_opt at, float_of_string_opt value) with
+        | Some at, Some value -> Ok (Mark { at; name = decode_key name; value })
         | _ -> fail ())
     | _ -> fail ()
 
@@ -268,7 +322,8 @@ let summarize events =
       | Event.Retry _ -> incr retries
       | Event.Suspect _ -> incr suspicions
       | Event.Trust _ -> incr recoveries
-      | Event.Span _ -> incr spans)
+      | Event.Span _ -> incr spans
+      | Event.Loss _ | Event.Cut _ | Event.Mark _ -> ())
     events;
   {
     events = List.length events;

@@ -37,6 +37,20 @@ module Event : sig
         (** A timed span from the observability layer ({!Lesslog_obs.Obs}):
             one per-request interval (or instant marker) with its hop
             attribution. *)
+    | Loss of { at : float; until : float; rate : float }
+        (** A message-loss burst: every link drops with probability [rate]
+            from [at] until [until]. Stacks with other bursts. *)
+    | Cut of {
+        at : float;
+        until : float;
+        direction : [ `Both | `In | `Out ];
+        nodes : int list;
+      }
+        (** A network partition: traffic to ([`In]), from ([`Out]) or
+            both ways across [nodes] is cut from [at] until [until]. *)
+    | Mark of { at : float; name : string; value : float }
+        (** A named scalar annotation, e.g. checker schedule parameters
+            in a repro file; [name] is percent-encoded. *)
 
   val time : t -> float
 

@@ -177,6 +177,79 @@ let prop_ladder_interleaved =
               | _ -> false))
         ops)
 
+(* Degenerate-case stressors: run an op list (Some t = push, None = pop)
+   against the ladder and the oracle heap and demand identical pop
+   streams. Tiny rungs make every structural edge (splits, far-heap
+   refills, current-rung boundaries) reachable with short inputs. *)
+let ladder_agrees_on_ops ops =
+  let lq = Ladder.create ~buckets:4 ~split_threshold:4 () in
+  let h = Heap.create ~cmp:event_cmp in
+  let seq = ref 0 in
+  List.for_all
+    (fun op ->
+      match op with
+      | Some t ->
+          Ladder.push lq ~time:t ~seq:!seq ~h:0 ~a:0 ~b:0 ~x:0.0;
+          Heap.push h (t, !seq);
+          incr seq;
+          true
+      | None -> (
+          match (Heap.pop h, Ladder.pop lq) with
+          | None, false -> true
+          | Some (t, s), true -> Ladder.time lq = t && Ladder.seq lq = s
+          | _ -> false))
+    ops
+
+let prop_ladder_all_equal =
+  Test_support.qcheck_case ~name:"ladder = heap (all-equal timestamps)"
+    QCheck2.Gen.(
+      pair (float_bound_inclusive 10.0) (int_range 0 200))
+    (fun (t, n) ->
+      (* Every event in one bucket: pops must come back in pure seq
+         (FIFO) order however often the rung splits. *)
+      ladder_matches_oracle ~buckets:4 ~split_threshold:4
+        (List.init n (fun _ -> t)))
+
+let prop_ladder_far_heap_refill =
+  Test_support.qcheck_case ~name:"ladder = heap (far-heap refill at epochs)"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 50) (float_bound_inclusive 1.0))
+        (list_size (int_range 1 50)
+           (map (fun x -> 1000.0 +. (x *. 1000.0)) (float_bound_inclusive 4.0)))
+        (int_range 0 50))
+    (fun (near, far, pops) ->
+      (* Near events seed the rungs, far events land in the far heap;
+         draining past the near horizon forces refill-scatter, and a
+         second far batch after partial drain lands in a rebuilt epoch. *)
+      let ops =
+        List.map (fun t -> Some t) near
+        @ List.map (fun t -> Some t) far
+        @ List.init pops (fun _ -> None)
+        @ List.map (fun t -> Some (t +. 5000.0)) far
+        @ List.init (List.length near + (2 * List.length far)) (fun _ -> None)
+      in
+      ladder_agrees_on_ops ops)
+
+let prop_ladder_rung_edge =
+  Test_support.qcheck_case ~name:"ladder = heap (push/pop at rung edge)"
+    QCheck2.Gen.(
+      list_size (int_range 0 200)
+        (option (triple (int_range 0 64) (int_range (-1) 1) bool)))
+    (fun ops ->
+      (* Timestamps sit exactly on bucket-width multiples or one ulp to
+         either side — the boundary where a push races the current rung's
+         drain position. *)
+      let ops =
+        List.map
+          (Option.map (fun (k, side, fine) ->
+               let base = float_of_int k *. 0.125 in
+               let eps = if fine then epsilon_float else 1e-9 in
+               base +. (float_of_int side *. eps *. Float.max 1.0 base)))
+          ops
+      in
+      ladder_agrees_on_ops ops)
+
 (* --- Engine ------------------------------------------------------------ *)
 
 let test_engine_time_ordering () =
@@ -354,6 +427,9 @@ let () =
           prop_ladder_duplicates;
           prop_ladder_wide_range;
           prop_ladder_interleaved;
+          prop_ladder_all_equal;
+          prop_ladder_far_heap_refill;
+          prop_ladder_rung_edge;
           prop_engine_executes_in_time_order;
         ] );
     ]

@@ -65,6 +65,29 @@ let print_tree_setup (params, status, tree) =
           (fun p -> string_of_int (Pid.to_int p))
           (Status_word.live_pids status)))
 
+(* Every randomized suite derives its draws from one seed, settable with
+   LESSLOG_TEST_SEED; a failure report then reproduces with a single env
+   var instead of silently re-drawing. Each test mixes its own name into
+   the state so suites stay order-independent: adding or removing a test
+   does not shift the draws of the others. *)
+let test_seed =
+  match Sys.getenv_opt "LESSLOG_TEST_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some seed -> seed
+      | None ->
+          Printf.eprintf "LESSLOG_TEST_SEED=%S is not an integer\n" s;
+          Stdlib.exit 2)
+  | None -> 42
+
+let announce_seed =
+  lazy
+    (Printf.printf "qcheck seed: LESSLOG_TEST_SEED=%d\n%!" test_seed)
+
+let qcheck_rand ~name =
+  Lazy.force announce_seed;
+  Random.State.make [| test_seed; Hashtbl.hash name |]
+
 let qcheck_case ?(count = 300) ~name gen law =
-  QCheck_alcotest.to_alcotest
+  QCheck_alcotest.to_alcotest ~rand:(qcheck_rand ~name)
     (QCheck2.Test.make ~count ~name gen law)

@@ -415,6 +415,57 @@ let prop_cached_matches_naive =
              all_queries_agree params tree status)
            churn)
 
+(* Mid-epoch differential: where [prop_cached_matches_naive] sweeps every
+   query at quiescence after each mutation, this interleaves single
+   queries *between* kill/revive/join mutations. Each query touches the
+   cache in a different partial state — a children memo built this epoch,
+   a route table not yet built, a VID view about to be invalidated — so a
+   revalidation path that skips part of the rebuild (stale max-live VID,
+   surviving memo entries, a route table from the previous epoch) shows
+   up as a single-query divergence from the oracle. *)
+let prop_cached_mid_epoch =
+  Test_support.qcheck_case ~name:"cached topology = naive oracle mid-epoch"
+    QCheck2.Gen.(
+      Test_support.gen_params >>= fun params ->
+      Test_support.gen_pid params >>= fun root ->
+      list_size (int_range 1 120)
+        (pair (int_range 0 9) (int_range 0 (Params.space params - 1)))
+      >>= fun ops -> return (params, root, ops))
+    (fun (params, root, ops) ->
+      let module T = Topology in
+      let module N = Topology.Naive in
+      let status = Status_word.create params ~initially_live:true in
+      let tree = Ptree.make params ~root in
+      List.for_all
+        (fun (op, i) ->
+          let p = pid i in
+          match op with
+          | 0 -> (* kill (join/leave semantics are the same bit flips) *)
+              Status_word.set_dead status p;
+              true
+          | 1 ->
+              Status_word.set_live status p;
+              true
+          | 2 ->
+              T.find_live_node tree status ~start:p
+              = N.find_live_node tree status ~start:p
+          | 3 -> T.children_list tree status p = N.children_list tree status p
+          | 4 ->
+              T.first_alive_ancestor tree status p
+              = N.first_alive_ancestor tree status p
+          | 5 ->
+              T.has_live_with_greater_vid tree status p
+              = N.has_live_with_greater_vid tree status p
+          | 6 ->
+              T.live_offspring_count tree status p
+              = N.live_offspring_count tree status p
+          | 7 -> T.route_next tree status p = N.route_next tree status p
+          | 8 ->
+              T.route_path tree status ~origin:p
+              = N.route_path tree status ~origin:p
+          | _ -> T.max_live tree status = N.max_live tree status)
+        ops)
+
 (* Two trees sharing one status word must not poison each other's cache
    entries, and a copied status word must not alias the original's. *)
 let test_cache_isolation () =
@@ -489,6 +540,7 @@ let () =
       ( "differential (cached vs naive)",
         [
           prop_cached_matches_naive;
+          prop_cached_mid_epoch;
           Alcotest.test_case "cache isolation across trees/copies" `Quick
             test_cache_isolation;
         ] );

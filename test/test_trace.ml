@@ -20,6 +20,12 @@ let sample_events =
     Event.Retry { at = 5.75; id = 42; origin = 3; attempt = 1 };
     Event.Suspect { at = 6.0; node = 7 };
     Event.Trust { at = 6.5; node = 7 };
+    Event.Loss { at = 7.0; until = 8.5; rate = 0.25 };
+    Event.Cut { at = 9.0; until = 10.0; direction = `Both; nodes = [ 1; 5 ] };
+    Event.Cut { at = 9.5; until = 10.5; direction = `In; nodes = [ 3 ] };
+    Event.Cut { at = 9.75; until = 11.0; direction = `Out; nodes = [] };
+    Event.Mark { at = 0.0; name = "check/seed"; value = 42.0 };
+    Event.Mark { at = 12.0; name = "phase two %x"; value = -1.5 };
   ]
 
 let test_roundtrip_each () =
@@ -45,7 +51,18 @@ let test_malformed_rejected () =
       match Event.of_line line with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted %S" line)
-    [ ""; "REQ"; "REQ x 1 2 3"; "ZZZ 1 2 3"; "MEM 1.0 3 explode" ]
+    [
+      "";
+      "REQ";
+      "REQ x 1 2 3";
+      "ZZZ 1 2 3";
+      "MEM 1.0 3 explode";
+      "LOS 1.0 2.0";
+      "LOS 1.0 2.0 nan%";
+      "CUT 1.0 2.0 sideways 1,2";
+      "CUT 1.0 2.0 both 1,x";
+      "MRK 1.0 name";
+    ]
 
 let test_writer_and_reader () =
   let buf = Buffer.create 256 in
@@ -77,7 +94,7 @@ let test_file_roundtrip () =
 
 let test_summary () =
   let s = Trace.summarize sample_events in
-  Alcotest.(check int) "events" 11 s.Trace.events;
+  Alcotest.(check int) "events" 17 s.Trace.events;
   Alcotest.(check int) "requests" 2 s.Trace.requests;
   Alcotest.(check int) "faults" 1 s.Trace.faults;
   Alcotest.(check int) "replications" 1 s.Trace.replications;
@@ -87,7 +104,7 @@ let test_summary () =
   Alcotest.(check int) "retries" 1 s.Trace.retries;
   Alcotest.(check int) "suspicions" 1 s.Trace.suspicions;
   Alcotest.(check int) "recoveries" 1 s.Trace.recoveries;
-  Alcotest.(check (float 1e-9)) "span" 6.0 s.Trace.span
+  Alcotest.(check (float 1e-9)) "span" 12.0 s.Trace.span
 
 let test_des_emits_trace () =
   let params = Params.create ~m:6 () in
@@ -196,6 +213,19 @@ let prop_roundtrip_random =
             (pair node (int_range 0 8));
           map (fun (at, node) -> Event.Suspect { at; node }) (pair at node);
           map (fun (at, node) -> Event.Trust { at; node }) (pair at node);
+          map2
+            (fun (at, until) rate -> Event.Loss { at; until; rate })
+            (pair at at)
+            (float_bound_inclusive 1.0);
+          map2
+            (fun (at, until) (direction, nodes) ->
+              Event.Cut { at; until; direction; nodes })
+            (pair at at)
+            (pair (oneofl [ `Both; `In; `Out ]) (list_size (int_range 0 6) node));
+          map2
+            (fun (at, name) value -> Event.Mark { at; name; value })
+            (pair at (string_size ~gen:printable (int_range 0 12)))
+            (float_bound_inclusive 1000.0);
         ])
     (fun e ->
       match Event.of_line (Event.to_line e) with
