@@ -765,6 +765,37 @@ let replay_cmd =
       $ Arg.(required & pos 0 (some string) None
              & info [] ~docv:"FILE" ~doc:"Repro file written by check."))
 
+(* --- Substrate shootout ------------------------------------------------- *)
+
+let substrates_cmd =
+  let run quick m seed out =
+    let m = Option.value ~default:(if quick then 6 else 8) m in
+    let report = Lesslog_harness.Shootout.run ~quick ~seed ~m () in
+    print_string (Lesslog_harness.Shootout.render report);
+    (match out with
+    | None -> ()
+    | Some path ->
+        Lesslog_report.Bench_json.write ~path
+          (Lesslog_harness.Shootout.to_bench report);
+        Printf.printf "wrote %s\n" path);
+    if not report.Lesslog_harness.Shootout.native_digest_match then exit 1
+  in
+  Cmd.v
+    (Cmd.info "substrates"
+       ~doc:
+         "Run the substrate shootout: the same seeded churn (Des_sim) and \
+          fault (Fault_sim) schedules through the one replication core \
+          over four overlays — native LessLog, Chord, Pastry, CAN — and \
+          print the hops/latency/replica/availability comparison. Exits 1 \
+          if the native-mode trace digest drifts from the direct \
+          (substrate-less) path.")
+    Term.(
+      const run $ quick_arg $ m_arg $ seed_arg
+      $ Arg.(value & opt (some string) None
+             & info [ "out" ] ~docv:"FILE"
+                 ~doc:"Also write the comparison as flat JSON (the \
+                       BENCH_substrates.json format)."))
+
 (* --- Inspection --------------------------------------------------------- *)
 
 let tree_cmd =
@@ -818,5 +849,5 @@ let () =
             eviction_cmd; ft_cmd; propchoice_cmd; validate_cmd; churn_cmd;
             update_cost_cmd; sessions_cmd; lifecycle_cmd; trace_run_cmd;
             faults_cmd; msweep_cmd; stats_cmd; trace_cmd; check_cmd;
-            replay_cmd; tree_cmd;
+            replay_cmd; substrates_cmd; tree_cmd;
           ]))

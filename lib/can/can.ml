@@ -152,6 +152,62 @@ let lookup t ~from ~target =
   in
   route from 0
 
+let neighbors_of t i =
+  if i < 0 || i >= node_count t then invalid_arg "Can.neighbors_of";
+  Array.to_list t.neighbors.(i)
+
+let contains_point t i point =
+  if i < 0 || i >= node_count t then invalid_arg "Can.contains_point";
+  contains t.zones.(i) point
+
+(* Nearest live zone to a point by (rect_distance, center_distance, index)
+   — the deterministic live owner used when the zone containing the point
+   is dead. Scans every zone, which is fine at simulation scale. *)
+let live_owner_of t ~target ~alive =
+  let best = ref None in
+  Array.iteri
+    (fun j z ->
+      if alive j then begin
+        let key = (rect_distance t.d z target, center_distance t.d z target, j) in
+        match !best with
+        | Some (_, bk) when bk <= key -> ()
+        | _ -> best := Some (j, key)
+      end)
+    t.zones;
+  Option.map fst !best
+
+(* Stateless per-hop greedy step: forward to the live neighbour whose zone
+   is strictly closer to [target] under the lexicographic
+   (rect_distance, center_distance) key than the current zone. The strict
+   decrease makes any route through repeated [next_hop_toward] calls
+   terminate without a visited set; [None] is both "terminal owner" and
+   "greedy dead end" (CAN does not guarantee delivery around dead zones —
+   callers must treat a non-owning terminal as a failed route). *)
+let next_hop_toward t ~from ~target ~alive =
+  if from < 0 || from >= node_count t then invalid_arg "Can.next_hop_toward";
+  let here =
+    (rect_distance t.d t.zones.(from) target,
+     center_distance t.d t.zones.(from) target)
+  in
+  if contains t.zones.(from) target then None
+  else begin
+    let best = ref None in
+    Array.iter
+      (fun j ->
+        if alive j then begin
+          let key =
+            (rect_distance t.d t.zones.(j) target,
+             center_distance t.d t.zones.(j) target)
+          in
+          if key < here then
+            match !best with
+            | Some (_, bk, bj) when (bk, bj) <= (key, j) -> ()
+            | _ -> best := Some (j, key, j)
+        end)
+      t.neighbors.(from);
+    match !best with Some (j, _, _) -> Some j | None -> None
+  end
+
 let random_lookup t ~rng =
   let from = Rng.int rng (node_count t) in
   let target = Array.init t.d (fun _ -> Rng.float rng 1.0) in

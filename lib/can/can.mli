@@ -29,6 +29,28 @@ val lookup : t -> from:int -> target:float array -> lookup_result
 val random_lookup : t -> rng:Lesslog_prng.Rng.t -> lookup_result
 (** Lookup of a uniform random point from a uniform random zone. *)
 
+val neighbors_of : t -> int -> int list
+(** Indices of the zones adjacent to zone [i] (symmetric by
+    construction). *)
+
+val contains_point : t -> int -> float array -> bool
+(** Whether zone [i] contains the point. *)
+
+val live_owner_of : t -> target:float array -> alive:(int -> bool) -> int option
+(** The nearest live zone to a point, by lexicographic
+    (rectangle distance, center distance, index) — the deterministic
+    responsible node when the containing zone may be dead. [None] iff no
+    zone is live. *)
+
+val next_hop_toward :
+  t -> from:int -> target:float array -> alive:(int -> bool) -> int option
+(** One stateless greedy step toward the point: the live neighbour
+    strictly closer than the current zone under
+    (rectangle distance, center distance), so repeated calls always
+    terminate. [None] when [from] contains the point {e or} when greedy
+    routing dead-ends; CAN does not guarantee delivery, so callers must
+    check the terminal zone actually owns the target. *)
+
 val expected_hops : n:int -> d:int -> float
 (** The CAN paper's asymptotic mean path length, (d/4) · n^(1/d) — for
     sanity checks and documentation. *)

@@ -99,3 +99,39 @@ let lookup t ~from ~target =
 let finger t n k =
   let i = Hashtbl.find t.index_of (Pid.to_int n) in
   Pid.unsafe_of_int t.fingers.(i).(k)
+
+(* One step of the iterative routing above, kept in lockstep with
+   [lookup]: a full route through [next_hop] visits exactly the nodes
+   [lookup] reports. A [from] outside the ring (a stale message to a node
+   the snapshot no longer contains) falls back to its ring successor,
+   which always makes progress toward the owner. *)
+let next_hop t ~from ~target =
+  let space = Params.space t.params in
+  let current = Pid.to_int from in
+  let owner = successor_id t.ids space target in
+  if current = owner then None
+  else begin
+    let succ = successor_id t.ids space (current + 1) in
+    if in_interval_oc ~space target ~a:current ~b:succ then
+      Some (Pid.unsafe_of_int succ)
+    else if not (Hashtbl.mem t.index_of current) then
+      Some (Pid.unsafe_of_int succ)
+    else begin
+      let next = closest_preceding_finger t ~node_id:current ~target in
+      if next = current then Some (Pid.unsafe_of_int succ)
+      else Some (Pid.unsafe_of_int next)
+    end
+  end
+
+let ring_neighbors t p =
+  let n = Array.length t.ids in
+  match Hashtbl.find_opt t.index_of (Pid.to_int p) with
+  | None -> []
+  | Some i ->
+      if n <= 1 then []
+      else begin
+        let succ = t.ids.((i + 1) mod n) in
+        let pred = t.ids.((i - 1 + n) mod n) in
+        if succ = pred then [ Pid.unsafe_of_int succ ]
+        else [ Pid.unsafe_of_int succ; Pid.unsafe_of_int pred ]
+      end

@@ -32,3 +32,15 @@ val lookup : t -> from:Pid.t -> target:int -> lookup_result
 val finger : t -> Pid.t -> int -> Pid.t
 (** [finger t n k] is the k-th finger of node n: successor(n + 2^k).
     For tests. *)
+
+val next_hop : t -> from:Pid.t -> target:int -> Pid.t option
+(** One step of {!lookup}'s iterative routing: the node [from] forwards
+    to next, or [None] when [from] already owns [target]. Following
+    [next_hop] to the fixpoint visits exactly {!lookup}'s path. A [from]
+    not in the ring snapshot (stale sender) falls back to its ring
+    successor, which still makes progress. *)
+
+val ring_neighbors : t -> Pid.t -> Pid.t list
+(** The node's ring successor and predecessor (deduplicated; [\[\]] for a
+    singleton ring or an unknown node) — the symmetric neighbor set used
+    for neighbor-set replica placement. *)

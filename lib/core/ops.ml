@@ -339,6 +339,123 @@ let delete ?now cluster ~key =
   Cluster.unregister_key cluster key;
   { version = 0; updated; messages }
 
+(* --- Substrate-parameterized operations (ARCHITECTURE.md, Substrate
+   contract): the same protocol steps as above, but every routing and
+   placement decision is delegated to a Substrate.t value, so the identical
+   code runs over the native trees, Chord, Pastry or CAN. *)
+
+module Substrate = Lesslog_substrate.Substrate
+
+let insert_via ?(now = 0.0) sub cluster ~key =
+  Cluster.register_key cluster key;
+  match sub.Substrate.owner ~key with
+  | None -> []
+  | Some p ->
+      File_store.add (Cluster.store cluster p) ~key ~origin:File_store.Inserted
+        ~version:0 ~now;
+      Log.debug (fun f ->
+          f "insert[%s] %S -> P(%d)" sub.Substrate.name key (Pid.to_int p));
+      [ p ]
+
+let get_via ?(now = 0.0) ?registry sub cluster ~origin ~key =
+  if Status_word.is_dead (Cluster.status cluster) origin then
+    invalid_arg "Ops.get_via: dead origin";
+  let held = Cluster.holder_bitset cluster ~key in
+  (* A conforming substrate terminates long before visiting every slot;
+     the cap only turns a non-conforming route into a fault instead of a
+     hang. *)
+  let cap = Params.space (Cluster.params cluster) in
+  let rec walk visited hops p =
+    if Lesslog_bits.Packed_bits.get held (Pid.to_int p) then begin
+      File_store.record_access (Cluster.store cluster p) ~key ~now;
+      {
+        server = Some p;
+        hops;
+        path = List.rev (p :: visited);
+        subtree_migrations = 0;
+      }
+    end
+    else if hops >= cap then
+      { server = None; hops; path = List.rev (p :: visited);
+        subtree_migrations = 0 }
+    else
+      match sub.Substrate.next_hop ~key p with
+      | None ->
+          { server = None; hops; path = List.rev (p :: visited);
+            subtree_migrations = 0 }
+      | Some q -> walk (p :: visited) (hops + 1) q
+  in
+  let r = walk [] 0 origin in
+  Option.iter (fun reg -> record_get reg r) registry;
+  r
+
+let choose_replica_target_via ~rng sub cluster ~overloaded ~key =
+  sub.Substrate.replica_target ~rng
+    ~holds:(fun p -> Cluster.holds cluster p ~key)
+    ~overloaded ~key
+
+let on_membership_via ?(now = 0.0) sub cluster ~event =
+  let status = Cluster.status cluster in
+  let relocated = ref 0 in
+  (* Re-home a key whose current owner lacks a copy; versions survive
+     through any live holder, and a fully lost key is re-created at
+     version 0 from the registry (the same integrity registry that drives
+     the native Self_org recovery). *)
+  let repair_key key =
+    match sub.Substrate.owner ~key with
+    | None -> ()
+    | Some o ->
+        if not (Cluster.holds cluster o ~key) then begin
+          let version = max_holder_version cluster ~key in
+          File_store.add (Cluster.store cluster o) ~key
+            ~origin:File_store.Inserted ~version ~now;
+          incr relocated
+        end
+  in
+  (match event with
+  | `Join p ->
+      if Status_word.is_live status p then
+        invalid_arg "Ops.on_membership_via: join of a live node";
+      Status_word.set_live status p;
+      sub.Substrate.notify ()
+  | `Leave p ->
+      if Status_word.is_dead status p then
+        invalid_arg "Ops.on_membership_via: leave of a dead node";
+      (* Graceful departure: hand each held copy off before dropping the
+         store, so a sole copy keeps its version. *)
+      let store = Cluster.store cluster p in
+      let saved =
+        List.map
+          (fun key ->
+            (key, Option.value ~default:0 (File_store.version store ~key)))
+          (File_store.keys store)
+      in
+      Status_word.set_dead status p;
+      sub.Substrate.notify ();
+      List.iter (fun (key, _) -> File_store.remove store ~key) saved;
+      List.iter
+        (fun (key, version) ->
+          if Cluster.holders cluster ~key = [] then
+            match sub.Substrate.owner ~key with
+            | None -> ()
+            | Some o ->
+                File_store.add (Cluster.store cluster o) ~key
+                  ~origin:File_store.Inserted ~version ~now;
+                incr relocated)
+        saved
+  | `Fail p ->
+      if Status_word.is_dead status p then
+        invalid_arg "Ops.on_membership_via: fail of a dead node";
+      (* Crash: the store is lost before anything can be handed off. *)
+      Status_word.set_dead status p;
+      sub.Substrate.notify ();
+      let store = Cluster.store cluster p in
+      List.iter
+        (fun key -> File_store.remove store ~key)
+        (File_store.keys store));
+  List.iter repair_key (Cluster.registered_keys cluster);
+  !relocated
+
 let stale_copies cluster ~key =
   let top = max_holder_version cluster ~key in
   List.filter

@@ -90,6 +90,64 @@ val delete : ?now:float -> Cluster.t -> key:string -> update_result
     reachable copy is discarded and the key leaves the registry.
     [updated] counts the copies removed. *)
 
+(** {2 Substrate-parameterized operations}
+
+    The same protocol steps, with every routing and placement decision
+    delegated to a {!Lesslog_substrate.Substrate.t} — the seam that lets
+    identical replication code run over the native binomial trees, Chord,
+    Pastry or CAN (see the Substrate contract in ARCHITECTURE.md). The
+    substrate mode implements the single-tree model; clusters with
+    [b > 0] should use the direct operations above. *)
+
+val insert_via :
+  ?now:float -> Lesslog_substrate.Substrate.t -> Cluster.t -> key:string ->
+  Pid.t list
+(** Register the key and store the inserted copy at the substrate's
+    current owner ([\[\]] iff no node is live). On the native substrate
+    with [b = 0] this is exactly {!insert}. *)
+
+val get_via :
+  ?now:float ->
+  ?registry:Lesslog_obs.Obs.Registry.t ->
+  Lesslog_substrate.Substrate.t ->
+  Cluster.t ->
+  origin:Pid.t ->
+  key:string ->
+  get_result
+(** GETFILE over a substrate: serve at the first node on the substrate
+    route holding a copy, a fault when the route ends (or exceeds the
+    [2^m] hop cap a conforming substrate never reaches) without one.
+    Identical metrics attribution to {!get}.
+    @raise Invalid_argument when [origin] is dead. *)
+
+val choose_replica_target_via :
+  rng:Lesslog_prng.Rng.t ->
+  Lesslog_substrate.Substrate.t ->
+  Cluster.t ->
+  overloaded:Pid.t ->
+  key:string ->
+  Pid.t option
+(** The substrate's replica placement for an overloaded holder, with the
+    cluster's holder set supplying the [holds] predicate. *)
+
+val on_membership_via :
+  ?now:float ->
+  Lesslog_substrate.Substrate.t ->
+  Cluster.t ->
+  event:[ `Join of Pid.t | `Leave of Pid.t | `Fail of Pid.t ] ->
+  int
+(** Generic membership repair for {!Lesslog_substrate.Substrate.Generic}
+    substrates: apply the status-word mutation, call the substrate's
+    [notify], drop a departing node's copies (gracefully handing sole
+    copies off on [`Leave], losing them on [`Fail]) and re-home every
+    registered key whose current owner lacks a copy — a fully lost key is
+    re-created at version 0 from the registry, mirroring the registry
+    driven native recovery. Returns the number of copies relocated.
+    Substrates with {!Lesslog_substrate.Substrate.Self_organized}
+    membership should use {!Self_org} instead.
+    @raise Invalid_argument on a join of a live node or a leave/fail of a
+    dead one. *)
+
 val stale_copies : Cluster.t -> key:string -> Pid.t list
 (** Live copies whose version lags the maximum — non-empty only if an
     update failed to reach some replica. For tests and integrity checks. *)

@@ -1,0 +1,28 @@
+module Topology = Lesslog_topology.Topology
+module Substrate = Lesslog_substrate.Substrate
+
+let of_cluster cluster =
+  let status = Cluster.status cluster in
+  let next_hop ~key p =
+    Topology.route_next (Cluster.tree_of_key cluster key) status p
+  in
+  let owner ~key =
+    Topology.insertion_target (Cluster.tree_of_key cluster key) status
+  in
+  let neighbors ~key p =
+    Topology.children_list (Cluster.tree_of_key cluster key) status p
+  in
+  let replica_target ~rng ~holds:_ ~overloaded ~key =
+    Ops.choose_replica_target ~rng cluster ~overloaded ~key
+  in
+  {
+    Substrate.name = "lesslog";
+    next_hop;
+    owner;
+    neighbors;
+    symmetric_neighbors = false;
+    guaranteed_delivery = true;
+    membership = Substrate.Self_organized;
+    notify = (fun () -> ());
+    replica_target;
+  }

@@ -15,6 +15,7 @@ module Timeseries = Lesslog_metrics.Timeseries
 module Rng = Lesslog_prng.Rng
 module Trace = Lesslog_trace.Trace
 module Obs = Lesslog_obs.Obs
+module Substrate = Lesslog_substrate.Substrate
 
 type eviction = { period : float; min_rate : float }
 
@@ -140,9 +141,18 @@ type state = {
   mutable next_req : int;
   sink : (Trace.Event.t -> unit) option;
   obs : instruments option;
+  substrate : Substrate.t option;
+      (* [None] = the native direct path (the default, digest-pinned);
+         [Some] routes, places replicas and repairs churn through the
+         substrate contract instead *)
 }
 
 let now st = Engine.now st.engine
+
+let route_next st me =
+  match st.substrate with
+  | None -> Topology.route_next st.tree (Cluster.status st.cluster) me
+  | Some sub -> sub.Substrate.next_hop ~key:st.key me
 
 let emit st event = match st.sink with None -> () | Some f -> f event
 
@@ -169,7 +179,16 @@ let maybe_replicate st ~overloaded =
   let i = Pid.to_int overloaded in
   let rate = Access_counter.rate st.estimators.(i) ~now:(now st) in
   if rate > st.config.capacity && now st >= st.cooldown_until.(i) then begin
-    match Ops.choose_replica_target ~rng:st.rng st.cluster ~overloaded ~key:st.key with
+    let target =
+      match st.substrate with
+      | None ->
+          Ops.choose_replica_target ~rng:st.rng st.cluster ~overloaded
+            ~key:st.key
+      | Some sub ->
+          Ops.choose_replica_target_via ~rng:st.rng sub st.cluster ~overloaded
+            ~key:st.key
+    in
+    match target with
     | None -> ()
     | Some dest ->
         st.cooldown_until.(i) <- now st +. st.config.cooldown;
@@ -210,12 +229,16 @@ let handle st ~me ~src b x =
       if Cluster.holds st.cluster me ~key:st.key then
         serve st ~server:me ~id ~origin ~issued_at:x ~hops
       else begin
-        match Topology.route_next st.tree (Cluster.status st.cluster) me with
-        | Some next ->
+        (* The [hops < hops_mask] guard keeps a (non-conforming) substrate
+           route from wrapping the packed hop field: overflow is a routing
+           fault. Native routes are bounded by the tree depth (≤ m) and
+           never reach it. *)
+        match route_next st me with
+        | Some next when hops < hops_mask ->
             Overlay.send_packed st.overlay ~src:me ~dst:next
               ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:(hops + 1))
               ~x
-        | None ->
+        | Some _ | None ->
             st.faults <- st.faults + 1;
             emit st
               (Trace.Event.Request
@@ -259,7 +282,7 @@ let issue_request st ~origin =
   if Cluster.holds st.cluster origin ~key:st.key then
     serve st ~server:origin ~id ~origin ~issued_at:(now st) ~hops:0
   else begin
-    match Topology.route_next st.tree (Cluster.status st.cluster) origin with
+    match route_next st origin with
     | Some next ->
         Overlay.send_packed st.overlay ~src:origin ~dst:next
           ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:1)
@@ -356,6 +379,35 @@ let account_churn st ~relocated =
     st.control_messages + Status_word.live_count (Cluster.status st.cluster);
   st.file_transfers <- st.file_transfers + relocated
 
+(* Membership repair dispatch: Generic substrates run the overlay-agnostic
+   registry repair; everything else (the direct path and the native
+   adapter, whose membership is Self_organized) runs the paper's Section 5
+   mechanism verbatim. Each returns the relocation count for
+   {!account_churn}. *)
+let churn_join st p =
+  match st.substrate with
+  | Some sub when sub.Substrate.membership = Substrate.Generic ->
+      Ops.on_membership_via ~now:(now st) sub st.cluster ~event:(`Join p)
+  | _ ->
+      let stats = Self_org.join ~now:(now st) st.cluster p in
+      List.length stats.Self_org.took_over
+
+let churn_leave st p =
+  match st.substrate with
+  | Some sub when sub.Substrate.membership = Substrate.Generic ->
+      Ops.on_membership_via ~now:(now st) sub st.cluster ~event:(`Leave p)
+  | _ ->
+      let stats = Self_org.leave ~now:(now st) st.cluster p in
+      List.length stats.Self_org.reinserted
+
+let churn_fail st p =
+  match st.substrate with
+  | Some sub when sub.Substrate.membership = Substrate.Generic ->
+      Ops.on_membership_via ~now:(now st) sub st.cluster ~event:(`Fail p)
+  | _ ->
+      let stats = Self_org.fail ~now:(now st) st.cluster p in
+      List.length stats.Self_org.recovered
+
 let apply_churn st events =
   List.iter
     (fun { at; action } ->
@@ -367,9 +419,7 @@ let apply_churn st events =
                 emit st
                   (Trace.Event.Membership
                      { at = now st; node = Pid.to_int p; change = `Join });
-                let stats = Self_org.join ~now:(now st) st.cluster p in
-                account_churn st
-                  ~relocated:(List.length stats.Self_org.took_over);
+                account_churn st ~relocated:(churn_join st p);
                 Overlay.attach st.overlay p
               end
           | Leave p ->
@@ -377,9 +427,7 @@ let apply_churn st events =
                 emit st
                   (Trace.Event.Membership
                      { at = now st; node = Pid.to_int p; change = `Leave });
-                let stats = Self_org.leave ~now:(now st) st.cluster p in
-                account_churn st
-                  ~relocated:(List.length stats.Self_org.reinserted);
+                account_churn st ~relocated:(churn_leave st p);
                 Overlay.detach st.overlay p
               end
           | Fail p ->
@@ -387,14 +435,13 @@ let apply_churn st events =
                 emit st
                   (Trace.Event.Membership
                      { at = now st; node = Pid.to_int p; change = `Fail });
-                let stats = Self_org.fail ~now:(now st) st.cluster p in
-                account_churn st
-                  ~relocated:(List.length stats.Self_org.recovered);
+                account_churn st ~relocated:(churn_fail st p);
                 Overlay.detach st.overlay p
               end))
     events
 
-let run_internal ~config ~churn ~sink ~obs ~rng ~cluster ~key ~phases ~duration =
+let run_internal ~config ~churn ~sink ~obs ~substrate ~rng ~cluster ~key
+    ~phases ~duration =
   let params = Cluster.params cluster in
   let engine = Engine.create () in
   let overlay =
@@ -440,6 +487,7 @@ let run_internal ~config ~churn ~sink ~obs ~rng ~cluster ~key ~phases ~duration 
       next_req = 0;
       sink;
       obs = Option.map make_instruments obs;
+      substrate;
     }
   in
   st.h_arrival <- Engine.register_handler engine (on_arrival st);
@@ -481,18 +529,18 @@ let run_internal ~config ~churn ~sink ~obs ~rng ~cluster ~key ~phases ~duration 
     events = Engine.events_executed engine;
   }
 
-let run ?(config = default_config) ?(churn = []) ?sink ?obs ~rng ~cluster ~key
-    ~demand ~duration () =
-  run_internal ~config ~churn ~sink ~obs ~rng ~cluster ~key
+let run ?(config = default_config) ?(churn = []) ?sink ?obs ?substrate ~rng
+    ~cluster ~key ~demand ~duration () =
+  run_internal ~config ~churn ~sink ~obs ~substrate ~rng ~cluster ~key
     ~phases:[ (demand, duration) ] ~duration
 
-let run_scenario ?(config = default_config) ?(churn = []) ?sink ?obs ~rng
-    ~cluster ~key ~scenario () =
+let run_scenario ?(config = default_config) ?(churn = []) ?sink ?obs
+    ?substrate ~rng ~cluster ~key ~scenario () =
   let phases =
     List.map
       (fun p ->
         (p.Lesslog_workload.Scenario.demand, p.Lesslog_workload.Scenario.duration))
       (Lesslog_workload.Scenario.phases scenario)
   in
-  run_internal ~config ~churn ~sink ~obs ~rng ~cluster ~key ~phases
+  run_internal ~config ~churn ~sink ~obs ~substrate ~rng ~cluster ~key ~phases
     ~duration:(Lesslog_workload.Scenario.total_duration scenario)

@@ -85,13 +85,26 @@ type result = {
     one call at resolution, since the wire already carries the issue
     timestamp. Requests still in flight when the engine stops leave no
     span. Each replica push records an instant ["replicate"] span. The
-    hot path stays allocation-flat. *)
+    hot path stays allocation-flat.
+
+    With [substrate], every routing hop, replica placement and churn
+    repair is delegated to the given {!Lesslog_substrate.Substrate.t}
+    instead of the native direct path: routing through the substrate's
+    [next_hop], placement through [Ops.choose_replica_target_via], and
+    churn through [Ops.on_membership_via] for
+    {!Lesslog_substrate.Substrate.Generic} substrates (the native
+    adapter's [Self_organized] membership keeps the Section 5 mechanism,
+    so running through {!Lesslog.Substrate_native} is bit-for-bit
+    identical to omitting [substrate]). Routes longer than the packed
+    hop field (63) — impossible on a conforming substrate — count as
+    faults. *)
 
 val run :
   ?config:config ->
   ?churn:churn_event list ->
   ?sink:(Lesslog_trace.Trace.Event.t -> unit) ->
   ?obs:Lesslog_obs.Obs.t ->
+  ?substrate:Lesslog_substrate.Substrate.t ->
   rng:Lesslog_prng.Rng.t ->
   cluster:Lesslog.Cluster.t ->
   key:string ->
@@ -109,6 +122,7 @@ val run_scenario :
   ?churn:churn_event list ->
   ?sink:(Lesslog_trace.Trace.Event.t -> unit) ->
   ?obs:Lesslog_obs.Obs.t ->
+  ?substrate:Lesslog_substrate.Substrate.t ->
   rng:Lesslog_prng.Rng.t ->
   cluster:Lesslog.Cluster.t ->
   key:string ->

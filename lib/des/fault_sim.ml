@@ -18,6 +18,7 @@ module Timeseries = Lesslog_metrics.Timeseries
 module Rng = Lesslog_prng.Rng
 module Trace = Lesslog_trace.Trace
 module Obs = Lesslog_obs.Obs
+module Substrate = Lesslog_substrate.Substrate
 
 type config = {
   capacity : float;
@@ -169,10 +170,18 @@ type state = {
   agreement_timeline : Timeseries.t;
   sink : (Trace.Event.t -> unit) option;
   obs : instruments option;
+  substrate : Substrate.t option;
+      (* [None] = the native direct path; [Some] routes, places replicas
+         and repairs detector verdicts through the substrate contract *)
 }
 
 let now st = Engine.now st.engine
 let emit st event = match st.sink with None -> () | Some f -> f event
+
+let route_next st me =
+  match st.substrate with
+  | None -> Topology.route_next st.tree (Cluster.status st.cluster) me
+  | Some sub -> sub.Substrate.next_hop ~key:st.key me
 
 (* A request served at its origin: close its span and count it. Faults
    are closed from the Exhausted rpc event; latency and hops flow into
@@ -193,9 +202,16 @@ let maybe_replicate st ~overloaded =
   let i = Pid.to_int overloaded in
   let rate = Access_counter.rate st.estimators.(i) ~now:(now st) in
   if rate > st.config.capacity && now st >= st.cooldown_until.(i) then begin
-    match
-      Ops.choose_replica_target ~rng:st.rng st.cluster ~overloaded ~key:st.key
-    with
+    let target =
+      match st.substrate with
+      | None ->
+          Ops.choose_replica_target ~rng:st.rng st.cluster ~overloaded
+            ~key:st.key
+      | Some sub ->
+          Ops.choose_replica_target_via ~rng:st.rng sub st.cluster ~overloaded
+            ~key:st.key
+    in
+    match target with
     | None -> ()
     | Some dest ->
         st.cooldown_until.(i) <- now st +. st.config.cooldown;
@@ -247,7 +263,7 @@ let transmit st ~id ~attempt:_ { origin; issued_at } =
     if Cluster.holds st.cluster origin ~key:st.key then
       serve st ~server:origin ~id ~origin ~issued_at ~hops:0
     else
-      match Topology.route_next st.tree (Cluster.status st.cluster) origin with
+      match route_next st origin with
       | Some next ->
           Overlay.send_packed st.overlay ~src:origin ~dst:next
             ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:1)
@@ -264,12 +280,14 @@ let handle st ~me ~src b x =
       if Cluster.holds st.cluster me ~key:st.key then
         serve st ~server:me ~id ~origin ~issued_at:x ~hops
       else begin
-        match Topology.route_next st.tree (Cluster.status st.cluster) me with
-        | Some next ->
+        (* The hop guard keeps a (non-conforming) substrate route from
+           wrapping the packed hop field; native routes never reach it. *)
+        match route_next st me with
+        | Some next when hops < hops_mask ->
             Overlay.send_packed st.overlay ~src:me ~dst:next
               ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:(hops + 1))
               ~x
-        | None -> ()
+        | Some _ | None -> ()
         (* Dead end: the rpc layer, not the router, reports the fault. *)
       end
   | 1 (* REPLY *) -> (
@@ -340,6 +358,47 @@ let send_ping st ~seq peer =
       Overlay.send_packed st.overlay ~src:monitor ~dst:peer ~b:(ping_b ~seq)
         ~x:0.0
 
+(* Membership repair dispatch (see Des_sim): Generic substrates run the
+   overlay-agnostic registry repair; the direct path and the native
+   adapter run the Section 5 mechanism verbatim. *)
+let generic_sub st =
+  match st.substrate with
+  | Some sub when sub.Substrate.membership = Substrate.Generic -> Some sub
+  | _ -> None
+
+let repair_leave st p =
+  match generic_sub st with
+  | Some sub ->
+      ignore (Ops.on_membership_via ~now:(now st) sub st.cluster ~event:(`Leave p))
+  | None -> ignore (Self_org.leave ~now:(now st) st.cluster p)
+
+(* Keys whose data dies with [p]: no other live holder. Computed before
+   the repair re-creates them from the registry, matching the native
+   fail_stats.lost accounting. *)
+let sole_holder_keys st p =
+  List.filter
+    (fun key ->
+      match Cluster.holders st.cluster ~key with
+      | [ q ] -> Pid.equal q p
+      | _ -> false)
+    (Cluster.registered_keys st.cluster)
+
+let repair_fail st p =
+  match generic_sub st with
+  | Some sub ->
+      let lost = List.length (sole_holder_keys st p) in
+      ignore (Ops.on_membership_via ~now:(now st) sub st.cluster ~event:(`Fail p));
+      st.lost_keys <- st.lost_keys + lost
+  | None ->
+      let stats = Self_org.fail ~now:(now st) st.cluster p in
+      st.lost_keys <- st.lost_keys + List.length stats.Self_org.lost
+
+let repair_join st p =
+  match generic_sub st with
+  | Some sub ->
+      ignore (Ops.on_membership_via ~now:(now st) sub st.cluster ~event:(`Join p))
+  | None -> ignore (Self_org.join ~now:(now st) st.cluster p)
+
 (* A verdict change is what a real deployment would act on: mark the
    status word and run the Section 5 self-organized migration. This is
    the only writer of the status word after t = 0. *)
@@ -355,17 +414,13 @@ let on_verdict st p verdict =
              re-homes as if it departed. *)
           st.spurious_suspicions <- st.spurious_suspicions + 1;
           st.spurious_migrations <- st.spurious_migrations + 1;
-          ignore (Self_org.leave ~now:(now st) st.cluster p)
+          repair_leave st p
         end
-        else begin
-          let stats = Self_org.fail ~now:(now st) st.cluster p in
-          st.lost_keys <- st.lost_keys + List.length stats.Self_org.lost
-        end
+        else repair_fail st p
       end
   | `Trust ->
       emit st (Trace.Event.Trust { at = now st; node = Pid.to_int p });
-      if Status_word.is_dead status p then
-        ignore (Self_org.join ~now:(now st) st.cluster p)
+      if Status_word.is_dead status p then repair_join st p
 
 (* --- Fault injection ------------------------------------------------------ *)
 
@@ -496,8 +551,8 @@ let start_arrivals st ~demand ~until =
 
 (* --- Entry point ----------------------------------------------------------- *)
 
-let run ?(config = default_config) ?(plan = Faults.empty) ?sink ?obs ~rng
-    ~cluster ~key ~demand ~duration () =
+let run ?(config = default_config) ?(plan = Faults.empty) ?sink ?obs
+    ?substrate ~rng ~cluster ~key ~demand ~duration () =
   let params = Cluster.params cluster in
   let engine = Engine.create () in
   let overlay =
@@ -543,6 +598,7 @@ let run ?(config = default_config) ?(plan = Faults.empty) ?sink ?obs ~rng
       agreement_timeline = Timeseries.create ~label:"agreement" ();
       sink;
       obs = Option.map (make_instruments ~latencies ~hops) obs;
+      substrate;
     }
   in
   let mark name ~id ~origin ~attempt =

@@ -93,6 +93,7 @@ val run :
   ?plan:Lesslog_workload.Faults.plan ->
   ?sink:(Trace.Event.t -> unit) ->
   ?obs:Lesslog_obs.Obs.t ->
+  ?substrate:Lesslog_substrate.Substrate.t ->
   rng:Lesslog_prng.Rng.t ->
   cluster:Lesslog.Cluster.t ->
   key:string ->
@@ -109,4 +110,12 @@ val run :
     timers, and each request opens a ["lookup"] span keyed by its rpc id:
     retransmissions bump the span's attempt and drop instant
     ["rpc/retry"]/["rpc/timeout"] marks, completion closes it with the
-    serving node and hop count, exhaustion closes it as a fault. *)
+    serving node and hop count, exhaustion closes it as a fault.
+
+    With [substrate], routing, replica placement and verdict-triggered
+    repair go through the given {!Lesslog_substrate.Substrate.t} (the
+    generic registry repair for
+    {!Lesslog_substrate.Substrate.Generic} substrates; the native
+    adapter keeps the Section 5 mechanism and is bit-for-bit identical to
+    omitting [substrate]). The rpc, dedup and heartbeat layers are
+    substrate-independent and run unchanged. *)

@@ -130,64 +130,77 @@ let owner_of t target =
 
 type lookup_result = { owner : Pid.t; hops : int; path : Pid.t list }
 
+(* One routing step from a node in the snapshot toward [target], given the
+   precomputed [owner]. Shared by [lookup] and [next_hop] so the two stay
+   in lockstep. *)
+let step t ~current ~owner ~target =
+  let space = Params.space t.params in
+  let i = Hashtbl.find t.index_of current in
+  (* Leaf-set shortcut: if the owner is in our leaf set, go there. *)
+  if Array.exists (( = ) owner) t.leaves.(i) then owner
+  else begin
+    let row = shared_prefix_digits t current target in
+    let col = digit t target row in
+    let next = t.tables.(i).(row).(col) in
+    if next >= 0 && next <> current then next
+    else begin
+      (* Rare case: no table entry — take any known node strictly
+         numerically closer to the target. *)
+      let candidates =
+        Array.to_list t.leaves.(i)
+        @ (Array.to_list (Array.concat (Array.to_list t.tables.(i)))
+          |> List.filter (fun id -> id >= 0))
+      in
+      (* Pastry's rare-case rule: shares at least as long a prefix
+         with the target AND is numerically closer — both conditions
+         guarantee progress, hence termination. *)
+      let closer =
+        List.filter
+          (fun id ->
+            shared_prefix_digits t id target >= row
+            && ring_distance ~space id target
+               < ring_distance ~space current target)
+          candidates
+      in
+      match closer with
+      | [] -> owner (* give up gracefully: jump to the owner *)
+      | c :: rest ->
+          List.fold_left
+            (fun best id ->
+              if
+                ring_distance ~space id target
+                < ring_distance ~space best target
+              then id
+              else best)
+            c rest
+    end
+  end
+
 let lookup t ~from ~target =
   if target < 0 || target > Params.mask t.params then
     invalid_arg "Pastry.lookup: target";
   if not (Hashtbl.mem t.index_of (Pid.to_int from)) then
     invalid_arg "Pastry.lookup: unknown origin";
-  let space = Params.space t.params in
   let owner = owner_id t target in
   let rec route current hops acc =
     if current = owner then
       { owner = Pid.unsafe_of_int owner; hops; path = List.rev acc }
-    else begin
-      let i = Hashtbl.find t.index_of current in
-      (* Leaf-set shortcut: if the owner is in our leaf set, go there. *)
-      if Array.exists (( = ) owner) t.leaves.(i) then
-        route owner (hops + 1) (Pid.unsafe_of_int owner :: acc)
-      else begin
-        let row = shared_prefix_digits t current target in
-        let col = digit t target row in
-        let next = t.tables.(i).(row).(col) in
-        let next =
-          if next >= 0 && next <> current then next
-          else begin
-            (* Rare case: no table entry — take any known node strictly
-               numerically closer to the target. *)
-            let candidates =
-              Array.to_list t.leaves.(i)
-              @ (Array.to_list (Array.concat (Array.to_list t.tables.(i)))
-                |> List.filter (fun id -> id >= 0))
-            in
-            (* Pastry's rare-case rule: shares at least as long a prefix
-               with the target AND is numerically closer — both conditions
-               guarantee progress, hence termination. *)
-            let closer =
-              List.filter
-                (fun id ->
-                  shared_prefix_digits t id target >= row
-                  && ring_distance ~space id target
-                     < ring_distance ~space current target)
-                candidates
-            in
-            match closer with
-            | [] -> owner (* give up gracefully: jump to the owner *)
-            | c :: rest ->
-                List.fold_left
-                  (fun best id ->
-                    if
-                      ring_distance ~space id target
-                      < ring_distance ~space best target
-                    then id
-                    else best)
-                  c rest
-          end
-        in
-        route next (hops + 1) (Pid.unsafe_of_int next :: acc)
-      end
-    end
+    else
+      let next = step t ~current ~owner ~target in
+      route next (hops + 1) (Pid.unsafe_of_int next :: acc)
   in
   route (Pid.to_int from) 0 [ from ]
+
+let next_hop t ~from ~target =
+  if target < 0 || target > Params.mask t.params then
+    invalid_arg "Pastry.next_hop: target";
+  let current = Pid.to_int from in
+  let owner = owner_id t target in
+  if current = owner then None
+  else if not (Hashtbl.mem t.index_of current) then
+    (* Stale sender outside the snapshot: jump straight to the owner. *)
+    Some (Pid.unsafe_of_int owner)
+  else Some (Pid.unsafe_of_int (step t ~current ~owner ~target))
 
 let leaf_set_of t p =
   let i = Hashtbl.find t.index_of (Pid.to_int p) in

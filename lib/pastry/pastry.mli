@@ -36,5 +36,12 @@ val lookup : t -> from:Pid.t -> target:int -> lookup_result
 (** Prefix routing from [from] to the owner of [target].
     @raise Invalid_argument when [from] is not live. *)
 
+val next_hop : t -> from:Pid.t -> target:int -> Pid.t option
+(** One step of {!lookup}'s prefix routing: the node [from] forwards to
+    next, or [None] when [from] already owns [target]. Following
+    [next_hop] to the fixpoint visits exactly {!lookup}'s path. A [from]
+    not in the snapshot (stale sender) jumps straight to the owner.
+    @raise Invalid_argument on an out-of-space [target]. *)
+
 val leaf_set_of : t -> Pid.t -> Pid.t list
 (** For tests: the node's leaf set, nearest first. *)

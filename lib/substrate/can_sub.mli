@@ -1,0 +1,23 @@
+(** The CAN adapter: {!Substrate.t} over {!Lesslog_can.Can}.
+
+    The zone layout is built {e once} for the full [2^m]-slot population
+    (zone [i] belongs to PID [i]) from a seed derived deterministically
+    from the parameters, and liveness is consulted bit-by-bit at query
+    time — no epoch rebuild, which keeps the randomized join sequence out
+    of the membership-dependent state. Keys map to points of the unit
+    [d]-torus by hashing the key per coordinate.
+
+    The responsible node ({!Substrate.t.owner}) is the nearest {e live}
+    zone to the key's point; greedy per-hop routing can dead-end when the
+    zone containing the point is dead, so [guaranteed_delivery] is
+    [false] — routing faults that the other substrates never exhibit are
+    part of CAN's honest comparison numbers. Zone adjacency is symmetric.
+    Membership repair is {!Substrate.Generic}. *)
+
+val make :
+  ?d:int ->
+  Lesslog_id.Params.t ->
+  Lesslog_membership.Status_word.t ->
+  Substrate.t
+(** [d] is the torus dimension (default 2).
+    @raise Invalid_argument unless [1 <= d <= 6]. *)

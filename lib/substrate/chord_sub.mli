@@ -1,0 +1,14 @@
+(** The Chord adapter: {!Substrate.t} over {!Lesslog_chord.Chord}.
+
+    The ring and finger tables are rebuilt lazily per status-word epoch
+    ({!Substrate.epoch_cached}); keys map to ring identifiers through the
+    system's ψ, so every substrate resolves a key to the same m-bit
+    identifier. Neighbors are the ring successor and predecessor
+    (symmetric); delivery is guaranteed; membership repair is
+    {!Substrate.Generic}. *)
+
+val make :
+  Lesslog_id.Params.t ->
+  Lesslog_membership.Status_word.t ->
+  Lesslog_hash.Psi.t ->
+  Substrate.t

@@ -1,0 +1,16 @@
+(** The Pastry adapter: {!Substrate.t} over {!Lesslog_pastry.Pastry}.
+
+    Routing tables and leaf sets are rebuilt lazily per status-word epoch;
+    keys map to identifiers through ψ. [digit_bits] defaults to 2 when it
+    divides the space width m and falls back to 1 otherwise (Pastry
+    requires digits to tile the identifier). Neighbors are the leaf set —
+    numerically nearest nodes, which Pastry does {e not} guarantee to be
+    symmetric at the window edges. Membership repair is
+    {!Substrate.Generic}. *)
+
+val make :
+  ?digit_bits:int ->
+  Lesslog_id.Params.t ->
+  Lesslog_membership.Status_word.t ->
+  Lesslog_hash.Psi.t ->
+  Substrate.t
