@@ -316,6 +316,7 @@ let run_figures () =
 
 let () =
   if Array.exists (( = ) "des") Sys.argv then Des_bench.run ()
+  else if Array.exists (( = ) "pdes") Sys.argv then Pdes_bench.run ()
   else if Array.exists (( = ) "obs") Sys.argv then Obs_bench.run ()
   else begin
     run_micro ();

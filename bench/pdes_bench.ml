@@ -1,0 +1,155 @@
+(* `bench pdes`: the domain-parallel sharded simulator.
+
+   Three gates, in increasing cost:
+
+   1. Determinism (always enforced, the CI smoke gate): one Pdes_sim
+      configuration run at 1, 2, 4 and 8 worker domains must produce the
+      same digest, served count and end-state replica population,
+      bit for bit. Domain count is a speed knob only; any divergence is
+      a barrier or mailbox-ordering bug and fails the bench.
+
+   2. Scaling (enforced only on hosts with >= 8 recommended domains,
+      printed as SKIP elsewhere): aggregate events/s of the sharded
+      simulator at 8 domains must be >= 3x the single-domain packed-core
+      simulator at the m = 16 scale-up population — the parallel
+      counterpart of `bench des`'s 5x scheduler gate.
+
+   3. Steady state (always enforced): a large-m run must complete and
+      its end-state replica count must land within a small constant
+      factor of the mean-field oracle total_rate / capacity — the
+      analytic fixed point of flow balancing. The band [1, 4] absorbs
+      cooldown quantisation and per-subtree overshoot.
+
+   Results append to BENCH_pdes.json (written to $LESSLOG_BENCH_OUT or
+   the working directory); LESSLOG_BENCH_QUICK=1 shrinks m and the
+   durations for CI smoke. *)
+
+module E = Lesslog_harness.Experiments
+module Bench_json = Lesslog_report.Bench_json
+
+let out_file name =
+  let dir = Option.value (Sys.getenv_opt "LESSLOG_BENCH_OUT") ~default:"." in
+  Filename.concat dir name
+
+let failed = ref false
+
+let fail fmt =
+  failed := true;
+  Printf.eprintf fmt
+
+(* Gate 1: the digest (and every headline count) is invariant in the
+   domain count. *)
+let determinism_gate ~quick =
+  let m = if quick then 10 else 12 in
+  let duration = if quick then 2.0 else 3.0 in
+  let point domains =
+    E.pdes_point ~b:2 ~domains ~m ~rate_per_node:2.0 ~duration ~capacity:100.0
+      ~seed:42 ()
+  in
+  let reference = point 1 in
+  Printf.printf
+    "determinism: m=%d, 4 shards, digest at 1 domain = %d\n%!" m
+    reference.E.pdes_digest;
+  List.iter
+    (fun domains ->
+      let p = point domains in
+      let same =
+        p.E.pdes_digest = reference.E.pdes_digest
+        && p.E.pdes_served = reference.E.pdes_served
+        && p.E.pdes_replicas_end = reference.E.pdes_replicas_end
+        && p.E.pdes_events = reference.E.pdes_events
+      in
+      Printf.printf "  %d domains: digest %d  served %d  %s\n%!" domains
+        p.E.pdes_digest p.E.pdes_served
+        (if same then "OK" else "DIVERGED");
+      if not same then
+        fail
+          "bench pdes: FAIL: results at %d domains diverge from 1 domain \
+           (digest %d vs %d)\n"
+          domains p.E.pdes_digest reference.E.pdes_digest)
+    [ 2; 4; 8 ];
+  reference
+
+(* Gate 2: aggregate throughput at 8 domains vs the single-domain packed
+   core, both at the m = 16 scale-up population. *)
+let scaling_gate ~quick =
+  let rate_per_node = if quick then 0.5 else 2.0 in
+  let duration = if quick then 0.5 else 2.0 in
+  let packed =
+    E.des_point ~m:16 ~rate_per_node ~duration ~capacity:100.0 ~seed:42
+  in
+  let sharded domains =
+    E.pdes_point ~b:3 ~domains ~m:16 ~rate_per_node ~duration ~capacity:100.0
+      ~seed:42 ()
+  in
+  let p1 = sharded 1 in
+  let p8 = sharded 8 in
+  let speedup = p8.E.pdes_events_per_sec /. packed.E.events_per_sec in
+  Printf.printf
+    "scaling m=16: packed 1-domain %.3g ev/s   sharded 1-domain %.3g ev/s   \
+     sharded 8-domain %.3g ev/s   %.2fx vs packed\n%!"
+    packed.E.events_per_sec p1.E.pdes_events_per_sec p8.E.pdes_events_per_sec
+    speedup;
+  let cores = Domain.recommended_domain_count () in
+  if cores >= 8 then begin
+    if speedup < 3.0 then
+      fail
+        "bench pdes: FAIL: 8-domain speedup %.2fx below the 3x target on a \
+         %d-domain host\n"
+        speedup cores
+  end
+  else
+    Printf.printf
+      "  3x gate: SKIP (host recommends %d domain(s); gate needs >= 8)\n%!"
+      cores;
+  (packed.E.events_per_sec, p1.E.pdes_events_per_sec,
+   p8.E.pdes_events_per_sec, speedup)
+
+(* Gate 3: a large-m run completes and its end-state replica population
+   sits within [1x, 4x] of the mean-field oracle. *)
+let steady_state_gate ~quick =
+  let m = if quick then 12 else 20 in
+  let b = if quick then 2 else 3 in
+  let rate_per_node = if quick then 2.0 else 0.01 in
+  let duration = 6.0 in
+  let p =
+    E.pdes_point ~b ~domains:1 ~m ~rate_per_node ~duration ~capacity:100.0
+      ~seed:42 ()
+  in
+  let ratio =
+    float_of_int p.E.pdes_replicas_end /. p.E.pdes_oracle_replicas
+  in
+  Printf.printf
+    "steady state m=%d: %d events in %.3fs, replicas %d vs oracle %.1f \
+     (ratio %.2f, band [1, 4])\n%!"
+    m p.E.pdes_events p.E.pdes_secs p.E.pdes_replicas_end
+    p.E.pdes_oracle_replicas ratio;
+  if ratio < 1.0 || ratio > 4.0 then
+    fail
+      "bench pdes: FAIL: m=%d replica ratio %.2f outside the mean-field band \
+       [1, 4]\n"
+      m ratio;
+  (p, ratio)
+
+let run () =
+  let quick = Sys.getenv_opt "LESSLOG_BENCH_QUICK" = Some "1" in
+  print_endline "bench pdes: domain-parallel sharded simulator";
+  print_endline "---------------------------------------------";
+  let reference = determinism_gate ~quick in
+  let packed_eps, p1_eps, p8_eps, speedup = scaling_gate ~quick in
+  let steady, ratio = steady_state_gate ~quick in
+  Bench_json.write
+    ~path:(out_file "BENCH_pdes.json")
+    [
+      ("pdes/determinism_digest", float_of_int reference.E.pdes_digest);
+      ("pdes/determinism_events", float_of_int reference.E.pdes_events);
+      ("pdes/m16_packed_events_per_sec", packed_eps);
+      ("pdes/m16_sharded_1d_events_per_sec", p1_eps);
+      ("pdes/m16_sharded_8d_events_per_sec", p8_eps);
+      ("pdes/m16_speedup_vs_packed", speedup);
+      ("pdes/steady_events_per_sec", steady.E.pdes_events_per_sec);
+      ("pdes/steady_replica_ratio", ratio);
+      ("pdes/steady_wall_s", steady.E.pdes_secs);
+    ];
+  Printf.printf "wrote %s\n" (out_file "BENCH_pdes.json");
+  if !failed then exit 1

@@ -507,7 +507,7 @@ let faults_cmd =
       $ seed_arg)
 
 let msweep_cmd =
-  let run ms rate_per_node duration capacity seed =
+  let run ms rate_per_node duration capacity seed pdes_domains b =
     let ms =
       match ms with
       | [] -> [ 10; 11; 12; 13; 14; 15; 16 ]
@@ -520,7 +520,23 @@ let msweep_cmd =
     let points =
       E.des_sweep ~ms ~rate_per_node ~duration ~capacity ~seed ()
     in
-    print_endline (E.render_des_sweep points)
+    print_endline (E.render_des_sweep points);
+    match pdes_domains with
+    | None -> ()
+    | Some domains ->
+        Printf.printf
+          "\nS2: sharded DES, %d subtree shards on %d worker domain(s)\n" (1 lsl b)
+          domains;
+        print_endline
+          "===========================================================";
+        let points =
+          E.pdes_sweep ~ms ~b ~domains ~rate_per_node ~duration ~capacity ~seed
+            ()
+        in
+        print_endline (E.render_pdes_sweep points);
+        print_endline
+          "(digests are invariant in --domains; rerun with a different D to \
+           check)"
   in
   Cmd.v
     (Cmd.info "msweep"
@@ -541,7 +557,16 @@ let msweep_cmd =
       $ Arg.(value & opt float 100.0
              & info [ "capacity" ] ~docv:"R"
                  ~doc:"Per-node capacity in requests/s.")
-      $ seed_arg)
+      $ seed_arg
+      $ Arg.(value & opt (some int) None
+             & info [ "domains" ] ~docv:"D"
+                 ~doc:"Also run the domain-parallel sharded simulator \
+                       (Pdes_sim) on $(docv) worker domains. Results and \
+                       digests are identical for every $(docv).")
+      $ Arg.(value & opt int 2
+             & info [ "b" ] ~docv:"B"
+                 ~doc:"Subtree exponent for the sharded run: 2^$(docv) \
+                       shards."))
 
 (* --- Observability ------------------------------------------------------ *)
 

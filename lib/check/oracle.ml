@@ -4,6 +4,7 @@ module Packed_bits = Lesslog_bits.Packed_bits
 module Bitops = Lesslog_bits.Bitops
 module Ptree = Lesslog_ptree.Ptree
 module Topology = Lesslog_topology.Topology
+module Subtrees = Lesslog_topology.Subtrees
 module Cluster = Lesslog.Cluster
 module Self_org = Lesslog.Self_org
 module Trace = Lesslog_trace.Trace
@@ -65,26 +66,44 @@ let check_epoch t =
 
 (* --- Heavy oracles (membership changes + end of run) -------------------- *)
 
-(* Deterministic PID sample: a stride over the full space plus every dead
+(* Deterministic PID sample: a stride over the space plus every dead
    node (dead sets are small here, and they are exactly where the cached
-   and naive scans can disagree). *)
-let sample_pids status =
+   and naive scans can disagree). With a [tree] and b > 0, the stride
+   runs per subtree instead of over the flat PID space — a flat
+   space/16 stride can land every sample in one subtree once 2^b
+   divides it, leaving the per-subtree scans (insertion targets,
+   alive-ancestor climbs) of the other subtrees unexercised. *)
+let sample_pids ?tree status =
   let params = Status_word.params status in
   let space = Params.space params in
-  let stride = max 1 (space / 16) in
-  let acc = ref [] in
-  let i = ref (space - 1) in
-  while !i >= 0 do
-    acc := Pid.unsafe_of_int !i :: !acc;
-    i := !i - stride
-  done;
+  let base =
+    match tree with
+    | Some tree when Params.b params > 0 ->
+        let nsub = Params.subtree_count params in
+        let per = max 2 (16 / nsub) in
+        List.concat_map
+          (fun sid ->
+            let members = Subtrees.members tree ~subtree_id:sid in
+            let stride = max 1 (List.length members / per) in
+            List.filteri (fun i _ -> i mod stride = 0) members)
+          (List.init nsub Fun.id)
+    | _ ->
+        let stride = max 1 (space / 16) in
+        let acc = ref [] in
+        let i = ref (space - 1) in
+        while !i >= 0 do
+          acc := Pid.unsafe_of_int !i :: !acc;
+          i := !i - stride
+        done;
+        !acc
+  in
   let dead = Status_word.dead_pids status in
   let rec take n = function
     | [] -> []
     | _ when n = 0 -> []
     | x :: tl -> x :: take (n - 1) tl
   in
-  !acc @ take 32 dead
+  base @ take 32 dead
 
 let pid_opt = function None -> "-" | Some p -> string_of_int (Pid.to_int p)
 
@@ -265,15 +284,15 @@ let check_availability t status samples =
 let heavy_check t =
   t.heavy_checks <- t.heavy_checks + 1;
   let status = Cluster.status t.cluster in
-  let samples = sample_pids status in
   List.iter
     (fun key ->
       let tree = Cluster.tree_of_key t.cluster key in
+      let samples = sample_pids ~tree status in
       check_coherence t tree status samples;
       check_tree_properties t tree status samples)
     (Cluster.registered_keys t.cluster);
   match t.sim with
-  | Schedule.Des -> check_availability t status samples
+  | Schedule.Des -> check_availability t status (sample_pids status)
   | Schedule.Faults -> ()
 
 (* --- Event hook --------------------------------------------------------- *)

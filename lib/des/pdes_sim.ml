@@ -1,0 +1,598 @@
+(* Domain-parallel event-driven simulator of the fault-tolerant model
+   (paper Section 4): the 2^b binomial subtrees are the shards of a
+   {!Lesslog_sim.Sharded_engine}, one packed-core engine per subtree.
+
+   The decomposition works because the Section 4 protocol is already
+   subtree-local: ADVANCEDINSERTFILE places one copy per subtree, a GET
+   resolves by climbing alive ancestors {e within} the origin's subtree,
+   and replica placement picks among the overloaded node's subtree
+   children — so the only cross-subtree traffic is a faulting request
+   migrating to a sibling subtree (plus the reply it eventually earns),
+   and every such hop rides the network with latency at least the
+   distribution's minimum, which is exactly the lookahead a conservative
+   epoch scheme needs.
+
+   All mutable per-node state is owned by the node's shard and indexed
+   by subtree VID: holder bits ({!Lesslog_bits.Packed_bits} over the
+   2^(m-b) subtree slots — never the global PID space, whose packed
+   words would be shared across shards), access-rate estimators,
+   replication cooldowns, result histograms, the span sink and an FNV
+   digest accumulator. The status word and lookup tree are shared but
+   only read during an epoch; membership churn runs as sequential
+   barrier globals. Each shard draws from its own seeded RNG stream, so
+   the full run — event order, RNG draws, digest — is bit-identical at
+   any domain count, including 1. *)
+
+open Lesslog_id
+module Engine = Lesslog_sim.Engine
+module Sharded_engine = Lesslog_sim.Sharded_engine
+module Latency = Lesslog_net.Latency
+module Status_word = Lesslog_membership.Status_word
+module Subtrees = Lesslog_topology.Subtrees
+module Ptree = Lesslog_ptree.Ptree
+module Access_counter = Lesslog_storage.Access_counter
+module Demand = Lesslog_workload.Demand
+module Histogram = Lesslog_metrics.Histogram
+module Packed_bits = Lesslog_bits.Packed_bits
+module Rng = Lesslog_prng.Rng
+module Psi = Lesslog_hash.Psi
+module Fnv = Lesslog_hash.Fnv
+module Obs = Lesslog_obs.Obs
+
+type config = {
+  capacity : float;
+  detection_tau : float;
+  cooldown : float;
+  latency : Latency.t;
+  loss : float;
+}
+
+let default_config =
+  {
+    capacity = 100.0;
+    detection_tau = 2.0;
+    cooldown = 0.5;
+    latency = Latency.default;
+    loss = 0.0;
+  }
+
+let min_latency = function
+  | Latency.Constant c -> c
+  | Latency.Uniform { lo; _ } -> lo
+  | Latency.Exponential { floor; _ } -> floor
+
+(* Same packed wire format as {!Des_sim} (bits 0-2 the tag, fields
+   above, [x] the issue timestamp) — see the table there. *)
+let tag_get = 0
+let tag_reply = 1
+let tag_push = 2
+let origin_bits = 24
+let origin_mask = (1 lsl origin_bits) - 1
+let hops_bits = 6
+let hops_mask = (1 lsl hops_bits) - 1
+let id_mask = (1 lsl 30) - 1
+
+let get_b ~id ~origin ~hops =
+  tag_get lor (origin lsl 3)
+  lor ((hops land hops_mask) lsl (3 + origin_bits))
+  lor (id lsl (3 + origin_bits + hops_bits))
+
+let reply_b ~id ~server ~hops =
+  tag_reply
+  lor ((hops land hops_mask) lsl 3)
+  lor (server lsl (3 + hops_bits))
+  lor (id lsl (3 + hops_bits + origin_bits))
+
+let push_b = tag_push
+
+(* FNV-1a folded over native ints, 63-bit wrap — the per-shard event
+   digest. Cheap enough to run on every handled event, and combining
+   the per-shard accumulators in shard order gives one run fingerprint
+   that any scheduling or RNG reordering perturbs. *)
+let fnv_prime = 0x100000001B3
+let mix d k = (d lxor k) * fnv_prime land max_int
+let mix_time d t = mix d (Int64.to_int (Int64.bits_of_float t) land max_int)
+
+type shard = {
+  sid : int;
+  eng : Engine.t;
+  rng : Rng.t;
+  holders : Packed_bits.t;  (* subtree-VID indexed *)
+  estimators : Access_counter.t array;  (* subtree-VID indexed *)
+  cooldown_until : float array;
+  latencies : Histogram.t;
+  hops_h : Histogram.t;
+  spans : Obs.Span.sink option;
+  sp_lookup : int;
+  mutable digest : int;
+  mutable served : int;
+  mutable faults : int;
+  mutable migrations : int;
+  mutable replicas_created : int;
+  mutable messages : int;
+  mutable requests : int;
+  mutable h_msg : int;
+  mutable h_arrival : int;
+}
+
+type state = {
+  config : config;
+  params : Params.t;
+  tree : Ptree.t;
+  status : Status_word.t;
+  demand : Demand.t;
+  duration : float;
+  se : Sharded_engine.t;
+  shards : shard array;
+  mutable control_messages : int;
+  mutable file_transfers : int;
+}
+
+type result = {
+  served : int;
+  faults : int;
+  migrations : int;
+  requests : int;
+  latencies : Histogram.t;
+  hops : Histogram.t;
+  replicas_created : int;
+  replicas_end : int;
+  messages : int;
+  control_messages : int;
+  file_transfers : int;
+  events : int;
+  epochs : int;
+  cross_sends : int;
+  digest : int;
+}
+
+type churn_action = Join of Pid.t | Leave of Pid.t | Fail of Pid.t
+type churn_event = { at : float; action : churn_action }
+
+let sid_of (st : state) p = Subtrees.subtree_id_of_pid st.tree p
+
+let svid_of (st : state) p =
+  Subtrees.subtree_vid_of_vid st.params (Ptree.vid_of_pid st.tree p)
+
+let holds (st : state) p = Packed_bits.get st.shards.(sid_of st p).holders (svid_of st p)
+
+let total_copies (st : state) =
+  Array.fold_left (fun acc sh -> acc + Packed_bits.count sh.holders) 0 st.shards
+
+(* One overlay message. The loss coin and the latency draw come from the
+   {e sending} shard's stream; a cross-subtree delivery goes through the
+   sharded engine's mailboxes (its latency is >= the distribution
+   minimum, i.e. the lookahead, by construction). *)
+let send_msg st (sh : shard) ~dst ~b ~x =
+  sh.messages <- sh.messages + 1;
+  if not (st.config.loss > 0.0 && Rng.bernoulli sh.rng ~p:st.config.loss) then begin
+    let delay = Latency.sample st.config.latency sh.rng in
+    let dsid = sid_of st dst in
+    Sharded_engine.send st.se ~src:sh.sid ~dst:dsid ~delay
+      ~h:st.shards.(dsid).h_msg ~a:(Pid.to_int dst) ~b ~x
+  end
+
+let obs_resolved (sh : shard) ~id ~origin ~server ~hops ~issued_at ~at =
+  match sh.spans with
+  | None -> ()
+  | Some spans ->
+      Obs.Span.emit_int spans ~name:sh.sp_lookup ~id ~origin ~at:issued_at
+        ~dur:(at -. issued_at) ~server ~hops ~attempt:0
+
+(* Replica placement, Section 4 flavour of {!Lesslog.Ops.choose_replica_target}:
+   candidates are the overloaded node's dead-node-aware subtree children
+   list (or the subtree root's when nothing lives above it), holders
+   excluded, and the two lists are weighed by live offspring vs. the rest
+   of the subtree population. Everything is subtree-local, so the chosen
+   target is always on the overloaded node's own shard. *)
+let choose_replica_target st (sh : shard) ~overloaded =
+  let tree = st.tree and status = st.status in
+  let non_holders = List.filter (fun p -> not (holds st p)) in
+  let cl p = non_holders (Subtrees.children_list_in_subtree tree status p) in
+  let sroot = Subtrees.subtree_root tree ~subtree_id:sh.sid in
+  let own, root_list =
+    if Pid.equal overloaded sroot then (cl sroot, [])
+    else if Subtrees.has_live_with_greater_svid tree status overloaded then
+      (cl overloaded, [])
+    else (cl overloaded, cl sroot)
+  in
+  match (own, root_list) with
+  | [], [] -> None
+  | c :: _, [] | [], c :: _ -> Some c
+  | own_first :: _, root_first :: _ ->
+      let offspring =
+        Subtrees.live_offspring_count_in_subtree tree status overloaded
+      in
+      let population =
+        List.length
+          (List.filter (Status_word.is_live status)
+             (Subtrees.members tree ~subtree_id:sh.sid))
+      in
+      let rest = max 0 (population - 1 - offspring) in
+      let total = offspring + rest in
+      let p =
+        if total = 0 then 0.0 else float_of_int offspring /. float_of_int total
+      in
+      if Rng.bernoulli sh.rng ~p then Some own_first else Some root_first
+
+let maybe_replicate st (sh : shard) ~overloaded =
+  let sv = svid_of st overloaded in
+  let now = Engine.now sh.eng in
+  let rate = Access_counter.rate sh.estimators.(sv) ~now in
+  if rate > st.config.capacity && now >= sh.cooldown_until.(sv) then begin
+    match choose_replica_target st sh ~overloaded with
+    | None -> ()
+    | Some dest ->
+        sh.cooldown_until.(sv) <- now +. st.config.cooldown;
+        send_msg st sh ~dst:dest ~b:push_b ~x:0.0
+  end
+
+let serve st (sh : shard) ~server ~id ~origin ~issued_at ~hops =
+  let sv = svid_of st server in
+  let now = Engine.now sh.eng in
+  Access_counter.record sh.estimators.(sv) ~now;
+  sh.served <- sh.served + 1;
+  Histogram.add_int sh.hops_h hops;
+  if Pid.equal server origin then begin
+    Histogram.add sh.latencies (now -. issued_at);
+    obs_resolved sh ~id ~origin:(Pid.to_int origin)
+      ~server:(Pid.to_int server) ~hops ~issued_at ~at:now
+  end
+  else
+    send_msg st sh ~dst:origin
+      ~b:(reply_b ~id ~server:(Pid.to_int server) ~hops)
+      ~x:issued_at;
+  maybe_replicate st sh ~overloaded:server
+
+(* Route one GET standing at [me]: serve, forward within the subtree, or
+   — when the subtree dead-ends — migrate to the sibling subtree by
+   rewriting the VID's identifier bits (Section 4). Migration lands on
+   the rewritten slot when it is alive, else the nearest live stand-in
+   of the sibling subtree; each hop burns the packed hop budget, so a
+   request circling through dead subtrees faults instead of looping. *)
+let rec route_get st (sh : shard) ~me ~id ~origin ~hops ~issued_at =
+  if holds st me then serve st sh ~server:me ~id ~origin ~issued_at ~hops
+  else begin
+    let fault () =
+      sh.faults <- sh.faults + 1;
+      obs_resolved sh ~id ~origin:(Pid.to_int origin) ~server:(-1) ~hops
+        ~issued_at ~at:(Engine.now sh.eng)
+    in
+    let forward next =
+      send_msg st sh ~dst:next
+        ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:(hops + 1))
+        ~x:issued_at
+    in
+    if hops >= hops_mask then fault ()
+    else begin
+      let next_in_subtree =
+        match
+          Subtrees.first_alive_ancestor_in_subtree st.tree st.status me
+        with
+        | Some _ as a -> a
+        | None -> (
+            (* Dead subtree root: fall back to the insertion scan
+               (modified FINDLIVENODE) before giving up on the subtree. *)
+            let sroot = Subtrees.subtree_root st.tree ~subtree_id:sh.sid in
+            if Status_word.is_live st.status sroot then None
+            else
+              match
+                Subtrees.insertion_target_in_subtree st.tree st.status
+                  ~subtree_id:sh.sid
+              with
+              | Some g when not (Pid.equal g me) -> Some g
+              | Some _ | None -> None)
+      in
+      match next_in_subtree with
+      | Some next -> forward next
+      | None ->
+          let n = Array.length st.shards in
+          if n = 1 then fault ()
+          else begin
+            let to_subtree = (sh.sid + 1) mod n in
+            let landing =
+              Ptree.pid_of_vid st.tree
+                (Subtrees.migrate_vid st.params (Ptree.vid_of_pid st.tree me)
+                   ~to_subtree)
+            in
+            let landing =
+              if Status_word.is_live st.status landing then Some landing
+              else
+                match
+                  Subtrees.first_alive_ancestor_in_subtree st.tree st.status
+                    landing
+                with
+                | Some _ as a -> a
+                | None ->
+                    Subtrees.insertion_target_in_subtree st.tree st.status
+                      ~subtree_id:to_subtree
+            in
+            match landing with
+            | None -> fault ()
+            | Some next ->
+                sh.migrations <- sh.migrations + 1;
+                forward next
+          end
+    end
+  end
+
+and issue_request st (sh : shard) ~origin =
+  let id = ((sh.requests * Array.length st.shards) + sh.sid) land id_mask in
+  sh.requests <- sh.requests + 1;
+  route_get st sh ~me:origin ~id ~origin ~hops:0
+    ~issued_at:(Engine.now sh.eng)
+
+let handle_msg st (sh : shard) a b x =
+  sh.digest <- mix (mix (mix_time sh.digest (Engine.now sh.eng)) a) b;
+  let me = Pid.unsafe_of_int a in
+  if Status_word.is_live st.status me then begin
+    match b land 7 with
+    | 0 (* GET *) ->
+        let origin = Pid.unsafe_of_int ((b lsr 3) land origin_mask) in
+        let hops = (b lsr (3 + origin_bits)) land hops_mask in
+        let id = b lsr (3 + origin_bits + hops_bits) in
+        route_get st sh ~me ~id ~origin ~hops ~issued_at:x
+    | 1 (* REPLY *) ->
+        let hops = (b lsr 3) land hops_mask in
+        let server = (b lsr (3 + hops_bits)) land origin_mask in
+        let id = b lsr (3 + hops_bits + origin_bits) in
+        Histogram.add sh.latencies (Engine.now sh.eng -. x);
+        obs_resolved sh ~id ~origin:a ~server ~hops ~issued_at:x
+          ~at:(Engine.now sh.eng)
+    | 2 (* PUSH *) ->
+        let sv = svid_of st me in
+        if not (Packed_bits.get sh.holders sv) then begin
+          Packed_bits.set sh.holders sv;
+          sh.replicas_created <- sh.replicas_created + 1
+        end
+    | _ -> ()
+  end
+
+(* One Poisson arrival: issue the request, then draw the next gap — the
+   same self-rescheduling chain as {!Des_sim.on_arrival}, per shard. A
+   chain stops when its node dies and a rejoin does not restart it. *)
+let on_arrival st (sh : shard) a _b _x =
+  sh.digest <- mix (mix_time sh.digest (Engine.now sh.eng)) a;
+  let origin = Pid.unsafe_of_int a in
+  if Status_word.is_live st.status origin then begin
+    issue_request st sh ~origin;
+    let rate = Demand.rate st.demand origin in
+    let t = Engine.now sh.eng +. Rng.exponential sh.rng ~rate in
+    if t < st.duration then
+      Engine.post_at sh.eng ~time:t ~h:sh.h_arrival ~a ~b:0 ~x:0.0
+  end
+
+(* Membership churn, run as sequential barrier globals. The status word
+   is broadcast (Section 5: one control message per live node); a copy
+   held by the departing node relocates to the subtree's insertion
+   target on a graceful leave, is lost on a failure and re-fetched from
+   a sibling subtree while one survives, and a joiner that becomes its
+   subtree's insertion target takes the local copy over. *)
+let account_churn (st : state) ~relocated =
+  st.control_messages <-
+    st.control_messages + Status_word.live_count st.status;
+  st.file_transfers <- st.file_transfers + relocated
+
+let highest_holder (sh : shard) =
+  Packed_bits.fold_set sh.holders ~init:(-1) ~f:(fun _ sv -> sv)
+
+let reinsert (st : state) ~subtree_id =
+  match
+    Subtrees.insertion_target_in_subtree st.tree st.status ~subtree_id
+  with
+  | None -> 0
+  | Some t ->
+      let sh = st.shards.(subtree_id) in
+      let sv = svid_of st t in
+      if Packed_bits.get sh.holders sv then 0
+      else begin
+        Packed_bits.set sh.holders sv;
+        1
+      end
+
+let churn_join (st : state) p =
+  Status_word.set_live st.status p;
+  let s = sid_of st p in
+  let sh = st.shards.(s) in
+  let moved =
+    match Subtrees.insertion_target_in_subtree st.tree st.status ~subtree_id:s with
+    | Some t when Pid.equal t p && not (Packed_bits.get sh.holders (svid_of st p))
+      -> (
+        match highest_holder sh with
+        | -1 -> 0
+        | old_sv ->
+            Packed_bits.clear sh.holders old_sv;
+            Packed_bits.set sh.holders (svid_of st p);
+            1)
+    | _ -> 0
+  in
+  account_churn st ~relocated:moved
+
+let churn_leave (st : state) p =
+  Status_word.set_dead st.status p;
+  let s = sid_of st p in
+  let sh = st.shards.(s) in
+  let sv = svid_of st p in
+  let moved =
+    if Packed_bits.get sh.holders sv then begin
+      Packed_bits.clear sh.holders sv;
+      reinsert st ~subtree_id:s
+    end
+    else 0
+  in
+  account_churn st ~relocated:moved
+
+let churn_fail (st : state) p =
+  Status_word.set_dead st.status p;
+  let s = sid_of st p in
+  let sh = st.shards.(s) in
+  let sv = svid_of st p in
+  let moved =
+    if Packed_bits.get sh.holders sv then begin
+      Packed_bits.clear sh.holders sv;
+      (* The local copy died with the node: recover it from a sibling
+         subtree while any copy survives (Section 4's whole point). *)
+      if total_copies st > 0 then reinsert st ~subtree_id:s else 0
+    end
+    else 0
+  in
+  account_churn st ~relocated:moved
+
+let churn_globals (st : state) churn =
+  List.stable_sort (fun a b -> Float.compare a.at b.at) churn
+  |> List.map (fun { at; action } ->
+         ( at,
+           fun () ->
+             match action with
+             | Join p ->
+                 if Status_word.is_dead st.status p then churn_join st p
+             | Leave p ->
+                 if Status_word.is_live st.status p then churn_leave st p
+             | Fail p ->
+                 if Status_word.is_live st.status p then churn_fail st p ))
+
+let start_arrivals (st : state) =
+  Array.iter
+    (fun (sh : shard) ->
+      (* Descending subtree VID — a fixed order so the first-gap draws
+         from the shard stream are position-independent. *)
+      List.iter
+        (fun p ->
+          if Status_word.is_live st.status p then begin
+            let rate = Demand.rate st.demand p in
+            if rate > 0.0 then begin
+              let t = Rng.exponential sh.rng ~rate in
+              if t < st.duration then
+                Engine.post_at sh.eng ~time:t ~h:sh.h_arrival
+                  ~a:(Pid.to_int p) ~b:0 ~x:0.0
+            end
+          end)
+        (Subtrees.members st.tree ~subtree_id:sh.sid))
+    st.shards
+
+let finalize_obs (st : state) (obs : Obs.t) ~latencies ~hops =
+  Array.iter
+    (fun (sh : shard) ->
+      match sh.spans with
+      | None -> ()
+      | Some s -> Obs.Span.merge_into ~into:obs.Obs.spans s)
+    st.shards;
+  let r = obs.Obs.registry in
+  let count name v = Obs.Registry.add (Obs.Registry.counter r name) v in
+  count "pdes/requests"
+    (Array.fold_left (fun a (sh : shard) -> a + sh.requests) 0 st.shards);
+  count "pdes/served" (Array.fold_left (fun a (sh : shard) -> a + sh.served) 0 st.shards);
+  count "pdes/faults" (Array.fold_left (fun a (sh : shard) -> a + sh.faults) 0 st.shards);
+  count "pdes/migrations"
+    (Array.fold_left (fun a (sh : shard) -> a + sh.migrations) 0 st.shards);
+  count "pdes/replications"
+    (Array.fold_left (fun a (sh : shard) -> a + sh.replicas_created) 0 st.shards);
+  ignore (Obs.Registry.timer_backed r "pdes/latency_s" latencies);
+  ignore (Obs.Registry.timer_backed r "pdes/hops" hops)
+
+let run ?(config = default_config) ?(churn = []) ?obs ?(domains = 1) ~seed
+    ~params ~key ~demand ~duration () =
+  if Params.m params > origin_bits then
+    invalid_arg "Pdes_sim.run: m exceeds the packed origin field";
+  let nshards = Params.subtree_count params in
+  let lmin = min_latency config.latency in
+  if nshards > 1 && not (lmin > 0.0) then
+    invalid_arg "Pdes_sim.run: latency minimum must be positive (lookahead)";
+  (* With a single subtree there is no cross-shard traffic, so the epoch
+     width is free — take something comfortably coarse. *)
+  let lookahead = if nshards = 1 then Float.max lmin 1.0 else lmin in
+  let se = Sharded_engine.create ~shards:nshards ~lookahead () in
+  let psi = Psi.create ~m:(Params.m params) in
+  let tree = Ptree.make params ~root:(Pid.unsafe_of_int (Psi.target psi key)) in
+  let status = Status_word.create params ~initially_live:true in
+  let sspace = Params.subtree_space params in
+  let shards =
+    Array.init nshards (fun sid ->
+        let spans =
+          match obs with
+          | None -> None
+          | Some _ -> Some (Obs.Span.create_sink ())
+        in
+        {
+          sid;
+          eng = Sharded_engine.engine se sid;
+          rng =
+            Rng.create
+              ~seed:
+                (Fnv.hash63 (Printf.sprintf "%d|pdes|%d" seed sid)
+                land 0x3FFFFFFF);
+          holders = Packed_bits.create sspace;
+          estimators =
+            Array.init sspace (fun _ ->
+                Access_counter.create ~tau:config.detection_tau ~now:0.0 ());
+          cooldown_until = Array.make sspace 0.0;
+          latencies = Histogram.create ();
+          hops_h = Histogram.create ();
+          spans;
+          sp_lookup =
+            (match spans with
+            | None -> 0
+            | Some s -> Obs.Span.intern s "lookup");
+          digest = 0;
+          served = 0;
+          faults = 0;
+          migrations = 0;
+          replicas_created = 0;
+          messages = 0;
+          requests = 0;
+          h_msg = -1;
+          h_arrival = -1;
+        })
+  in
+  let st =
+    {
+      config;
+      params;
+      tree;
+      status;
+      demand;
+      duration;
+      se;
+      shards;
+      control_messages = 0;
+      file_transfers = 0;
+    }
+  in
+  Array.iter
+    (fun (sh : shard) ->
+      sh.h_msg <- Engine.register_handler sh.eng (handle_msg st sh);
+      sh.h_arrival <- Engine.register_handler sh.eng (on_arrival st sh))
+    shards;
+  (* ADVANCEDINSERTFILE: one copy per subtree (Section 4). *)
+  List.iter
+    (fun p -> Packed_bits.set shards.(sid_of st p).holders (svid_of st p))
+    (Subtrees.insertion_targets tree status);
+  start_arrivals st;
+  Sharded_engine.run ~until:duration ~globals:(churn_globals st churn) ~domains
+    se;
+  let latencies = Histogram.create () and hops = Histogram.create () in
+  Array.iter
+    (fun (sh : shard) ->
+      Histogram.merge latencies ~from:sh.latencies;
+      Histogram.merge hops ~from:sh.hops_h)
+    shards;
+  Option.iter (fun o -> finalize_obs st o ~latencies ~hops) obs;
+  let sum f = Array.fold_left (fun a (sh : shard) -> a + f sh) 0 shards in
+  {
+    served = sum (fun sh -> sh.served);
+    faults = sum (fun sh -> sh.faults);
+    migrations = sum (fun sh -> sh.migrations);
+    requests = sum (fun sh -> sh.requests);
+    latencies;
+    hops;
+    replicas_created = sum (fun sh -> sh.replicas_created);
+    replicas_end = total_copies st;
+    messages = sum (fun sh -> sh.messages);
+    control_messages = st.control_messages;
+    file_transfers = st.file_transfers;
+    events = Sharded_engine.events_executed se;
+    epochs = Sharded_engine.epoch se;
+    cross_sends = Sharded_engine.cross_sends se;
+    digest =
+      Array.fold_left (fun d (sh : shard) -> mix d sh.digest) 0x1505 shards;
+  }

@@ -1,0 +1,88 @@
+(** Domain-parallel event-driven simulator of the fault-tolerant model:
+    one shard per binomial subtree (paper Section 4) on a
+    {!Lesslog_sim.Sharded_engine}, deterministic at any domain count.
+
+    The Section 4 protocol is nearly subtree-local — insertion places one
+    copy per subtree, lookups climb alive ancestors within the origin's
+    subtree, replicas go to subtree children — so each of the [2^b]
+    subtrees becomes a shard owning all of its nodes' mutable state
+    (holder bits over subtree VIDs, rate estimators, cooldowns,
+    histograms, span sink, RNG stream, FNV digest). The only cross-shard
+    traffic is a faulting request migrating to a sibling subtree and the
+    replies it earns; both ride sampled network latency, whose
+    distribution minimum is the engine's lookahead.
+
+    Determinism: shard count and shard ownership are fixed by [b], not
+    by [domains]; per-shard RNG streams are derived from [seed] and the
+    subtree id; churn runs as sequential barrier globals. The result —
+    including {!result.digest} — is bit-identical for any [domains],
+    including 1. Contrast {!Des_sim}, the sequential single-tree
+    simulator with the richer feature set (substrates, eviction, traces,
+    multi-phase scenarios) and the pinned golden digest. *)
+
+open Lesslog_id
+module Latency = Lesslog_net.Latency
+module Histogram = Lesslog_metrics.Histogram
+module Demand = Lesslog_workload.Demand
+module Obs = Lesslog_obs.Obs
+
+type config = {
+  capacity : float;  (** Requests/s one node serves before replicating. *)
+  detection_tau : float;  (** Access-counter decay constant, seconds. *)
+  cooldown : float;  (** Seconds between replications off one node. *)
+  latency : Latency.t;
+      (** Per-hop delay; its minimum must be positive when [b > 0] — it
+          is the conservative lookahead. *)
+  loss : float;  (** Per-message drop probability. *)
+}
+
+val default_config : config
+(** Matches {!Des_sim.default_config} (no eviction). *)
+
+type result = {
+  served : int;
+  faults : int;
+  migrations : int;  (** Requests handed to a sibling subtree. *)
+  requests : int;
+  latencies : Histogram.t;  (** Merged across shards in shard order. *)
+  hops : Histogram.t;
+  replicas_created : int;
+  replicas_end : int;  (** Copies held across all subtrees at the end. *)
+  messages : int;
+  control_messages : int;
+  file_transfers : int;
+  events : int;
+  epochs : int;  (** Barrier crossings of the sharded engine. *)
+  cross_sends : int;  (** Mailbox messages between shards. *)
+  digest : int;
+      (** FNV fold over every handled event of every shard, combined in
+          shard order — the domain-count-invariance witness. *)
+}
+
+type churn_action = Join of Pid.t | Leave of Pid.t | Fail of Pid.t
+
+type churn_event = { at : float; action : churn_action }
+
+val run :
+  ?config:config ->
+  ?churn:churn_event list ->
+  ?obs:Obs.t ->
+  ?domains:int ->
+  seed:int ->
+  params:Params.t ->
+  key:string ->
+  demand:Demand.t ->
+  duration:float ->
+  unit ->
+  result
+(** Simulate [duration] seconds of Poisson demand against one file in a
+    [2^m]-slot system of [2^b] subtrees, all slots initially live, the
+    file pre-inserted per ADVANCEDINSERTFILE. [churn] events run as
+    barrier globals (a {!Leave} relocates the departing node's copy, a
+    {!Fail} loses it and recovers from a sibling subtree while any copy
+    survives, a {!Join} lets a new insertion target take the copy over);
+    [domains] is purely a speed knob. With [obs], per-shard span sinks
+    are merged into the bundle in shard order and [pdes/*] registry
+    metrics are attributed at the end.
+    @raise Invalid_argument when [m] exceeds the 24-bit packed origin
+    field, or [b > 0] with a latency minimum of zero. *)

@@ -222,3 +222,106 @@ let render ~title ~x_label ~y_label series =
       "";
       Lesslog_report.Ascii_plot.render ~x_label ~y_label series;
     ]
+
+(* --- S2: domain-parallel sharded DES (Pdes_sim) ------------------------ *)
+
+module Pdes_sim = Lesslog_des.Pdes_sim
+
+type pdes_point = {
+  pdes_m : int;
+  pdes_b : int;
+  pdes_domains : int;
+  pdes_nodes : int;
+  pdes_events : int;
+  pdes_secs : float;
+  pdes_events_per_sec : float;
+  pdes_served : int;
+  pdes_faults : int;
+  pdes_migrations : int;
+  pdes_replicas_end : int;
+  pdes_oracle_replicas : float;
+  pdes_messages : int;
+  pdes_cross_sends : int;
+  pdes_epochs : int;
+  pdes_digest : int;
+  pdes_p50_latency : float;
+  pdes_p99_latency : float;
+}
+
+let pdes_oracle_replicas ~total_rate ~capacity =
+  if capacity <= 0.0 then
+    invalid_arg "Experiments.pdes_oracle_replicas: capacity must be positive";
+  Float.max 1.0 (total_rate /. capacity)
+
+let pdes_point ?(b = 2) ?(domains = 1) ~m ~rate_per_node ~duration ~capacity
+    ~seed () =
+  let params = Params.create ~b ~m () in
+  let status = Status_word.create params ~initially_live:true in
+  let nodes = Status_word.live_count status in
+  let total = rate_per_node *. float_of_int nodes in
+  let demand = Demand.uniform status ~total in
+  let tag = Printf.sprintf "%d|pdes|%d" seed m in
+  let run_seed = Lesslog_hash.Fnv.hash63 tag land 0x3FFFFFFF in
+  let config = { Pdes_sim.default_config with capacity } in
+  let t0 = Sys.time () in
+  let r =
+    Pdes_sim.run ~config ~domains ~seed:run_seed ~params ~key:hot_file ~demand
+      ~duration ()
+  in
+  let secs = Sys.time () -. t0 in
+  let q h p = if Histogram.count h = 0 then 0.0 else Histogram.quantile h p in
+  {
+    pdes_m = m;
+    pdes_b = b;
+    pdes_domains = domains;
+    pdes_nodes = nodes;
+    pdes_events = r.Pdes_sim.events;
+    pdes_secs = secs;
+    pdes_events_per_sec =
+      (if secs > 0.0 then float_of_int r.Pdes_sim.events /. secs else 0.0);
+    pdes_served = r.Pdes_sim.served;
+    pdes_faults = r.Pdes_sim.faults;
+    pdes_migrations = r.Pdes_sim.migrations;
+    pdes_replicas_end = r.Pdes_sim.replicas_end;
+    pdes_oracle_replicas = pdes_oracle_replicas ~total_rate:total ~capacity;
+    pdes_messages = r.Pdes_sim.messages;
+    pdes_cross_sends = r.Pdes_sim.cross_sends;
+    pdes_epochs = r.Pdes_sim.epochs;
+    pdes_digest = r.Pdes_sim.digest;
+    pdes_p50_latency = q r.Pdes_sim.latencies 0.5;
+    pdes_p99_latency = q r.Pdes_sim.latencies 0.99;
+  }
+
+let pdes_sweep ?(ms = [ 10; 11; 12; 13; 14; 15; 16 ]) ?(b = 2) ?(domains = 1)
+    ?(rate_per_node = 2.0) ?(duration = 5.0) ?(capacity = 100.0) ?(seed = 42)
+    () =
+  List.map
+    (fun m -> pdes_point ~b ~domains ~m ~rate_per_node ~duration ~capacity ~seed ())
+    ms
+
+let render_pdes_sweep points =
+  let header =
+    [ "m"; "shards"; "nodes"; "events"; "ev/s"; "served"; "faults"; "migr";
+      "repl"; "oracle"; "x-send"; "epochs"; "p99 lat" ]
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.pdes_m;
+          string_of_int (1 lsl p.pdes_b);
+          string_of_int p.pdes_nodes;
+          string_of_int p.pdes_events;
+          Printf.sprintf "%.3g" p.pdes_events_per_sec;
+          string_of_int p.pdes_served;
+          string_of_int p.pdes_faults;
+          string_of_int p.pdes_migrations;
+          string_of_int p.pdes_replicas_end;
+          Printf.sprintf "%.1f" p.pdes_oracle_replicas;
+          string_of_int p.pdes_cross_sends;
+          string_of_int p.pdes_epochs;
+          Printf.sprintf "%.4f" p.pdes_p99_latency;
+        ])
+      points
+  in
+  Lesslog_report.Table.render ~header rows

@@ -121,3 +121,74 @@ val des_sweep :
 
 val render_des_sweep : des_point list -> string
 (** One table row per sweep point, ready to print. *)
+
+(** {1 S2: domain-parallel sharded DES}
+
+    The same scale-up protocol on {!Lesslog_des.Pdes_sim}: one shard per
+    binomial subtree, deterministic at any domain count. The point
+    carries the run digest so sweeps can double as determinism checks,
+    plus the mean-field replica oracle for steady-state validation. *)
+
+type pdes_point = {
+  pdes_m : int;  (** Identifier-space exponent for this row. *)
+  pdes_b : int;  (** Subtree exponent; [2^b] shards. *)
+  pdes_domains : int;  (** Worker domains the run used (speed only). *)
+  pdes_nodes : int;  (** Live nodes at the start of the run. *)
+  pdes_events : int;  (** Engine events executed, summed over shards. *)
+  pdes_secs : float;  (** Wall CPU seconds ([Sys.time]) for the run. *)
+  pdes_events_per_sec : float;
+  pdes_served : int;
+  pdes_faults : int;
+  pdes_migrations : int;  (** Requests handed to a sibling subtree. *)
+  pdes_replicas_end : int;  (** Copies held across subtrees at the end. *)
+  pdes_oracle_replicas : float;
+      (** Mean-field steady-state prediction, {!pdes_oracle_replicas}. *)
+  pdes_messages : int;
+  pdes_cross_sends : int;  (** Mailbox messages between shards. *)
+  pdes_epochs : int;  (** Barrier crossings of the sharded engine. *)
+  pdes_digest : int;  (** Domain-count-invariant run digest. *)
+  pdes_p50_latency : float;
+  pdes_p99_latency : float;
+}
+
+val pdes_oracle_replicas : total_rate:float -> capacity:float -> float
+(** Mean-field steady-state replica count for one hot file under Poisson
+    demand: flow balancing spawns copies until per-copy load fits under
+    [capacity], so the population settles near [total_rate /. capacity]
+    (never below the 1 copy insertion guarantees per subtree's worth of
+    demand). The simulated end-state should land within a small constant
+    factor — the acceptance gate checks the ratio, not equality, because
+    cooldowns and discrete copies quantise the approach.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val pdes_point :
+  ?b:int ->
+  ?domains:int ->
+  m:int ->
+  rate_per_node:float ->
+  duration:float ->
+  capacity:float ->
+  seed:int ->
+  unit ->
+  pdes_point
+(** One {!Lesslog_des.Pdes_sim} run at exponent [m] with [2^b] subtrees
+    (default 2, i.e. 4 shards) on [domains] worker domains (default 1),
+    total demand [rate_per_node * live_nodes], timed with [Sys.time].
+    The run seed is derived as [hash63 "seed|pdes|m"], so rows are
+    independent and reproducible point-wise. *)
+
+val pdes_sweep :
+  ?ms:int list ->
+  ?b:int ->
+  ?domains:int ->
+  ?rate_per_node:float ->
+  ?duration:float ->
+  ?capacity:float ->
+  ?seed:int ->
+  unit ->
+  pdes_point list
+(** {!pdes_point} for each exponent in [ms] (defaults mirror
+    {!des_sweep}). *)
+
+val render_pdes_sweep : pdes_point list -> string
+(** One table row per sweep point, ready to print. *)

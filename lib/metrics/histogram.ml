@@ -71,6 +71,44 @@ let add_int t x = add t (float_of_int x)
 let count t = t.n
 let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
 
+(* Every sketch shares the module-level gamma, so bucket index [i] means
+   the same value range in both operands and merging is a bucket-wise
+   add over the union window. Count, sum, min and max recombine exactly;
+   the bucket counts carry no per-sketch error, so (A ⊎ B) is the sketch
+   that would have been built by streaming both inputs — merge is
+   associative and commutative up to float addition of [sum]. *)
+let merge t ~from =
+  if from.n > 0 then begin
+    t.n <- t.n + from.n;
+    t.sum <- t.sum +. from.sum;
+    if from.mn < t.mn then t.mn <- from.mn;
+    if from.mx > t.mx then t.mx <- from.mx;
+    t.zero <- t.zero + from.zero;
+    let flen = Array.length from.counts in
+    if flen > 0 then begin
+      if Array.length t.counts = 0 then begin
+        t.counts <- Array.copy from.counts;
+        t.base <- from.base
+      end
+      else begin
+        let lo = min t.base from.base
+        and hi =
+          max (t.base + Array.length t.counts) (from.base + flen)
+        in
+        if lo < t.base || hi > t.base + Array.length t.counts then begin
+          let grown = Array.make (hi - lo) 0 in
+          Array.blit t.counts 0 grown (t.base - lo) (Array.length t.counts);
+          t.counts <- grown;
+          t.base <- lo
+        end;
+        for i = 0 to flen - 1 do
+          let j = from.base + i - t.base in
+          t.counts.(j) <- t.counts.(j) + from.counts.(i)
+        done
+      end
+    end
+  end
+
 let clamp t v = Float.max t.mn (Float.min t.mx v)
 
 let quantile t q =
@@ -149,6 +187,12 @@ module Exact = struct
   let add_int t x = add t (float_of_int x)
   let count t = t.n
   let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+  let merge t ~from =
+    t.samples <- List.rev_append from.samples t.samples;
+    t.sorted <- None;
+    t.n <- t.n + from.n;
+    t.sum <- t.sum +. from.sum
 
   let sorted t =
     match t.sorted with

@@ -17,6 +17,15 @@ val create : unit -> t
 val add : t -> float -> unit
 val add_int : t -> int -> unit
 
+val merge : t -> from:t -> unit
+(** [merge t ~from] folds [from]'s samples into [t], leaving [from]
+    untouched. All sketches share one γ, so this is a bucket-wise count
+    add over the union window plus exact count/sum/min/max
+    recombination: the result is the sketch a single stream of both
+    inputs would have produced (associative and commutative up to float
+    addition of the sum). Cross-shard aggregation in the parallel
+    engine merges per-shard sketches with this. *)
+
 val count : t -> int
 (** O(1). *)
 
@@ -50,6 +59,12 @@ module Exact : sig
   val create : unit -> t
   val add : t -> float -> unit
   val add_int : t -> int -> unit
+
+  val merge : t -> from:t -> unit
+  (** Fold [from]'s retained samples into [t] ([from] untouched).
+      Quantiles over the merged sample set are exact, so this is the
+      test oracle for the sketch's {!Histogram.merge}. *)
+
   val count : t -> int
   val mean : t -> float
 

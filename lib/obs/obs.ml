@@ -317,6 +317,26 @@ module Span = struct
     iter t (fun e -> acc := e :: !acc);
     List.rev !acc
 
+  (* Append [src]'s retained spans (oldest first) onto [into]'s ring,
+     re-interning names — the export-time merge for per-shard/per-domain
+     sinks. Raw ring words are copied with only the name field of [meta]
+     rewritten, so packed origin/attempt/loc survive bit for bit; the
+     ring bound applies as if the spans had been recorded on [into]
+     directly. Merging shard sinks in a fixed (shard-id) order keeps the
+     combined ring deterministic at any domain count. *)
+  let merge_into ~into src =
+    let first = max 0 (src.total - (src.ring_mask + 1)) in
+    for k = first to src.total - 1 do
+      let i = (k land src.ring_mask) * 5 in
+      let meta = src.ring.{i + 1} in
+      let name = intern into src.names.(meta land (name_limit - 1)) in
+      push into ~id:src.ring.{i}
+        ~meta:(meta land lnot (name_limit - 1) lor name)
+        ~loc:src.ring.{i + 2} ~start_ns:src.ring.{i + 3}
+        ~dur_ns:src.ring.{i + 4}
+    done;
+    into.dropped <- into.dropped + src.dropped
+
   (* Non-finite numbers have no JSON literal; a span can only carry one
      through a corrupted clock, and 0 keeps the file loadable. *)
   let json_num x = if Float.is_finite x then Printf.sprintf "%.3f" x else "0"

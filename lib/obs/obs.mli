@@ -151,6 +151,18 @@ module Span : sig
 
   val open_spans : sink -> int
 
+  val merge_into : into:sink -> sink -> unit
+(** Append the source sink's retained spans, oldest first, onto
+      [into]'s ring (names re-interned, packed fields preserved bit for
+      bit; [into]'s ring bound applies). The source is not modified.
+      The parallel simulator gives each shard its own sink and merges
+      them in shard-id order at export, so the combined ring — and any
+      trace or Chrome export taken from it — is deterministic at any
+      domain count. [completed into] grows by the number of spans
+      appended (spans the source ring had already overwritten are gone;
+      sum [completed] over sources for lifetime totals); [dropped] is
+      accumulated. *)
+
   val iter : sink -> (Lesslog_trace.Trace.Event.t -> unit) -> unit
   (** Retained completed spans, oldest first, as
       {!Lesslog_trace.Trace.Event.Span} events. *)

@@ -92,23 +92,40 @@ let schedule t ~delay action =
 
 let pending t = Ladder_queue.length t.q
 
+(* Read the cursor before dispatch: the handler may push reentrantly. *)
+let dispatch_cursor t =
+  let time = Ladder_queue.time t.q in
+  let h = Ladder_queue.handler t.q in
+  let a = Ladder_queue.arg_a t.q in
+  let b = Ladder_queue.arg_b t.q in
+  let x = Ladder_queue.arg_x t.q in
+  t.clock <- time;
+  t.executed <- t.executed + 1;
+  t.handlers.(h) a b x
+
 let step t =
   if Ladder_queue.pop t.q then begin
-    (* read the cursor before dispatch: the handler may push reentrantly *)
-    let time = Ladder_queue.time t.q in
-    let h = Ladder_queue.handler t.q in
-    let a = Ladder_queue.arg_a t.q in
-    let b = Ladder_queue.arg_b t.q in
-    let x = Ladder_queue.arg_x t.q in
-    t.clock <- time;
-    t.executed <- t.executed + 1;
-    t.handlers.(h) a b x;
+    dispatch_cursor t;
     true
   end
   else false
 
+let step_below t ~bound =
+  if Ladder_queue.pop_until t.q ~bound then begin
+    dispatch_cursor t;
+    true
+  end
+  else false
+
+let drain_below t ~bound = while step_below t ~bound do () done
+
+let next_time t =
+  if Ladder_queue.is_empty t.q then None else Some (Ladder_queue.min_time t.q)
+
+let advance_to t ~time = if time > t.clock then t.clock <- time
+
 let run ?until ?(max_events = max_int) t =
-  (match until with
+  match until with
   | None ->
       (* no horizon: drain without peeking at the next timestamp *)
       let budget = ref max_events in
@@ -116,22 +133,14 @@ let run ?until ?(max_events = max_int) t =
         decr budget
       done
   | Some limit ->
+      (* [Float.succ limit] turns the strict [pop_until] bound into the
+         inclusive stop-at-[limit] contract of this function. *)
+      let bound = Float.succ limit in
       let budget = ref max_events in
-      let continue = ref true in
-      while !continue && !budget > 0 do
-        if Ladder_queue.is_empty t.q then continue := false
-        else if Ladder_queue.min_time t.q > limit then begin
-          t.clock <- Float.max t.clock limit;
-          continue := false
-        end
-        else begin
-          ignore (step t);
-          decr budget
-        end
-      done);
-  match until with
-  | Some limit when Ladder_queue.is_empty t.q && t.clock < limit ->
-      t.clock <- limit
-  | _ -> ()
+      while !budget > 0 && step_below t ~bound do
+        decr budget
+      done;
+      if Ladder_queue.is_empty t.q || Ladder_queue.min_time t.q > limit then
+        advance_to t ~time:limit
 
 let events_executed t = t.executed

@@ -52,6 +52,24 @@ val pending : t -> int
 val step : t -> bool
 (** Execute the next event; [false] when the queue is empty. *)
 
+val step_below : t -> bound:float -> bool
+(** Execute the next event only when its time is strictly below [bound];
+    [false] when the queue is empty or the head is at or past the bound
+    (nothing is dequeued, the clock does not move). *)
+
+val drain_below : t -> bound:float -> unit
+(** Execute every event with time strictly below [bound], including ones
+    posted by handlers during the drain — one shard's share of an epoch
+    in the sharded engine ({!Sharded_engine}). *)
+
+val next_time : t -> float option
+(** Time of the next queued event; [None] when the queue is empty. *)
+
+val advance_to : t -> time:float -> unit
+(** Move the clock forward to [time] without executing anything (no-op
+    when [time <= now]). The epoch barrier uses this to line shards up
+    on a common boundary. *)
+
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Drain the queue. [until] stops the clock at that time (later events
     stay queued, [now] is clamped to [until]); [max_events] bounds the

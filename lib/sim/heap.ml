@@ -64,6 +64,11 @@ let pop t =
 let pop_exn t =
   match pop t with Some x -> x | None -> invalid_arg "Heap.pop_exn: empty"
 
+let pop_if t p =
+  if t.size = 0 then None
+  else if p t.data.(0) then pop t
+  else None
+
 let clear t =
   t.data <- [||];
   t.size <- 0

@@ -428,6 +428,16 @@ let pop t =
     true
   end
 
+let pop_until t ~bound =
+  if t.size = 0 then false
+  else begin
+    ensure_opened t;
+    let head =
+      if take_run t then Array.unsafe_get t.run.t t.run_pos else t.opened.t.(0)
+    in
+    if head < bound then pop t else false
+  end
+
 let time t = t.c_time
 let seq t = t.c_seq
 let handler t = t.c_h

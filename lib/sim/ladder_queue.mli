@@ -35,6 +35,13 @@ val min_time : t -> float
 val pop : t -> bool
 (** Dequeue the minimum event into the cursor; [false] when empty. *)
 
+val pop_until : t -> bound:float -> bool
+(** Dequeue the minimum event into the cursor only when its time is
+    strictly below [bound]; [false] when empty or the head is at or past
+    the bound (the queue is untouched). Drains an epoch in the sharded
+    engine: [while pop_until q ~bound do … done] executes exactly the
+    events below the epoch boundary, in [(time, seq)] order. *)
+
 (** {2 Cursor accessors} — fields of the most recently popped event. *)
 
 val time : t -> float

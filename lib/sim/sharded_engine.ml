@@ -1,0 +1,202 @@
+(* Domain-parallel DES: one packed-core [Engine] per shard, conservative
+   epoch synchronization, deterministic at any worker count.
+
+   The decomposition leans on a lookahead [L]: every cross-shard message
+   is delivered at least [L] of simulated time after it is sent (the
+   minimum inter-shard delivery delay — a network hop in the overlay
+   simulators). An epoch is then the window [T, B) where [T] is the
+   earliest pending event across all shards and [B = T + L]: a message
+   sent during the epoch arrives at [>= T + L = B], so no shard can be
+   influenced by another within the window and all shards may drain
+   their own queues concurrently.
+
+   Cross-shard sends go to per-(src, dst) mailboxes — single-producer
+   by construction, since a shard's events execute on exactly one worker
+   during the epoch and nobody reads a mailbox until the barrier. At the
+   barrier the coordinator drains every mailbox in a fixed order —
+   destination shard, then source shard, then FIFO — into the
+   destination engines, whose monotone sequence counters then assign the
+   same tie-breaking seq to the same message regardless of how many
+   domains executed the epoch. Together with per-shard sequential
+   draining this makes the full event sequence — order, timestamps,
+   payloads — bit-identical at any domain count, including 1.
+
+   Rare whole-system actions (membership churn, phase changes) run as
+   {e global events}: the epoch window is clipped so it never spans one,
+   and the action runs sequentially at the barrier with all shard clocks
+   lined up on its timestamp. *)
+
+module Par = Lesslog_parallel.Par
+
+type mailbox = {
+  mutable t : float array;
+  mutable h : int array;
+  mutable a : int array;
+  mutable b : int array;
+  mutable x : float array;
+  mutable len : int;
+}
+
+let mb_make () =
+  { t = [||]; h = [||]; a = [||]; b = [||]; x = [||]; len = 0 }
+
+let mb_push mb ~time ~h ~a ~b ~x =
+  if mb.len = Array.length mb.t then begin
+    let cap = max 16 (2 * mb.len) in
+    let grow_f old =
+      let n = Array.make cap 0.0 in
+      Array.blit old 0 n 0 mb.len;
+      n
+    and grow_i old =
+      let n = Array.make cap 0 in
+      Array.blit old 0 n 0 mb.len;
+      n
+    in
+    mb.t <- grow_f mb.t;
+    mb.h <- grow_i mb.h;
+    mb.a <- grow_i mb.a;
+    mb.b <- grow_i mb.b;
+    mb.x <- grow_f mb.x
+  end;
+  let i = mb.len in
+  mb.t.(i) <- time;
+  mb.h.(i) <- h;
+  mb.a.(i) <- a;
+  mb.b.(i) <- b;
+  mb.x.(i) <- x;
+  mb.len <- i + 1
+
+type t = {
+  shards : Engine.t array;
+  lookahead : float;
+  mail : mailbox array;  (* src * n + dst *)
+  mutable epoch : int;
+  mutable cross_sends : int;  (* drained mailbox messages, coordinator-only *)
+}
+
+let create ~shards ~lookahead () =
+  if shards < 1 then invalid_arg "Sharded_engine.create: shards";
+  if not (lookahead > 0.0) then invalid_arg "Sharded_engine.create: lookahead";
+  {
+    shards = Array.init shards (fun _ -> Engine.create ());
+    lookahead;
+    mail = Array.init (shards * shards) (fun _ -> mb_make ());
+    epoch = 0;
+    cross_sends = 0;
+  }
+
+let shard_count t = Array.length t.shards
+let engine t i = t.shards.(i)
+let lookahead t = t.lookahead
+let now t ~shard = Engine.now t.shards.(shard)
+let epoch t = t.epoch
+let cross_sends t = t.cross_sends
+
+let events_executed t =
+  Array.fold_left (fun acc e -> acc + Engine.events_executed e) 0 t.shards
+
+let pending t =
+  let queued = Array.fold_left (fun acc e -> acc + Engine.pending e) 0 t.shards
+  and mailed = Array.fold_left (fun acc mb -> acc + mb.len) 0 t.mail in
+  queued + mailed
+
+let send t ~src ~dst ~delay ~h ~a ~b ~x =
+  if src = dst then Engine.post t.shards.(src) ~delay ~h ~a ~b ~x
+  else begin
+    if delay < t.lookahead then
+      invalid_arg "Sharded_engine.send: cross-shard delay below lookahead";
+    let time = Engine.now t.shards.(src) +. delay in
+    mb_push t.mail.((src * Array.length t.shards) + dst) ~time ~h ~a ~b ~x
+  end
+
+(* Barrier hand-off, coordinator only: destination-major, then source,
+   then FIFO — the fixed merge order that pins tie-breaking seqs. *)
+let flush_mail t =
+  let n = Array.length t.shards in
+  for dst = 0 to n - 1 do
+    let e = t.shards.(dst) in
+    for src = 0 to n - 1 do
+      let mb = t.mail.((src * n) + dst) in
+      for i = 0 to mb.len - 1 do
+        Engine.post_at e ~time:mb.t.(i) ~h:mb.h.(i) ~a:mb.a.(i) ~b:mb.b.(i)
+          ~x:mb.x.(i)
+      done;
+      t.cross_sends <- t.cross_sends + mb.len;
+      mb.len <- 0
+    done
+  done
+
+let min_next t =
+  Array.fold_left
+    (fun acc e ->
+      match Engine.next_time e with
+      | None -> acc
+      | Some ti -> ( match acc with None -> Some ti | Some a -> Some (Float.min a ti)))
+    None t.shards
+
+let advance_all t ~time =
+  Array.iter (fun e -> Engine.advance_to e ~time) t.shards
+
+let run ?until ?(globals = []) ?(domains = 1) t =
+  if domains < 1 then invalid_arg "Sharded_engine.run: domains";
+  let n = Array.length t.shards in
+  let workers = max 1 (min domains n) in
+  let pool = if workers = 1 then None else Some (Par.ensure_pool workers) in
+  let in_horizon time =
+    match until with None -> true | Some u -> time <= u
+  in
+  flush_mail t;
+  let globals = ref globals in
+  let continue = ref true in
+  while !continue do
+    let tmin = min_next t in
+    (* Fire every global action due at or before the event frontier:
+       sequential, full access to all shards, then a mailbox flush so
+       anything it posted is queued before the window is chosen. *)
+    (match (!globals, tmin) with
+    | (g_at, fire) :: rest, _
+      when in_horizon g_at
+           && (match tmin with None -> true | Some ti -> g_at <= ti) ->
+        globals := rest;
+        advance_all t ~time:g_at;
+        fire ();
+        flush_mail t
+    | _, None ->
+        (match until with Some u -> advance_all t ~time:u | None -> ());
+        continue := false
+    | _, Some ti when not (in_horizon ti) ->
+        (match until with Some u -> advance_all t ~time:u | None -> ());
+        continue := false
+    | _, Some ti ->
+        (* One epoch: [ti, bound) — clipped so it spans neither the
+           horizon (events at exactly [until] still run: Float.succ
+           turns the strict bound inclusive) nor the next global. *)
+        let bound = ti +. t.lookahead in
+        let bound =
+          match until with None -> bound | Some u -> Float.min bound (Float.succ u)
+        in
+        let bound =
+          match !globals with
+          | (g_at, _) :: _ when in_horizon g_at -> Float.min bound g_at
+          | _ -> bound
+        in
+        t.epoch <- t.epoch + 1;
+        (match pool with
+        | None ->
+            for s = 0 to n - 1 do
+              Engine.drain_below t.shards.(s) ~bound
+            done
+        | Some pool ->
+            (* The shared pool only grows, so it may be wider than
+               [workers]; the stride must cover each shard exactly once
+               or two workers race on one engine. *)
+            Par.Pool.run pool (fun w ->
+                if w < workers then begin
+                  let s = ref w in
+                  while !s < n do
+                    Engine.drain_below t.shards.(!s) ~bound;
+                    s := !s + workers
+                  done
+                end));
+        flush_mail t)
+  done

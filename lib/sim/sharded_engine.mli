@@ -1,0 +1,81 @@
+(** Domain-parallel discrete-event engine: one packed-core {!Engine} per
+    shard, cross-shard events through per-pair single-producer
+    mailboxes, conservative epoch synchronization.
+
+    {2 Model}
+
+    Shards are fixed at creation; workers (OCaml domains) are chosen at
+    {!run} time and only decide which domain drains which shard — never
+    what happens. The contract callers must uphold:
+
+    - handlers registered on shard [s]'s engine touch only shard-[s]
+      state (plus read-only shared data);
+    - events destined for another shard go through {!send} with a delay
+      of at least the engine's [lookahead].
+
+    Under that contract the event sequence — order, timestamps,
+    payloads, per-engine tie-breaking seqs — is bit-identical at any
+    domain count, including 1: an epoch spans [[T, T + lookahead)] where
+    [T] is the earliest pending event anywhere, so a cross-shard message
+    (sent at [>= T], delivered after [>= lookahead]) can never land in
+    the epoch that issued it; and the barrier drains mailboxes in a
+    fixed order (destination shard, then source shard, then FIFO), so
+    destination seq assignment does not depend on worker interleaving. *)
+
+type t
+
+val create : shards:int -> lookahead:float -> unit -> t
+(** [shards >= 1]; [lookahead > 0] is the minimum cross-shard delivery
+    delay (the epoch width). *)
+
+val shard_count : t -> int
+val lookahead : t -> float
+
+val engine : t -> int -> Engine.t
+(** Shard [i]'s engine: register handlers and post shard-local events
+    directly on it. Handler ids are per-engine; registering the same
+    handlers in the same order on every shard keeps ids aligned. *)
+
+val now : t -> shard:int -> float
+(** Shard-local clock (shards within an epoch advance independently). *)
+
+val epoch : t -> int
+(** Completed-or-running epoch count — the mailbox-ordering property
+    ("no event is delivered in its issuing epoch") is observable by
+    stamping {!send} payloads with this. *)
+
+val send :
+  t -> src:int -> dst:int -> delay:float -> h:int -> a:int -> b:int ->
+  x:float -> unit
+(** Cross-shard post: deliver [(h, a, b, x)] to shard [dst] at
+    [now ~shard:src + delay], where [h] names a handler registered on
+    the {e destination} shard's engine. [src = dst] degrades to a local
+    {!Engine.post}.
+    @raise Invalid_argument when [src <> dst] and [delay < lookahead]. *)
+
+val run :
+  ?until:float ->
+  ?globals:(float * (unit -> unit)) list ->
+  ?domains:int ->
+  t ->
+  unit
+(** Drive all shards to completion (or to [until], inclusive, clamping
+    every shard clock there) using up to [domains] pool workers
+    (default 1; capped at the shard count; the shared {!Par.ensure_pool}
+    supplies the domains).
+
+    [globals] is a time-sorted list of whole-system actions (membership
+    churn, phase switches) that run {e sequentially at a barrier}: the
+    epoch window is clipped so it never spans one, every shard clock is
+    advanced to the action's time, and the action may touch any shard
+    and post or {!send} freely. A global due at the same instant as a
+    queued event runs before it. Actions past [until] do not fire. *)
+
+val pending : t -> int
+(** Events queued across all shards and mailboxes. *)
+
+val events_executed : t -> int
+(** Total executed across shards. *)
+
+val cross_sends : t -> int
+(** Cross-shard messages handed over at barriers so far. *)

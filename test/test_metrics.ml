@@ -89,6 +89,92 @@ let test_histogram_sketch_quantiles () =
   Alcotest.(check (float 0.5)) "median" 50.0 (Histogram.median h);
   Alcotest.(check (float 0.25)) "p25" 25.0 (Histogram.quantile h 0.25)
 
+let test_histogram_merge () =
+  let a = Histogram.create ()
+  and b = Histogram.create ()
+  and whole = Histogram.create () in
+  let xs = List.init 60 (fun i -> float_of_int i /. 3.0)
+  and ys = List.init 40 (fun i -> float_of_int (i * 7) +. 0.5) in
+  List.iter (Histogram.add a) xs;
+  List.iter (Histogram.add b) ys;
+  List.iter (Histogram.add whole) (xs @ ys);
+  Histogram.merge a ~from:b;
+  Alcotest.(check int) "count" (Histogram.count whole) (Histogram.count a);
+  feq "mean" (Histogram.mean whole) (Histogram.mean a);
+  feq "min" (Histogram.min_value whole) (Histogram.min_value a);
+  feq "max" (Histogram.max_value whole) (Histogram.max_value a);
+  List.iter
+    (fun q ->
+      feq
+        (Printf.sprintf "q%.2f" q)
+        (Histogram.quantile whole q) (Histogram.quantile a q))
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ];
+  (* [from] untouched; merging an empty histogram is a no-op. *)
+  Alcotest.(check int) "from untouched" 40 (Histogram.count b);
+  Histogram.merge a ~from:(Histogram.create ());
+  Alcotest.(check int) "empty from" (Histogram.count whole) (Histogram.count a);
+  let fresh = Histogram.create () in
+  Histogram.merge fresh ~from:a;
+  Alcotest.(check int) "into empty" (Histogram.count a) (Histogram.count fresh);
+  feq "into empty median" (Histogram.median a) (Histogram.median fresh)
+
+let test_histogram_exact_merge () =
+  let a = Histogram.Exact.create () and b = Histogram.Exact.create () in
+  List.iter (Histogram.Exact.add a) [ 5.0; 1.0; 9.0 ];
+  List.iter (Histogram.Exact.add b) [ 2.0; 8.0 ];
+  Histogram.Exact.merge a ~from:b;
+  Alcotest.(check int) "count" 5 (Histogram.Exact.count a);
+  feq "mean" 5.0 (Histogram.Exact.mean a);
+  feq "median" 5.0 (Histogram.Exact.median a);
+  feq "min" 1.0 (Histogram.Exact.min_value a);
+  feq "max" 9.0 (Histogram.Exact.max_value a);
+  Alcotest.(check int) "from untouched" 2 (Histogram.Exact.count b)
+
+let gen_sample_lists =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 0 120) (float_range 0.001 5000.0))
+      (list_size (int_range 0 120) (float_range 0.001 5000.0)))
+
+let prop_histogram_merge_matches_single_stream =
+  Test_support.qcheck_case ~name:"sketch merge = single stream"
+    gen_sample_lists
+    (fun (xs, ys) ->
+      let a = Histogram.create () and whole = Histogram.create () in
+      let b = Histogram.create () in
+      List.iter (Histogram.add a) xs;
+      List.iter (Histogram.add b) ys;
+      List.iter (Histogram.add whole) (xs @ ys);
+      Histogram.merge a ~from:b;
+      Histogram.count a = Histogram.count whole
+      && Float.abs (Histogram.mean a -. Histogram.mean whole) < 1e-9
+      && (xs @ ys = []
+         || List.for_all
+              (fun q ->
+                Histogram.quantile a q = Histogram.quantile whole q)
+              [ 0.0; 0.25; 0.5; 0.75; 0.99; 1.0 ]))
+
+let prop_histogram_merge_vs_exact =
+  Test_support.qcheck_case ~name:"merged sketch tracks exact oracle"
+    gen_sample_lists
+    (fun (xs, ys) ->
+      match xs @ ys with
+      | [] -> true
+      | all ->
+          let a = Histogram.create () and b = Histogram.create () in
+          let e = Histogram.Exact.create () in
+          List.iter (Histogram.add a) xs;
+          List.iter (Histogram.add b) ys;
+          List.iter (Histogram.Exact.add e) all;
+          Histogram.merge a ~from:b;
+          List.for_all
+            (fun q ->
+              let s = Histogram.quantile a q
+              and x = Histogram.Exact.quantile e q in
+              (* γ-bounded relative error, exact at the extremes. *)
+              Float.abs (s -. x) <= (0.006 *. x) +. 1e-9)
+            [ 0.0; 0.5; 0.9; 1.0 ])
+
 let test_histogram_empty_raises () =
   let h = Histogram.create () in
   Alcotest.check_raises "empty" (Invalid_argument "Histogram.quantile: empty")
@@ -244,6 +330,10 @@ let () =
             test_histogram_sketch_quantiles;
           Alcotest.test_case "empty raises" `Quick test_histogram_empty_raises;
           Alcotest.test_case "buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "exact merge" `Quick test_histogram_exact_merge;
+          prop_histogram_merge_matches_single_stream;
+          prop_histogram_merge_vs_exact;
         ] );
       ( "timeseries",
         [

@@ -68,7 +68,68 @@ let test_two_failures_lowest_worker_wins () =
 
 let test_recommended_domains_positive () =
   let d = Par.recommended_domains () in
-  Alcotest.(check bool) "in range" true (d >= 1 && d <= 8)
+  Alcotest.(check bool) "in range" true (d >= 1 && d <= 16)
+
+(* --- Pool -------------------------------------------------------------- *)
+
+let test_pool_barrier_reuse () =
+  (* One pool, many barrier crossings: every worker runs exactly once
+     per crossing, including worker 0 on the caller's stack. *)
+  let domains = 3 in
+  let pool = Par.Pool.create ~domains in
+  Alcotest.(check int) "size" domains (Par.Pool.size pool);
+  let counts = Array.make domains 0 in
+  for _ = 1 to 50 do
+    Par.Pool.run pool (fun w -> counts.(w) <- counts.(w) + 1)
+  done;
+  Par.Pool.shutdown pool;
+  Alcotest.(check (array int)) "each worker ran every crossing"
+    (Array.make domains 50) counts
+
+let test_pool_exception_and_reuse () =
+  let pool = Par.Pool.create ~domains:3 in
+  (match
+     Par.Pool.run pool (fun w -> if w >= 1 then failwith (Printf.sprintf "w%d" w))
+   with
+  | exception Failure msg ->
+      Alcotest.(check string) "lowest worker wins" "w1" msg
+  | () -> Alcotest.fail "expected exception");
+  (* The barrier survived the failed crossing. *)
+  let ok = Atomic.make 0 in
+  Par.Pool.run pool (fun _ -> Atomic.incr ok);
+  Par.Pool.shutdown pool;
+  Alcotest.(check int) "usable after failure" 3 (Atomic.get ok)
+
+let test_pool_shutdown () =
+  let pool = Par.Pool.create ~domains:2 in
+  Par.Pool.run pool (fun _ -> ());
+  Par.Pool.shutdown pool;
+  Par.Pool.shutdown pool;
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Par.Pool.run: pool is shut down") (fun () ->
+      Par.Pool.run pool (fun _ -> ()))
+
+let test_ensure_pool_grows () =
+  let p2 = Par.ensure_pool 2 in
+  Alcotest.(check bool) "at least 2" true (Par.Pool.size p2 >= 2);
+  let p3 = Par.ensure_pool 3 in
+  Alcotest.(check bool) "grown to 3" true (Par.Pool.size p3 >= 3);
+  let p1 = Par.ensure_pool 1 in
+  Alcotest.(check bool) "never shrinks" true (Par.Pool.size p1 >= 3)
+
+let test_nested_map_falls_back () =
+  (* A map inside a pool job must not re-enter the pool. *)
+  let outer = Array.init 6 (fun i -> i) in
+  let got =
+    Par.map ~domains:3
+      ~f:(fun x ->
+        Array.fold_left ( + ) 0
+          (Par.map ~domains:3 ~f:(fun y -> (x * 10) + y) [| 1; 2; 3 |]))
+      outer
+  in
+  Alcotest.(check (array int)) "nested"
+    (Array.map (fun x -> (30 * x) + 6) outer)
+    got
 
 let prop_map_matches_sequential =
   Test_support.qcheck_case ~count:50 ~name:"parallel map = Array.map"
@@ -119,6 +180,16 @@ let () =
             test_recommended_domains_positive;
           Alcotest.test_case "parallel sweeps deterministic" `Slow
             test_deterministic_experiment_under_parallelism;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "barrier reuse" `Quick test_pool_barrier_reuse;
+          Alcotest.test_case "exception then reuse" `Quick
+            test_pool_exception_and_reuse;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "ensure_pool grows" `Quick test_ensure_pool_grows;
+          Alcotest.test_case "nested map sequential" `Quick
+            test_nested_map_falls_back;
         ] );
       ("properties", [ prop_map_matches_sequential ]);
     ]

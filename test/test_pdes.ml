@@ -1,0 +1,306 @@
+(* The domain-parallel simulation stack: the sharded engine against the
+   plain packed core, the no-same-epoch-delivery mailbox property, and
+   the headline determinism claim — Pdes_sim runs bit-identically at any
+   domain count. *)
+
+open Lesslog_id
+module Engine = Lesslog_sim.Engine
+module Sharded = Lesslog_sim.Sharded_engine
+module Pdes = Lesslog_des.Pdes_sim
+module Demand = Lesslog_workload.Demand
+module Status_word = Lesslog_membership.Status_word
+module Latency = Lesslog_net.Latency
+module Histogram = Lesslog_metrics.Histogram
+
+(* --- Sharded engine ---------------------------------------------------- *)
+
+(* A reproducible synthetic workload: event [b] at a node re-posts
+   locally while [b > 0], and every third value also crosses to the next
+   shard. Pure function of the payload, so the same schedule can be
+   replayed on any engine and any domain count. *)
+let synthetic_schedule ~shards ~seeds =
+  List.concat_map
+    (fun seed ->
+      List.init 12 (fun i ->
+          let t = float_of_int (((seed * 37) + (i * 13)) mod 50) /. 7.0 in
+          (i mod shards, t, (seed + i) mod 7, (seed * i) mod 5)))
+    seeds
+
+let run_sharded ~shards ~domains sched =
+  let lookahead = 0.5 in
+  let se = Sharded.create ~shards ~lookahead () in
+  let log = Array.make shards [] in
+  let handlers = Array.make shards (-1) in
+  for s = 0 to shards - 1 do
+    let eng = Sharded.engine se s in
+    let h = ref (-1) in
+    let handler a b x =
+      log.(s) <- (Engine.now eng, a, b, x) :: log.(s);
+      if b > 0 then Engine.post eng ~delay:0.1 ~h:!h ~a ~b:(b - 1) ~x;
+      if b > 0 && b mod 3 = 0 && shards > 1 then
+        Sharded.send se ~src:s ~dst:((s + 1) mod shards)
+          ~delay:(lookahead +. 0.01) ~h:handlers.((s + 1) mod shards) ~a
+          ~b:(max 0 (b - 1))
+          ~x:(x +. 1.0)
+    in
+    h := Engine.register_handler eng handler;
+    handlers.(s) <- !h
+  done;
+  List.iter
+    (fun (s, t, a, b) ->
+      Engine.post_at (Sharded.engine se s) ~time:t ~h:handlers.(s) ~a ~b
+        ~x:0.0)
+    sched;
+  Sharded.run ~domains se;
+  Array.map List.rev log
+
+let test_one_shard_matches_engine () =
+  let sched = synthetic_schedule ~shards:1 ~seeds:[ 3; 11; 29 ] in
+  let sharded = (run_sharded ~shards:1 ~domains:1 sched).(0) in
+  (* The same schedule on a bare packed engine. *)
+  let eng = Engine.create () in
+  let log = ref [] in
+  let h = ref (-1) in
+  let handler a b x =
+    log := (Engine.now eng, a, b, x) :: !log;
+    if b > 0 then Engine.post eng ~delay:0.1 ~h:!h ~a ~b:(b - 1) ~x
+  in
+  h := Engine.register_handler eng handler;
+  List.iter
+    (fun (_, t, a, b) -> Engine.post_at eng ~time:t ~h:!h ~a ~b ~x:0.0)
+    sched;
+  Engine.run eng;
+  Alcotest.(check int) "events" (List.length !log) (List.length sharded);
+  Alcotest.(check bool) "sequence identical" true (List.rev !log = sharded)
+
+let test_sharded_domain_invariance () =
+  let sched = synthetic_schedule ~shards:4 ~seeds:[ 1; 5; 9; 17; 23 ] in
+  let base = run_sharded ~shards:4 ~domains:1 sched in
+  List.iter
+    (fun domains ->
+      let other = run_sharded ~shards:4 ~domains sched in
+      for s = 0 to 3 do
+        Alcotest.(check bool)
+          (Printf.sprintf "shard %d @ %d domains" s domains)
+          true
+          (base.(s) = other.(s))
+      done)
+    [ 2; 3; 4; 8 ]
+
+let test_send_below_lookahead_rejected () =
+  let se = Sharded.create ~shards:2 ~lookahead:0.5 () in
+  let h = Engine.register_handler (Sharded.engine se 1) (fun _ _ _ -> ()) in
+  Alcotest.check_raises "below lookahead"
+    (Invalid_argument "Sharded_engine.send: cross-shard delay below lookahead")
+    (fun () -> Sharded.send se ~src:0 ~dst:1 ~delay:0.25 ~h ~a:0 ~b:0 ~x:0.0)
+
+(* No event is delivered in the epoch that issued it: stamp every
+   cross-shard payload with the issuing epoch and check it on arrival. *)
+let test_no_same_epoch_delivery () =
+  let shards = 3 and lookahead = 0.125 in
+  let se = Sharded.create ~shards ~lookahead () in
+  let handlers = Array.make shards (-1) in
+  let violations = ref 0 and delivered = ref 0 in
+  for s = 0 to shards - 1 do
+    let eng = Sharded.engine se s in
+    let handler a b _x =
+      if a >= 0 then begin
+        (* Cross-shard delivery: [a] is the issuing epoch. *)
+        incr delivered;
+        if Sharded.epoch se <= a then incr violations
+      end;
+      if b > 0 then begin
+        let dst = (s + 1) mod shards in
+        Sharded.send se ~src:s ~dst ~delay:(lookahead +. 0.001)
+          ~h:handlers.(dst) ~a:(Sharded.epoch se) ~b:(b - 1) ~x:0.0;
+        Engine.post eng ~delay:0.05 ~h:handlers.(s) ~a:(-1) ~b:(b - 1) ~x:0.0
+      end
+    in
+    handlers.(s) <- Engine.register_handler eng handler
+  done;
+  for s = 0 to shards - 1 do
+    Engine.post_at (Sharded.engine se s) ~time:(0.1 *. float_of_int (s + 1))
+      ~h:handlers.(s) ~a:(-1) ~b:6 ~x:0.0
+  done;
+  Sharded.run ~domains:1 se;
+  Alcotest.(check bool) "cross deliveries happened" true (!delivered > 0);
+  Alcotest.(check int) "same-epoch deliveries" 0 !violations
+
+let test_globals_fire_in_order () =
+  let se = Sharded.create ~shards:2 ~lookahead:1.0 () in
+  let fired = ref [] in
+  let h =
+    Engine.register_handler (Sharded.engine se 0) (fun a _ _ ->
+        fired := `Event a :: !fired)
+  in
+  ignore (Engine.register_handler (Sharded.engine se 1) (fun _ _ _ -> ()));
+  List.iter
+    (fun t -> Engine.post_at (Sharded.engine se 0) ~time:t ~h ~a:(int_of_float t) ~b:0 ~x:0.0)
+    [ 1.0; 3.0; 5.0 ];
+  Sharded.run
+    ~globals:
+      [ (2.0, fun () -> fired := `Global 2 :: !fired);
+        (4.0, fun () -> fired := `Global 4 :: !fired) ]
+    ~domains:1 se;
+  Alcotest.(check bool)
+    "interleaved in time order" true
+    (List.rev !fired
+    = [ `Event 1; `Global 2; `Event 3; `Global 4; `Event 5 ])
+
+(* --- Pdes_sim ----------------------------------------------------------- *)
+
+let pdes_churn params =
+  let pid i = Pid.unsafe_of_int (i mod Params.space params) in
+  [
+    { Pdes.at = 0.6; action = Pdes.Fail (pid 11) };
+    { Pdes.at = 0.9; action = Pdes.Leave (pid 42) };
+    { Pdes.at = 1.2; action = Pdes.Fail (pid 7) };
+    { Pdes.at = 1.7; action = Pdes.Join (pid 11) };
+  ]
+
+let run_pdes ?(m = 8) ?(b = 2) ?(loss = 0.02) ~domains () =
+  let params = Params.create ~m ~b () in
+  let status = Status_word.create params ~initially_live:true in
+  let demand = Demand.uniform status ~total:900.0 in
+  Pdes.run
+    ~config:{ Pdes.default_config with loss }
+    ~churn:(pdes_churn params) ~domains ~seed:4242 ~params ~key:"pdes/object"
+    ~demand ~duration:2.5 ()
+
+let check_same_result msg (a : Pdes.result) (b : Pdes.result) =
+  Alcotest.(check int) (msg ^ ": digest") a.Pdes.digest b.Pdes.digest;
+  Alcotest.(check int) (msg ^ ": served") a.Pdes.served b.Pdes.served;
+  Alcotest.(check int) (msg ^ ": faults") a.Pdes.faults b.Pdes.faults;
+  Alcotest.(check int) (msg ^ ": requests") a.Pdes.requests b.Pdes.requests;
+  Alcotest.(check int)
+    (msg ^ ": migrations") a.Pdes.migrations b.Pdes.migrations;
+  Alcotest.(check int)
+    (msg ^ ": replicas") a.Pdes.replicas_created b.Pdes.replicas_created;
+  Alcotest.(check int)
+    (msg ^ ": replicas_end") a.Pdes.replicas_end b.Pdes.replicas_end;
+  Alcotest.(check int) (msg ^ ": messages") a.Pdes.messages b.Pdes.messages;
+  Alcotest.(check int)
+    (msg ^ ": latency count")
+    (Histogram.count a.Pdes.latencies)
+    (Histogram.count b.Pdes.latencies);
+  Alcotest.(check (float 1e-9))
+    (msg ^ ": latency mean")
+    (Histogram.mean a.Pdes.latencies)
+    (Histogram.mean b.Pdes.latencies)
+
+let test_pdes_domain_invariance () =
+  let base = run_pdes ~domains:1 () in
+  Alcotest.(check bool) "run does something" true (base.Pdes.served > 0);
+  Alcotest.(check bool) "epochs advanced" true (base.Pdes.epochs > 0);
+  List.iter
+    (fun domains ->
+      check_same_result
+        (Printf.sprintf "%d domains" domains)
+        base
+        (run_pdes ~domains ()))
+    [ 2; 4; 8 ]
+
+let test_pdes_eight_shards () =
+  (* 2^3 subtrees: every domain count up to 8 maps onto real shards. *)
+  let base = run_pdes ~m:9 ~b:3 ~domains:1 () in
+  List.iter
+    (fun domains ->
+      check_same_result
+        (Printf.sprintf "b=3, %d domains" domains)
+        base
+        (run_pdes ~m:9 ~b:3 ~domains ()))
+    [ 2; 4; 8 ]
+
+let test_pdes_oversized_pool () =
+  (* The shared pool only grows: after an 8-domain run the pool keeps 8
+     workers, and a later 2-domain run hands its epoch job to all of
+     them. The engine must ignore workers beyond its own count or two
+     of them race on one shard (regression: duplicate-drain race). *)
+  ignore (Sys.opaque_identity (Lesslog_parallel.Par.ensure_pool 8));
+  let base = run_pdes ~m:9 ~b:3 ~domains:1 () in
+  for i = 1 to 5 do
+    check_same_result
+      (Printf.sprintf "oversized pool, try %d" i)
+      base
+      (run_pdes ~m:9 ~b:3 ~domains:2 ())
+  done
+
+let test_pdes_quiet_run_has_no_faults () =
+  (* All nodes live, no loss: every subtree keeps its insertion copy, so
+     routing always terminates at a holder. *)
+  let params = Params.create ~m:7 ~b:2 () in
+  let status = Status_word.create params ~initially_live:true in
+  let demand = Demand.uniform status ~total:400.0 in
+  let r =
+    Pdes.run ~domains:2 ~seed:7 ~params ~key:"quiet" ~demand ~duration:1.5 ()
+  in
+  Alcotest.(check int) "no faults" 0 r.Pdes.faults;
+  Alcotest.(check int) "no migrations" 0 r.Pdes.migrations;
+  Alcotest.(check bool) "requests flowed" true (r.Pdes.requests > 100);
+  Alcotest.(check bool) "served <= requests" true
+    (r.Pdes.served <= r.Pdes.requests);
+  Alcotest.(check bool)
+    "insertion copies survive" true
+    (r.Pdes.replicas_end >= Params.subtree_count params)
+
+let test_pdes_replication_under_load () =
+  (* Hotspot demand far above one node's capacity must create replicas. *)
+  let params = Params.create ~m:6 ~b:1 () in
+  let status = Status_word.create params ~initially_live:true in
+  let demand = Demand.uniform status ~total:2000.0 in
+  let r =
+    Pdes.run
+      ~config:{ Pdes.default_config with capacity = 50.0 }
+      ~domains:2 ~seed:13 ~params ~key:"hot" ~demand ~duration:2.0 ()
+  in
+  Alcotest.(check bool) "replicated" true (r.Pdes.replicas_created > 0);
+  Alcotest.(check bool) "copies at end" true
+    (r.Pdes.replicas_end > Params.subtree_count params)
+
+let test_pdes_churn_moves_copies () =
+  let params = Params.create ~m:8 ~b:2 () in
+  let status = Status_word.create params ~initially_live:true in
+  let demand = Demand.uniform status ~total:600.0 in
+  (* Fail every member of subtree 0's insertion chain head-on: the copy
+     must be recovered from a sibling subtree, not lost. *)
+  let tree_key = "churny" in
+  let r =
+    Pdes.run ~churn:(pdes_churn params) ~domains:4 ~seed:99 ~params
+      ~key:tree_key ~demand ~duration:2.5 ()
+  in
+  Alcotest.(check bool) "control traffic accounted" true
+    (r.Pdes.control_messages > 0);
+  Alcotest.(check bool) "copies survive churn" true (r.Pdes.replicas_end > 0)
+
+let () =
+  Alcotest.run "pdes"
+    [
+      ( "sharded-engine",
+        [
+          Alcotest.test_case "one shard = packed engine" `Quick
+            test_one_shard_matches_engine;
+          Alcotest.test_case "domain invariance" `Quick
+            test_sharded_domain_invariance;
+          Alcotest.test_case "lookahead enforced" `Quick
+            test_send_below_lookahead_rejected;
+          Alcotest.test_case "no same-epoch delivery" `Quick
+            test_no_same_epoch_delivery;
+          Alcotest.test_case "globals in time order" `Quick
+            test_globals_fire_in_order;
+        ] );
+      ( "pdes-sim",
+        [
+          Alcotest.test_case "bit-identical at 1/2/4/8 domains" `Quick
+            test_pdes_domain_invariance;
+          Alcotest.test_case "eight shards, 1/2/4/8 domains" `Quick
+            test_pdes_eight_shards;
+          Alcotest.test_case "oversized pool: workers beyond domains idle"
+            `Quick test_pdes_oversized_pool;
+          Alcotest.test_case "quiet run: no faults" `Quick
+            test_pdes_quiet_run_has_no_faults;
+          Alcotest.test_case "replication under load" `Quick
+            test_pdes_replication_under_load;
+          Alcotest.test_case "churn recovers copies" `Quick
+            test_pdes_churn_moves_copies;
+        ] );
+    ]

@@ -128,6 +128,82 @@ let ladder_matches_oracle ?buckets ?split_threshold times =
   ladder_drain (ladder_of_times ?buckets ?split_threshold times)
   = oracle_order times
 
+let test_ladder_pop_until_boundary () =
+  let lq = ladder_of_times [ 1.0; 2.0; 2.0; 3.0 ] in
+  Alcotest.(check bool) "below bound" true (Ladder.pop_until lq ~bound:2.0);
+  Alcotest.(check (float 0.0)) "popped 1.0" 1.0 (Ladder.time lq);
+  (* Strictly below: events at exactly the bound stay queued. *)
+  Alcotest.(check bool) "at bound stays" false (Ladder.pop_until lq ~bound:2.0);
+  Alcotest.(check int) "untouched" 3 (Ladder.length lq);
+  Alcotest.(check (float 0.0)) "min_time" 2.0 (Ladder.min_time lq);
+  Alcotest.(check bool) "next window" true (Ladder.pop_until lq ~bound:2.5);
+  Alcotest.(check bool) "fifo tie" true (Ladder.pop_until lq ~bound:2.5);
+  Alcotest.(check bool) "window drained" false (Ladder.pop_until lq ~bound:2.5);
+  Alcotest.(check bool) "empty queue" false
+    (Ladder.pop_until (Ladder.create ()) ~bound:10.0)
+
+let test_heap_pop_if () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (option int)) "accepts" (Some 1) (Heap.pop_if h (fun v -> v < 2));
+  Alcotest.(check (option int)) "rejects" None (Heap.pop_if h (fun v -> v < 2));
+  Alcotest.(check int) "untouched" 2 (Heap.length h);
+  Alcotest.(check (option int)) "empty" None
+    (Heap.pop_if (Heap.create ~cmp:compare) (fun _ -> true))
+
+(* Epoch-wise draining — [while pop_until ~bound] windows chained over
+   the whole queue — must visit exactly the full-drain order, with the
+   heap's [pop_if] as the mirror oracle. *)
+let prop_ladder_pop_until_epochs =
+  Test_support.qcheck_case ~name:"epoch windows = full drain (ladder & heap)"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 300) (float_bound_inclusive 50.0))
+        (float_range 0.1 10.0))
+    (fun (times, width) ->
+      let lq = ladder_of_times ~buckets:4 ~split_threshold:4 times in
+      let h = Heap.create ~cmp:event_cmp in
+      List.iteri (fun i t -> Heap.push h (t, i)) times;
+      let out_l = ref [] and out_h = ref [] in
+      while not (Ladder.is_empty lq) do
+        let bound = Ladder.min_time lq +. width in
+        while Ladder.pop_until lq ~bound do
+          out_l := (Ladder.time lq, Ladder.seq lq) :: !out_l
+        done;
+        let rec drain () =
+          match Heap.pop_if h (fun (t, _) -> t < bound) with
+          | None -> ()
+          | Some ev ->
+              out_h := ev :: !out_h;
+              drain ()
+        in
+        drain ()
+      done;
+      Heap.is_empty h
+      && List.rev !out_l = oracle_order times
+      && !out_h = !out_l)
+
+let test_engine_step_below_and_advance () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  let h = Engine.register_handler e (fun a _ _ -> seen := a :: !seen) in
+  List.iter
+    (fun (t, a) -> Engine.post_at e ~time:t ~h ~a ~b:0 ~x:0.0)
+    [ (1.0, 1); (2.0, 2); (3.0, 3) ];
+  Alcotest.(check (option (float 0.0))) "next_time" (Some 1.0)
+    (Engine.next_time e);
+  Alcotest.(check bool) "below" true (Engine.step_below e ~bound:2.0);
+  (* Head at the bound: nothing runs, the clock stays put. *)
+  Alcotest.(check bool) "at bound" false (Engine.step_below e ~bound:2.0);
+  Alcotest.(check (float 0.0)) "clock" 1.0 (Engine.now e);
+  Engine.drain_below e ~bound:10.0;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !seen);
+  Alcotest.(check (option (float 0.0))) "drained" None (Engine.next_time e);
+  Engine.advance_to e ~time:7.5;
+  Alcotest.(check (float 0.0)) "advanced" 7.5 (Engine.now e);
+  Engine.advance_to e ~time:2.0;
+  Alcotest.(check (float 0.0)) "never backwards" 7.5 (Engine.now e)
+
 let prop_ladder_uniform =
   Test_support.qcheck_case ~name:"ladder = heap (uniform times)"
     QCheck2.Gen.(list_size (int_range 0 400) (float_bound_inclusive 100.0))
@@ -392,6 +468,7 @@ let () =
           Alcotest.test_case "to_sorted_list" `Quick
             test_heap_to_sorted_list_nondestructive;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "pop_if" `Quick test_heap_pop_if;
         ] );
       ( "ladder",
         [
@@ -399,6 +476,8 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_ladder_fifo_ties;
           Alcotest.test_case "payload roundtrip" `Quick
             test_ladder_payload_roundtrip;
+          Alcotest.test_case "pop_until boundary" `Quick
+            test_ladder_pop_until_boundary;
         ] );
       ( "engine",
         [
@@ -418,6 +497,8 @@ let () =
             test_engine_packed_reentrant;
           Alcotest.test_case "packed rejects past" `Quick
             test_engine_post_rejects_past;
+          Alcotest.test_case "step_below / drain_below / advance_to" `Quick
+            test_engine_step_below_and_advance;
         ] );
       ( "properties",
         [
@@ -430,6 +511,7 @@ let () =
           prop_ladder_all_equal;
           prop_ladder_far_heap_refill;
           prop_ladder_rung_edge;
+          prop_ladder_pop_until_epochs;
           prop_engine_executes_in_time_order;
         ] );
     ]
