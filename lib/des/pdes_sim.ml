@@ -35,6 +35,7 @@ module Demand = Lesslog_workload.Demand
 module Histogram = Lesslog_metrics.Histogram
 module Packed_bits = Lesslog_bits.Packed_bits
 module Rng = Lesslog_prng.Rng
+module Faults = Lesslog_workload.Faults
 module Psi = Lesslog_hash.Psi
 module Fnv = Lesslog_hash.Fnv
 module Obs = Lesslog_obs.Obs
@@ -117,6 +118,9 @@ type shard = {
 
 type state = {
   config : config;
+  mutable loss : float;
+      (* current drop probability: [config.loss] raised by active loss
+         bursts; only written by barrier globals *)
   params : Params.t;
   tree : Ptree.t;
   status : Status_word.t;
@@ -142,6 +146,7 @@ type result = {
   file_transfers : int;
   events : int;
   epochs : int;
+  phases : int;
   cross_sends : int;
   digest : int;
 }
@@ -165,7 +170,7 @@ let total_copies (st : state) =
    minimum, i.e. the lookahead, by construction). *)
 let send_msg st (sh : shard) ~dst ~b ~x =
   sh.messages <- sh.messages + 1;
-  if not (st.config.loss > 0.0 && Rng.bernoulli sh.rng ~p:st.config.loss) then begin
+  if not (st.loss > 0.0 && Rng.bernoulli sh.rng ~p:st.loss) then begin
     let delay = Latency.sample st.config.latency sh.rng in
     let dsid = sid_of st dst in
     Sharded_engine.send st.se ~src:sh.sid ~dst:dsid ~delay
@@ -451,6 +456,39 @@ let churn_globals (st : state) churn =
              | Fail p ->
                  if Status_word.is_live st.status p then churn_fail st p ))
 
+(* A {!Faults.plan} lowered onto the same barrier-global machinery:
+   crashes become [Fail]/[Join] churn, loss bursts become boundary
+   globals that recompute the current drop probability. Partitions have
+   no subtree-local interpretation here and are rejected. *)
+let fault_churn (plan : Faults.plan) =
+  List.concat_map
+    (fun (c : Faults.crash) ->
+      let fail = { at = c.Faults.at; action = Fail c.Faults.node } in
+      match c.Faults.restart_at with
+      | None -> [ fail ]
+      | Some r -> [ fail; { at = r; action = Join c.Faults.node } ])
+    plan.Faults.crashes
+
+let burst_globals (st : state) (plan : Faults.plan) =
+  let bounds =
+    List.sort_uniq Float.compare
+      (List.concat_map
+         (fun (b : Faults.burst) -> [ b.Faults.from_; b.Faults.until ])
+         plan.Faults.bursts)
+  in
+  List.map
+    (fun t ->
+      ( t,
+        fun () ->
+          st.loss <-
+            List.fold_left
+              (fun acc (b : Faults.burst) ->
+                if b.Faults.from_ <= t && t < b.Faults.until then
+                  Float.max acc b.Faults.loss
+                else acc)
+              st.config.loss plan.Faults.bursts ))
+    bounds
+
 let start_arrivals (st : state) =
   Array.iter
     (fun (sh : shard) ->
@@ -490,10 +528,12 @@ let finalize_obs (st : state) (obs : Obs.t) ~latencies ~hops =
   ignore (Obs.Registry.timer_backed r "pdes/latency_s" latencies);
   ignore (Obs.Registry.timer_backed r "pdes/hops" hops)
 
-let run ?(config = default_config) ?(churn = []) ?obs ?(domains = 1) ~seed
-    ~params ~key ~demand ~duration () =
+let run ?(config = default_config) ?(churn = []) ?(faults = Faults.empty) ?obs
+    ?(domains = 1) ?(fuse = true) ~seed ~params ~key ~demand ~duration () =
   if Params.m params > origin_bits then
     invalid_arg "Pdes_sim.run: m exceeds the packed origin field";
+  if faults.Faults.partitions <> [] then
+    invalid_arg "Pdes_sim.run: partitions are not supported";
   let nshards = Params.subtree_count params in
   let lmin = min_latency config.latency in
   if nshards > 1 && not (lmin > 0.0) then
@@ -547,6 +587,7 @@ let run ?(config = default_config) ?(churn = []) ?obs ?(domains = 1) ~seed
   let st =
     {
       config;
+      loss = config.loss;
       params;
       tree;
       status;
@@ -568,8 +609,15 @@ let run ?(config = default_config) ?(churn = []) ?obs ?(domains = 1) ~seed
     (fun p -> Packed_bits.set shards.(sid_of st p).holders (svid_of st p))
     (Subtrees.insertion_targets tree status);
   start_arrivals st;
-  Sharded_engine.run ~until:duration ~globals:(churn_globals st churn) ~domains
-    se;
+  (* Both lists are time-sorted; concat + stable sort is a stable merge,
+     so at equal times churn (user first, then crash-derived) precedes
+     loss-boundary recomputes — a fixed, domain-count-free order. *)
+  let globals =
+    List.stable_sort
+      (fun (a, _) (b, _) -> Float.compare a b)
+      (churn_globals st (churn @ fault_churn faults) @ burst_globals st faults)
+  in
+  Sharded_engine.run ~until:duration ~globals ~domains ~fuse se;
   let latencies = Histogram.create () and hops = Histogram.create () in
   Array.iter
     (fun (sh : shard) ->
@@ -592,6 +640,7 @@ let run ?(config = default_config) ?(churn = []) ?obs ?(domains = 1) ~seed
     file_transfers = st.file_transfers;
     events = Sharded_engine.events_executed se;
     epochs = Sharded_engine.epoch se;
+    phases = Sharded_engine.phases se;
     cross_sends = Sharded_engine.cross_sends se;
     digest =
       Array.fold_left (fun d (sh : shard) -> mix d sh.digest) 0x1505 shards;

@@ -52,7 +52,9 @@ type result = {
   control_messages : int;
   file_transfers : int;
   events : int;
-  epochs : int;  (** Barrier crossings of the sharded engine. *)
+  epochs : int;  (** Epoch windows of the sharded engine. *)
+  phases : int;
+      (** Pool dispatches; [epochs / phases] is the fusion factor. *)
   cross_sends : int;  (** Mailbox messages between shards. *)
   digest : int;
       (** FNV fold over every handled event of every shard, combined in
@@ -66,8 +68,10 @@ type churn_event = { at : float; action : churn_action }
 val run :
   ?config:config ->
   ?churn:churn_event list ->
+  ?faults:Lesslog_workload.Faults.plan ->
   ?obs:Obs.t ->
   ?domains:int ->
+  ?fuse:bool ->
   seed:int ->
   params:Params.t ->
   key:string ->
@@ -81,8 +85,14 @@ val run :
     barrier globals (a {!Leave} relocates the departing node's copy, a
     {!Fail} loses it and recovers from a sibling subtree while any copy
     survives, a {!Join} lets a new insertion target take the copy over);
-    [domains] is purely a speed knob. With [obs], per-shard span sinks
-    are merged into the bundle in shard order and [pdes/*] registry
-    metrics are attributed at the end.
+    [faults] is a {!Lesslog_workload.Faults.plan} lowered onto the same
+    machinery — crashes become [Fail]/[Join] churn, loss bursts become
+    barrier globals that raise the drop probability to the maximum of
+    the active bursts for their span (partitions are rejected);
+    [domains] and [fuse] are purely speed knobs (epoch fusion is on by
+    default; [~fuse:false] forces one pool dispatch per epoch). With
+    [obs], per-shard span sinks are merged into the bundle in shard
+    order and [pdes/*] registry metrics are attributed at the end.
     @raise Invalid_argument when [m] exceeds the 24-bit packed origin
-    field, or [b > 0] with a latency minimum of zero. *)
+    field, [b > 0] with a latency minimum of zero, or [faults] contains
+    partitions. *)

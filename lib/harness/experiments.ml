@@ -243,6 +243,7 @@ type pdes_point = {
   pdes_messages : int;
   pdes_cross_sends : int;
   pdes_epochs : int;
+  pdes_phases : int;
   pdes_digest : int;
   pdes_p50_latency : float;
   pdes_p99_latency : float;
@@ -253,8 +254,8 @@ let pdes_oracle_replicas ~total_rate ~capacity =
     invalid_arg "Experiments.pdes_oracle_replicas: capacity must be positive";
   Float.max 1.0 (total_rate /. capacity)
 
-let pdes_point ?(b = 2) ?(domains = 1) ~m ~rate_per_node ~duration ~capacity
-    ~seed () =
+let pdes_point ?(b = 2) ?(domains = 1) ?(fuse = true) ?faults ~m ~rate_per_node
+    ~duration ~capacity ~seed () =
   let params = Params.create ~b ~m () in
   let status = Status_word.create params ~initially_live:true in
   let nodes = Status_word.live_count status in
@@ -265,8 +266,8 @@ let pdes_point ?(b = 2) ?(domains = 1) ~m ~rate_per_node ~duration ~capacity
   let config = { Pdes_sim.default_config with capacity } in
   let t0 = Sys.time () in
   let r =
-    Pdes_sim.run ~config ~domains ~seed:run_seed ~params ~key:hot_file ~demand
-      ~duration ()
+    Pdes_sim.run ~config ?faults ~domains ~fuse ~seed:run_seed ~params
+      ~key:hot_file ~demand ~duration ()
   in
   let secs = Sys.time () -. t0 in
   let q h p = if Histogram.count h = 0 then 0.0 else Histogram.quantile h p in
@@ -287,10 +288,32 @@ let pdes_point ?(b = 2) ?(domains = 1) ~m ~rate_per_node ~duration ~capacity
     pdes_messages = r.Pdes_sim.messages;
     pdes_cross_sends = r.Pdes_sim.cross_sends;
     pdes_epochs = r.Pdes_sim.epochs;
+    pdes_phases = r.Pdes_sim.phases;
     pdes_digest = r.Pdes_sim.digest;
     pdes_p50_latency = q r.Pdes_sim.latencies 0.5;
     pdes_p99_latency = q r.Pdes_sim.latencies 0.99;
   }
+
+(* Churn-heavy row: a generated fault plan (crashes with restarts plus a
+   loss burst, no partitions) replayed through the sharded simulator's
+   barrier globals. The plan is derived from its own seed tag, so the
+   same row is reproducible at any domain count. *)
+let pdes_fault_point ?(b = 2) ?(domains = 1) ?(fuse = true) ~m ~rate_per_node
+    ~duration ~capacity ~seed () =
+  let params = Params.create ~b ~m () in
+  let status = Status_word.create params ~initially_live:true in
+  let tag = Printf.sprintf "%d|pdesfault|%d" seed m in
+  let rng = Rng.create ~seed:(Lesslog_hash.Fnv.hash63 tag land 0x3FFFFFFF) in
+  let live = Status_word.live_pids status in
+  let crash_fraction =
+    Float.min 0.25 (8.0 /. float_of_int (List.length live))
+  in
+  let faults =
+    Lesslog_workload.Faults.generate ~rng ~live ~duration ~crash_fraction
+      ~restart_fraction:0.5 ~bursts:2 ~burst_loss:0.3 ~partitions:0 ()
+  in
+  pdes_point ~b ~domains ~fuse ~faults ~m ~rate_per_node ~duration ~capacity
+    ~seed ()
 
 let pdes_sweep ?(ms = [ 10; 11; 12; 13; 14; 15; 16 ]) ?(b = 2) ?(domains = 1)
     ?(rate_per_node = 2.0) ?(duration = 5.0) ?(capacity = 100.0) ?(seed = 42)

@@ -145,7 +145,9 @@ type pdes_point = {
       (** Mean-field steady-state prediction, {!pdes_oracle_replicas}. *)
   pdes_messages : int;
   pdes_cross_sends : int;  (** Mailbox messages between shards. *)
-  pdes_epochs : int;  (** Barrier crossings of the sharded engine. *)
+  pdes_epochs : int;  (** Epoch windows of the sharded engine. *)
+  pdes_phases : int;
+      (** Pool dispatches; [epochs / phases] is the epoch-fusion factor. *)
   pdes_digest : int;  (** Domain-count-invariant run digest. *)
   pdes_p50_latency : float;
   pdes_p99_latency : float;
@@ -164,6 +166,8 @@ val pdes_oracle_replicas : total_rate:float -> capacity:float -> float
 val pdes_point :
   ?b:int ->
   ?domains:int ->
+  ?fuse:bool ->
+  ?faults:Lesslog_workload.Faults.plan ->
   m:int ->
   rate_per_node:float ->
   duration:float ->
@@ -174,8 +178,26 @@ val pdes_point :
 (** One {!Lesslog_des.Pdes_sim} run at exponent [m] with [2^b] subtrees
     (default 2, i.e. 4 shards) on [domains] worker domains (default 1),
     total demand [rate_per_node * live_nodes], timed with [Sys.time].
+    [fuse] and [faults] pass through to {!Lesslog_des.Pdes_sim.run}.
     The run seed is derived as [hash63 "seed|pdes|m"], so rows are
     independent and reproducible point-wise. *)
+
+val pdes_fault_point :
+  ?b:int ->
+  ?domains:int ->
+  ?fuse:bool ->
+  m:int ->
+  rate_per_node:float ->
+  duration:float ->
+  capacity:float ->
+  seed:int ->
+  unit ->
+  pdes_point
+(** {!pdes_point} under a churn-heavy generated fault plan (crashes of
+    up to a quarter of the population with 50% restarts, two loss
+    bursts, no partitions) derived from [hash63 "seed|pdesfault|m"] —
+    the workload that exercises barrier globals and cross-epoch traffic
+    rather than the embarrassingly parallel steady state. *)
 
 val pdes_sweep :
   ?ms:int list ->

@@ -134,6 +134,76 @@ module Pool = struct
       t.failures
 end
 
+(* Phase barrier: a reusable in-job rendezvous for workers that are
+   already inside one [Pool.run] job and want to cross several internal
+   phases without returning to the coordinator. The last worker to
+   arrive runs a decision closure while everyone else holds, then all
+   parties are released together — one crossing per phase instead of a
+   full job dispatch (wake broadcast + idle join).
+
+   Waiting spins briefly (cheap when every party has its own core, the
+   pool's normal regime) and then falls back to a condition variable so
+   an oversubscribed host — more workers than cores — blocks instead of
+   burning scheduler slices. The atomic generation counter doubles as
+   the release flag and the memory fence: plain writes made before
+   [Atomic.incr gen] by the last arriver (the decision's outputs) are
+   visible to every party after it observes the new generation, and
+   plain writes made by a party before its arrival RMW are visible to
+   the last arriver. *)
+module Barrier = struct
+  type t = {
+    parties : int;
+    arrivals : int Atomic.t;
+    gen : int Atomic.t;
+    m : Mutex.t;
+    c : Condition.t;
+    spin : int;
+  }
+
+  let create ?(spin = 512) ~parties () =
+    if parties < 1 then invalid_arg "Par.Barrier.create: parties";
+    {
+      parties;
+      arrivals = Atomic.make 0;
+      gen = Atomic.make 0;
+      m = Mutex.create ();
+      c = Condition.create ();
+      spin;
+    }
+
+  let parties t = t.parties
+
+  let arrive t ~last =
+    if t.parties = 1 then last ()
+    else begin
+      let g = Atomic.get t.gen in
+      if Atomic.fetch_and_add t.arrivals 1 = t.parties - 1 then begin
+        last ();
+        Atomic.set t.arrivals 0;
+        Atomic.incr t.gen;
+        (* Waiters re-check [gen] under the mutex before sleeping, so
+           broadcasting under it closes the missed-wakeup window. *)
+        Mutex.lock t.m;
+        Condition.broadcast t.c;
+        Mutex.unlock t.m
+      end
+      else begin
+        let k = ref 0 in
+        while Atomic.get t.gen = g && !k < t.spin do
+          incr k;
+          Domain.cpu_relax ()
+        done;
+        if Atomic.get t.gen = g then begin
+          Mutex.lock t.m;
+          while Atomic.get t.gen = g do
+            Condition.wait t.c t.m
+          done;
+          Mutex.unlock t.m
+        end
+      end
+    end
+end
+
 (* The shared pool: sized on first use, regrown (larger only) on demand,
    torn down at exit so no spawned domain outlives the program. *)
 let global : Pool.t option ref = ref None

@@ -43,6 +43,34 @@ module Pool : sig
       raises [Invalid_argument]. *)
 end
 
+module Barrier : sig
+  (** In-job phase barrier: lets the workers of one {!Pool.run} job cross
+      several internal phases without returning to the coordinator — the
+      sharded engine's epoch fusion. One {!arrive} per party per phase;
+      the last arriver runs a decision closure while the others hold,
+      then all are released together. *)
+
+  type t
+
+  val create : ?spin:int -> parties:int -> unit -> t
+  (** A barrier for exactly [parties] participants ([>= 1]). [spin] is
+      the busy-wait bound before a waiter falls back to blocking on a
+      condition variable (default 512) — spinning wins when every party
+      has its own core, blocking when the host is oversubscribed. *)
+
+  val parties : t -> int
+
+  val arrive : t -> last:(unit -> unit) -> unit
+  (** Block until all [parties] have arrived. The last arriver runs
+      [last] before anyone is released: its plain writes are visible to
+      every party after [arrive] returns, and every party's plain writes
+      made before its own [arrive] are visible inside [last]. With
+      [parties = 1], [arrive] just runs [last]. Every party must arrive
+      exactly once per phase — a party that skips an arrival (e.g. by
+      raising) deadlocks the rest, so callers trap exceptions, arrive,
+      and re-raise after release. *)
+end
+
 val ensure_pool : int -> Pool.t
 (** The shared process-wide pool, created on first use and regrown
     (never shrunk) when more workers are requested; torn down by an

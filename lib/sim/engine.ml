@@ -64,6 +64,29 @@ let post t ~delay ~h ~a ~b ~x =
   if delay < 0.0 then invalid_arg "Engine.post: negative delay";
   enqueue t ~time:(t.clock +. delay) ~h ~a ~b ~x
 
+(* Batched [post_at]: the first [len] slots of five parallel field
+   arrays (a mailbox slice) in one call — one bounds/past validation
+   pass and one seq-counter sweep instead of a call per event. Events
+   get consecutive seqs in slice order, exactly as [len] single posts
+   would. *)
+let post_batch t ~len ~time ~h ~a ~b ~x =
+  if
+    len < 0 || len > Array.length time || len > Array.length h
+    || len > Array.length a || len > Array.length b || len > Array.length x
+  then invalid_arg "Engine.post_batch: len exceeds a field array";
+  for i = 0 to len - 1 do
+    if Array.unsafe_get time i < t.clock then
+      invalid_arg "Engine.post_batch: time in the past"
+  done;
+  let seq = ref t.next_seq in
+  t.next_seq <- t.next_seq + len;
+  for i = 0 to len - 1 do
+    Ladder_queue.push t.q ~time:(Array.unsafe_get time i) ~seq:!seq
+      ~h:(Array.unsafe_get h i) ~a:(Array.unsafe_get a i)
+      ~b:(Array.unsafe_get b i) ~x:(Array.unsafe_get x i);
+    incr seq
+  done
+
 let alloc_slot t action =
   match t.free with
   | slot :: rest ->
@@ -121,6 +144,10 @@ let drain_below t ~bound = while step_below t ~bound do () done
 
 let next_time t =
   if Ladder_queue.is_empty t.q then None else Some (Ladder_queue.min_time t.q)
+
+let next_time_inf t =
+  if Ladder_queue.is_empty t.q then Float.infinity
+  else Ladder_queue.min_time t.q
 
 let advance_to t ~time = if time > t.clock then t.clock <- time
 

@@ -36,6 +36,23 @@ val post : t -> delay:float -> h:int -> a:int -> b:int -> x:float -> unit
 val post_at : t -> time:float -> h:int -> a:int -> b:int -> x:float -> unit
 (** Same at an absolute time [>= now]. *)
 
+val post_batch :
+  t ->
+  len:int ->
+  time:float array ->
+  h:int array ->
+  a:int array ->
+  b:int array ->
+  x:float array ->
+  unit
+(** Enqueue the first [len] events of five parallel field arrays (a
+    mailbox slice) in one call: one validation pass and one seq-counter
+    sweep instead of a {!post_at} per event. Events receive consecutive
+    tie-breaking seqs in slice order — bit-identical scheduling to [len]
+    single posts. The arrays are read, never kept.
+    @raise Invalid_argument when [len] exceeds any array or any of the
+    first [len] times is below [now]. *)
+
 (** {2 Closure events} *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> unit
@@ -64,6 +81,10 @@ val drain_below : t -> bound:float -> unit
 
 val next_time : t -> float option
 (** Time of the next queued event; [None] when the queue is empty. *)
+
+val next_time_inf : t -> float
+(** Same with [Float.infinity] as the empty sentinel — no [option] box,
+    so the sharded engine's per-epoch minimum scan allocates nothing. *)
 
 val advance_to : t -> time:float -> unit
 (** Move the clock forward to [time] without executing anything (no-op

@@ -428,14 +428,46 @@ let pop t =
     true
   end
 
+(* Like [pop] gated on the head's time, but with [ensure_opened] and the
+   run-vs-overflow choice done once — [pop] would redo both after the
+   bound check, and this is the inner loop of the sharded engine's epoch
+   drain. *)
 let pop_until t ~bound =
   if t.size = 0 then false
   else begin
     ensure_opened t;
-    let head =
-      if take_run t then Array.unsafe_get t.run.t t.run_pos else t.opened.t.(0)
-    in
-    if head < bound then pop t else false
+    if take_run t then begin
+      let v = t.run and i = t.run_pos in
+      let time = Array.unsafe_get v.t i in
+      if time < bound then begin
+        t.c_time <- time;
+        t.c_seq <- Array.unsafe_get v.s i;
+        t.c_h <- Array.unsafe_get v.h i;
+        t.c_a <- Array.unsafe_get v.a i;
+        t.c_b <- Array.unsafe_get v.b i;
+        t.c_x <- Array.unsafe_get v.x i;
+        t.run_pos <- i + 1;
+        t.size <- t.size - 1;
+        true
+      end
+      else false
+    end
+    else begin
+      let v = t.opened in
+      let time = v.t.(0) in
+      if time < bound then begin
+        t.c_time <- time;
+        t.c_seq <- v.s.(0);
+        t.c_h <- v.h.(0);
+        t.c_a <- v.a.(0);
+        t.c_b <- v.b.(0);
+        t.c_x <- v.x.(0);
+        heap_drop_root v;
+        t.size <- t.size - 1;
+        true
+      end
+      else false
+    end
   end
 
 let time t = t.c_time

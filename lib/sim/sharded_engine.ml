@@ -10,20 +10,46 @@
    influenced by another within the window and all shards may drain
    their own queues concurrently.
 
-   Cross-shard sends go to per-(src, dst) mailboxes — single-producer
-   by construction, since a shard's events execute on exactly one worker
-   during the epoch and nobody reads a mailbox until the barrier. At the
-   barrier the coordinator drains every mailbox in a fixed order —
-   destination shard, then source shard, then FIFO — into the
-   destination engines, whose monotone sequence counters then assign the
-   same tie-breaking seq to the same message regardless of how many
-   domains executed the epoch. Together with per-shard sequential
-   draining this makes the full event sequence — order, timestamps,
-   payloads — bit-identical at any domain count, including 1.
+   {b Fused phases.} One pool job per {e phase}, not per epoch. A phase
+   hands every worker a fixed contiguous block of shards; per epoch
+   window the worker (1) drains the mailboxes addressed to its own
+   destination shards — one {!Engine.post_batch} per nonempty mailbox,
+   in the fixed source-then-FIFO order that pins tie-breaking seqs —
+   (2) drains its shards below the window bound, and (3) publishes its
+   local minimum next-event time (engines plus its own undelivered
+   sends) through a pre-sized per-worker results array. No coordinator
+   pass touches the shards between windows.
+
+   {b Epoch fusion.} At the end of a window the workers meet at an
+   in-job {!Par.Barrier}; the last arriver folds the per-worker minima
+   and, when the window ended with every mailbox empty and neither a
+   global action nor the horizon due, opens the next window in place —
+   the workers spin through consecutive quiet windows against the shared
+   phase descriptor and a run of k quiet epochs costs one pool dispatch
+   plus k barrier crossings instead of k dispatches. Any cross-shard
+   traffic, global or horizon ends the phase and returns control to the
+   coordinator.
+
+   {b Mailboxes.} Cross-shard sends go to per-(src, dst) mailboxes —
+   single-producer by construction, since a shard's events execute on
+   exactly one worker during a window. Mailboxes are double-buffered by
+   window parity: senders append to the buffer of the current window
+   while destination owners drain the previous window's buffer, so
+   delivery and sending never touch the same arrays; the inter-window
+   barrier provides the happens-before edge between a source's appends
+   and the destination's drain. Each source shard also tracks the
+   minimum timestamp and count of its undelivered sends, which is how
+   the window minimum can include parked mail without scanning n^2
+   mailboxes.
+
+   Together with per-shard sequential draining this makes the full event
+   sequence — order, timestamps, payloads, per-engine tie-breaking
+   seqs — bit-identical at any domain count, including 1, and identical
+   with fusion on or off.
 
    Rare whole-system actions (membership churn, phase changes) run as
-   {e global events}: the epoch window is clipped so it never spans one,
-   and the action runs sequentially at the barrier with all shard clocks
+   {e global events}: the window is clipped so it never spans one, and
+   the action runs sequentially at the barrier with all shard clocks
    lined up on its timestamp. *)
 
 module Par = Lesslog_parallel.Par
@@ -40,24 +66,28 @@ type mailbox = {
 let mb_make () =
   { t = [||]; h = [||]; a = [||]; b = [||]; x = [||]; len = 0 }
 
+(* Growth is a plain function — no per-push closure allocation — and
+   all five arrays go through the same two helpers. *)
+let grow_floats old ~len ~cap =
+  let n = Array.make cap 0.0 in
+  Array.blit old 0 n 0 len;
+  n
+
+let grow_ints old ~len ~cap =
+  let n = Array.make cap 0 in
+  Array.blit old 0 n 0 len;
+  n
+
+let mb_grow mb =
+  let cap = max 16 (2 * mb.len) in
+  mb.t <- grow_floats mb.t ~len:mb.len ~cap;
+  mb.h <- grow_ints mb.h ~len:mb.len ~cap;
+  mb.a <- grow_ints mb.a ~len:mb.len ~cap;
+  mb.b <- grow_ints mb.b ~len:mb.len ~cap;
+  mb.x <- grow_floats mb.x ~len:mb.len ~cap
+
 let mb_push mb ~time ~h ~a ~b ~x =
-  if mb.len = Array.length mb.t then begin
-    let cap = max 16 (2 * mb.len) in
-    let grow_f old =
-      let n = Array.make cap 0.0 in
-      Array.blit old 0 n 0 mb.len;
-      n
-    and grow_i old =
-      let n = Array.make cap 0 in
-      Array.blit old 0 n 0 mb.len;
-      n
-    in
-    mb.t <- grow_f mb.t;
-    mb.h <- grow_i mb.h;
-    mb.a <- grow_i mb.a;
-    mb.b <- grow_i mb.b;
-    mb.x <- grow_f mb.x
-  end;
+  if mb.len = Array.length mb.t then mb_grow mb;
   let i = mb.len in
   mb.t.(i) <- time;
   mb.h.(i) <- h;
@@ -66,12 +96,39 @@ let mb_push mb ~time ~h ~a ~b ~x =
   mb.x.(i) <- x;
   mb.len <- i + 1
 
+(* Shared state of one fused phase: written by the coordinator before
+   the pool job starts, per-worker slots written by their owner during a
+   window, decision fields written by the barrier's last arriver. All
+   plain fields ride the happens-before edges of the pool hand-off and
+   the in-job barrier. *)
+type descriptor = {
+  d_workers : int;
+  block_lo : int array;  (* worker w owns shards [lo, hi) — contiguous *)
+  block_hi : int array;
+  wmin : float array;  (* per-worker window minimum (engines + own sends) *)
+  wsent : int array;  (* per-worker cross-shard sends this window *)
+  wdelivered : int array;  (* per-worker mailbox messages delivered, phase total *)
+  bar : Par.Barrier.t;
+  abort : bool Atomic.t;  (* a worker raised: end the phase, re-raise after *)
+  mutable bound : float;  (* current window's drain bound *)
+  mutable until_bound : float;  (* Float.succ horizon, or infinity *)
+  mutable next_global : float;  (* next in-horizon global's time, or infinity *)
+  mutable fuse : bool;
+  mutable continue_ : bool;  (* decision: open another window in place *)
+  mutable cur_min : float;  (* decision: global minimum incl. parked mail *)
+}
+
 type t = {
   shards : Engine.t array;
   lookahead : float;
-  mail : mailbox array;  (* src * n + dst *)
+  mail : mailbox array;  (* (parity * n + src) * n + dst *)
+  sent_min : float array;  (* per src shard: min undelivered send time *)
+  sent_cnt : int array;  (* per src shard: undelivered sends *)
+  mutable parity : int;  (* buffer index current-window sends append to *)
   mutable epoch : int;
-  mutable cross_sends : int;  (* drained mailbox messages, coordinator-only *)
+  mutable phases : int;  (* pool dispatches; epochs/phases = fusion factor *)
+  mutable cross_sends : int;  (* delivered mailbox messages *)
+  mutable desc : descriptor option;  (* reused while the worker count holds *)
 }
 
 let create ~shards ~lookahead () =
@@ -80,9 +137,14 @@ let create ~shards ~lookahead () =
   {
     shards = Array.init shards (fun _ -> Engine.create ());
     lookahead;
-    mail = Array.init (shards * shards) (fun _ -> mb_make ());
+    mail = Array.init (2 * shards * shards) (fun _ -> mb_make ());
+    sent_min = Array.make shards Float.infinity;
+    sent_cnt = Array.make shards 0;
+    parity = 0;
     epoch = 0;
+    phases = 0;
     cross_sends = 0;
+    desc = None;
   }
 
 let shard_count t = Array.length t.shards
@@ -90,6 +152,7 @@ let engine t i = t.shards.(i)
 let lookahead t = t.lookahead
 let now t ~shard = Engine.now t.shards.(shard)
 let epoch t = t.epoch
+let phases t = t.phases
 let cross_sends t = t.cross_sends
 
 let events_executed t =
@@ -105,98 +168,221 @@ let send t ~src ~dst ~delay ~h ~a ~b ~x =
   else begin
     if delay < t.lookahead then
       invalid_arg "Sharded_engine.send: cross-shard delay below lookahead";
+    let n = Array.length t.shards in
     let time = Engine.now t.shards.(src) +. delay in
-    mb_push t.mail.((src * Array.length t.shards) + dst) ~time ~h ~a ~b ~x
+    mb_push t.mail.((((t.parity * n) + src) * n) + dst) ~time ~h ~a ~b ~x;
+    if time < t.sent_min.(src) then t.sent_min.(src) <- time;
+    t.sent_cnt.(src) <- t.sent_cnt.(src) + 1
   end
 
-(* Barrier hand-off, coordinator only: destination-major, then source,
-   then FIFO — the fixed merge order that pins tie-breaking seqs. *)
+(* Hand every parked message of parity [parity] addressed to [dst] to
+   its engine — source shard order, then FIFO, so the destination's
+   monotone seq counter assigns the same tie-breaking seqs regardless of
+   how many domains executed the epoch. One [post_batch] per nonempty
+   mailbox. Returns the number delivered. *)
+let deliver_dst t ~parity ~dst =
+  let n = Array.length t.shards in
+  let e = t.shards.(dst) in
+  let delivered = ref 0 in
+  for src = 0 to n - 1 do
+    let mb = t.mail.((((parity * n) + src) * n) + dst) in
+    let len = mb.len in
+    if len > 0 then begin
+      Engine.post_batch e ~len ~time:mb.t ~h:mb.h ~a:mb.a ~b:mb.b ~x:mb.x;
+      delivered := !delivered + len;
+      mb.len <- 0
+    end
+  done;
+  !delivered
+
+(* Coordinator-only full flush (run start, after a global action): both
+   parity buffers, destination-major — at most one buffer holds mail at
+   any barrier, so the order across parities is immaterial. *)
 let flush_mail t =
   let n = Array.length t.shards in
   for dst = 0 to n - 1 do
-    let e = t.shards.(dst) in
-    for src = 0 to n - 1 do
-      let mb = t.mail.((src * n) + dst) in
-      for i = 0 to mb.len - 1 do
-        Engine.post_at e ~time:mb.t.(i) ~h:mb.h.(i) ~a:mb.a.(i) ~b:mb.b.(i)
-          ~x:mb.x.(i)
-      done;
-      t.cross_sends <- t.cross_sends + mb.len;
-      mb.len <- 0
-    done
-  done
+    t.cross_sends <- t.cross_sends + deliver_dst t ~parity:0 ~dst;
+    t.cross_sends <- t.cross_sends + deliver_dst t ~parity:1 ~dst
+  done;
+  Array.fill t.sent_min 0 n Float.infinity;
+  Array.fill t.sent_cnt 0 n 0
 
+(* Sentinel scan — no [float option] boxing. Only meaningful when the
+   mailboxes are empty (coordinator, after a flush). *)
 let min_next t =
-  Array.fold_left
-    (fun acc e ->
-      match Engine.next_time e with
-      | None -> acc
-      | Some ti -> ( match acc with None -> Some ti | Some a -> Some (Float.min a ti)))
-    None t.shards
+  let mn = ref Float.infinity in
+  Array.iter
+    (fun e ->
+      let ti = Engine.next_time_inf e in
+      if ti < !mn then mn := ti)
+    t.shards;
+  !mn
 
 let advance_all t ~time =
   Array.iter (fun e -> Engine.advance_to e ~time) t.shards
 
-let run ?until ?(globals = []) ?(domains = 1) t =
+(* Fold the per-worker results and either open the next window in place
+   (epoch fusion: quiet window, nothing due before it) or end the phase.
+   Runs on the barrier's last arriver; its writes are released to every
+   worker and, through the pool join, to the coordinator. *)
+let decide t d =
+  let mn = ref Float.infinity and sent = ref 0 in
+  for w = 0 to d.d_workers - 1 do
+    if d.wmin.(w) < !mn then mn := d.wmin.(w);
+    sent := !sent + d.wsent.(w)
+  done;
+  d.cur_min <- !mn;
+  if
+    d.fuse
+    && (not (Atomic.get d.abort))
+    && !sent = 0
+    && !mn < d.next_global
+    && !mn < d.until_bound
+  then begin
+    d.bound <- Float.min (!mn +. t.lookahead) (Float.min d.until_bound d.next_global);
+    t.epoch <- t.epoch + 1;
+    d.continue_ <- true
+  end
+  else d.continue_ <- false
+
+(* One worker's phase: windows until the decision ends the phase. A
+   handler exception must not strand the other parties at the barrier,
+   so it is trapped, flagged, and re-raised only after the release. *)
+let phase_worker t d w =
+  let lo = d.block_lo.(w) and hi = d.block_hi.(w) in
+  let continue = ref true in
+  while !continue do
+    let ex = ref None in
+    (try
+       (* Previous window's mail for our destinations. Fused windows are
+          quiet by construction, so this scan finds nothing after the
+          first window of the phase. *)
+       let old_parity = 1 - t.parity in
+       let delivered = ref 0 in
+       for dst = lo to hi - 1 do
+         delivered := !delivered + deliver_dst t ~parity:old_parity ~dst
+       done;
+       d.wdelivered.(w) <- d.wdelivered.(w) + !delivered;
+       for s = lo to hi - 1 do
+         t.sent_min.(s) <- Float.infinity;
+         t.sent_cnt.(s) <- 0
+       done;
+       let bound = d.bound in
+       for s = lo to hi - 1 do
+         Engine.drain_below t.shards.(s) ~bound
+       done;
+       let mn = ref Float.infinity and sent = ref 0 in
+       for s = lo to hi - 1 do
+         let ti = Engine.next_time_inf t.shards.(s) in
+         if ti < !mn then mn := ti;
+         if t.sent_min.(s) < !mn then mn := t.sent_min.(s);
+         sent := !sent + t.sent_cnt.(s)
+       done;
+       d.wmin.(w) <- !mn;
+       d.wsent.(w) <- !sent
+     with e ->
+       ex := Some (e, Printexc.get_raw_backtrace ());
+       Atomic.set d.abort true;
+       d.wmin.(w) <- Float.infinity;
+       d.wsent.(w) <- 0);
+    Par.Barrier.arrive d.bar ~last:(fun () -> decide t d);
+    (match !ex with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    continue := d.continue_
+  done
+
+let descriptor_for t ~workers =
+  match t.desc with
+  | Some d when d.d_workers = workers -> d
+  | _ ->
+      let n = Array.length t.shards in
+      let d =
+        {
+          d_workers = workers;
+          block_lo = Array.init workers (fun w -> w * n / workers);
+          block_hi = Array.init workers (fun w -> (w + 1) * n / workers);
+          wmin = Array.make workers Float.infinity;
+          wsent = Array.make workers 0;
+          wdelivered = Array.make workers 0;
+          bar = Par.Barrier.create ~parties:workers ();
+          abort = Atomic.make false;
+          bound = 0.0;
+          until_bound = Float.infinity;
+          next_global = Float.infinity;
+          fuse = true;
+          continue_ = false;
+          cur_min = Float.infinity;
+        }
+      in
+      t.desc <- Some d;
+      d
+
+let run ?until ?(globals = []) ?(domains = 1) ?(fuse = true) t =
   if domains < 1 then invalid_arg "Sharded_engine.run: domains";
   let n = Array.length t.shards in
   let workers = max 1 (min domains n) in
   let pool = if workers = 1 then None else Some (Par.ensure_pool workers) in
-  let in_horizon time =
-    match until with None -> true | Some u -> time <= u
+  let horizon = match until with None -> Float.infinity | Some u -> u in
+  (* [Float.succ] turns the strict drain bound inclusive: events at
+     exactly [until] still run. *)
+  let until_bound =
+    match until with None -> Float.infinity | Some u -> Float.succ u
   in
+  let d = descriptor_for t ~workers in
+  d.until_bound <- until_bound;
+  d.fuse <- fuse;
   flush_mail t;
   let globals = ref globals in
+  let cur_min = ref (min_next t) in
   let continue = ref true in
   while !continue do
-    let tmin = min_next t in
-    (* Fire every global action due at or before the event frontier:
-       sequential, full access to all shards, then a mailbox flush so
-       anything it posted is queued before the window is chosen. *)
-    (match (!globals, tmin) with
-    | (g_at, fire) :: rest, _
-      when in_horizon g_at
-           && (match tmin with None -> true | Some ti -> g_at <= ti) ->
-        globals := rest;
-        advance_all t ~time:g_at;
-        fire ();
-        flush_mail t
-    | _, None ->
-        (match until with Some u -> advance_all t ~time:u | None -> ());
-        continue := false
-    | _, Some ti when not (in_horizon ti) ->
-        (match until with Some u -> advance_all t ~time:u | None -> ());
-        continue := false
-    | _, Some ti ->
-        (* One epoch: [ti, bound) — clipped so it spans neither the
-           horizon (events at exactly [until] still run: Float.succ
-           turns the strict bound inclusive) nor the next global. *)
-        let bound = ti +. t.lookahead in
-        let bound =
-          match until with None -> bound | Some u -> Float.min bound (Float.succ u)
-        in
-        let bound =
-          match !globals with
-          | (g_at, _) :: _ when in_horizon g_at -> Float.min bound g_at
-          | _ -> bound
-        in
-        t.epoch <- t.epoch + 1;
-        (match pool with
-        | None ->
-            for s = 0 to n - 1 do
-              Engine.drain_below t.shards.(s) ~bound
-            done
-        | Some pool ->
-            (* The shared pool only grows, so it may be wider than
-               [workers]; the stride must cover each shard exactly once
-               or two workers race on one engine. *)
-            Par.Pool.run pool (fun w ->
-                if w < workers then begin
-                  let s = ref w in
-                  while !s < n do
-                    Engine.drain_below t.shards.(!s) ~bound;
-                    s := !s + workers
-                  done
-                end));
-        flush_mail t)
+    let next_global =
+      match !globals with
+      | (g_at, _) :: _ when g_at <= horizon -> g_at
+      | _ -> Float.infinity
+    in
+    if next_global < Float.infinity && next_global <= !cur_min then begin
+      (* Global action due at or before the event frontier: sequential,
+         full access to all shards, then a flush so anything it posted
+         is queued before the next window is chosen. *)
+      match !globals with
+      | [] -> assert false
+      | (g_at, fire) :: rest ->
+          globals := rest;
+          advance_all t ~time:g_at;
+          fire ();
+          flush_mail t;
+          cur_min := min_next t
+    end
+    else if !cur_min >= until_bound then begin
+      (* Done: no pending event inside the horizon. Sends parked past
+         the horizon stay in their mailboxes; a later [run] flushes
+         them first. *)
+      (match until with Some u -> advance_all t ~time:u | None -> ());
+      continue := false
+    end
+    else begin
+      t.epoch <- t.epoch + 1;
+      t.phases <- t.phases + 1;
+      d.bound <-
+        Float.min (!cur_min +. t.lookahead) (Float.min until_bound next_global);
+      d.next_global <- next_global;
+      Atomic.set d.abort false;
+      Array.fill d.wdelivered 0 workers 0;
+      (* Flip the mailbox parity: this phase's sends buffer separately
+         from the previous window's mail being delivered. *)
+      t.parity <- 1 - t.parity;
+      (match pool with
+      | None -> phase_worker t d 0
+      | Some pool ->
+          (* The shared pool only grows, so it may be wider than
+             [workers]; extra workers are not barrier parties and must
+             not touch any shard. *)
+          Par.Pool.run pool (fun w -> if w < workers then phase_worker t d w));
+      for w = 0 to workers - 1 do
+        t.cross_sends <- t.cross_sends + d.wdelivered.(w)
+      done;
+      cur_min := d.cur_min
+    end
   done

@@ -15,12 +15,31 @@
 
     Under that contract the event sequence — order, timestamps,
     payloads, per-engine tie-breaking seqs — is bit-identical at any
-    domain count, including 1: an epoch spans [[T, T + lookahead)] where
-    [T] is the earliest pending event anywhere, so a cross-shard message
-    (sent at [>= T], delivered after [>= lookahead]) can never land in
-    the epoch that issued it; and the barrier drains mailboxes in a
-    fixed order (destination shard, then source shard, then FIFO), so
-    destination seq assignment does not depend on worker interleaving. *)
+    domain count, including 1, and with {!run}'s [fuse] on or off: an
+    epoch spans [[T, T + lookahead)] where [T] is the earliest pending
+    event anywhere, so a cross-shard message (sent at [>= T], delivered
+    after [>= lookahead]) can never land in the epoch that issued it;
+    and mailboxes are drained in a fixed order (destination shard, then
+    source shard, then FIFO), so destination seq assignment does not
+    depend on worker interleaving.
+
+    {2 Execution shape}
+
+    {!run} dispatches one pool job per {e phase}, not per epoch. Each
+    worker owns a fixed contiguous block of shards; within a phase it
+    first delivers the previous window's mail addressed to its own
+    destination shards (batched, one {!Engine.post_batch} per nonempty
+    mailbox), then drains its shards below the window bound, then
+    publishes its local minimum next-event time through a pre-sized
+    per-worker slot. Workers meet at an in-job {!Par.Barrier} where the
+    last arriver folds the minima and — when the window ended with every
+    mailbox empty and neither a global action nor the horizon due —
+    opens the next epoch window in place ({e epoch fusion}): a run of
+    [k] quiet epochs costs one pool dispatch plus [k] barrier crossings.
+    Cross-shard traffic, a due global, or the horizon ends the phase.
+    Mailboxes are double-buffered by window parity so delivery of the
+    previous window's mail never touches the buffers the current
+    window's sends append to. *)
 
 type t
 
@@ -44,6 +63,11 @@ val epoch : t -> int
     ("no event is delivered in its issuing epoch") is observable by
     stamping {!send} payloads with this. *)
 
+val phases : t -> int
+(** Pool dispatches so far. [epoch t / phases t] is the fusion factor:
+    how many epoch windows the average phase executed in place. Equal to
+    {!epoch} when {!run} is called with [~fuse:false]. *)
+
 val send :
   t -> src:int -> dst:int -> delay:float -> h:int -> a:int -> b:int ->
   x:float -> unit
@@ -57,12 +81,18 @@ val run :
   ?until:float ->
   ?globals:(float * (unit -> unit)) list ->
   ?domains:int ->
+  ?fuse:bool ->
   t ->
   unit
 (** Drive all shards to completion (or to [until], inclusive, clamping
     every shard clock there) using up to [domains] pool workers
     (default 1; capped at the shard count; the shared {!Par.ensure_pool}
     supplies the domains).
+
+    [fuse] (default [true]) enables epoch fusion — consecutive quiet
+    windows executed inside one pool dispatch. [~fuse:false] forces one
+    dispatch per epoch; results are identical either way (the knob
+    exists for differential tests and overhead measurements).
 
     [globals] is a time-sorted list of whole-system actions (membership
     churn, phase switches) that run {e sequentially at a barrier}: the
@@ -78,4 +108,4 @@ val events_executed : t -> int
 (** Total executed across shards. *)
 
 val cross_sends : t -> int
-(** Cross-shard messages handed over at barriers so far. *)
+(** Cross-shard messages delivered so far. *)

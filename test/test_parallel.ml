@@ -131,6 +131,65 @@ let test_nested_map_falls_back () =
     (Array.map (fun x -> (30 * x) + 6) outer)
     got
 
+(* --- Barrier ------------------------------------------------------------ *)
+
+let test_barrier_single_party () =
+  let b = Par.Barrier.create ~parties:1 () in
+  Alcotest.(check int) "parties" 1 (Par.Barrier.parties b);
+  let ran = ref 0 in
+  for _ = 1 to 5 do
+    Par.Barrier.arrive b ~last:(fun () -> incr ran)
+  done;
+  Alcotest.(check int) "last runs every phase" 5 !ran
+
+let test_barrier_rejects_zero_parties () =
+  Alcotest.check_raises "parties < 1"
+    (Invalid_argument "Par.Barrier.create: parties") (fun () ->
+      ignore (Par.Barrier.create ~parties:0 ()))
+
+let test_barrier_phases_in_pool () =
+  (* Workers cross many phases inside one pool job. Per phase, [last]
+     runs exactly once and its plain writes (the shared cell) are
+     visible to every party after release — the message-passing edge the
+     fused engine loop rides. *)
+  let parties = 3 and phases = 200 in
+  let pool = Par.Pool.create ~domains:parties in
+  let b = Par.Barrier.create ~spin:16 ~parties () in
+  let cell = ref 0 in
+  let last_runs = Atomic.make 0 in
+  let bad = Atomic.make 0 in
+  Par.Pool.run pool (fun _w ->
+      for p = 1 to phases do
+        Par.Barrier.arrive b ~last:(fun () ->
+            Atomic.incr last_runs;
+            cell := p);
+        if !cell <> p then Atomic.incr bad
+      done);
+  Par.Pool.shutdown pool;
+  Alcotest.(check int) "one decision per phase" phases (Atomic.get last_runs);
+  Alcotest.(check int) "decision visible to all parties" 0 (Atomic.get bad)
+
+let test_barrier_interleaves_with_work () =
+  (* Unequal per-party workloads: the barrier must still line everyone
+     up, phase after phase, and the fold in [last] must see every
+     party's contribution of that phase. *)
+  let parties = 4 and phases = 50 in
+  let pool = Par.Pool.create ~domains:parties in
+  let b = Par.Barrier.create ~parties () in
+  let slots = Array.make parties 0 in
+  let sum_bad = Atomic.make 0 in
+  Par.Pool.run pool (fun w ->
+      for p = 1 to phases do
+        for _ = 0 to w * 100 do
+          ignore (Sys.opaque_identity w)
+        done;
+        slots.(w) <- p;
+        Par.Barrier.arrive b ~last:(fun () ->
+            if Array.exists (fun v -> v <> p) slots then Atomic.incr sum_bad)
+      done);
+  Par.Pool.shutdown pool;
+  Alcotest.(check int) "every phase folded all parties" 0 (Atomic.get sum_bad)
+
 let prop_map_matches_sequential =
   Test_support.qcheck_case ~count:50 ~name:"parallel map = Array.map"
     QCheck2.Gen.(
@@ -190,6 +249,16 @@ let () =
           Alcotest.test_case "ensure_pool grows" `Quick test_ensure_pool_grows;
           Alcotest.test_case "nested map sequential" `Quick
             test_nested_map_falls_back;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "single party" `Quick test_barrier_single_party;
+          Alcotest.test_case "rejects zero parties" `Quick
+            test_barrier_rejects_zero_parties;
+          Alcotest.test_case "fused phases in a pool job" `Quick
+            test_barrier_phases_in_pool;
+          Alcotest.test_case "unequal work per party" `Quick
+            test_barrier_interleaves_with_work;
         ] );
       ("properties", [ prop_map_matches_sequential ]);
     ]

@@ -26,7 +26,7 @@ let synthetic_schedule ~shards ~seeds =
           (i mod shards, t, (seed + i) mod 7, (seed * i) mod 5)))
     seeds
 
-let run_sharded ~shards ~domains sched =
+let run_sharded ?fuse ~shards ~domains sched =
   let lookahead = 0.5 in
   let se = Sharded.create ~shards ~lookahead () in
   let log = Array.make shards [] in
@@ -51,12 +51,14 @@ let run_sharded ~shards ~domains sched =
       Engine.post_at (Sharded.engine se s) ~time:t ~h:handlers.(s) ~a ~b
         ~x:0.0)
     sched;
-  Sharded.run ~domains se;
-  Array.map List.rev log
+  Sharded.run ?fuse ~domains se;
+  let phases = Sharded.phases se and epochs = Sharded.epoch se in
+  (Array.map List.rev log, epochs, phases)
 
 let test_one_shard_matches_engine () =
   let sched = synthetic_schedule ~shards:1 ~seeds:[ 3; 11; 29 ] in
-  let sharded = (run_sharded ~shards:1 ~domains:1 sched).(0) in
+  let logs, _, _ = run_sharded ~shards:1 ~domains:1 sched in
+  let sharded = logs.(0) in
   (* The same schedule on a bare packed engine. *)
   let eng = Engine.create () in
   let log = ref [] in
@@ -75,10 +77,10 @@ let test_one_shard_matches_engine () =
 
 let test_sharded_domain_invariance () =
   let sched = synthetic_schedule ~shards:4 ~seeds:[ 1; 5; 9; 17; 23 ] in
-  let base = run_sharded ~shards:4 ~domains:1 sched in
+  let base, _, _ = run_sharded ~shards:4 ~domains:1 sched in
   List.iter
     (fun domains ->
-      let other = run_sharded ~shards:4 ~domains sched in
+      let other, _, _ = run_sharded ~shards:4 ~domains sched in
       for s = 0 to 3 do
         Alcotest.(check bool)
           (Printf.sprintf "shard %d @ %d domains" s domains)
@@ -86,6 +88,34 @@ let test_sharded_domain_invariance () =
           (base.(s) = other.(s))
       done)
     [ 2; 3; 4; 8 ]
+
+(* Epoch fusion is a pure dispatch optimisation: on any random schedule
+   the fused and unfused runs must produce identical event sequences —
+   at 1 domain and at several. The generator draws a shard count and a
+   handful of schedule seeds, the same recipe as the fixed tests. *)
+let qcheck_fused_equals_unfused =
+  Test_support.qcheck_case ~count:40 ~name:"fused = unfused on random schedules"
+    QCheck2.Gen.(
+      pair (int_range 1 4) (list_size (int_range 1 6) (int_range 0 1000)))
+    (fun (shards, seeds) ->
+      let sched = synthetic_schedule ~shards ~seeds in
+      let fused, ep_f, ph_f = run_sharded ~fuse:true ~shards ~domains:1 sched in
+      let unfused, ep_u, ph_u =
+        run_sharded ~fuse:false ~shards ~domains:1 sched
+      in
+      let fused3, _, _ = run_sharded ~fuse:true ~shards ~domains:3 sched in
+      fused = unfused && fused = fused3 && ep_f = ep_u && ph_u = ep_u
+      && ph_f <= ep_f)
+
+let test_fusion_collapses_quiet_epochs () =
+  (* A purely local workload (no cross-shard sends, no globals) spans
+     many epoch windows but needs only one pool dispatch. *)
+  let sched =
+    List.init 8 (fun i -> (i mod 2, float_of_int i, 1, 0))
+  in
+  let _, epochs, phases = run_sharded ~shards:2 ~domains:2 sched in
+  Alcotest.(check bool) "many epochs" true (epochs > 1);
+  Alcotest.(check int) "one phase" 1 phases
 
 let test_send_below_lookahead_rejected () =
   let se = Sharded.create ~shards:2 ~lookahead:0.5 () in
@@ -272,6 +302,96 @@ let test_pdes_churn_moves_copies () =
     (r.Pdes.control_messages > 0);
   Alcotest.(check bool) "copies survive churn" true (r.Pdes.replicas_end > 0)
 
+(* --- Fault plans on Pdes_sim -------------------------------------------- *)
+
+module Faults = Lesslog_workload.Faults
+module Rng = Lesslog_prng.Rng
+
+let fault_plan ~seed ~params ~duration =
+  let status = Status_word.create params ~initially_live:true in
+  Faults.generate ~rng:(Rng.create ~seed)
+    ~live:(Status_word.live_pids status)
+    ~duration ~crash_fraction:0.1 ~restart_fraction:0.5 ~bursts:2
+    ~burst_loss:0.4 ~partitions:0 ()
+
+let run_faulted ?fuse ~domains () =
+  let params = Params.create ~m:9 ~b:3 () in
+  let duration = 2.5 in
+  let status = Status_word.create params ~initially_live:true in
+  let demand = Demand.uniform status ~total:900.0 in
+  Pdes.run
+    ~faults:(fault_plan ~seed:77 ~params ~duration)
+    ?fuse ~domains ~seed:4242 ~params ~key:"pdes/faulted" ~demand ~duration ()
+
+let test_pdes_faulted_domain_invariance () =
+  (* The churn-heavy workload: crashes, restarts and loss bursts as
+     barrier globals must not disturb domain-count invariance — and
+     fusion must stay a no-op on results. *)
+  let base = run_faulted ~domains:1 () in
+  Alcotest.(check bool) "run does something" true (base.Pdes.served > 0);
+  List.iter
+    (fun domains ->
+      check_same_result
+        (Printf.sprintf "faulted, %d domains" domains)
+        base
+        (run_faulted ~domains ()))
+    [ 2; 8 ];
+  let unfused = run_faulted ~fuse:false ~domains:2 () in
+  check_same_result "faulted, unfused" base unfused;
+  Alcotest.(check int) "unfused: one dispatch per epoch" unfused.Pdes.epochs
+    unfused.Pdes.phases;
+  Alcotest.(check bool) "fused: fewer dispatches than epochs" true
+    (base.Pdes.phases < base.Pdes.epochs)
+
+let test_pdes_loss_burst_drops_messages () =
+  (* A wall-to-wall loss burst at p = 1 suppresses every overlay message
+     for its span, so far fewer requests resolve than in the quiet run. *)
+  let params = Params.create ~m:8 ~b:2 () in
+  let status = Status_word.create params ~initially_live:true in
+  let demand = Demand.uniform status ~total:900.0 in
+  let go faults =
+    Pdes.run ?faults ~domains:2 ~seed:4242 ~params ~key:"bursty" ~demand
+      ~duration:2.0 ()
+  in
+  let quiet = go None in
+  let bursty =
+    go
+      (Some
+         {
+           Faults.empty with
+           Faults.bursts =
+             [ { Faults.from_ = 0.1; until = 1.9; loss = 1.0 } ];
+         })
+  in
+  Alcotest.(check bool) "burst suppresses resolutions" true
+    (bursty.Pdes.served * 2 < quiet.Pdes.served);
+  Alcotest.(check bool) "demand kept flowing" true
+    (bursty.Pdes.requests > 100)
+
+let test_pdes_partitions_rejected () =
+  let params = Params.create ~m:6 ~b:1 () in
+  let status = Status_word.create params ~initially_live:true in
+  let demand = Demand.uniform status ~total:100.0 in
+  let faults =
+    {
+      Faults.empty with
+      Faults.partitions =
+        [
+          {
+            Faults.from_ = 0.1;
+            until = 0.5;
+            group = [ Pid.unsafe_of_int 3 ];
+            direction = Faults.Both;
+          };
+        ];
+    }
+  in
+  Alcotest.check_raises "partitions unsupported"
+    (Invalid_argument "Pdes_sim.run: partitions are not supported")
+    (fun () ->
+      ignore
+        (Pdes.run ~faults ~seed:1 ~params ~key:"cut" ~demand ~duration:0.5 ()))
+
 let () =
   Alcotest.run "pdes"
     [
@@ -287,6 +407,9 @@ let () =
             test_no_same_epoch_delivery;
           Alcotest.test_case "globals in time order" `Quick
             test_globals_fire_in_order;
+          qcheck_fused_equals_unfused;
+          Alcotest.test_case "fusion collapses quiet epochs" `Quick
+            test_fusion_collapses_quiet_epochs;
         ] );
       ( "pdes-sim",
         [
@@ -302,5 +425,14 @@ let () =
             test_pdes_replication_under_load;
           Alcotest.test_case "churn recovers copies" `Quick
             test_pdes_churn_moves_copies;
+        ] );
+      ( "pdes-faults",
+        [
+          Alcotest.test_case "faulted run bit-identical at 1/2/8 domains"
+            `Quick test_pdes_faulted_domain_invariance;
+          Alcotest.test_case "loss burst drops messages" `Quick
+            test_pdes_loss_burst_drops_messages;
+          Alcotest.test_case "partitions rejected" `Quick
+            test_pdes_partitions_rejected;
         ] );
     ]

@@ -442,6 +442,77 @@ let test_engine_post_rejects_past () =
     (Invalid_argument "Engine.post: negative delay") (fun () ->
       Engine.post e ~delay:(-1.0) ~h ~a:0 ~b:0 ~x:0.0)
 
+(* post_batch is a fused loop over post_at: same events, same seqs, so
+   two engines fed the same slice one way or the other must execute the
+   identical sequence — including FIFO ties between batch and earlier
+   singles. *)
+let prop_post_batch_equals_posts =
+  Test_support.qcheck_case ~name:"post_batch = post_at sequence"
+    QCheck2.Gen.(
+      list_size (int_range 0 60)
+        (tup4 (float_bound_inclusive 20.0) (int_range 0 9) (int_range 0 99)
+           (float_bound_inclusive 1.0)))
+    (fun events ->
+      let run feed =
+        let e = Engine.create () in
+        let log = ref [] in
+        let h =
+          Engine.register_handler e (fun a b x ->
+              log := (Engine.now e, a, b, x) :: !log)
+        in
+        feed e h;
+        Engine.run e;
+        List.rev !log
+      in
+      let singles =
+        run (fun e h ->
+            List.iter
+              (fun (t, a, b, x) -> Engine.post_at e ~time:t ~h ~a ~b ~x)
+              events)
+      in
+      let batched =
+        run (fun e h ->
+            let n = List.length events in
+            let time = Array.make n 0.0
+            and ha = Array.make n h
+            and a = Array.make n 0
+            and b = Array.make n 0
+            and x = Array.make n 0.0 in
+            List.iteri
+              (fun i (t, ai, bi, xi) ->
+                time.(i) <- t;
+                a.(i) <- ai;
+                b.(i) <- bi;
+                x.(i) <- xi)
+              events;
+            Engine.post_batch e ~len:n ~time ~h:ha ~a ~b ~x)
+      in
+      singles = batched)
+
+let test_post_batch_validates () =
+  let e = Engine.create () in
+  let h = Engine.register_handler e (fun _ _ _ -> ()) in
+  let arr n v = Array.make n v in
+  Alcotest.check_raises "len over array"
+    (Invalid_argument "Engine.post_batch: len exceeds a field array")
+    (fun () ->
+      Engine.post_batch e ~len:3 ~time:(arr 2 0.0) ~h:(arr 3 h) ~a:(arr 3 0)
+        ~b:(arr 3 0) ~x:(arr 3 0.0));
+  Engine.schedule_at e ~time:1.0 (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "past time in slice"
+    (Invalid_argument "Engine.post_batch: time in the past")
+    (fun () ->
+      Engine.post_batch e ~len:1 ~time:(arr 1 0.5) ~h:(arr 1 h) ~a:(arr 1 0)
+        ~b:(arr 1 0) ~x:(arr 1 0.0))
+
+let test_next_time_inf () =
+  let e = Engine.create () in
+  Alcotest.(check (float 0.0)) "empty = infinity" Float.infinity
+    (Engine.next_time_inf e);
+  Engine.schedule_at e ~time:2.5 (fun () -> ());
+  Alcotest.(check (float 0.0)) "head time" 2.5 (Engine.next_time_inf e)
+
 let prop_engine_executes_in_time_order =
   Test_support.qcheck_case ~name:"events run in nondecreasing time"
     QCheck2.Gen.(list_size (int_range 0 100) (float_bound_inclusive 100.0))
@@ -499,6 +570,10 @@ let () =
             test_engine_post_rejects_past;
           Alcotest.test_case "step_below / drain_below / advance_to" `Quick
             test_engine_step_below_and_advance;
+          Alcotest.test_case "post_batch validates" `Quick
+            test_post_batch_validates;
+          Alcotest.test_case "next_time_inf sentinel" `Quick
+            test_next_time_inf;
         ] );
       ( "properties",
         [
@@ -513,5 +588,6 @@ let () =
           prop_ladder_rung_edge;
           prop_ladder_pop_until_epochs;
           prop_engine_executes_in_time_order;
+          prop_post_batch_equals_posts;
         ] );
     ]
