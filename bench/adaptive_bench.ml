@@ -1,0 +1,162 @@
+(* `bench adaptive`: adaptive replication under time-varying demand.
+
+   Three gates:
+
+   1. Curve family (always enforced): the replicas-vs-request-rate sweep
+      — >= 3 demand levels x {native logless, dynamic-RF} on the sharded
+      simulator. Every point's end-state replica population must land
+      inside its policy's band around the mean-field oracle
+      max(1, R / capacity): the dynamic-RF policy sizes the replica set
+      from the access log, so its band is tight ([0.6, 2]); the native
+      logless trigger overshoots by design (per-node detection plus
+      cooldown quantisation), so it keeps the established [1, 4]. The
+      measured loss fraction must not exceed the fluid bound at the
+      end-state population by more than 5 points (faults during the
+      convergence ramp are the slack).
+
+   2. Determinism (always enforced, the CI smoke gate): one dynamic-RF
+      point re-run at 1, 2, 4 and 8 worker domains must reproduce the
+      digest, served count and replica population bit for bit — the
+      policy runs in sequential barrier globals and draws no randomness,
+      so domain count stays a speed knob with the policy active.
+
+   3. Timeline (always enforced): the multi-file hot/warm/cold timeline
+      (popularity shifts plus a flash crowd) against the fluid
+      multi-file balancer. At every interval the policy's prescribed
+      population must stay within [0.5x, 3x] of the per-class oracle —
+      the ramp-rate lag on the flash is expected and bounded, not a
+      failure.
+
+   Everything lands in BENCH_adaptive.json ($LESSLOG_BENCH_OUT or the
+   working directory); LESSLOG_BENCH_QUICK=1 shrinks m and the
+   durations for CI smoke. *)
+
+module E = Lesslog_harness.Experiments
+module Bench_json = Lesslog_report.Bench_json
+
+let out_file name =
+  let dir = Option.value (Sys.getenv_opt "LESSLOG_BENCH_OUT") ~default:"." in
+  Filename.concat dir name
+
+let failed = ref false
+
+let fail fmt =
+  failed := true;
+  Printf.eprintf fmt
+
+(* Gate 1: the curve family against the mean-field oracle. *)
+let curve_gate ~quick =
+  let m = if quick then 9 else 12 in
+  let duration = if quick then 6.0 else 8.0 in
+  let rates =
+    if quick then [ 500.0; 1000.0; 2000.0 ]
+    else [ 500.0; 1000.0; 2000.0; 4000.0 ]
+  in
+  let points = E.adaptive_sweep ~m ~duration ~rates () in
+  print_endline (E.render_adaptive points);
+  List.iter
+    (fun (p : E.adaptive_point) ->
+      let ratio = float_of_int p.E.ad_replicas_end /. p.E.ad_oracle_replicas in
+      let lo, hi =
+        if p.E.ad_label = "dynamic-rf" then (0.6, 2.0) else (1.0, 4.0)
+      in
+      if ratio < lo || ratio > hi then
+        fail
+          "bench adaptive: FAIL: %s at %.0f req/s ended with %d replicas, \
+           %.2fx the oracle %.1f (band [%g, %g])\n"
+          p.E.ad_label p.E.ad_rate p.E.ad_replicas_end ratio
+          p.E.ad_oracle_replicas lo hi;
+      if p.E.ad_loss > p.E.ad_oracle_loss +. 0.05 then
+        fail
+          "bench adaptive: FAIL: %s at %.0f req/s lost %.4f of requests, \
+           above the fluid bound %.4f + 0.05\n"
+          p.E.ad_label p.E.ad_rate p.E.ad_loss p.E.ad_oracle_loss)
+    points;
+  (points, m, duration)
+
+(* Gate 2: the digest survives the domain count with the policy active. *)
+let determinism_gate ~quick =
+  let m = if quick then 9 else 11 in
+  let duration = if quick then 3.0 else 4.0 in
+  let point domains =
+    E.adaptive_point ~domains ~dynamic:true ~m ~rate:1000.0 ~duration
+      ~capacity:100.0 ~seed:42 ()
+  in
+  let reference = point 1 in
+  Printf.printf
+    "determinism (dynamic-rf): m=%d, digest at 1 domain = %d\n%!" m
+    reference.E.ad_digest;
+  List.iter
+    (fun domains ->
+      let p = point domains in
+      let same =
+        p.E.ad_digest = reference.E.ad_digest
+        && p.E.ad_served = reference.E.ad_served
+        && p.E.ad_replicas_end = reference.E.ad_replicas_end
+        && p.E.ad_events = reference.E.ad_events
+      in
+      Printf.printf "  %d domains: digest %d  served %d  %s\n%!" domains
+        p.E.ad_digest p.E.ad_served
+        (if same then "OK" else "DIVERGED");
+      if not same then
+        fail
+          "bench adaptive: FAIL: dynamic-rf results at %d domains diverge \
+           from 1 domain (digest %d vs %d)\n"
+          domains p.E.ad_digest reference.E.ad_digest)
+    [ 2; 4; 8 ];
+  reference
+
+(* Gate 3: the multi-file timeline tracks the per-class oracle. *)
+let timeline_gate ~quick =
+  let intervals = if quick then 12 else 16 in
+  let steps = E.adaptive_timeline ~intervals () in
+  print_endline (E.render_adaptive_timeline steps);
+  List.iter
+    (fun (s : E.adaptive_step) ->
+      let ratio = float_of_int s.E.st_rf_replicas /. s.E.st_oracle in
+      if ratio < 0.5 || ratio > 3.0 then
+        fail
+          "bench adaptive: FAIL: timeline interval %d prescribes %d \
+           replicas, %.2fx the per-class oracle %.1f (band [0.5, 3])\n"
+          s.E.st_i s.E.st_rf_replicas ratio s.E.st_oracle)
+    steps;
+  steps
+
+let run () =
+  let quick = Sys.getenv_opt "LESSLOG_BENCH_QUICK" = Some "1" in
+  print_endline "bench adaptive: adaptive replication vs time-varying demand";
+  print_endline "-----------------------------------------------------------";
+  let points, m, duration = curve_gate ~quick in
+  let reference = determinism_gate ~quick in
+  let steps = timeline_gate ~quick in
+  Bench_json.write
+    ~path:(out_file "BENCH_adaptive.json")
+    ([
+       ("adaptive/m", float_of_int m);
+       ("adaptive/duration_s", duration);
+       ("adaptive/determinism_digest", float_of_int reference.E.ad_digest);
+       ("adaptive/determinism_events", float_of_int reference.E.ad_events);
+     ]
+    @ List.concat_map
+        (fun (p : E.adaptive_point) ->
+          let k fmt =
+            Printf.sprintf "adaptive/%s_r%.0f_%s" p.E.ad_label p.E.ad_rate fmt
+          in
+          [
+            (k "replicas", float_of_int p.E.ad_replicas_end);
+            (k "rf", float_of_int p.E.ad_rf_end);
+            (k "oracle", p.E.ad_oracle_replicas);
+            (k "loss", p.E.ad_loss);
+          ])
+        points
+    @ List.concat_map
+        (fun (s : E.adaptive_step) ->
+          let k fmt = Printf.sprintf "adaptive/timeline_i%02d_%s" s.E.st_i fmt in
+          [
+            (k "fluid", float_of_int s.E.st_fluid_replicas);
+            (k "rf", float_of_int s.E.st_rf_replicas);
+            (k "oracle", s.E.st_oracle);
+          ])
+        steps);
+  Printf.printf "wrote %s\n" (out_file "BENCH_adaptive.json");
+  if !failed then exit 1

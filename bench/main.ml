@@ -23,6 +23,11 @@
    (Obs_bench): the des m = 10 workload plain vs instrumented, enforcing
    the < 5% budget and appending BENCH_obs.json.
 
+   Part 5 — `main.exe adaptive` runs the adaptive-replication gates
+   (Adaptive_bench): the native-vs-dynamic-RF curve family against the
+   mean-field oracle, the policy-active determinism check and the
+   multi-file timeline, appending BENCH_adaptive.json.
+
    Set LESSLOG_BENCH_QUICK=1 to run the figures at reduced scale and
    LESSLOG_BENCH_MICRO_ONLY=1 to skip them entirely. *)
 
@@ -318,6 +323,7 @@ let () =
   if Array.exists (( = ) "des") Sys.argv then Des_bench.run ()
   else if Array.exists (( = ) "pdes") Sys.argv then Pdes_bench.run ()
   else if Array.exists (( = ) "obs") Sys.argv then Obs_bench.run ()
+  else if Array.exists (( = ) "adaptive") Sys.argv then Adaptive_bench.run ()
   else begin
     run_micro ();
     if Sys.getenv_opt "LESSLOG_BENCH_MICRO_ONLY" <> Some "1" then run_figures ()

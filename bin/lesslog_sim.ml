@@ -568,6 +568,58 @@ let msweep_cmd =
                  ~doc:"Subtree exponent for the sharded run: 2^$(docv) \
                        shards."))
 
+let adaptive_cmd =
+  let run m rates duration capacity seed domains files intervals =
+    let m = Option.value ~default:10 m in
+    let capacity = Option.value ~default:100.0 capacity in
+    let rates =
+      match rates with [] -> [ 500.0; 1000.0; 2000.0 ] | rates -> rates
+    in
+    print_endline
+      "D1: adaptive replication — native logless vs dynamic-RF vs oracle";
+    print_endline
+      "=================================================================";
+    let points =
+      E.adaptive_sweep ~domains ~m ~duration ~capacity ~seed ~rates ()
+    in
+    print_endline (E.render_adaptive points);
+    Printf.printf
+      "\nD2: hot/warm/cold timeline (%d files, shifting popularity, one \
+       flash crowd)\n"
+      files;
+    print_endline
+      "=================================================================";
+    let steps = E.adaptive_timeline ~capacity ~seed ~files ~intervals () in
+    print_endline (E.render_adaptive_timeline steps);
+    print_endline
+      "(dynamic-rf digests are invariant in --domains; rerun with a \
+       different D to check)"
+  in
+  Cmd.v
+    (Cmd.info "adaptive"
+       ~doc:
+         "D1/D2: adaptive replication under time-varying demand — the \
+          replicas-vs-rate curve family (native logless trigger vs the \
+          weighted dynamic-RF policy, each against the mean-field \
+          oracle), then the multi-file hot/warm/cold timeline with \
+          popularity shifts and a flash crowd against the fluid \
+          balancer.")
+    Term.(
+      const run $ m_arg
+      $ Arg.(value & opt_all float []
+             & info [ "rate" ] ~docv:"R"
+                 ~doc:"Total demand, requests/s; repeatable (default \
+                       500, 1000, 2000).")
+      $ Arg.(value & opt float 8.0
+             & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+      $ capacity_arg $ seed_arg $ domains_arg
+      $ Arg.(value & opt int 8
+             & info [ "files" ] ~docv:"N"
+                 ~doc:"Catalogue size for the timeline.")
+      $ Arg.(value & opt int 12
+             & info [ "intervals" ] ~docv:"N"
+                 ~doc:"One-second intervals in the timeline."))
+
 (* --- Observability ------------------------------------------------------ *)
 
 module Obs = Lesslog_obs.Obs
@@ -873,6 +925,7 @@ let () =
             fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; all_cmd; hops_cmd;
             eviction_cmd; ft_cmd; propchoice_cmd; validate_cmd; churn_cmd;
             update_cost_cmd; sessions_cmd; lifecycle_cmd; trace_run_cmd;
-            faults_cmd; msweep_cmd; stats_cmd; trace_cmd; check_cmd;
+            faults_cmd; msweep_cmd; adaptive_cmd; stats_cmd; trace_cmd;
+            check_cmd;
             replay_cmd; substrates_cmd; tree_cmd;
           ]))

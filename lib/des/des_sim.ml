@@ -16,6 +16,7 @@ module Rng = Lesslog_prng.Rng
 module Trace = Lesslog_trace.Trace
 module Obs = Lesslog_obs.Obs
 module Substrate = Lesslog_substrate.Substrate
+module Rf_policy = Lesslog_policy.Rf_policy
 
 type eviction = { period : float; min_rate : float }
 
@@ -145,6 +146,12 @@ type state = {
       (* [None] = the native direct path (the default, digest-pinned);
          [Some] routes, places replicas and repairs churn through the
          substrate contract instead *)
+  policy : Rf_policy.t option;
+      (* [Some] swaps the native overload-driven replication for the
+         log-driven dynamic-RF competitor: accesses are logged at request
+         issue, and an interval tick enforces the policy's replica
+         factor. [None] (the default) leaves the event stream and the RNG
+         draw sequence untouched — the golden digest path. *)
 }
 
 let now st = Engine.now st.engine
@@ -218,7 +225,11 @@ let serve st ~server ~id ~origin ~issued_at ~hops =
   else
     Overlay.send_packed st.overlay ~src:server ~dst:origin
       ~b:(reply_b ~id ~server:i ~hops) ~x:issued_at;
-  maybe_replicate st ~overloaded:server
+  (* Under the dynamic-RF policy the interval tick owns replica
+     management; the native overload trigger stays off. *)
+  match st.policy with
+  | None -> maybe_replicate st ~overloaded:server
+  | Some _ -> ()
 
 let handle st ~me ~src b x =
   match b land 7 with
@@ -278,6 +289,11 @@ let handle st ~me ~src b x =
 let issue_request st ~origin =
   let id = st.next_req land id_mask in
   st.next_req <- st.next_req + 1;
+  (* The access log the weighted dynamic-RF scheme needs and LessLog
+     forgoes: every issued request, keyed by the accessing node. *)
+  (match st.policy with
+  | None -> ()
+  | Some p -> Rf_policy.record p ~file:0 ~node:(Pid.to_int origin));
   (* The client contacts its node directly; local service costs no hop. *)
   if Cluster.holds st.cluster origin ~key:st.key then
     serve st ~server:origin ~id ~origin ~issued_at:(now st) ~hops:0
@@ -351,6 +367,78 @@ let start_eviction st ~duration =
                 Timeseries.record st.replica_timeline ~time:(now st)
                   (float_of_int (Cluster.total_copies st.cluster ~key:st.key))
               end;
+              tick ())
+      in
+      tick ()
+
+(* Bring the key's live copy count to the policy's replica factor:
+   deficits fill at the first live non-holders in ascending PID order,
+   surpluses shed replicated copies from the highest-PID holders down —
+   the inserted original is never evicted, so the count never drops
+   below one. Deliberately instantaneous (no push latency): the policy
+   models a coordinator that already holds the access log, and the
+   comparison against LessLog should not charge it the simulator's
+   network model twice. *)
+let policy_enforce st p =
+  let key = st.key in
+  let rf = Rf_policy.rf p ~file:0 in
+  let before = Cluster.total_copies st.cluster ~key in
+  if before < rf then begin
+    let src, version =
+      match Cluster.holders st.cluster ~key with
+      | h :: _ ->
+          ( Pid.to_int h,
+            Option.value ~default:0
+              (File_store.version (Cluster.store st.cluster h) ~key) )
+      | [] -> (-1, 0)
+    in
+    let deficit = ref (rf - before) in
+    Status_word.iter_live (Cluster.status st.cluster) (fun q ->
+        if !deficit > 0 && not (Cluster.holds st.cluster q ~key) then begin
+          File_store.add (Cluster.store st.cluster q) ~key
+            ~origin:File_store.Replicated ~version ~now:(now st);
+          st.replicas_created <- st.replicas_created + 1;
+          st.last_replication <- Some (now st);
+          emit st
+            (Trace.Event.Replicate
+               { at = now st; src; dst = Pid.to_int q; key });
+          decr deficit
+        end)
+  end
+  else if before > rf then begin
+    let surplus = ref (before - rf) in
+    List.iter
+      (fun q ->
+        if
+          !surplus > 0
+          && File_store.origin (Cluster.store st.cluster q) ~key
+             = Some File_store.Replicated
+        then begin
+          File_store.remove (Cluster.store st.cluster q) ~key;
+          st.replicas_evicted <- st.replicas_evicted + 1;
+          emit st (Trace.Event.Evict { at = now st; node = Pid.to_int q; key });
+          decr surplus
+        end)
+      (List.rev (Cluster.holders st.cluster ~key))
+  end;
+  let after = Cluster.total_copies st.cluster ~key in
+  if after <> before then
+    Timeseries.record st.replica_timeline ~time:(now st) (float_of_int after)
+
+(* The policy's analysis-interval tick, same self-rescheduling shape as
+   {!start_eviction}: close the interval (PD, thresholds, RF updates),
+   then reconcile the copy count. *)
+let start_policy st ~duration =
+  match st.policy with
+  | None -> ()
+  | Some p ->
+      let period = (Rf_policy.config p).Rf_policy.interval in
+      let rec tick () =
+        let t = now st +. period in
+        if t <= duration then
+          Engine.schedule_at st.engine ~time:t (fun () ->
+              ignore (Rf_policy.end_interval p);
+              policy_enforce st p;
               tick ())
       in
       tick ()
@@ -440,9 +528,13 @@ let apply_churn st events =
               end))
     events
 
-let run_internal ~config ~churn ~sink ~obs ~substrate ~rng ~cluster ~key
-    ~phases ~duration =
+let run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~rng ~cluster
+    ~key ~phases ~duration =
   let params = Cluster.params cluster in
+  (match policy with
+  | Some p when Rf_policy.nodes p <> Params.space params ->
+      invalid_arg "Des_sim: policy accessor population <> cluster space"
+  | _ -> ());
   let engine = Engine.create () in
   let overlay =
     Overlay.create ~engine ~rng ~latency:config.latency ~loss:config.loss params
@@ -488,6 +580,7 @@ let run_internal ~config ~churn ~sink ~obs ~substrate ~rng ~cluster ~key
       sink;
       obs = Option.map make_instruments obs;
       substrate;
+      policy;
     }
   in
   st.h_arrival <- Engine.register_handler engine (on_arrival st);
@@ -504,6 +597,7 @@ let run_internal ~config ~churn ~sink ~obs ~substrate ~rng ~cluster ~key
         ~from_time:(if i = 0 then 0.0 else st.phase_until.(i - 1)))
     phases;
   start_eviction st ~duration;
+  start_policy st ~duration;
   Engine.run ~until:duration engine;
   Option.iter (finalize_obs st) obs;
   let overloaded_at_end =
@@ -529,18 +623,19 @@ let run_internal ~config ~churn ~sink ~obs ~substrate ~rng ~cluster ~key
     events = Engine.events_executed engine;
   }
 
-let run ?(config = default_config) ?(churn = []) ?sink ?obs ?substrate ~rng
-    ~cluster ~key ~demand ~duration () =
-  run_internal ~config ~churn ~sink ~obs ~substrate ~rng ~cluster ~key
+let run ?(config = default_config) ?(churn = []) ?sink ?obs ?substrate
+    ?policy ~rng ~cluster ~key ~demand ~duration () =
+  run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~rng ~cluster ~key
     ~phases:[ (demand, duration) ] ~duration
 
 let run_scenario ?(config = default_config) ?(churn = []) ?sink ?obs
-    ?substrate ~rng ~cluster ~key ~scenario () =
+    ?substrate ?policy ~rng ~cluster ~key ~scenario () =
   let phases =
     List.map
       (fun p ->
         (p.Lesslog_workload.Scenario.demand, p.Lesslog_workload.Scenario.duration))
       (Lesslog_workload.Scenario.phases scenario)
   in
-  run_internal ~config ~churn ~sink ~obs ~substrate ~rng ~cluster ~key ~phases
+  run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~rng ~cluster ~key
+    ~phases
     ~duration:(Lesslog_workload.Scenario.total_duration scenario)

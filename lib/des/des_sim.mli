@@ -97,7 +97,22 @@ type result = {
     so running through {!Lesslog.Substrate_native} is bit-for-bit
     identical to omitting [substrate]). Routes longer than the packed
     hop field (63) — impossible on a conforming substrate — count as
-    faults. *)
+    faults.
+
+    With [policy], replica management switches from LessLog's native
+    logless overload trigger to the log-driven weighted dynamic-RF
+    competitor ({!Lesslog_policy.Rf_policy}): every issued request is
+    logged against its origin node, and at each policy interval the tick
+    closes the analysis window and reconciles the key's live copy count
+    to the resulting replica factor — deficits fill at the first live
+    non-holders in ascending PID order, surpluses shed replicated copies
+    (never the inserted original). Enforcement is instantaneous and
+    draws no randomness. The policy instance must be fresh for the run
+    and sized to the cluster's PID space; inspect it after the run for
+    the final RF and classification. Omitting [policy] leaves the event
+    stream and RNG draws bit-identical to previous releases.
+    @raise Invalid_argument when the policy's accessor population does
+    not match the cluster's PID space. *)
 
 val run :
   ?config:config ->
@@ -105,6 +120,7 @@ val run :
   ?sink:(Lesslog_trace.Trace.Event.t -> unit) ->
   ?obs:Lesslog_obs.Obs.t ->
   ?substrate:Lesslog_substrate.Substrate.t ->
+  ?policy:Lesslog_policy.Rf_policy.t ->
   rng:Lesslog_prng.Rng.t ->
   cluster:Lesslog.Cluster.t ->
   key:string ->
@@ -123,6 +139,7 @@ val run_scenario :
   ?sink:(Lesslog_trace.Trace.Event.t -> unit) ->
   ?obs:Lesslog_obs.Obs.t ->
   ?substrate:Lesslog_substrate.Substrate.t ->
+  ?policy:Lesslog_policy.Rf_policy.t ->
   rng:Lesslog_prng.Rng.t ->
   cluster:Lesslog.Cluster.t ->
   key:string ->

@@ -39,6 +39,7 @@ module Faults = Lesslog_workload.Faults
 module Psi = Lesslog_hash.Psi
 module Fnv = Lesslog_hash.Fnv
 module Obs = Lesslog_obs.Obs
+module Rf_policy = Lesslog_policy.Rf_policy
 
 type config = {
   capacity : float;
@@ -114,6 +115,13 @@ type shard = {
   mutable requests : int;
   mutable h_msg : int;
   mutable h_arrival : int;
+  (* Dynamic-RF policy tallies for the current analysis interval, owned
+     by the shard: request count and the accessing-origin bitset over
+     this subtree's VID slots. Subtrees partition the PID space, so
+     summing the per-shard distinct counts at the barrier is exact. *)
+  p_seen : Packed_bits.t;
+  mutable p_ac : int;
+  mutable p_dnc : int;
 }
 
 type state = {
@@ -130,6 +138,11 @@ type state = {
   shards : shard array;
   mutable control_messages : int;
   mutable file_transfers : int;
+  policy : Rf_policy.t option;
+      (* [Some] = the log-driven dynamic-RF competitor runs in sequential
+         barrier globals (interval close + holder-bit reconciliation, no
+         RNG), so the digest stays bit-identical at any domain count.
+         [None] keeps the golden-digest default path untouched. *)
 }
 
 type result = {
@@ -247,7 +260,11 @@ let serve st (sh : shard) ~server ~id ~origin ~issued_at ~hops =
     send_msg st sh ~dst:origin
       ~b:(reply_b ~id ~server:(Pid.to_int server) ~hops)
       ~x:issued_at;
-  maybe_replicate st sh ~overloaded:server
+  (* With the dynamic-RF policy active the barrier global owns replica
+     management; the native overload trigger stays off. *)
+  match st.policy with
+  | None -> maybe_replicate st sh ~overloaded:server
+  | Some _ -> ()
 
 (* Route one GET standing at [me]: serve, forward within the subtree, or
    — when the subtree dead-ends — migrate to the sibling subtree by
@@ -324,6 +341,17 @@ let rec route_get st (sh : shard) ~me ~id ~origin ~hops ~issued_at =
 and issue_request st (sh : shard) ~origin =
   let id = ((sh.requests * Array.length st.shards) + sh.sid) land id_mask in
   sh.requests <- sh.requests + 1;
+  (* Policy access log: tally on the origin's own shard — arrivals run
+     on it, so this touches no cross-shard state. *)
+  (match st.policy with
+  | None -> ()
+  | Some _ ->
+      sh.p_ac <- sh.p_ac + 1;
+      let sv = svid_of st origin in
+      if not (Packed_bits.get sh.p_seen sv) then begin
+        Packed_bits.set sh.p_seen sv;
+        sh.p_dnc <- sh.p_dnc + 1
+      end);
   route_get st sh ~me:origin ~id ~origin ~hops:0
     ~issued_at:(Engine.now sh.eng)
 
@@ -489,6 +517,94 @@ let burst_globals (st : state) (plan : Faults.plan) =
               st.config.loss plan.Faults.bursts ))
     bounds
 
+(* Reconcile the holder bitsets with the policy's replica factor, run
+   inside a barrier global: deficits fill round-robin across shards
+   (first live non-holder member per shard per round — the spread
+   ADVANCEDINSERTFILE would pick), surpluses shed the highest holder
+   VID per shard in reverse shard order, draining multi-holder shards
+   before emptying a subtree. Entirely deterministic and RNG-free, so
+   the event stream downstream of the barrier is bit-identical at any
+   domain count. *)
+let policy_enforce (st : state) p =
+  let rf = Rf_policy.rf p ~file:0 in
+  let copies = total_copies st in
+  if copies < rf then begin
+    let deficit = ref (rf - copies) and progress = ref true in
+    while !deficit > 0 && !progress do
+      progress := false;
+      Array.iter
+        (fun (sh : shard) ->
+          if !deficit > 0 then
+            match
+              List.find_opt
+                (fun q ->
+                  Status_word.is_live st.status q
+                  && not (Packed_bits.get sh.holders (svid_of st q)))
+                (Subtrees.members st.tree ~subtree_id:sh.sid)
+            with
+            | None -> ()
+            | Some q ->
+                Packed_bits.set sh.holders (svid_of st q);
+                sh.replicas_created <- sh.replicas_created + 1;
+                decr deficit;
+                progress := true)
+        st.shards
+    done
+  end
+  else if copies > rf then begin
+    let surplus = ref (copies - rf) and progress = ref true in
+    while !surplus > 0 && !progress do
+      progress := false;
+      (* First pass per round: only shards keeping another copy. *)
+      for i = Array.length st.shards - 1 downto 0 do
+        let sh = st.shards.(i) in
+        if !surplus > 0 && Packed_bits.count sh.holders > 1 then begin
+          Packed_bits.clear sh.holders (highest_holder sh);
+          decr surplus;
+          progress := true
+        end
+      done;
+      if !surplus > 0 && not !progress then
+        for i = Array.length st.shards - 1 downto 0 do
+          let sh = st.shards.(i) in
+          if !surplus > 0 && Packed_bits.count sh.holders = 1 then begin
+            Packed_bits.clear sh.holders (highest_holder sh);
+            decr surplus;
+            progress := true
+          end
+        done
+    done
+  end
+
+(* The policy's analysis intervals, lowered onto the barrier-global
+   machinery: at each boundary, merge every shard's access tallies into
+   the policy (shard order — deterministic), close the interval, then
+   reconcile the holder bits. *)
+let policy_globals (st : state) =
+  match st.policy with
+  | None -> []
+  | Some p ->
+      let period = (Rf_policy.config p).Rf_policy.interval in
+      let rec build k acc =
+        let t = float_of_int k *. period in
+        if t >= st.duration then List.rev acc
+        else
+          build (k + 1)
+            (( t,
+               fun () ->
+                 Array.iter
+                   (fun (sh : shard) ->
+                     Rf_policy.note p ~file:0 ~ac:sh.p_ac ~dnc:sh.p_dnc;
+                     sh.p_ac <- 0;
+                     sh.p_dnc <- 0;
+                     Packed_bits.clear_all sh.p_seen)
+                   st.shards;
+                 ignore (Rf_policy.end_interval p);
+                 policy_enforce st p )
+             :: acc)
+      in
+      build 1 []
+
 let start_arrivals (st : state) =
   Array.iter
     (fun (sh : shard) ->
@@ -529,9 +645,14 @@ let finalize_obs (st : state) (obs : Obs.t) ~latencies ~hops =
   ignore (Obs.Registry.timer_backed r "pdes/hops" hops)
 
 let run ?(config = default_config) ?(churn = []) ?(faults = Faults.empty) ?obs
-    ?(domains = 1) ?(fuse = true) ~seed ~params ~key ~demand ~duration () =
+    ?policy ?(domains = 1) ?(fuse = true) ~seed ~params ~key ~demand ~duration
+    () =
   if Params.m params > origin_bits then
     invalid_arg "Pdes_sim.run: m exceeds the packed origin field";
+  (match policy with
+  | Some p when Rf_policy.nodes p <> Params.space params ->
+      invalid_arg "Pdes_sim.run: policy accessor population <> PID space"
+  | _ -> ());
   if faults.Faults.partitions <> [] then
     invalid_arg "Pdes_sim.run: partitions are not supported";
   let nshards = Params.subtree_count params in
@@ -582,6 +703,9 @@ let run ?(config = default_config) ?(churn = []) ?(faults = Faults.empty) ?obs
           requests = 0;
           h_msg = -1;
           h_arrival = -1;
+          p_seen = Packed_bits.create sspace;
+          p_ac = 0;
+          p_dnc = 0;
         })
   in
   let st =
@@ -597,6 +721,7 @@ let run ?(config = default_config) ?(churn = []) ?(faults = Faults.empty) ?obs
       shards;
       control_messages = 0;
       file_transfers = 0;
+      policy;
     }
   in
   Array.iter
@@ -609,13 +734,15 @@ let run ?(config = default_config) ?(churn = []) ?(faults = Faults.empty) ?obs
     (fun p -> Packed_bits.set shards.(sid_of st p).holders (svid_of st p))
     (Subtrees.insertion_targets tree status);
   start_arrivals st;
-  (* Both lists are time-sorted; concat + stable sort is a stable merge,
+  (* All lists are time-sorted; concat + stable sort is a stable merge,
      so at equal times churn (user first, then crash-derived) precedes
-     loss-boundary recomputes — a fixed, domain-count-free order. *)
+     loss-boundary recomputes, which precede policy-interval closes — a
+     fixed, domain-count-free order. *)
   let globals =
     List.stable_sort
       (fun (a, _) (b, _) -> Float.compare a b)
-      (churn_globals st (churn @ fault_churn faults) @ burst_globals st faults)
+      (churn_globals st (churn @ fault_churn faults)
+      @ burst_globals st faults @ policy_globals st)
   in
   Sharded_engine.run ~until:duration ~globals ~domains ~fuse se;
   let latencies = Histogram.create () and hops = Histogram.create () in

@@ -70,6 +70,7 @@ val run :
   ?churn:churn_event list ->
   ?faults:Lesslog_workload.Faults.plan ->
   ?obs:Obs.t ->
+  ?policy:Lesslog_policy.Rf_policy.t ->
   ?domains:int ->
   ?fuse:bool ->
   seed:int ->
@@ -93,6 +94,19 @@ val run :
     default; [~fuse:false] forces one pool dispatch per epoch). With
     [obs], per-shard span sinks are merged into the bundle in shard
     order and [pdes/*] registry metrics are attributed at the end.
+
+    With [policy], replica management switches from the native logless
+    overload trigger to the log-driven weighted dynamic-RF competitor
+    ({!Lesslog_policy.Rf_policy}): each shard tallies its own requests
+    and accessing origins, and at every policy interval a barrier global
+    merges the tallies in shard order, closes the analysis window and
+    reconciles the holder bits to the resulting replica factor —
+    deficits fill round-robin across subtrees, surpluses shed the
+    highest holder VIDs. The whole path is sequential and RNG-free, so
+    the digest stays bit-identical at any [domains]; the policy instance
+    must be fresh for the run and sized to the PID space. Omitting
+    [policy] leaves the golden-digest default path untouched.
     @raise Invalid_argument when [m] exceeds the 24-bit packed origin
-    field, [b > 0] with a latency minimum of zero, or [faults] contains
-    partitions. *)
+    field, [b > 0] with a latency minimum of zero, [faults] contains
+    partitions, or the policy's accessor population does not match the
+    PID space. *)

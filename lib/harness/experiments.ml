@@ -322,6 +322,278 @@ let pdes_sweep ?(ms = [ 10; 11; 12; 13; 14; 15; 16 ]) ?(b = 2) ?(domains = 1)
     (fun m -> pdes_point ~b ~domains ~m ~rate_per_node ~duration ~capacity ~seed ())
     ms
 
+(* --- Adaptive replication under time-varying demand --------------------- *)
+
+module Rf_policy = Lesslog_policy.Rf_policy
+module Catalog = Lesslog_workload.Catalog
+module Multi_balance = Lesslog_flow.Multi_balance
+
+type demand_class = { class_files : int; class_rate : float }
+
+(* Per-class mean-field steady state: each of a class's [m_c] files needs
+   enough copies to absorb its share [R_c /. m_c] at [capacity] per copy,
+   never below the one copy insertion guarantees — so the population
+   settles near [sum_c m_c *. max 1 (R_c /. (m_c *. capacity))]. The
+   single-class instance with m_c = 1 degenerates to the PR 7 oracle
+   [max 1 (R /. capacity)]. *)
+let adaptive_oracle_replicas ~classes ~capacity =
+  if capacity <= 0.0 then
+    invalid_arg "Experiments.adaptive_oracle_replicas: capacity must be positive";
+  List.fold_left
+    (fun acc { class_files; class_rate } ->
+      if class_files <= 0 then acc
+      else
+        let files = float_of_int class_files in
+        acc +. (files *. Float.max 1.0 (class_rate /. (files *. capacity))))
+    0.0 classes
+
+(* Fluid loss bound: [replicas] copies serve at most [replicas *.
+   capacity] requests/s, so at least [1 - replicas *. capacity /. rate]
+   of the offered load overflows. An upper bound on the steady-state
+   loss fraction — zero once the population reaches the oracle. *)
+let adaptive_oracle_loss ~total_rate ~replicas ~capacity =
+  if total_rate <= 0.0 then 0.0
+  else Float.max 0.0 (1.0 -. (replicas *. capacity /. total_rate))
+
+type adaptive_point = {
+  ad_label : string;
+  ad_m : int;
+  ad_rate : float;
+  ad_requests : int;
+  ad_served : int;
+  ad_faults : int;
+  ad_loss : float;
+  ad_replicas_end : int;
+  ad_rf_end : int;
+  ad_oracle_replicas : float;
+  ad_oracle_loss : float;
+  ad_digest : int;
+  ad_events : int;
+  ad_secs : float;
+}
+
+let adaptive_policy ?config ~params ~capacity () =
+  let config =
+    Option.value config
+      ~default:
+        {
+          Rf_policy.default_config with
+          Rf_policy.interval = 0.25;
+          rf_max = Params.space params;
+          capacity = Some capacity;
+        }
+  in
+  Rf_policy.create ~config
+    ~rf0:(min (Params.subtree_count params) config.Rf_policy.rf_max)
+    ~nodes:(Params.space params) ~files:1 ()
+
+let adaptive_point ?(b = 2) ?(domains = 1) ?policy_config ~dynamic ~m ~rate
+    ~duration ~capacity ~seed () =
+  let params = Params.create ~b ~m () in
+  let status = Status_word.create params ~initially_live:true in
+  let demand = Demand.uniform status ~total:rate in
+  let tag = Printf.sprintf "%d|adaptive|%d|%g|%b" seed m rate dynamic in
+  let run_seed = Lesslog_hash.Fnv.hash63 tag land 0x3FFFFFFF in
+  let policy =
+    if dynamic then Some (adaptive_policy ?config:policy_config ~params ~capacity ())
+    else None
+  in
+  let config = { Pdes_sim.default_config with capacity } in
+  let t0 = Sys.time () in
+  let r =
+    Pdes_sim.run ~config ?policy ~domains ~seed:run_seed ~params ~key:hot_file
+      ~demand ~duration ()
+  in
+  let secs = Sys.time () -. t0 in
+  {
+    ad_label = (if dynamic then "dynamic-rf" else "lesslog");
+    ad_m = m;
+    ad_rate = rate;
+    ad_requests = r.Pdes_sim.requests;
+    ad_served = r.Pdes_sim.served;
+    ad_faults = r.Pdes_sim.faults;
+    ad_loss =
+      (if r.Pdes_sim.requests = 0 then 0.0
+       else float_of_int r.Pdes_sim.faults /. float_of_int r.Pdes_sim.requests);
+    ad_replicas_end = r.Pdes_sim.replicas_end;
+    ad_rf_end =
+      (match policy with Some p -> Rf_policy.rf p ~file:0 | None -> 0);
+    ad_oracle_replicas =
+      adaptive_oracle_replicas
+        ~classes:[ { class_files = 1; class_rate = rate } ]
+        ~capacity;
+    ad_oracle_loss =
+      adaptive_oracle_loss ~total_rate:rate
+        ~replicas:(float_of_int r.Pdes_sim.replicas_end) ~capacity;
+    ad_digest = r.Pdes_sim.digest;
+    ad_events = r.Pdes_sim.events;
+    ad_secs = secs;
+  }
+
+let adaptive_sweep ?(b = 2) ?(domains = 1) ?(m = 10) ?(duration = 8.0)
+    ?(capacity = 100.0) ?(seed = 42) ?(rates = [ 500.0; 1000.0; 2000.0 ]) () =
+  List.concat_map
+    (fun rate ->
+      [
+        adaptive_point ~b ~domains ~dynamic:false ~m ~rate ~duration ~capacity
+          ~seed ();
+        adaptive_point ~b ~domains ~dynamic:true ~m ~rate ~duration ~capacity
+          ~seed ();
+      ])
+    rates
+
+let render_adaptive points =
+  let header =
+    [ "policy"; "req/s"; "requests"; "served"; "loss"; "repl"; "rf";
+      "oracle"; "oracle loss" ]
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.ad_label;
+          Printf.sprintf "%.0f" p.ad_rate;
+          string_of_int p.ad_requests;
+          string_of_int p.ad_served;
+          Printf.sprintf "%.4f" p.ad_loss;
+          string_of_int p.ad_replicas_end;
+          string_of_int p.ad_rf_end;
+          Printf.sprintf "%.1f" p.ad_oracle_replicas;
+          Printf.sprintf "%.4f" p.ad_oracle_loss;
+        ])
+      points
+  in
+  Lesslog_report.Table.render ~header rows
+
+(* --- Adaptive timeline: multi-file hot/warm/cold vs the fluid solver --- *)
+
+type adaptive_step = {
+  st_i : int;
+  st_total : float;
+  st_hot : string;
+  st_fluid_replicas : int;
+  st_rf_replicas : int;
+  st_oracle : float;
+}
+
+let adaptive_timeline ?(m = 8) ?(capacity = 100.0) ?(seed = 42) ?(files = 8)
+    ?(intervals = 12) ?(shift_every = 4) ?(flash_factor = 25.0) () =
+  let params = Params.create ~m () in
+  let status = Status_word.create params ~initially_live:true in
+  let tag s = Lesslog_hash.Fnv.hash63 s land 0x3FFFFFFF in
+  let rng = Rng.create ~seed:(tag (Printf.sprintf "%d|adtl" seed)) in
+  let total = 4.0 *. capacity in
+  let flash =
+    {
+      Catalog.rank = files - 1;
+      factor = flash_factor;
+      from_i = intervals / 2;
+      until_i = min intervals ((intervals / 2) + 2);
+    }
+  in
+  let tl =
+    Catalog.timeline ~classes:Catalog.default_classes ~shift_every
+      ~flashes:[ flash ] status ~rng ~files ~total ~spread:Catalog.Uniform
+      ~intervals ~interval:1.0
+  in
+  (* Stable file identity for the policy: the catalogue re-deals demand
+     over the same names at a popularity shift, so index by name, not by
+     the entry's position in the current step. *)
+  let name_idx = Hashtbl.create files in
+  List.iteri
+    (fun f (name, _) -> Hashtbl.replace name_idx name f)
+    (Catalog.files (Catalog.step tl ~i:0));
+  let pconfig =
+    {
+      Rf_policy.default_config with
+      Rf_policy.interval = Catalog.interval tl;
+      rf_max = Params.space params;
+      capacity = Some capacity;
+    }
+  in
+  let policy =
+    Rf_policy.create ~config:pconfig ~nodes:(Params.space params) ~files ()
+  in
+  List.init intervals (fun i ->
+      let entries = Catalog.files (Catalog.step tl ~i) in
+      (* Fluid side: a fresh cluster balanced against this interval's
+         catalogue — the steady state an omniscient balancer reaches. *)
+      let cluster = Cluster.create params in
+      List.iter (fun (k, _) -> ignore (Ops.insert cluster ~key:k)) entries;
+      let frng = Rng.create ~seed:(tag (Printf.sprintf "%d|adtl|%d" seed i)) in
+      let _ =
+        Multi_balance.run ~rng:frng ~cluster ~catalog:entries ~capacity
+          ~policy:Policy.Lesslog ()
+      in
+      let fluid =
+        List.fold_left
+          (fun acc (k, _) -> acc + Cluster.total_copies cluster ~key:k)
+          0 entries
+      in
+      (* Policy side: synthesize the interval's access log from the
+         demand (expected accesses and accessing-origin counts), close
+         the window, read off the replica factors. *)
+      List.iter
+        (fun (name, d) ->
+          let f = Hashtbl.find name_idx name in
+          let ac =
+            int_of_float
+              (Float.round (Demand.total d *. Catalog.interval tl))
+          in
+          let dnc =
+            Status_word.fold_live status ~init:0 ~f:(fun acc p ->
+                if Demand.rate d p > 0.0 then acc + 1 else acc)
+          in
+          Rf_policy.note policy ~file:f ~ac ~dnc)
+        entries;
+      ignore (Rf_policy.end_interval policy);
+      let rf_total = ref 0 in
+      for f = 0 to files - 1 do
+        rf_total := !rf_total + Rf_policy.rf policy ~file:f
+      done;
+      let hot =
+        List.fold_left
+          (fun (bk, br) (k, d) ->
+            if Demand.total d > br then (k, Demand.total d) else (bk, br))
+          ("", neg_infinity) entries
+        |> fst
+      in
+      {
+        st_i = i;
+        st_total = Catalog.total_demand (Catalog.step tl ~i);
+        st_hot = hot;
+        st_fluid_replicas = fluid;
+        st_rf_replicas = !rf_total;
+        st_oracle =
+          adaptive_oracle_replicas
+            ~classes:
+              (List.map
+                 (fun (_, d) ->
+                   { class_files = 1; class_rate = Demand.total d })
+                 entries)
+            ~capacity;
+      })
+
+let render_adaptive_timeline steps =
+  let header =
+    [ "interval"; "total req/s"; "hot file"; "fluid repl"; "rf repl";
+      "oracle" ]
+  in
+  let rows =
+    List.map
+      (fun s ->
+        [
+          string_of_int s.st_i;
+          Printf.sprintf "%.0f" s.st_total;
+          s.st_hot;
+          string_of_int s.st_fluid_replicas;
+          string_of_int s.st_rf_replicas;
+          Printf.sprintf "%.1f" s.st_oracle;
+        ])
+      steps
+  in
+  Lesslog_report.Table.render ~header rows
+
 let render_pdes_sweep points =
   let header =
     [ "m"; "shards"; "nodes"; "events"; "ev/s"; "served"; "faults"; "migr";

@@ -214,3 +214,129 @@ val pdes_sweep :
 
 val render_pdes_sweep : pdes_point list -> string
 (** One table row per sweep point, ready to print. *)
+
+(** {1 Adaptive replication under time-varying demand}
+
+    The dynamic-RF competitor ({!Lesslog_policy.Rf_policy}) against
+    LessLog's native logless placement, on the sharded simulator, with a
+    per-class mean-field oracle to validate steady states. *)
+
+type demand_class = {
+  class_files : int;  (** Files in the class. *)
+  class_rate : float;  (** Aggregate demand of the class, requests/s. *)
+}
+
+val adaptive_oracle_replicas :
+  classes:demand_class list -> capacity:float -> float
+(** Per-class mean-field steady-state replica count:
+    [sum_c m_c *. max 1 (R_c /. (m_c *. capacity))] — each file needs
+    enough copies to absorb its class share at [capacity] per copy,
+    never below the one copy insertion guarantees. One class with one
+    file degenerates to {!pdes_oracle_replicas}. Empty classes
+    contribute nothing.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val adaptive_oracle_loss :
+  total_rate:float -> replicas:float -> capacity:float -> float
+(** Fluid upper bound on the steady-state loss fraction:
+    [max 0 (1 - replicas *. capacity /. total_rate)] — zero once the
+    population reaches the oracle. *)
+
+type adaptive_point = {
+  ad_label : string;  (** ["lesslog"] or ["dynamic-rf"]. *)
+  ad_m : int;
+  ad_rate : float;  (** Total offered demand, requests/s. *)
+  ad_requests : int;
+  ad_served : int;
+  ad_faults : int;
+  ad_loss : float;  (** [faults /. requests] (0 when no requests). *)
+  ad_replicas_end : int;
+  ad_rf_end : int;  (** Final replica factor (0 for the native policy). *)
+  ad_oracle_replicas : float;
+  ad_oracle_loss : float;  (** The fluid bound at [ad_replicas_end]. *)
+  ad_digest : int;  (** Domain-count-invariant run digest. *)
+  ad_events : int;
+  ad_secs : float;
+}
+
+val adaptive_policy :
+  ?config:Lesslog_policy.Rf_policy.config ->
+  params:Lesslog_id.Params.t ->
+  capacity:float ->
+  unit ->
+  Lesslog_policy.Rf_policy.t
+(** A fresh single-file policy instance sized to [params]: 0.25 s
+    intervals, capacity-aware classification, RF capped at the slot
+    count, starting from the per-subtree insertion population. *)
+
+val adaptive_point :
+  ?b:int ->
+  ?domains:int ->
+  ?policy_config:Lesslog_policy.Rf_policy.config ->
+  dynamic:bool ->
+  m:int ->
+  rate:float ->
+  duration:float ->
+  capacity:float ->
+  seed:int ->
+  unit ->
+  adaptive_point
+(** One {!Lesslog_des.Pdes_sim} run at total demand [rate]: native
+    logless placement when [dynamic] is false, the dynamic-RF policy
+    (via {!adaptive_policy}, or [policy_config]) when true. The run seed
+    is derived from [seed], [m], [rate] and [dynamic], so points are
+    independent and reproducible; [domains] is a speed knob that leaves
+    [ad_digest] unchanged. *)
+
+val adaptive_sweep :
+  ?b:int ->
+  ?domains:int ->
+  ?m:int ->
+  ?duration:float ->
+  ?capacity:float ->
+  ?seed:int ->
+  ?rates:float list ->
+  unit ->
+  adaptive_point list
+(** The replicas-vs-request-rate curve family: for each rate (default
+    500/1,000/2,000 requests/s at m = 10, 8 simulated seconds), one
+    native point and one dynamic-RF point, in that order. *)
+
+val render_adaptive : adaptive_point list -> string
+(** One table row per point, ready to print. *)
+
+type adaptive_step = {
+  st_i : int;  (** Interval index. *)
+  st_total : float;  (** Catalogue demand in force, requests/s. *)
+  st_hot : string;  (** Most-demanded file this interval. *)
+  st_fluid_replicas : int;
+      (** Total copies after {!Lesslog_flow.Multi_balance} on a fresh
+          cluster — the omniscient balancer's steady state. *)
+  st_rf_replicas : int;
+      (** Total copies the dynamic-RF policy prescribes after closing
+          this interval (replica factors summed over the catalogue). *)
+  st_oracle : float;  (** {!adaptive_oracle_replicas}, one class/file. *)
+}
+
+val adaptive_timeline :
+  ?m:int ->
+  ?capacity:float ->
+  ?seed:int ->
+  ?files:int ->
+  ?intervals:int ->
+  ?shift_every:int ->
+  ?flash_factor:float ->
+  unit ->
+  adaptive_step list
+(** The multi-file experiment: a hot/warm/cold
+    {!Lesslog_workload.Catalog.timeline} (popularity re-dealt every
+    [shift_every] intervals, one flash crowd of [flash_factor]x in the
+    middle) played against both sides — per interval, the fluid
+    multi-file balancer's replica population versus the total the
+    dynamic-RF policy prescribes from the same demand (file identity
+    tracked by name across popularity shifts). Defaults: m = 8, 8
+    files, 12 one-second intervals, shift every 4, flash 25x (a cold
+    file's demand must clear one node's capacity to force replicas). *)
+
+val render_adaptive_timeline : adaptive_step list -> string
+(** One table row per interval, ready to print. *)

@@ -4,7 +4,22 @@ module Zipf = Lesslog_prng.Zipf
 
 type spread = Uniform | Locality of { hot_fraction : float; hot_share : float }
 
-type t = { files : (string * Demand.t) array }
+type t = {
+  files : (string * Demand.t) array;
+  index : (string, int) Hashtbl.t;
+      (* name -> position in [files]; rebuilt whenever the entry array is,
+         so [demand_of] is an O(1) hash probe instead of an O(files)
+         linear scan with a string compare per entry — the difference
+         between a per-interval poll being free and being quadratic once
+         adaptive runs ask for every file's demand every interval. *)
+}
+
+let build_index entries =
+  let index = Hashtbl.create (Array.length entries * 2) in
+  Array.iteri (fun i (name, _) -> Hashtbl.replace index name i) entries;
+  index
+
+let of_entries entries = { files = entries; index = build_index entries }
 
 let demand_for status ~rng ~spread ~total =
   match spread with
@@ -12,25 +27,153 @@ let demand_for status ~rng ~spread ~total =
   | Locality { hot_fraction; hot_share } ->
       Demand.locality ~hot_fraction ~hot_share status ~rng ~total
 
+(* Rank digits grow with the catalogue: width is derived from [files]
+   (minimum 4, the historical format), so names stay lexically sorted and
+   equal-width past 9999 files instead of silently overflowing "%04d". *)
+let rank_width files =
+  let rec digits n = if n < 10 then 1 else 1 + digits (n / 10) in
+  max 4 (digits (max 1 (files - 1)))
+
+let name_of ~prefix ~width rank = Printf.sprintf "%s-%0*d" prefix width rank
+
 let create ?(prefix = "file") ?(zipf_s = 0.9) status ~rng ~files ~total ~spread =
   if files <= 0 then invalid_arg "Catalog.create: files";
   let zipf = Zipf.create ~n:files ~s:zipf_s in
+  let width = rank_width files in
   let entries =
     Array.init files (fun rank ->
         let share = Zipf.probability zipf rank in
-        let name = Printf.sprintf "%s-%04d" prefix rank in
+        let name = name_of ~prefix ~width rank in
         (name, demand_for status ~rng ~spread ~total:(total *. share)))
   in
-  { files = entries }
+  of_entries entries
 
 let files t = Array.to_list t.files
 
 let demand_of t ~key =
-  Array.find_opt (fun (name, _) -> String.equal name key) t.files
-  |> Option.map snd
+  match Hashtbl.find_opt t.index key with
+  | None -> None
+  | Some i -> Some (snd t.files.(i))
 
 let shift_popularity t ~rng =
   let names = Array.map fst t.files in
   let demands = Array.map snd t.files in
   Rng.shuffle rng names;
-  { files = Array.map2 (fun name demand -> (name, demand)) names demands }
+  of_entries (Array.map2 (fun name demand -> (name, demand)) names demands)
+
+(* --- Time-varying catalogues -------------------------------------------- *)
+
+type classes = {
+  hot_files : int;
+  warm_files : int;
+  hot_share : float;
+  warm_share : float;
+}
+
+let default_classes =
+  { hot_files = 1; warm_files = 4; hot_share = 0.6; warm_share = 0.3 }
+
+type flash = { rank : int; factor : float; from_i : int; until_i : int }
+
+type timeline = { interval : float; steps : t array }
+
+(* A hot/warm/cold catalogue: the population splits into three classes
+   whose per-file demand is the class share divided evenly over the class
+   — the piecewise-constant popularity profile of the dynamic-replication
+   literature (as opposed to [create]'s smooth Zipf tail). Total demand
+   is conserved exactly: shares are renormalized over the classes that
+   are actually populated. *)
+let with_classes ?(prefix = "file") status ~rng ~files ~total ~spread ~classes
+    =
+  if files <= 0 then invalid_arg "Catalog.with_classes: files";
+  let { hot_files; warm_files; hot_share; warm_share } = classes in
+  if hot_files < 0 || warm_files < 0 || hot_files + warm_files > files then
+    invalid_arg "Catalog.with_classes: class sizes";
+  if
+    hot_share < 0.0 || warm_share < 0.0
+    || hot_share +. warm_share > 1.0 +. 1e-9
+  then invalid_arg "Catalog.with_classes: class shares";
+  let cold_files = files - hot_files - warm_files in
+  let cold_share = Float.max 0.0 (1.0 -. hot_share -. warm_share) in
+  (* Shares of empty classes are re-spread over the populated ones. *)
+  let populated_share =
+    (if hot_files > 0 then hot_share else 0.0)
+    +. (if warm_files > 0 then warm_share else 0.0)
+    +. if cold_files > 0 then cold_share else 0.0
+  in
+  let norm = if populated_share > 0.0 then 1.0 /. populated_share else 0.0 in
+  let per_file rank =
+    let share, count =
+      if rank < hot_files then (hot_share, hot_files)
+      else if rank < hot_files + warm_files then (warm_share, warm_files)
+      else (cold_share, cold_files)
+    in
+    total *. share *. norm /. float_of_int count
+  in
+  let width = rank_width files in
+  let entries =
+    Array.init files (fun rank ->
+        ( name_of ~prefix ~width rank,
+          demand_for status ~rng ~spread ~total:(per_file rank) ))
+  in
+  of_entries entries
+
+let apply_flashes base ~flashes ~i =
+  let active =
+    List.filter (fun f -> f.from_i <= i && i < f.until_i) flashes
+  in
+  if active = [] then base
+  else begin
+    let entries = Array.copy base.files in
+    List.iter
+      (fun f ->
+        if f.rank >= 0 && f.rank < Array.length entries then begin
+          let name, demand = entries.(f.rank) in
+          entries.(f.rank) <- (name, Demand.scale demand ~factor:f.factor)
+        end)
+      active;
+    of_entries entries
+  end
+
+let timeline ?prefix ?classes ?(shift_every = 0) ?(flashes = []) status ~rng
+    ~files ~total ~spread ~intervals ~interval =
+  if intervals <= 0 then invalid_arg "Catalog.timeline: intervals";
+  if interval <= 0.0 then invalid_arg "Catalog.timeline: interval";
+  List.iter
+    (fun f ->
+      if f.factor < 0.0 then invalid_arg "Catalog.timeline: flash factor";
+      if f.from_i >= f.until_i then
+        invalid_arg "Catalog.timeline: flash window")
+    flashes;
+  let base =
+    ref
+      (match classes with
+      | Some classes ->
+          with_classes ?prefix status ~rng ~files ~total ~spread ~classes
+      | None -> create ?prefix status ~rng ~files ~total ~spread)
+  in
+  let steps =
+    Array.init intervals (fun i ->
+        if shift_every > 0 && i > 0 && i mod shift_every = 0 then
+          base := shift_popularity !base ~rng;
+        apply_flashes !base ~flashes ~i)
+  in
+  { interval; steps }
+
+let step tl ~i =
+  if i < 0 || i >= Array.length tl.steps then
+    invalid_arg "Catalog.step: interval index";
+  tl.steps.(i)
+
+let interval_count tl = Array.length tl.steps
+let interval tl = tl.interval
+
+let at tl ~time =
+  if time < 0.0 then None
+  else begin
+    let i = int_of_float (time /. tl.interval) in
+    if i >= Array.length tl.steps then None else Some tl.steps.(i)
+  end
+
+let total_demand t =
+  Array.fold_left (fun acc (_, d) -> acc +. Demand.total d) 0.0 t.files

@@ -1,13 +1,19 @@
 (** Multi-file workloads: a catalogue of files whose popularity follows a
-    Zipf law, each file's demand spread over origins by one of the
-    {!Demand} models. Drives the counter-based-eviction ablation and the
-    richer examples. *)
+    Zipf law (or an explicit hot/warm/cold class split), each file's
+    demand spread over origins by one of the {!Demand} models. Drives the
+    counter-based-eviction ablation, the adaptive-replication experiments
+    and the richer examples. *)
 
 module Status_word = Lesslog_membership.Status_word
 
 type spread = Uniform | Locality of { hot_fraction : float; hot_share : float }
 
-type t = private { files : (string * Demand.t) array }
+type t = private {
+  files : (string * Demand.t) array;
+  index : (string, int) Hashtbl.t;
+      (** Name → position, rebuilt with the entry array: {!demand_of} is
+          an O(1) hash probe, never an O(files) scan. *)
+}
 
 val create :
   ?prefix:string ->
@@ -18,7 +24,9 @@ val create :
   total:float ->
   spread:spread ->
   t
-(** [files] file names ([prefix] + rank), rank popularity Zipf with
+(** [files] file names ([prefix] + zero-padded rank, width derived from
+    [files] with a minimum of 4 digits so names stay equal-width and
+    lexically sorted at any catalogue size), rank popularity Zipf with
     exponent [zipf_s] (default 0.9), total demand [total] requests/s
     across the catalogue. *)
 
@@ -26,8 +34,86 @@ val files : t -> (string * Demand.t) list
 (** Most popular first. *)
 
 val demand_of : t -> key:string -> Demand.t option
+(** O(1): one hash probe on the precomputed name index. *)
 
 val shift_popularity : t -> rng:Lesslog_prng.Rng.t -> t
 (** Re-deal the popularity ranks over the same file names — a popularity
     churn event for the eviction experiment: yesterday's hot file goes
     cold. *)
+
+val total_demand : t -> float
+(** Sum of every file's demand total. *)
+
+(** {1 Time-varying catalogues}
+
+    The adaptive-replication workloads: a catalogue per fixed-length
+    analysis interval, with an explicit hot/warm/cold population, a
+    popularity-shift schedule (yesterday's hot file goes cold every
+    [shift_every] intervals) and flash crowds that multiply one file's
+    demand for a window of intervals. *)
+
+type classes = {
+  hot_files : int;  (** Ranks [0, hot_files) are hot. *)
+  warm_files : int;  (** The next [warm_files] ranks are warm. *)
+  hot_share : float;  (** Demand share of the hot class. *)
+  warm_share : float;
+      (** Demand share of the warm class; the cold class gets the rest.
+          Shares of empty classes re-spread over the populated ones, so
+          total demand is conserved exactly. *)
+}
+
+val default_classes : classes
+(** 1 hot, 4 warm files at a 60/30/10 split. *)
+
+type flash = {
+  rank : int;  (** File whose demand the crowd multiplies. *)
+  factor : float;  (** Demand multiplier while active. *)
+  from_i : int;  (** First interval index affected (inclusive). *)
+  until_i : int;  (** First interval index no longer affected. *)
+}
+
+type timeline = private { interval : float; steps : t array }
+
+val with_classes :
+  ?prefix:string ->
+  Status_word.t ->
+  rng:Lesslog_prng.Rng.t ->
+  files:int ->
+  total:float ->
+  spread:spread ->
+  classes:classes ->
+  t
+(** A single catalogue with the hot/warm/cold split: per-file demand is
+    the class share divided evenly over the class. *)
+
+val timeline :
+  ?prefix:string ->
+  ?classes:classes ->
+  ?shift_every:int ->
+  ?flashes:flash list ->
+  Status_word.t ->
+  rng:Lesslog_prng.Rng.t ->
+  files:int ->
+  total:float ->
+  spread:spread ->
+  intervals:int ->
+  interval:float ->
+  timeline
+(** [intervals] catalogues of [interval] seconds each. With [classes] the
+    base catalogue is the hot/warm/cold split, otherwise {!create}'s Zipf
+    profile. Every [shift_every] intervals (0 = never) the popularity
+    ranks re-deal via {!shift_popularity}; each active {!flash} multiplies
+    its file's demand by [factor]. Steps are materialized eagerly, so
+    polling is allocation-free.
+    @raise Invalid_argument on non-positive [intervals]/[interval], a
+    non-positive flash window or a negative flash factor. *)
+
+val step : timeline -> i:int -> t
+(** The catalogue in force during interval [i].
+    @raise Invalid_argument when [i] is out of range. *)
+
+val at : timeline -> time:float -> t option
+(** The catalogue at an instant; [None] past the end. *)
+
+val interval_count : timeline -> int
+val interval : timeline -> float

@@ -42,9 +42,16 @@ let locality ?(hot_fraction = 0.2) ?(hot_share = 0.8) status ~rng ~total =
     Array.iter (fun p -> rates.(Pid.to_int p) <- cold_rate) live;
     Array.iter (fun p -> rates.(Pid.to_int p) <- hot_rate) hot;
     (* When every node is hot the cold share has nowhere to go; keep the
-       accounted total exact by rescaling. *)
+       accounted total exact by rescaling. The tolerance is relative to
+       [total]: an absolute epsilon misfires for large totals (where
+       rounding alone exceeds it, forcing a useless rescale every call)
+       and never fires for tiny ones (where the discrepancy can be 100%
+       of the mass yet under the epsilon). *)
     let accounted = Array.fold_left ( +. ) 0.0 rates in
-    if accounted > 0.0 && Float.abs (accounted -. total) > 1e-9 then begin
+    if
+      accounted > 0.0
+      && Float.abs (accounted -. total) > 1e-12 *. Float.max 1.0 total
+    then begin
       let k = total /. accounted in
       Array.iteri (fun i r -> rates.(i) <- r *. k) rates
     end;

@@ -215,6 +215,73 @@ let test_golden_trace_reproduced () =
   Alcotest.(check (float 0.0)) "max hops (bit-exact)" 0x1.8p+2
     (Histogram.max_value r.Des_sim.hops)
 
+(* --- Dynamic-RF policy --------------------------------------------------- *)
+
+module Rf_policy = Lesslog_policy.Rf_policy
+
+let make_policy ?rf0 ~params ~capacity () =
+  Rf_policy.create
+    ~config:
+      {
+        Rf_policy.default_config with
+        Rf_policy.interval = 0.25;
+        rf_max = Params.space params;
+        capacity = Some capacity;
+      }
+    ?rf0 ~nodes:(Params.space params) ~files:1 ()
+
+let test_policy_sizes_fleet_to_demand () =
+  let cluster = make_cluster ~m:6 () in
+  let params = Cluster.params cluster in
+  let policy = make_policy ~params ~capacity:100.0 () in
+  let rng = Rng.create ~seed:5 in
+  let demand = Demand.uniform (Cluster.status cluster) ~total:800.0 in
+  let r = Des_sim.run ~policy ~rng ~cluster ~key ~demand ~duration:10.0 () in
+  Alcotest.(check int) "no faults" 0 r.Des_sim.faults;
+  Alcotest.(check bool) "policy replicated" true (r.Des_sim.replicas_created > 0);
+  (* The interval tick enforces the prescribed factor, so the cluster
+     ends exactly at the policy's RF — which must sit at the mean-field
+     target, 800 req/s over 100 req/s-per-copy = 8 copies. *)
+  let rf = Rf_policy.rf policy ~file:0 in
+  Alcotest.(check int) "copies = prescribed RF" rf
+    (Cluster.total_copies cluster ~key);
+  Alcotest.(check bool)
+    (Printf.sprintf "RF %d within 1 of the fluid target 8" rf)
+    true
+    (abs (rf - 8) <= 1)
+
+let test_policy_drains_after_demand () =
+  let cluster = make_cluster ~m:6 () in
+  let params = Cluster.params cluster in
+  (* Start over-provisioned at 16 copies with almost no demand: the
+     policy walks the fleet back down, never touching the inserted
+     copy. *)
+  let policy = make_policy ~rf0:16 ~params ~capacity:100.0 () in
+  let rng = Rng.create ~seed:6 in
+  let demand = Demand.uniform (Cluster.status cluster) ~total:5.0 in
+  let r = Des_sim.run ~policy ~rng ~cluster ~key ~demand ~duration:10.0 () in
+  Alcotest.(check int) "no faults" 0 r.Des_sim.faults;
+  Alcotest.(check bool) "evicted surplus" true (r.Des_sim.replicas_evicted > 0);
+  (* The trickle keeps the observed-rate target at one copy; PD spikes
+     above the EMA threshold may pre-provision one of headroom. *)
+  let final = Cluster.total_copies cluster ~key in
+  Alcotest.(check bool)
+    (Printf.sprintf "drained to the floor (%d copies)" final)
+    true
+    (final >= 1 && final <= 2)
+
+let test_policy_rejects_wrong_population () =
+  let cluster = make_cluster ~m:6 () in
+  let policy =
+    Rf_policy.create ~nodes:4 ~files:1 () (* cluster space is 64 *)
+  in
+  let rng = Rng.create ~seed:7 in
+  let demand = Demand.uniform (Cluster.status cluster) ~total:10.0 in
+  Alcotest.check_raises "population mismatch"
+    (Invalid_argument "Des_sim: policy accessor population <> cluster space")
+    (fun () ->
+      ignore (Des_sim.run ~policy ~rng ~cluster ~key ~demand ~duration:1.0 ()))
+
 let test_replica_timeline_monotone () =
   let _, r = run ~total:2000.0 ~duration:15.0 () in
   let pts = Lesslog_metrics.Timeseries.points r.Des_sim.replica_timeline in
@@ -252,5 +319,14 @@ let () =
             test_scenario_with_eviction_trims_fleet;
           Alcotest.test_case "eviction spares inserted" `Quick
             test_eviction_never_removes_inserted_copy;
+        ] );
+      ( "dynamic-rf policy",
+        [
+          Alcotest.test_case "sizes fleet to demand" `Quick
+            test_policy_sizes_fleet_to_demand;
+          Alcotest.test_case "drains after demand" `Quick
+            test_policy_drains_after_demand;
+          Alcotest.test_case "rejects wrong population" `Quick
+            test_policy_rejects_wrong_population;
         ] );
     ]

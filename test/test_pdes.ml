@@ -255,6 +255,45 @@ let test_pdes_oversized_pool () =
       (run_pdes ~m:9 ~b:3 ~domains:2 ())
   done
 
+(* The dynamic-RF policy runs in sequential barrier globals and draws no
+   randomness, so the headline determinism claim must survive it: the
+   same policy-driven run is bit-identical at any domain count. Each run
+   needs a fresh policy instance — the policy itself is mutable state. *)
+let run_pdes_policy ~domains () =
+  let params = Params.create ~m:8 ~b:2 () in
+  let status = Status_word.create params ~initially_live:true in
+  let demand = Demand.uniform status ~total:900.0 in
+  let policy =
+    Lesslog_policy.Rf_policy.create
+      ~config:
+        {
+          Lesslog_policy.Rf_policy.default_config with
+          Lesslog_policy.Rf_policy.interval = 0.25;
+          rf_max = Params.space params;
+          capacity = Some 100.0;
+        }
+      ~rf0:(Params.subtree_count params)
+      ~nodes:(Params.space params) ~files:1 ()
+  in
+  Pdes.run ~churn:(pdes_churn params) ~policy ~domains ~seed:4242 ~params
+    ~key:"pdes/object" ~demand ~duration:2.5 ()
+
+let test_pdes_policy_domain_invariance () =
+  let base = run_pdes_policy ~domains:1 () in
+  Alcotest.(check bool) "policy replicated" true
+    (base.Pdes.replicas_created > 0);
+  (* The policy path is load-bearing: it must not reproduce the
+     native-trigger run. *)
+  Alcotest.(check bool) "differs from native" true
+    (base.Pdes.digest <> (run_pdes ~loss:0.0 ~domains:1 ()).Pdes.digest);
+  List.iter
+    (fun domains ->
+      check_same_result
+        (Printf.sprintf "policy, %d domains" domains)
+        base
+        (run_pdes_policy ~domains ()))
+    [ 2; 4; 8 ]
+
 let test_pdes_quiet_run_has_no_faults () =
   (* All nodes live, no loss: every subtree keeps its insertion copy, so
      routing always terminates at a holder. *)
@@ -419,6 +458,8 @@ let () =
             test_pdes_eight_shards;
           Alcotest.test_case "oversized pool: workers beyond domains idle"
             `Quick test_pdes_oversized_pool;
+          Alcotest.test_case "dynamic-RF policy bit-identical at 1/2/4/8"
+            `Quick test_pdes_policy_domain_invariance;
           Alcotest.test_case "quiet run: no faults" `Quick
             test_pdes_quiet_run_has_no_faults;
           Alcotest.test_case "replication under load" `Quick

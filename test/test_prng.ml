@@ -168,6 +168,28 @@ let test_zipf_sampling () =
   (* Rank 0 strictly more popular than rank 15. *)
   Alcotest.(check bool) "head > tail" true (counts.(0) > counts.(15))
 
+let test_zipf_extreme_skew_boundary () =
+  (* At s = 20 the CDF saturates to 1.0 by floating-point rounding well
+     before the last rank, so the u -> 1 boundary of the inverse-CDF
+     search is exercised on every draw: the search must stay in
+     [0, n) and the head must soak up essentially all the mass. *)
+  let z = Zipf.create ~n:64 ~s:20.0 in
+  let rng = Rng.create ~seed:13 in
+  let head = ref 0 in
+  for _ = 1 to 10_000 do
+    let r = Zipf.sample z rng in
+    Alcotest.(check bool) "rank in range" true (r >= 0 && r < 64);
+    if r = 0 then incr head
+  done;
+  Alcotest.(check int) "head takes all the mass" 10_000 !head;
+  (* n = 1 pins the boundary exactly: the only rank has probability 1
+     and every draw lands on it. *)
+  let one = Zipf.create ~n:1 ~s:1.0 in
+  Alcotest.(check (float 1e-12)) "singleton pmf" 1.0 (Zipf.probability one 0);
+  for _ = 1 to 100 do
+    Alcotest.(check int) "singleton sample" 0 (Zipf.sample one rng)
+  done
+
 let () =
   Alcotest.run "prng"
     [
@@ -186,6 +208,8 @@ let () =
           Alcotest.test_case "probabilities" `Quick test_zipf_probabilities;
           Alcotest.test_case "s=0 uniform" `Quick test_zipf_uniform_degenerate;
           Alcotest.test_case "sampling matches pmf" `Quick test_zipf_sampling;
+          Alcotest.test_case "u->1 boundary, extreme skew" `Quick
+            test_zipf_extreme_skew_boundary;
         ] );
       ( "properties",
         [

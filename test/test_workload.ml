@@ -191,6 +191,76 @@ let test_flash_crowd_scenario () =
         (Demand.rate peak p /. 20.0)
         (Demand.rate calm p))
 
+(* --- Timeline --------------------------------------------------------------- *)
+
+let test_with_classes_split () =
+  let status = Status_word.create params ~initially_live:true in
+  let rng = Rng.create ~seed:7 in
+  let c =
+    Catalog.with_classes status ~rng ~files:8 ~total:1000.0
+      ~spread:Catalog.Uniform ~classes:Catalog.default_classes
+  in
+  let totals = List.map (fun (_, d) -> Demand.total d) (Catalog.files c) in
+  (* 1 hot file at 60%, 4 warm sharing 30%, 3 cold sharing 10%. *)
+  Alcotest.(check (float 1e-6)) "hot file" 600.0 (List.nth totals 0);
+  Alcotest.(check (float 1e-6)) "warm file" 75.0 (List.nth totals 1);
+  Alcotest.(check (float 1e-6)) "cold file" (100.0 /. 3.0) (List.nth totals 7);
+  Alcotest.(check (float 1e-6)) "mass conserved" 1000.0
+    (Catalog.total_demand c)
+
+let test_timeline_flash_and_shift () =
+  let status = Status_word.create params ~initially_live:true in
+  let rng = Rng.create ~seed:8 in
+  let tl =
+    Catalog.timeline status ~rng ~files:4 ~total:400.0 ~spread:Catalog.Uniform
+      ~shift_every:2
+      ~flashes:[ { Catalog.rank = 3; factor = 10.0; from_i = 1; until_i = 2 } ]
+      ~intervals:4 ~interval:1.0
+  in
+  Alcotest.(check int) "intervals" 4 (Catalog.interval_count tl);
+  Alcotest.(check (float 1e-9)) "interval" 1.0 (Catalog.interval tl);
+  (* The flash multiplies exactly its file, exactly in its window. *)
+  let demand_at ~i rank =
+    let c = Catalog.step tl ~i in
+    match List.nth_opt (Catalog.files c) rank with
+    | Some (_, d) -> Demand.total d
+    | None -> Alcotest.fail "missing rank"
+  in
+  let base = Catalog.step tl ~i:0 in
+  let flash_name, quiet = List.nth (Catalog.files base) 3 in
+  let flashed =
+    match Catalog.demand_of (Catalog.step tl ~i:1) ~key:flash_name with
+    | Some d -> Demand.total d
+    | None -> Alcotest.fail "flash file vanished"
+  in
+  Alcotest.(check (float 1e-6)) "10x during the flash"
+    (10.0 *. Demand.total quiet) flashed;
+  Alcotest.(check (float 1e-6)) "over after until_i"
+    (demand_at ~i:0 0) (demand_at ~i:2 0);
+  (* Time lookup agrees with the step table and ends cleanly. *)
+  Alcotest.(check bool) "at inside" true (Catalog.at tl ~time:3.5 <> None);
+  Alcotest.(check bool) "at past end" true (Catalog.at tl ~time:4.0 = None)
+
+let test_timeline_rejects_bad_windows () =
+  let status = Status_word.create params ~initially_live:true in
+  let rng = Rng.create ~seed:10 in
+  let mk ?(flashes = []) ~intervals ~interval () =
+    ignore
+      (Catalog.timeline status ~rng ~files:2 ~total:10.0
+         ~spread:Catalog.Uniform ~flashes ~intervals ~interval)
+  in
+  Alcotest.check_raises "intervals"
+    (Invalid_argument "Catalog.timeline: intervals") (fun () ->
+      mk ~intervals:0 ~interval:1.0 ());
+  Alcotest.check_raises "interval"
+    (Invalid_argument "Catalog.timeline: interval") (fun () ->
+      mk ~intervals:2 ~interval:0.0 ());
+  Alcotest.check_raises "flash window"
+    (Invalid_argument "Catalog.timeline: flash window") (fun () ->
+      mk
+        ~flashes:[ { Catalog.rank = 0; factor = 2.0; from_i = 2; until_i = 2 } ]
+        ~intervals:3 ~interval:1.0 ())
+
 let prop_uniform_mass_conserved =
   Test_support.qcheck_case ~name:"uniform conserves mass"
     QCheck2.Gen.(
@@ -214,6 +284,54 @@ let prop_locality_mass_conserved =
       Float.abs (total_of d -. Demand.total d) < 1e-3
       && Status_word.fold_live status ~init:true ~f:(fun acc p ->
              acc && Demand.rate d p >= 0.0))
+
+let prop_scale_mass_conserved =
+  Test_support.qcheck_case ~name:"scale conserves mass"
+    QCheck2.Gen.(
+      Test_support.gen_params >>= fun params ->
+      Test_support.gen_status params >>= fun status ->
+      float_bound_inclusive 10000.0 >>= fun total ->
+      float_bound_inclusive 8.0 >>= fun factor -> return (status, total, factor))
+    (fun (status, total, factor) ->
+      let d = Demand.uniform status ~total in
+      let d2 = Demand.scale d ~factor in
+      Float.abs (Demand.total d2 -. (factor *. Demand.total d)) < 1e-6
+      && Float.abs (total_of d2 -. Demand.total d2) < 1e-6)
+
+let gen_catalog =
+  QCheck2.Gen.(
+    Test_support.gen_params >>= fun params ->
+    Test_support.gen_status params >>= fun status ->
+    int_range 0 1_000_000 >>= fun seed ->
+    int_range 1 32 >>= fun files ->
+    float_range 0.1 10000.0 >>= fun total -> return (status, seed, files, total))
+
+let prop_catalog_mass_conserved =
+  Test_support.qcheck_case ~name:"catalog conserves mass"
+    gen_catalog
+    (fun (status, seed, files, total) ->
+      let rng = Rng.create ~seed in
+      let c =
+        Catalog.create status ~rng ~files ~total ~spread:Catalog.Uniform
+      in
+      (* Empty systems spread no demand; live ones conserve it exactly. *)
+      let live = Status_word.live_count status > 0 in
+      let expect = if live then total else 0.0 in
+      Float.abs (Catalog.total_demand c -. expect) < 1e-3)
+
+let prop_shift_popularity_conserves =
+  Test_support.qcheck_case ~name:"shift_popularity conserves mass and names"
+    gen_catalog
+    (fun (status, seed, files, total) ->
+      let rng = Rng.create ~seed in
+      let c =
+        Catalog.create status ~rng ~files ~total ~spread:Catalog.Uniform
+      in
+      let shifted = Catalog.shift_popularity c ~rng in
+      let names l = List.map fst (Catalog.files l) |> List.sort compare in
+      Float.abs (Catalog.total_demand shifted -. Catalog.total_demand c)
+      < 1e-3
+      && names c = names shifted)
 
 let () =
   Alcotest.run "workload"
@@ -248,5 +366,21 @@ let () =
           Alcotest.test_case "popularity shift" `Quick
             test_catalog_shift_popularity;
         ] );
-      ("properties", [ prop_uniform_mass_conserved; prop_locality_mass_conserved ]);
+      ( "timeline",
+        [
+          Alcotest.test_case "hot/warm/cold split" `Quick
+            test_with_classes_split;
+          Alcotest.test_case "flash + shift schedule" `Quick
+            test_timeline_flash_and_shift;
+          Alcotest.test_case "bad windows" `Quick
+            test_timeline_rejects_bad_windows;
+        ] );
+      ( "properties",
+        [
+          prop_uniform_mass_conserved;
+          prop_locality_mass_conserved;
+          prop_scale_mass_conserved;
+          prop_catalog_mass_conserved;
+          prop_shift_popularity_conserves;
+        ] );
     ]
