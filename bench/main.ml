@@ -28,6 +28,12 @@
    mean-field oracle, the policy-active determinism check and the
    multi-file timeline, appending BENCH_adaptive.json.
 
+   Part 6 — `main.exe coldtier` runs the erasure-coded cold-tier gates
+   (Coldtier_bench): storage amplification and repair bytes of the
+   hybrid replicated/coded stack against full replication on the
+   adaptive lifecycle, plus the cold-ledger domain-count determinism
+   check, appending BENCH_coldtier.json.
+
    Set LESSLOG_BENCH_QUICK=1 to run the figures at reduced scale and
    LESSLOG_BENCH_MICRO_ONLY=1 to skip them entirely. *)
 
@@ -324,6 +330,7 @@ let () =
   else if Array.exists (( = ) "pdes") Sys.argv then Pdes_bench.run ()
   else if Array.exists (( = ) "obs") Sys.argv then Obs_bench.run ()
   else if Array.exists (( = ) "adaptive") Sys.argv then Adaptive_bench.run ()
+  else if Array.exists (( = ) "coldtier") Sys.argv then Coldtier_bench.run ()
   else begin
     run_micro ();
     if Sys.getenv_opt "LESSLOG_BENCH_MICRO_ONLY" <> Some "1" then run_figures ()

@@ -620,6 +620,56 @@ let adaptive_cmd =
              & info [ "intervals" ] ~docv:"N"
                  ~doc:"One-second intervals in the timeline."))
 
+let coldtier_cmd =
+  let run m capacity seed peak calm code_k code_r file_bytes rf_min =
+    let m = Option.value ~default:10 m in
+    let capacity = Option.value ~default:100.0 capacity in
+    print_endline
+      "Erasure-coded cold tier — hybrid replicated/coded vs full replication";
+    print_endline
+      "=====================================================================";
+    let points =
+      E.coldtier_run ~m ~capacity ~seed ~peak ~calm_duration:calm ~code_k
+        ~code_r ~file_bytes ~rf_min ()
+    in
+    print_endline (E.render_coldtier points);
+    match points with
+    | [ full; hybrid ] ->
+        Printf.printf
+          "\nhybrid stores %.1f%% fewer bytes than full replication \
+           (%.2fx vs %.2fx the file size) at a loss gap of %.4f\n"
+          (100.0 *. (1.0 -. (hybrid.E.ct_mean_bytes /. full.E.ct_mean_bytes)))
+          hybrid.E.ct_amplification full.E.ct_amplification
+          (Float.abs (hybrid.E.ct_loss -. full.E.ct_loss))
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "coldtier"
+       ~doc:
+         "Erasure-coded cold tier: the adaptive lifecycle (flash crowd, \
+          idle stretch with a mid-calm double failure, re-heat) run \
+          through the dynamic-RF policy twice — demotion to a (k, r) \
+          Reed-Solomon fragment set armed vs disarmed — comparing \
+          storage amplification, repair bytes and loss, byte for byte.")
+    Term.(
+      const run $ m_arg $ capacity_arg $ seed_arg
+      $ Arg.(value & opt float 500.0
+             & info [ "peak" ] ~docv:"R"
+                 ~doc:"Flash-crowd demand, requests/s.")
+      $ Arg.(value & opt float 12.0
+             & info [ "calm" ] ~docv:"S"
+                 ~doc:"Idle-stretch length, simulated seconds.")
+      $ Arg.(value & opt int 10
+             & info [ "k" ] ~docv:"K" ~doc:"Data fragments of the code.")
+      $ Arg.(value & opt int 4
+             & info [ "r" ] ~docv:"P" ~doc:"Parity fragments of the code.")
+      $ Arg.(value & opt int (1 lsl 20)
+             & info [ "file-bytes" ] ~docv:"B"
+                 ~doc:"Logical file size, bytes.")
+      $ Arg.(value & opt int 3
+             & info [ "rf-min" ] ~docv:"N"
+                 ~doc:"Durability floor of the replication policy."))
+
 (* --- Observability ------------------------------------------------------ *)
 
 module Obs = Lesslog_obs.Obs
@@ -925,7 +975,8 @@ let () =
             fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; all_cmd; hops_cmd;
             eviction_cmd; ft_cmd; propchoice_cmd; validate_cmd; churn_cmd;
             update_cost_cmd; sessions_cmd; lifecycle_cmd; trace_run_cmd;
-            faults_cmd; msweep_cmd; adaptive_cmd; stats_cmd; trace_cmd;
+            faults_cmd; msweep_cmd; adaptive_cmd; coldtier_cmd; stats_cmd;
+            trace_cmd;
             check_cmd;
             replay_cmd; substrates_cmd; tree_cmd;
           ]))

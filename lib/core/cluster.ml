@@ -12,6 +12,9 @@ type t = {
   status : Status_word.t;
   stores : File_store.t array;
   registry : (string, unit) Hashtbl.t;
+  (* base key -> (k, r) for keys currently held as erasure-coded
+     fragments instead of full copies. *)
+  coded : (string, int * int) Hashtbl.t;
   (* key -> lookup tree memo; ψ and the tree root are pure functions of
      the key, so entries never invalidate. The one-slot [last_tree] keeps
      the common case — the same key queried repeatedly — at a pointer
@@ -50,6 +53,7 @@ let make params status =
       status;
       stores = Array.init (Params.space params) (fun _ -> File_store.create ());
       registry = Hashtbl.create 16;
+      coded = Hashtbl.create 16;
       trees = Hashtbl.create 16;
       last_tree = None;
       holder_index = Hashtbl.create 16;
@@ -128,6 +132,15 @@ let unregister_key t key = Hashtbl.remove t.registry key
 
 let registered_keys t =
   Hashtbl.fold (fun k () acc -> k :: acc) t.registry [] |> List.sort compare
+
+let register_coded t key ~k ~r = Hashtbl.replace t.coded key (k, r)
+
+let unregister_coded t key = Hashtbl.remove t.coded key
+
+let coded_params t ~key = Hashtbl.find_opt t.coded key
+
+let coded_keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.coded [] |> List.sort compare
 
 let count_copies t ~key pred =
   let acc = ref 0 in

@@ -72,6 +72,20 @@ val unregister_key : t -> string -> unit
 
 val registered_keys : t -> string list
 
+val register_coded : t -> string -> k:int -> r:int -> unit
+(** Mark a base key as held in erasure-coded form with code parameters
+    [(k, r)] (done by {!Ops.demote_to_coded}). While registered, the
+    key has no full copies; its bytes live in [k + r] fragment entries
+    under {!Ops.frag_key}-derived keys. *)
+
+val unregister_coded : t -> string -> unit
+
+val coded_params : t -> key:string -> (int * int) option
+(** [(k, r)] when the key is currently coded. *)
+
+val coded_keys : t -> string list
+(** Base keys currently held as fragments, sorted. *)
+
 val replica_count : t -> key:string -> int
 (** Number of live replicated (non-inserted) copies. *)
 

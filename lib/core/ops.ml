@@ -54,6 +54,51 @@ let serve_along cluster ~now ~key path =
   in
   find [] 0 path
 
+(* --- Erasure-coded cold tier ---
+
+   A Cold-classified key trades its full copies for the k + r fragments
+   of a systematic Reed-Solomon (k, r) code ({!Lesslog_erasure.Erasure}).
+   The simulator's stores are metadata-only, so what moves here are
+   fragment *entries* (key, index, version); the byte-level transform
+   itself is the codec's, and the placement/repair logic below preserves
+   exactly its precondition — any k surviving fragments rebuild the
+   payload, fewer lose it. *)
+
+module Erasure = Lesslog_erasure.Erasure
+
+let frag_key key index = Printf.sprintf "%s#frag%d" key index
+
+(* Fragment indices that still have at least one live holder. *)
+let live_fragments cluster ~key ~k ~r =
+  let acc = ref [] in
+  for i = k + r - 1 downto 0 do
+    if Cluster.holders cluster ~key:(frag_key key i) <> [] then acc := i :: !acc
+  done;
+  !acc
+
+let live_fragment_count cluster ~key =
+  match Cluster.coded_params cluster ~key with
+  | None -> 0
+  | Some (k, r) -> List.length (live_fragments cluster ~key ~k ~r)
+
+let coded_servable cluster ~key =
+  match Cluster.coded_params cluster ~key with
+  | None -> false
+  | Some (k, r) -> List.length (live_fragments cluster ~key ~k ~r) >= k
+
+let holds_fragment cluster p ~key =
+  match Cluster.coded_params cluster ~key with
+  | None -> false
+  | Some (k, r) ->
+      let rec scan i =
+        i < k + r
+        && (Cluster.holds cluster p ~key:(frag_key key i) || scan (i + 1))
+      in
+      scan 0
+
+let coded_can_serve cluster ~key ~at =
+  holds_fragment cluster at ~key && coded_servable cluster ~key
+
 let get_single_tree cluster ~now ~origin ~key =
   (* Walk hop by hop instead of materializing the full route first: the
      common request is answered within a hop or two, so computing the
@@ -143,6 +188,24 @@ let record_get registry (r : get_result) =
       (Obs.Registry.counter registry "core/get_migrations")
       r.subtree_migrations
 
+(* When the walk found no full copy but passed through a holder of a
+   coded fragment, and at least k fragments are live somewhere, that
+   node can gather k fragments and decode — the request is served. The
+   fan-in traffic is cost accounting (Des_sim), not extra hops. *)
+let coded_fallback cluster ~now ~key (r : get_result) =
+  match r.server with
+  | Some _ -> r
+  | None -> (
+      if not (coded_servable cluster ~key) then r
+      else
+        match
+          List.find_opt (fun p -> holds_fragment cluster p ~key) r.path
+        with
+        | None -> r
+        | Some p ->
+            File_store.record_access (Cluster.store cluster p) ~key ~now;
+            { r with server = Some p })
+
 let get ?(now = 0.0) ?registry cluster ~origin ~key =
   if Status_word.is_dead (Cluster.status cluster) origin then
     invalid_arg "Ops.get: dead origin";
@@ -150,6 +213,7 @@ let get ?(now = 0.0) ?registry cluster ~origin ~key =
     if fault_tolerant cluster then get_fault_tolerant cluster ~now ~origin ~key
     else get_single_tree cluster ~now ~origin ~key
   in
+  let r = coded_fallback cluster ~now ~key r in
   Option.iter (fun reg -> record_get reg r) registry;
   r
 
@@ -385,7 +449,7 @@ let get_via ?(now = 0.0) ?registry sub cluster ~origin ~key =
             subtree_migrations = 0 }
       | Some q -> walk (p :: visited) (hops + 1) q
   in
-  let r = walk [] 0 origin in
+  let r = coded_fallback cluster ~now ~key (walk [] 0 origin) in
   Option.iter (fun reg -> record_get reg r) registry;
   r
 
@@ -394,23 +458,253 @@ let choose_replica_target_via ~rng sub cluster ~overloaded ~key =
     ~holds:(fun p -> Cluster.holds cluster p ~key)
     ~overloaded ~key
 
-let on_membership_via ?(now = 0.0) sub cluster ~event =
+(* Placement of fragment [index], mirroring ADVANCEDINSERTFILE's
+   one-copy-per-subtree spread: fragment i goes to subtree (i mod 2^b),
+   preferably at that subtree's insertion target (the node every request
+   walk in the subtree dead-ends at, so coded GETs terminate on a
+   fragment holder), then at further live members of the subtree in
+   climb-path order. [taken] holds the slots already carrying a fragment
+   of this key — the code's whole point is distinct holders. *)
+let fragment_candidates cluster ~key ~index =
+  let tree = Cluster.tree_of_key cluster key in
+  let status = Cluster.status cluster in
+  let params = Cluster.params cluster in
+  let scoped =
+    if fault_tolerant cluster then begin
+      let nsub = Params.subtree_count params in
+      let sid = index mod nsub in
+      let target =
+        Subtrees.insertion_target_in_subtree tree status ~subtree_id:sid
+      in
+      let rest =
+        List.filter (Status_word.is_live status)
+          (Subtrees.members tree ~subtree_id:sid)
+      in
+      (match target with Some p -> p :: rest | None -> rest)
+    end
+    else
+      match Topology.insertion_target tree status with
+      | Some p -> [ p ]
+      | None -> []
+  in
+  (* Global fallback: every live slot, ascending PID. *)
+  let global =
+    Lesslog_bits.Packed_bits.fold_set (Status_word.live_bits status) ~init:[]
+      ~f:(fun acc i -> Pid.unsafe_of_int i :: acc)
+    |> List.rev
+  in
+  scoped @ global
+
+let pick_target ?substrate cluster ~key ~index ~taken =
+  let rec first = function
+    | [] -> None
+    | p :: rest ->
+        if
+          Hashtbl.mem taken (Pid.to_int p)
+          || Status_word.is_dead (Cluster.status cluster) p
+        then first rest
+        else begin
+          Hashtbl.replace taken (Pid.to_int p) ();
+          Some p
+        end
+  in
+  (* Substrate placement first: the owner of the fragment key — distinct
+     keys hash apart, spreading fragments — then its neighbors; the
+     native scoped/global scan is the collision fallback either way. *)
+  let sub_candidates =
+    match substrate with
+    | None -> []
+    | Some sub -> (
+        let fkey = frag_key key index in
+        match sub.Substrate.owner ~key:fkey with
+        | Some o -> o :: sub.Substrate.neighbors ~key:fkey o
+        | None -> [])
+  in
+  first (sub_candidates @ fragment_candidates cluster ~key ~index)
+
+(* Remove a key from every store whose slot bit is set in the holder
+   index, live or dead — a stale full copy on a dead node would come
+   back as authoritative data when the node rejoins. The set bits are
+   collected first: removing mutates the very bitset being walked. *)
+let remove_everywhere cluster ~key =
+  let bits = Cluster.holder_bitset cluster ~key in
+  let slots =
+    Lesslog_bits.Packed_bits.fold_set bits ~init:[] ~f:(fun acc i -> i :: acc)
+  in
+  List.iter
+    (fun i ->
+      File_store.remove (Cluster.store cluster (Pid.unsafe_of_int i)) ~key)
+    slots;
+  List.length slots
+
+let max_fragment_version cluster ~key ~k ~r =
+  let v = ref 0 in
+  for i = 0 to k + r - 1 do
+    List.iter
+      (fun p ->
+        match File_store.version (Cluster.store cluster p) ~key:(frag_key key i)
+        with
+        | Some x -> v := max !v x
+        | None -> ())
+      (Cluster.holders cluster ~key:(frag_key key i))
+  done;
+  !v
+
+let demote_to_coded ?(now = 0.0) ?substrate cluster ~key ~k ~r =
+  if Cluster.coded_params cluster ~key <> None then None
+  else begin
+    (* Validates k >= 1, r >= 0, k + r <= 256. *)
+    let (_ : Erasure.t) = Erasure.create ~k ~r in
+    let n = k + r in
+    let version = max_holder_version cluster ~key in
+    let taken = Hashtbl.create n in
+    let targets =
+      List.init n (fun i ->
+          Option.map
+            (fun p -> (i, p))
+            (pick_target ?substrate cluster ~key ~index:i ~taken))
+      |> List.filter_map Fun.id
+    in
+    if List.length targets < n then None
+    else begin
+      List.iter
+        (fun (i, p) ->
+          File_store.add
+            ~tier:(File_store.Coded { index = i; k; r })
+            (Cluster.store cluster p) ~key:(frag_key key i)
+            ~origin:File_store.Inserted ~version ~now)
+        targets;
+      let (_ : int) = remove_everywhere cluster ~key in
+      Cluster.register_coded cluster key ~k ~r;
+      Log.debug (fun f ->
+          f "demote %S -> (%d,%d) fragments at [%s]" key k r
+            (String.concat ";"
+               (List.map (fun (_, p) -> string_of_int (Pid.to_int p)) targets)));
+      Some (List.map snd targets)
+    end
+  end
+
+let promote_from_coded ?(now = 0.0) ?substrate cluster ~key ~copies =
+  match Cluster.coded_params cluster ~key with
+  | None -> None
+  | Some (k, r) ->
+      if List.length (live_fragments cluster ~key ~k ~r) < k then None
+      else begin
+        let version = max_fragment_version cluster ~key ~k ~r in
+        (* Authoritative copies go back to the insertion targets; extras
+           up to [copies] fill ascending live PIDs, as plain replicas. *)
+        let tree = Cluster.tree_of_key cluster key in
+        let status = Cluster.status cluster in
+        let targets =
+          match substrate with
+          | Some sub -> (
+              match sub.Substrate.owner ~key with Some p -> [ p ] | None -> [])
+          | None ->
+              if fault_tolerant cluster then
+                Subtrees.insertion_targets tree status
+              else (
+                match Topology.insertion_target tree status with
+                | Some p -> [ p ]
+                | None -> [])
+        in
+        if targets = [] then None
+        else begin
+          (* Drop every fragment entry first (any slot, live or dead). *)
+          for i = 0 to k + r - 1 do
+            let (_ : int) = remove_everywhere cluster ~key:(frag_key key i) in
+            ()
+          done;
+          Cluster.unregister_coded cluster key;
+          List.iter
+            (fun p ->
+              File_store.add (Cluster.store cluster p) ~key
+                ~origin:File_store.Inserted ~version ~now)
+            targets;
+          let taken = Hashtbl.create copies in
+          List.iter
+            (fun p -> Hashtbl.replace taken (Pid.to_int p) ())
+            targets;
+          let placed = ref (List.rev targets) in
+          let live = Status_word.live_bits status in
+          (try
+             Lesslog_bits.Packed_bits.iter_set live (fun i ->
+                 if List.length !placed >= copies then raise Exit;
+                 if not (Hashtbl.mem taken i) then begin
+                   Hashtbl.replace taken i ();
+                   let p = Pid.unsafe_of_int i in
+                   File_store.add (Cluster.store cluster p) ~key
+                     ~origin:File_store.Replicated ~version ~now;
+                   placed := p :: !placed
+                 end)
+           with Exit -> ());
+          Log.debug (fun f ->
+              f "promote %S: (%d,%d) -> %d full copies" key k r
+                (List.length !placed));
+          Some (List.rev !placed)
+        end
+      end
+
+let repair_coded ?(now = 0.0) ?substrate cluster ~key =
+  match Cluster.coded_params cluster ~key with
+  | None -> `Intact
+  | Some (k, r) ->
+      let live = live_fragments cluster ~key ~k ~r in
+      let missing =
+        List.filter
+          (fun i -> not (List.mem i live))
+          (List.init (k + r) Fun.id)
+      in
+      if missing = [] then `Intact
+      else if List.length live < k then `Lost
+      else begin
+        let version = max_fragment_version cluster ~key ~k ~r in
+        (* Never co-locate the rebuilt fragment with a surviving one. *)
+        let taken = Hashtbl.create (k + r) in
+        List.iter
+          (fun i ->
+            List.iter
+              (fun p -> Hashtbl.replace taken (Pid.to_int p) ())
+              (Cluster.holders cluster ~key:(frag_key key i)))
+          live;
+        let rebuilt =
+          List.filter
+            (fun i ->
+              match pick_target ?substrate cluster ~key ~index:i ~taken with
+              | None -> false
+              | Some p ->
+                  File_store.add
+                    ~tier:(File_store.Coded { index = i; k; r })
+                    (Cluster.store cluster p) ~key:(frag_key key i)
+                    ~origin:File_store.Inserted ~version ~now;
+                  true)
+            missing
+        in
+        Log.debug (fun f ->
+            f "repair %S: rebuilt %d of %d missing fragment(s)" key
+              (List.length rebuilt) (List.length missing));
+        `Repaired (List.length rebuilt)
+      end
+
+let on_membership_via ?(now = 0.0) ?on_coded_repair sub cluster ~event =
   let status = Cluster.status cluster in
   let relocated = ref 0 in
   (* Re-home a key whose current owner lacks a copy; versions survive
      through any live holder, and a fully lost key is re-created at
      version 0 from the registry (the same integrity registry that drives
-     the native Self_org recovery). *)
+     the native Self_org recovery). Keys demoted to the coded tier have
+     no full copies by design — their repair is [repair_coded] below. *)
   let repair_key key =
-    match sub.Substrate.owner ~key with
-    | None -> ()
-    | Some o ->
-        if not (Cluster.holds cluster o ~key) then begin
-          let version = max_holder_version cluster ~key in
-          File_store.add (Cluster.store cluster o) ~key
-            ~origin:File_store.Inserted ~version ~now;
-          incr relocated
-        end
+    if Cluster.coded_params cluster ~key <> None then ()
+    else
+      match sub.Substrate.owner ~key with
+      | None -> ()
+      | Some o ->
+          if not (Cluster.holds cluster o ~key) then begin
+            let version = max_holder_version cluster ~key in
+            File_store.add (Cluster.store cluster o) ~key
+              ~origin:File_store.Inserted ~version ~now;
+            incr relocated
+          end
   in
   (match event with
   | `Join p ->
@@ -424,15 +718,23 @@ let on_membership_via ?(now = 0.0) sub cluster ~event =
       (* Graceful departure: hand each held copy off before dropping the
          store, so a sole copy keeps its version. *)
       let store = Cluster.store cluster p in
+      (* Coded fragments are not handed off under their fragment key —
+         they are dropped and rebuilt by [repair_coded] below. *)
       let saved =
-        List.map
+        List.filter_map
           (fun key ->
-            (key, Option.value ~default:0 (File_store.version store ~key)))
+            match File_store.tier store ~key with
+            | Some (File_store.Coded _) -> None
+            | _ ->
+                Some
+                  (key, Option.value ~default:0 (File_store.version store ~key)))
           (File_store.keys store)
       in
       Status_word.set_dead status p;
       sub.Substrate.notify ();
-      List.iter (fun (key, _) -> File_store.remove store ~key) saved;
+      List.iter
+        (fun key -> File_store.remove store ~key)
+        (File_store.keys store);
       List.iter
         (fun (key, version) ->
           if Cluster.holders cluster ~key = [] then
@@ -454,6 +756,21 @@ let on_membership_via ?(now = 0.0) sub cluster ~event =
         (fun key -> File_store.remove store ~key)
         (File_store.keys store));
   List.iter repair_key (Cluster.registered_keys cluster);
+  (* Coded-tier repair: rebuild any fragment the event left without a
+     live holder, from the >= k survivors. *)
+  List.iter
+    (fun key ->
+      match repair_coded ~now ~substrate:sub cluster ~key with
+      | `Intact -> ()
+      | `Lost -> (
+          match on_coded_repair with
+          | Some f -> f ~key ~rebuilt:0 ~lost:true
+          | None -> ())
+      | `Repaired n -> (
+          match on_coded_repair with
+          | Some f -> f ~key ~rebuilt:n ~lost:false
+          | None -> ()))
+    (Cluster.coded_keys cluster);
   !relocated
 
 let stale_copies cluster ~key =

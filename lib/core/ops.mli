@@ -132,6 +132,7 @@ val choose_replica_target_via :
 
 val on_membership_via :
   ?now:float ->
+  ?on_coded_repair:(key:string -> rebuilt:int -> lost:bool -> unit) ->
   Lesslog_substrate.Substrate.t ->
   Cluster.t ->
   event:[ `Join of Pid.t | `Leave of Pid.t | `Fail of Pid.t ] ->
@@ -145,8 +146,85 @@ val on_membership_via :
     driven native recovery. Returns the number of copies relocated.
     Substrates with {!Lesslog_substrate.Substrate.Self_organized}
     membership should use {!Self_org} instead.
+
+    Cold-tier keys are repaired too: after the full-copy pass, every
+    coded key goes through {!repair_coded} with this substrate's
+    placement, and [on_coded_repair] (if given) observes the outcome
+    per key — [rebuilt] fragments re-placed, or [lost = true] when
+    fewer than [k] fragments survived.
     @raise Invalid_argument on a join of a live node or a leave/fail of a
     dead one. *)
+
+(** {1 Erasure-coded cold tier}
+
+    A Cold-classified key ({!Lesslog_policy} verdicts, in the
+    simulators) trades its full copies for the [k + r] fragments of a
+    systematic Reed-Solomon [(k, r)] code ({!Lesslog_erasure.Erasure}):
+    storage drops from [copies x size] to [(k + r)/k x size] while any
+    [k] surviving fragments still rebuild the payload. Fragments live
+    as {!File_store} entries (tier [Coded]) under {!frag_key}-derived
+    keys, one per node, spread across the [2^b] subtrees exactly like
+    ADVANCEDINSERTFILE spreads full copies; the {!Cluster} coded
+    registry maps the base key to its code parameters. *)
+
+val frag_key : string -> int -> string
+(** The store key of fragment [i] of a base key. *)
+
+val live_fragment_count : Cluster.t -> key:string -> int
+(** Distinct fragment indices with at least one live holder (0 when the
+    key is not coded). *)
+
+val coded_servable : Cluster.t -> key:string -> bool
+(** At least [k] fragments live — the codec's decode precondition. *)
+
+val holds_fragment : Cluster.t -> Pid.t -> key:string -> bool
+(** Does this node hold any fragment of the (coded) key? *)
+
+val coded_can_serve : Cluster.t -> key:string -> at:Pid.t -> bool
+(** [holds_fragment] at the node and [coded_servable] cluster-wide: the
+    node can gather [k] fragments and decode. *)
+
+val demote_to_coded :
+  ?now:float ->
+  ?substrate:Lesslog_substrate.Substrate.t ->
+  Cluster.t ->
+  key:string ->
+  k:int ->
+  r:int ->
+  Pid.t list option
+(** Replace every full copy (live or stale-on-dead) with [k + r]
+    fragment entries at distinct live nodes — fragment [i] preferably
+    at subtree [i mod 2^b]'s insertion target so request walks
+    terminate on a fragment holder (with a substrate, at the fragment
+    key's owner). Returns the fragment holders in index order, or
+    [None] when the key is already coded or fewer than [k + r] distinct
+    live nodes exist (the demotion does not happen).
+    @raise Invalid_argument on invalid [(k, r)]. *)
+
+val promote_from_coded :
+  ?now:float ->
+  ?substrate:Lesslog_substrate.Substrate.t ->
+  Cluster.t ->
+  key:string ->
+  copies:int ->
+  Pid.t list option
+(** Rebuild full copies from the fragments and drop every fragment
+    entry: inserted copies at the insertion targets (the substrate's
+    owner), then plain replicas on ascending live PIDs up to [copies]
+    total. [None] — and no change — when the key is not coded, fewer
+    than [k] fragments survive, or no node is live. *)
+
+val repair_coded :
+  ?now:float ->
+  ?substrate:Lesslog_substrate.Substrate.t ->
+  Cluster.t ->
+  key:string ->
+  [ `Intact | `Repaired of int | `Lost ]
+(** Rebuild every fragment index without a live holder from the [>= k]
+    survivors, placing each on a live node holding no fragment of this
+    key. [`Repaired n] re-placed [n] fragments; [`Lost] means fewer
+    than [k] survive — the payload is unrecoverable and nothing is
+    changed. *)
 
 val stale_copies : Cluster.t -> key:string -> Pid.t list
 (** Live copies whose version lags the maximum — non-empty only if an

@@ -95,6 +95,12 @@ let leave ?(now = 0.0) cluster k =
   if Status_word.is_dead status k then invalid_arg "Self_org.leave: already dead";
   let store_k = Cluster.store cluster k in
   let dropped_replicas = File_store.drop_replicas store_k in
+  (* Erasure-coded fragments are not re-inserted under their fragment
+     key — ψ(fragment key) has nothing to do with where the code wants
+     them. They are simply dropped here; [Ops.repair_coded] rebuilds
+     the lost fragment from the k survivors. *)
+  List.iter (fun key -> File_store.remove store_k ~key)
+    (File_store.coded_keys store_k);
   let inserted =
     List.map
       (fun key ->
@@ -121,7 +127,16 @@ let fail ?(now = 0.0) cluster k =
   let status = Cluster.status cluster in
   if Status_word.is_dead status k then invalid_arg "Self_org.fail: already dead";
   let store_k = Cluster.store cluster k in
-  let held_inserted = File_store.inserted_keys store_k in
+  (* Lost fragments are the cold tier's problem ([Ops.repair_coded]),
+     not Section 5.3 recovery — keep them out of the stats. *)
+  let held_inserted =
+    List.filter
+      (fun key ->
+        match File_store.tier store_k ~key with
+        | Some (File_store.Coded _) -> false
+        | _ -> true)
+      (File_store.inserted_keys store_k)
+  in
   (* The crash loses the entire local store. *)
   List.iter (fun key -> File_store.remove store_k ~key) (File_store.keys store_k);
   Status_word.set_dead status k;
@@ -167,10 +182,14 @@ let fail ?(now = 0.0) cluster k =
 let integrity_violations cluster =
   List.concat_map
     (fun key ->
-      List.filter_map
-        (fun target ->
-          match File_store.origin (Cluster.store cluster target) ~key with
-          | Some File_store.Inserted -> None
-          | Some File_store.Replicated | None -> Some (key, target))
-        (expected_targets cluster ~key))
+      (* A key demoted to the coded tier deliberately has no full
+         inserted copy at its targets. *)
+      if Cluster.coded_params cluster ~key <> None then []
+      else
+        List.filter_map
+          (fun target ->
+            match File_store.origin (Cluster.store cluster target) ~key with
+            | Some File_store.Inserted -> None
+            | Some File_store.Replicated | None -> Some (key, target))
+          (expected_targets cluster ~key))
     (Cluster.registered_keys cluster)

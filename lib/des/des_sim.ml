@@ -18,7 +18,19 @@ module Obs = Lesslog_obs.Obs
 module Substrate = Lesslog_substrate.Substrate
 module Rf_policy = Lesslog_policy.Rf_policy
 
+module Packed_bits = Lesslog_bits.Packed_bits
+
 type eviction = { period : float; min_rate : float }
+
+type cold_tier = {
+  code_k : int;
+  code_r : int;
+  file_bytes : int;
+  demote_after : int;
+}
+
+let default_cold_tier =
+  { code_k = 10; code_r = 4; file_bytes = 1 lsl 20; demote_after = 2 }
 
 type config = {
   capacity : float;
@@ -78,6 +90,19 @@ let reply_b ~id ~server ~hops =
 
 let push_b ~version = tag_push lor (version lsl 3)
 
+type cold_stats = {
+  demotions : int;
+  promotions : int;
+  fragment_repairs : int;
+  lost_cold : bool;
+  coded_at_end : bool;
+  coded_serves : int;
+  bytes_stored_end : int;
+  mean_bytes_stored : float;
+  bytes_moved : int;
+  repair_bytes : int;
+}
+
 type result = {
   served : int;
   faults : int;
@@ -92,6 +117,7 @@ type result = {
   file_transfers : int;
   overloaded_at_end : int;
   events : int;
+  cold : cold_stats option;
 }
 
 (* Observability handles, resolved once per run. Only the span sink is
@@ -112,6 +138,36 @@ let make_instruments (obs : Obs.t) =
     sp_lookup = Obs.Span.intern obs.Obs.spans "lookup";
     sp_replicate = Obs.Span.intern obs.Obs.spans "replicate";
   }
+
+(* Cold-tier run state: fragment placement is [Ops]'s, this record is
+   the byte ledger plus an O(1) fragment-holder bitset for the per-hop
+   serve check ([refresh_frags] rebuilds it whenever fragment placement
+   changes — demote, promote, repair, churn — all of which happen at
+   scheduled events in this sequential simulator). Byte counts follow
+   wire traffic: [bytes_moved] is every byte that crossed the network
+   for placement, demotion, promotion or repair; [repair_bytes] is the
+   failure-triggered subset (a relocated full copy, or k fragment reads
+   plus one write per rebuilt fragment). [byte_seconds] integrates the
+   stored-byte step function, sampled at every event that can change
+   it. *)
+type cold_rt = {
+  ct : cold_tier;
+  frag_bytes : int;
+  frag_holders : Packed_bits.t;
+  mutable coded : bool;
+  mutable servable : bool;
+  mutable cold_streak : int;
+  mutable demotions : int;
+  mutable promotions : int;
+  mutable fragment_repairs : int;
+  mutable lost : bool;
+  mutable coded_serves : int;
+  mutable bytes_moved : int;
+  mutable repair_bytes : int;
+  mutable byte_seconds : float;
+  mutable last_bytes : int;
+  mutable last_sample_t : float;
+}
 
 type state = {
   config : config;
@@ -152,9 +208,58 @@ type state = {
          issue, and an interval tick enforces the policy's replica
          factor. [None] (the default) leaves the event stream and the RNG
          draw sequence untouched — the golden digest path. *)
+  cold : cold_rt option;
+      (* [Some] adds the erasure-coded cold tier on top of the policy:
+         sustained Cold verdicts demote the key to fragments, a Hot
+         verdict promotes it back, churn repairs lost fragments. [None]
+         leaves every path bit-identical. *)
 }
 
 let now st = Engine.now st.engine
+
+(* --- Cold-tier bookkeeping (every function below is a no-op shape when
+   [st.cold = None], keeping the digest-pinned paths untouched). --- *)
+
+let current_bytes st c =
+  (Cluster.total_copies st.cluster ~key:st.key * c.ct.file_bytes)
+  + (Ops.live_fragment_count st.cluster ~key:st.key * c.frag_bytes)
+
+let sample_bytes st c =
+  let t = now st in
+  c.byte_seconds <-
+    c.byte_seconds +. (float_of_int c.last_bytes *. (t -. c.last_sample_t));
+  c.last_sample_t <- t;
+  c.last_bytes <- current_bytes st c
+
+let refresh_frags st c =
+  Packed_bits.clear_all c.frag_holders;
+  match Cluster.coded_params st.cluster ~key:st.key with
+  | None ->
+      c.coded <- false;
+      c.servable <- false
+  | Some (k, r) ->
+      c.coded <- true;
+      for i = 0 to k + r - 1 do
+        List.iter
+          (fun p -> Packed_bits.set c.frag_holders (Pid.to_int p))
+          (Cluster.holders st.cluster ~key:(Ops.frag_key st.key i))
+      done;
+      c.servable <- Ops.coded_servable st.cluster ~key:st.key
+
+(* A full copy crossed the network (push arrival, policy fill). *)
+let cold_note_copy_moved st =
+  match st.cold with
+  | None -> ()
+  | Some c -> c.bytes_moved <- c.bytes_moved + c.ct.file_bytes
+
+let cold_note_repair _st c ~rebuilt ~lost =
+  if rebuilt > 0 then begin
+    c.fragment_repairs <- c.fragment_repairs + rebuilt;
+    let traffic = rebuilt * (c.ct.code_k + 1) * c.frag_bytes in
+    c.repair_bytes <- c.repair_bytes + traffic;
+    c.bytes_moved <- c.bytes_moved + traffic
+  end;
+  if lost then c.lost <- true
 
 let route_next st me =
   match st.substrate with
@@ -240,6 +345,31 @@ let handle st ~me ~src b x =
       if Cluster.holds st.cluster me ~key:st.key then
         serve st ~server:me ~id ~origin ~issued_at:x ~hops
       else begin
+        match st.cold with
+        | Some c when c.coded && Packed_bits.get c.frag_holders (Pid.to_int me)
+          ->
+            (* A fragment holder on the route: with >= k fragments live it
+               gathers and decodes (the fan-in is byte accounting, not
+               simulated messages); below k the payload is unrecoverable
+               and the request degrades to a reported fault. *)
+            if c.servable then begin
+              c.coded_serves <- c.coded_serves + 1;
+              serve st ~server:me ~id ~origin ~issued_at:x ~hops
+            end
+            else begin
+              st.faults <- st.faults + 1;
+              emit st
+                (Trace.Event.Request
+                   {
+                     at = now st;
+                     origin = Pid.to_int origin;
+                     server = None;
+                     hops;
+                   });
+              obs_resolved st ~id ~origin:(Pid.to_int origin) ~server:(-1)
+                ~hops ~issued_at:x
+            end
+        | _ -> begin
         (* The [hops < hops_mask] guard keeps a (non-conforming) substrate
            route from wrapping the packed hop field: overflow is a routing
            fault. Native routes are bounded by the tree depth (≤ m) and
@@ -256,6 +386,7 @@ let handle st ~me ~src b x =
                  { at = now st; origin = Pid.to_int origin; server = None; hops });
             obs_resolved st ~id ~origin:(Pid.to_int origin) ~server:(-1) ~hops
               ~issued_at:x
+          end
       end
   | 1 (* REPLY *) ->
       (* A reply's destination is the request's origin. *)
@@ -271,6 +402,7 @@ let handle st ~me ~src b x =
           ~origin:File_store.Replicated ~version ~now:(now st);
         st.replicas_created <- st.replicas_created + 1;
         st.last_replication <- Some (now st);
+        cold_note_copy_moved st;
         emit st
           (Trace.Event.Replicate
              { at = now st; src = Pid.to_int src; dst = Pid.to_int me;
@@ -298,15 +430,28 @@ let issue_request st ~origin =
   if Cluster.holds st.cluster origin ~key:st.key then
     serve st ~server:origin ~id ~origin ~issued_at:(now st) ~hops:0
   else begin
-    match route_next st origin with
-    | Some next ->
-        Overlay.send_packed st.overlay ~src:origin ~dst:next
-          ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:1)
-          ~x:(now st)
-    | None ->
-        st.faults <- st.faults + 1;
-        obs_resolved st ~id ~origin:(Pid.to_int origin) ~server:(-1) ~hops:0
-          ~issued_at:(now st)
+    match st.cold with
+    | Some c when c.coded && Packed_bits.get c.frag_holders (Pid.to_int origin)
+      ->
+        if c.servable then begin
+          c.coded_serves <- c.coded_serves + 1;
+          serve st ~server:origin ~id ~origin ~issued_at:(now st) ~hops:0
+        end
+        else begin
+          st.faults <- st.faults + 1;
+          obs_resolved st ~id ~origin:(Pid.to_int origin) ~server:(-1) ~hops:0
+            ~issued_at:(now st)
+        end
+    | _ -> (
+        match route_next st origin with
+        | Some next ->
+            Overlay.send_packed st.overlay ~src:origin ~dst:next
+              ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:1)
+              ~x:(now st)
+        | None ->
+            st.faults <- st.faults + 1;
+            obs_resolved st ~id ~origin:(Pid.to_int origin) ~server:(-1)
+              ~hops:0 ~issued_at:(now st))
   end
 
 (* One Poisson arrival at a node: serve/forward the request, then draw the
@@ -351,7 +496,15 @@ let start_eviction st ~duration =
               let removed = ref 0 in
               Status_word.iter_live (Cluster.status st.cluster) (fun p ->
                   let dropped =
-                    File_store.evict_cold_replicas (Cluster.store st.cluster p)
+                    (* The survivor floor: when every live holder is a
+                       below-rate replica (the inserted copy's node is
+                       down), unguarded local eviction would drop the
+                       last live copy cluster-wide. *)
+                    File_store.evict_cold_replicas
+                      ~survivors:(fun key ->
+                        Cluster.total_copies st.cluster ~key)
+                      ~min_survivors:1
+                      (Cluster.store st.cluster p)
                       ~now:(now st) ~min_rate
                   in
                   let mine =
@@ -399,6 +552,7 @@ let policy_enforce st p =
             ~origin:File_store.Replicated ~version ~now:(now st);
           st.replicas_created <- st.replicas_created + 1;
           st.last_replication <- Some (now st);
+          cold_note_copy_moved st;
           emit st
             (Trace.Event.Replicate
                { at = now st; src; dst = Pid.to_int q; key });
@@ -425,9 +579,59 @@ let policy_enforce st p =
   if after <> before then
     Timeseries.record st.replica_timeline ~time:(now st) (float_of_int after)
 
+(* Tier transitions, evaluated at the policy tick right after the
+   interval closes: [demote_after] consecutive Cold verdicts demote the
+   key to fragments, the first Hot verdict after that promotes it back
+   to the policy's replica factor. A failed demotion (too few distinct
+   live nodes) or promotion (fewer than k fragments alive) leaves the
+   state as is and retries at the next qualifying tick. *)
+let cold_policy_step st p =
+  match st.cold with
+  | None -> ()
+  | Some c ->
+      let cls = Rf_policy.classification p ~file:0 in
+      if not c.coded then begin
+        (match cls with
+        | Rf_policy.Cold -> c.cold_streak <- c.cold_streak + 1
+        | Rf_policy.Hot | Rf_policy.Warm -> c.cold_streak <- 0);
+        if c.cold_streak >= c.ct.demote_after then
+          match
+            Ops.demote_to_coded ~now:(now st) ?substrate:st.substrate
+              st.cluster ~key:st.key ~k:c.ct.code_k ~r:c.ct.code_r
+          with
+          | None -> ()
+          | Some holders ->
+              c.cold_streak <- 0;
+              c.demotions <- c.demotions + 1;
+              c.bytes_moved <-
+                c.bytes_moved + (List.length holders * c.frag_bytes);
+              refresh_frags st c;
+              Timeseries.record st.replica_timeline ~time:(now st)
+                (float_of_int (Cluster.total_copies st.cluster ~key:st.key))
+      end
+      else if cls = Rf_policy.Hot then
+        let copies = max 1 (Rf_policy.rf p ~file:0) in
+        match
+          Ops.promote_from_coded ~now:(now st) ?substrate:st.substrate
+            st.cluster ~key:st.key ~copies
+        with
+        | None -> ()
+        | Some placed ->
+            c.promotions <- c.promotions + 1;
+            (* k fragments gathered to rebuild, then the copies fan out. *)
+            c.bytes_moved <-
+              c.bytes_moved
+              + (c.ct.code_k * c.frag_bytes)
+              + (List.length placed * c.ct.file_bytes);
+            refresh_frags st c;
+            Timeseries.record st.replica_timeline ~time:(now st)
+              (float_of_int (Cluster.total_copies st.cluster ~key:st.key))
+
 (* The policy's analysis-interval tick, same self-rescheduling shape as
    {!start_eviction}: close the interval (PD, thresholds, RF updates),
-   then reconcile the copy count. *)
+   run tier transitions, then reconcile the copy count (only while the
+   key has full copies — fragments are not the RF enforcer's to
+   manage). *)
 let start_policy st ~duration =
   match st.policy with
   | None -> ()
@@ -438,7 +642,13 @@ let start_policy st ~duration =
         if t <= duration then
           Engine.schedule_at st.engine ~time:t (fun () ->
               ignore (Rf_policy.end_interval p);
-              policy_enforce st p;
+              cold_policy_step st p;
+              (match st.cold with
+              | Some c when c.coded -> ()
+              | Some _ | None -> policy_enforce st p);
+              (match st.cold with
+              | Some c -> sample_bytes st c
+              | None -> ());
               tick ())
       in
       tick ()
@@ -465,35 +675,86 @@ let finalize_obs st (obs : Obs.t) =
 let account_churn st ~relocated =
   st.control_messages <-
     st.control_messages + Status_word.live_count (Cluster.status st.cluster);
-  st.file_transfers <- st.file_transfers + relocated
+  st.file_transfers <- st.file_transfers + relocated;
+  match st.cold with
+  | None -> ()
+  | Some c ->
+      (* A relocated full copy is failure-triggered movement. *)
+      let bytes = relocated * c.ct.file_bytes in
+      c.bytes_moved <- c.bytes_moved + bytes;
+      c.repair_bytes <- c.repair_bytes + bytes
 
 (* Membership repair dispatch: Generic substrates run the overlay-agnostic
    registry repair; everything else (the direct path and the native
    adapter, whose membership is Self_organized) runs the paper's Section 5
    mechanism verbatim. Each returns the relocation count for
    {!account_churn}. *)
+(* The cold-tier side of a membership event: the Generic-substrate path
+   repairs inside [on_membership_via] (this callback only accounts it);
+   the native path runs [Ops.repair_coded] after the Section 5 handler.
+   Either way the fragment bitset and byte ledger are refreshed. *)
+let coded_repair_cb st =
+  match st.cold with
+  | None -> None
+  | Some c -> Some (fun ~key:_ ~rebuilt ~lost -> cold_note_repair st c ~rebuilt ~lost)
+
+let cold_after_churn st ~native =
+  match st.cold with
+  | None -> ()
+  | Some c ->
+      if native && c.coded then begin
+        match
+          Ops.repair_coded ~now:(now st) ?substrate:st.substrate st.cluster
+            ~key:st.key
+        with
+        | `Intact -> ()
+        | `Repaired n -> cold_note_repair st c ~rebuilt:n ~lost:false
+        | `Lost -> cold_note_repair st c ~rebuilt:0 ~lost:true
+      end;
+      refresh_frags st c;
+      sample_bytes st c
+
 let churn_join st p =
   match st.substrate with
   | Some sub when sub.Substrate.membership = Substrate.Generic ->
-      Ops.on_membership_via ~now:(now st) sub st.cluster ~event:(`Join p)
+      let n =
+        Ops.on_membership_via ~now:(now st)
+          ?on_coded_repair:(coded_repair_cb st) sub st.cluster ~event:(`Join p)
+      in
+      cold_after_churn st ~native:false;
+      n
   | _ ->
       let stats = Self_org.join ~now:(now st) st.cluster p in
+      cold_after_churn st ~native:true;
       List.length stats.Self_org.took_over
 
 let churn_leave st p =
   match st.substrate with
   | Some sub when sub.Substrate.membership = Substrate.Generic ->
-      Ops.on_membership_via ~now:(now st) sub st.cluster ~event:(`Leave p)
+      let n =
+        Ops.on_membership_via ~now:(now st)
+          ?on_coded_repair:(coded_repair_cb st) sub st.cluster
+          ~event:(`Leave p)
+      in
+      cold_after_churn st ~native:false;
+      n
   | _ ->
       let stats = Self_org.leave ~now:(now st) st.cluster p in
+      cold_after_churn st ~native:true;
       List.length stats.Self_org.reinserted
 
 let churn_fail st p =
   match st.substrate with
   | Some sub when sub.Substrate.membership = Substrate.Generic ->
-      Ops.on_membership_via ~now:(now st) sub st.cluster ~event:(`Fail p)
+      let n =
+        Ops.on_membership_via ~now:(now st)
+          ?on_coded_repair:(coded_repair_cb st) sub st.cluster ~event:(`Fail p)
+      in
+      cold_after_churn st ~native:false;
+      n
   | _ ->
       let stats = Self_org.fail ~now:(now st) st.cluster p in
+      cold_after_churn st ~native:true;
       List.length stats.Self_org.recovered
 
 let apply_churn st events =
@@ -528,13 +789,23 @@ let apply_churn st events =
               end))
     events
 
-let run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~rng ~cluster
-    ~key ~phases ~duration =
+let run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~cold_tier ~rng
+    ~cluster ~key ~phases ~duration =
   let params = Cluster.params cluster in
   (match policy with
   | Some p when Rf_policy.nodes p <> Params.space params ->
       invalid_arg "Des_sim: policy accessor population <> cluster space"
   | _ -> ());
+  (match cold_tier with
+  | Some ct ->
+      if policy = None then
+        invalid_arg "Des_sim: cold_tier needs a policy (its Cold verdicts)";
+      if ct.code_k < 1 || ct.code_r < 0 || ct.code_k + ct.code_r > 256 then
+        invalid_arg "Des_sim: invalid cold_tier code parameters";
+      if ct.file_bytes <= 0 then invalid_arg "Des_sim: file_bytes must be > 0";
+      if ct.demote_after < 1 then
+        invalid_arg "Des_sim: demote_after must be >= 1"
+  | None -> ());
   let engine = Engine.create () in
   let overlay =
     Overlay.create ~engine ~rng ~latency:config.latency ~loss:config.loss params
@@ -581,8 +852,33 @@ let run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~rng ~cluster
       obs = Option.map make_instruments obs;
       substrate;
       policy;
+      cold =
+        Option.map
+          (fun ct ->
+            {
+              ct;
+              frag_bytes = (ct.file_bytes + ct.code_k - 1) / ct.code_k;
+              frag_holders = Packed_bits.create (Params.space params);
+              coded = false;
+              servable = false;
+              cold_streak = 0;
+              demotions = 0;
+              promotions = 0;
+              fragment_repairs = 0;
+              lost = false;
+              coded_serves = 0;
+              bytes_moved = 0;
+              repair_bytes = 0;
+              byte_seconds = 0.0;
+              last_bytes = 0;
+              last_sample_t = 0.0;
+            })
+          cold_tier;
     }
   in
+  (match st.cold with
+  | Some c -> c.last_bytes <- current_bytes st c
+  | None -> ());
   st.h_arrival <- Engine.register_handler engine (on_arrival st);
   Overlay.set_packed_recv overlay
     (Some (fun ~src ~dst b x -> handle st ~me:dst ~src b x));
@@ -599,6 +895,14 @@ let run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~rng ~cluster
   start_eviction st ~duration;
   start_policy st ~duration;
   Engine.run ~until:duration engine;
+  (* Close the byte integral at the horizon. *)
+  (match st.cold with
+  | Some c ->
+      c.byte_seconds <-
+        c.byte_seconds
+        +. (float_of_int c.last_bytes *. (duration -. c.last_sample_t));
+      c.last_sample_t <- duration
+  | None -> ());
   Option.iter (finalize_obs st) obs;
   let overloaded_at_end =
     Status_word.fold_live (Cluster.status cluster) ~init:0 ~f:(fun acc p ->
@@ -621,21 +925,39 @@ let run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~rng ~cluster
     file_transfers = st.file_transfers;
     overloaded_at_end;
     events = Engine.events_executed engine;
+    cold =
+      Option.map
+        (fun c ->
+          {
+            demotions = c.demotions;
+            promotions = c.promotions;
+            fragment_repairs = c.fragment_repairs;
+            lost_cold = c.lost;
+            coded_at_end = c.coded;
+            coded_serves = c.coded_serves;
+            bytes_stored_end = c.last_bytes;
+            mean_bytes_stored =
+              (if duration > 0.0 then c.byte_seconds /. duration else 0.0);
+            bytes_moved = c.bytes_moved;
+            repair_bytes = c.repair_bytes;
+          })
+        st.cold;
   }
 
 let run ?(config = default_config) ?(churn = []) ?sink ?obs ?substrate
-    ?policy ~rng ~cluster ~key ~demand ~duration () =
-  run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~rng ~cluster ~key
+    ?policy ?cold_tier ~rng ~cluster ~key ~demand ~duration () =
+  run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~cold_tier ~rng
+    ~cluster ~key
     ~phases:[ (demand, duration) ] ~duration
 
 let run_scenario ?(config = default_config) ?(churn = []) ?sink ?obs
-    ?substrate ?policy ~rng ~cluster ~key ~scenario () =
+    ?substrate ?policy ?cold_tier ~rng ~cluster ~key ~scenario () =
   let phases =
     List.map
       (fun p ->
         (p.Lesslog_workload.Scenario.demand, p.Lesslog_workload.Scenario.duration))
       (Lesslog_workload.Scenario.phases scenario)
   in
-  run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~rng ~cluster ~key
-    ~phases
+  run_internal ~config ~churn ~sink ~obs ~substrate ~policy ~cold_tier ~rng
+    ~cluster ~key ~phases
     ~duration:(Lesslog_workload.Scenario.total_duration scenario)

@@ -40,9 +40,44 @@ val default_config : config
 (** capacity 100, tau 2 s, cooldown 0.5 s, default latency, no loss, no
     eviction. *)
 
+type cold_tier = {
+  code_k : int;  (** Data fragments of the Reed-Solomon code. *)
+  code_r : int;  (** Parity fragments; any [code_k] of the [k+r] decode. *)
+  file_bytes : int;  (** Logical size of the (single) hot file. *)
+  demote_after : int;
+      (** Consecutive Cold-classified policy intervals before the key is
+          demoted to fragments. *)
+}
+
+val default_cold_tier : cold_tier
+(** (10, 4) — Snippet 1's production choice — 1 MiB, demote after 2. *)
+
 type churn_action = Join of Pid.t | Leave of Pid.t | Fail of Pid.t
 
 type churn_event = { at : float; action : churn_action }
+
+type cold_stats = {
+  demotions : int;
+  promotions : int;
+  fragment_repairs : int;  (** Fragments rebuilt after churn. *)
+  lost_cold : bool;
+      (** Fewer than [k] fragments survived at some point — the payload
+          became unrecoverable. *)
+  coded_at_end : bool;
+  coded_serves : int;  (** Requests served by fragment gather+decode. *)
+  bytes_stored_end : int;
+  mean_bytes_stored : float;
+      (** Time average of stored bytes over the run — the numerator of
+          storage amplification. *)
+  bytes_moved : int;
+      (** Bytes that crossed the network for placement, demotion,
+          promotion and repair (replica pushes and policy fills count
+          [file_bytes] each; a demotion moves the [k+r] fragments; a
+          promotion gathers [k] fragments and fans the copies out). *)
+  repair_bytes : int;
+      (** The failure-triggered subset of [bytes_moved]: relocated full
+          copies, plus [k] reads and one write per rebuilt fragment. *)
+}
 
 type result = {
   served : int;
@@ -69,6 +104,10 @@ type result = {
   events : int;
       (** Engine events executed — the throughput denominator for
           events/sec benchmarks. *)
+  cold : cold_stats option;
+      (** Byte accounting and tier transitions; [Some] iff the run was
+          given a [cold_tier] (even if nothing was ever demoted, so a
+          full-replication baseline run carries the same ledger). *)
 }
 
 (** Both entry points accept an optional [sink] receiving a
@@ -111,8 +150,24 @@ type result = {
     and sized to the cluster's PID space; inspect it after the run for
     the final RF and classification. Omitting [policy] leaves the event
     stream and RNG draws bit-identical to previous releases.
+
+    With [cold_tier] (requires [policy]), the erasure-coded cold tier is
+    armed: after [demote_after] consecutive Cold classifications the key
+    trades its full copies for the [k + r] fragments of a Reed-Solomon
+    code ({!Lesslog.Ops.demote_to_coded}); a later Hot verdict promotes
+    it back to the policy's replica factor. While coded, a request is
+    served when its route meets a fragment holder and at least [k]
+    fragments are live anywhere (the decode fan-in is byte accounting,
+    not simulated messages); below [k] survivors requests degrade to
+    reported faults — no panic. Churn events trigger fragment repair
+    ({!Lesslog.Ops.repair_coded}, through [Ops.on_membership_via] on
+    Generic substrates). The [cold] result field carries demotion/
+    promotion/repair counts and the byte ledger; it is present whenever
+    [cold_tier] was given, so a baseline run with [demote_after =
+    max_int] yields comparable byte accounting under full replication.
     @raise Invalid_argument when the policy's accessor population does
-    not match the cluster's PID space. *)
+    not match the cluster's PID space, when [cold_tier] is given without
+    [policy], or on invalid code/size parameters. *)
 
 val run :
   ?config:config ->
@@ -121,6 +176,7 @@ val run :
   ?obs:Lesslog_obs.Obs.t ->
   ?substrate:Lesslog_substrate.Substrate.t ->
   ?policy:Lesslog_policy.Rf_policy.t ->
+  ?cold_tier:cold_tier ->
   rng:Lesslog_prng.Rng.t ->
   cluster:Lesslog.Cluster.t ->
   key:string ->
@@ -140,6 +196,7 @@ val run_scenario :
   ?obs:Lesslog_obs.Obs.t ->
   ?substrate:Lesslog_substrate.Substrate.t ->
   ?policy:Lesslog_policy.Rf_policy.t ->
+  ?cold_tier:cold_tier ->
   rng:Lesslog_prng.Rng.t ->
   cluster:Lesslog.Cluster.t ->
   key:string ->

@@ -95,11 +95,43 @@ let fnv_prime = 0x100000001B3
 let mix d k = (d lxor k) * fnv_prime land max_int
 let mix_time d t = mix d (Int64.to_int (Int64.bits_of_float t) land max_int)
 
+(* Cold-tier runtime (mirrors {!Des_sim.cold_rt}): code parameters
+   flattened out of the {!Des_sim.cold_tier} the caller passed, plus the
+   tier flags and the byte ledger. Every field is written only inside
+   sequential barrier globals; shard event handlers read [coded] and
+   [servable] (frozen during an epoch), so the digest stays
+   bit-identical at any domain count. *)
+type cold_rt = {
+  k : int;
+  r : int;
+  file_bytes : int;
+  demote_after : int;
+  frag_bytes : int;
+  mutable coded : bool;
+  mutable servable : bool;  (* coded and >= k fragments live *)
+  mutable streak : int;  (* consecutive Cold verdicts while replicated *)
+  mutable demotions : int;
+  mutable promotions : int;
+  mutable fragment_repairs : int;
+  mutable lost : bool;
+  mutable extra_bytes : int;
+      (* demotion spreads, promotion gathers and fragment rebuilds — the
+         traffic the end-of-run copy-count formula cannot see *)
+  mutable repair_bytes : int;
+  mutable byte_seconds : float;
+  mutable last_bytes : int;
+  mutable last_sample_t : float;
+}
+
 type shard = {
   sid : int;
   eng : Engine.t;
   rng : Rng.t;
   holders : Packed_bits.t;  (* subtree-VID indexed *)
+  frags : Packed_bits.t;
+      (* subtree-VID indexed fragment holders of the cold tier — each
+         node carries at most one (distinct) fragment, so the bit count
+         is the shard's live-fragment count; mutated only at barriers *)
   estimators : Access_counter.t array;  (* subtree-VID indexed *)
   cooldown_until : float array;
   latencies : Histogram.t;
@@ -122,6 +154,7 @@ type shard = {
   p_seen : Packed_bits.t;
   mutable p_ac : int;
   mutable p_dnc : int;
+  mutable c_serves : int;  (* requests served by fragment gather+decode *)
 }
 
 type state = {
@@ -143,6 +176,7 @@ type state = {
          barrier globals (interval close + holder-bit reconciliation, no
          RNG), so the digest stays bit-identical at any domain count.
          [None] keeps the golden-digest default path untouched. *)
+  cold : cold_rt option;
 }
 
 type result = {
@@ -162,6 +196,7 @@ type result = {
   phases : int;
   cross_sends : int;
   digest : int;
+  cold : Des_sim.cold_stats option;
 }
 
 type churn_action = Join of Pid.t | Leave of Pid.t | Fail of Pid.t
@@ -280,6 +315,23 @@ let rec route_get st (sh : shard) ~me ~id ~origin ~hops ~issued_at =
       obs_resolved sh ~id ~origin:(Pid.to_int origin) ~server:(-1) ~hops
         ~issued_at ~at:(Engine.now sh.eng)
     in
+    match st.cold with
+    | Some c when c.coded && Packed_bits.get sh.frags (svid_of st me) ->
+        (* A fragment holder: gather [k] fragments and decode when
+           enough survive (the fan-in is byte accounting, not simulated
+           messages), a reported fault below [k] — no panic. *)
+        if c.servable then begin
+          sh.c_serves <- sh.c_serves + 1;
+          serve st sh ~server:me ~id ~origin ~issued_at ~hops
+        end
+        else fault ()
+    | _ ->
+        route_get_replicated st sh ~me ~id ~origin ~hops ~issued_at ~fault
+  end
+
+and route_get_replicated st (sh : shard) ~me ~id ~origin ~hops ~issued_at
+    ~fault =
+  begin
     let forward next =
       send_msg st sh ~dst:next
         ~b:(get_b ~id ~origin:(Pid.to_int origin) ~hops:(hops + 1))
@@ -404,7 +456,11 @@ let on_arrival st (sh : shard) a _b _x =
 let account_churn (st : state) ~relocated =
   st.control_messages <-
     st.control_messages + Status_word.live_count st.status;
-  st.file_transfers <- st.file_transfers + relocated
+  st.file_transfers <- st.file_transfers + relocated;
+  (* A churn-relocated full copy is failure-triggered wire traffic. *)
+  match st.cold with
+  | None -> ()
+  | Some c -> c.repair_bytes <- c.repair_bytes + (relocated * c.file_bytes)
 
 let highest_holder (sh : shard) =
   Packed_bits.fold_set sh.holders ~init:(-1) ~f:(fun _ sv -> sv)
@@ -423,6 +479,100 @@ let reinsert (st : state) ~subtree_id =
         1
       end
 
+(* Erasure-coded cold tier, barrier-global half. Fragments are one more
+   per-shard bitset over the subtree-VID slots; each node carries at
+   most one (distinct) fragment, so the global live-fragment count is
+   the sum of bit counts and {!Lesslog.Ops.repair_coded} reduces to
+   re-seating the missing difference — no per-index bookkeeping. *)
+
+let frag_total (st : state) =
+  Array.fold_left (fun a (sh : shard) -> a + Packed_bits.count sh.frags) 0
+    st.shards
+
+let cold_current_bytes st c =
+  (total_copies st * c.file_bytes) + (frag_total st * c.frag_bytes)
+
+(* Step integral of stored bytes, sampled at every barrier global and
+   closed at [duration] — copies created between barriers are attributed
+   from the next barrier onward, exactly like {!Des_sim}. *)
+let cold_sample (st : state) ~t =
+  match st.cold with
+  | None -> ()
+  | Some c ->
+      c.byte_seconds <-
+        c.byte_seconds +. (float_of_int c.last_bytes *. (t -. c.last_sample_t));
+      c.last_sample_t <- t;
+      c.last_bytes <- cold_current_bytes st c
+
+(* Seat one fragment in [sh]: the subtree's insertion target when free —
+   so in-subtree request climbs terminate on a fragment holder — else
+   the first live member without one. *)
+let place_fragment_in st (sh : shard) =
+  let free q =
+    Status_word.is_live st.status q
+    && not (Packed_bits.get sh.frags (svid_of st q))
+  in
+  let target =
+    match
+      Subtrees.insertion_target_in_subtree st.tree st.status
+        ~subtree_id:sh.sid
+    with
+    | Some t when free t -> Some t
+    | Some _ | None ->
+        List.find_opt free (Subtrees.members st.tree ~subtree_id:sh.sid)
+  in
+  match target with
+  | None -> false
+  | Some q ->
+      Packed_bits.set sh.frags (svid_of st q);
+      true
+
+let place_fragment st ~preferred =
+  let n = Array.length st.shards in
+  let rec go i =
+    i < n && (place_fragment_in st st.shards.((preferred + i) mod n) || go (i + 1))
+  in
+  go 0
+
+(* Re-seat every fragment lost to churn while [>= k] survive; below [k]
+   the payload is unrecoverable — flag it, keep the survivors, and stop
+   serving (requests meeting a fragment holder degrade to faults). *)
+let cold_churn_repair (st : state) =
+  match st.cold with
+  | None -> ()
+  | Some c when not c.coded -> ()
+  | Some c ->
+      let total = frag_total st in
+      if total < c.k then begin
+        c.lost <- true;
+        c.servable <- false
+      end
+      else begin
+        let missing = c.k + c.r - total in
+        let rebuilt = ref 0 in
+        for i = 0 to missing - 1 do
+          if place_fragment st ~preferred:(i mod Array.length st.shards) then
+            incr rebuilt
+        done;
+        if !rebuilt > 0 then begin
+          c.fragment_repairs <- c.fragment_repairs + !rebuilt;
+          (* k fragment reads and one write per rebuilt fragment. *)
+          let traffic = !rebuilt * (c.k + 1) * c.frag_bytes in
+          c.repair_bytes <- c.repair_bytes + traffic;
+          c.extra_bytes <- c.extra_bytes + traffic
+        end;
+        c.servable <- frag_total st >= c.k
+      end
+
+(* Drop the departing node's fragment (a leaver hands full copies off
+   but fragments are simply dropped and rebuilt — same contract as
+   {!Lesslog.Self_org}); the repair pass runs after the membership
+   accounting. *)
+let cold_drop_fragment (st : state) (sh : shard) ~sv =
+  match st.cold with
+  | Some c when c.coded -> Packed_bits.clear sh.frags sv
+  | Some _ | None -> ()
+
 let churn_join (st : state) p =
   Status_word.set_live st.status p;
   let s = sid_of st p in
@@ -439,13 +589,15 @@ let churn_join (st : state) p =
             1)
     | _ -> 0
   in
-  account_churn st ~relocated:moved
+  account_churn st ~relocated:moved;
+  cold_churn_repair st
 
 let churn_leave (st : state) p =
   Status_word.set_dead st.status p;
   let s = sid_of st p in
   let sh = st.shards.(s) in
   let sv = svid_of st p in
+  cold_drop_fragment st sh ~sv;
   let moved =
     if Packed_bits.get sh.holders sv then begin
       Packed_bits.clear sh.holders sv;
@@ -453,13 +605,15 @@ let churn_leave (st : state) p =
     end
     else 0
   in
-  account_churn st ~relocated:moved
+  account_churn st ~relocated:moved;
+  cold_churn_repair st
 
 let churn_fail (st : state) p =
   Status_word.set_dead st.status p;
   let s = sid_of st p in
   let sh = st.shards.(s) in
   let sv = svid_of st p in
+  cold_drop_fragment st sh ~sv;
   let moved =
     if Packed_bits.get sh.holders sv then begin
       Packed_bits.clear sh.holders sv;
@@ -469,7 +623,8 @@ let churn_fail (st : state) p =
     end
     else 0
   in
-  account_churn st ~relocated:moved
+  account_churn st ~relocated:moved;
+  cold_churn_repair st
 
 let churn_globals (st : state) churn =
   List.stable_sort (fun a b -> Float.compare a.at b.at) churn
@@ -576,10 +731,66 @@ let policy_enforce (st : state) p =
     done
   end
 
+(* Tier transitions at the policy tick, mirroring
+   {!Des_sim.cold_policy_step}: [demote_after] consecutive Cold verdicts
+   trade the full copies for [k + r] fragments (one per shard round-robin,
+   preferring insertion targets), the first Hot verdict after that
+   gathers [k] fragments and hands the copy count back to the RF
+   enforcer. A failed demotion (too few live nodes) retries at the next
+   qualifying tick. *)
+let cold_demote (st : state) c =
+  let n = c.k + c.r in
+  if Status_word.live_count st.status >= n then begin
+    let seated = ref true in
+    for idx = 0 to n - 1 do
+      if !seated then
+        seated := place_fragment st ~preferred:(idx mod Array.length st.shards)
+    done;
+    if !seated then begin
+      Array.iter (fun (sh : shard) -> Packed_bits.clear_all sh.holders) st.shards;
+      c.coded <- true;
+      c.servable <- true;
+      c.streak <- 0;
+      c.demotions <- c.demotions + 1;
+      (* The k + r fragment spreads cross the wire. *)
+      c.extra_bytes <- c.extra_bytes + (n * c.frag_bytes)
+    end
+    else
+      (* Could not seat every fragment: abort, keep the full copies. *)
+      Array.iter (fun (sh : shard) -> Packed_bits.clear_all sh.frags) st.shards
+  end
+
+let cold_promote (st : state) c p =
+  if frag_total st >= c.k then begin
+    Array.iter (fun (sh : shard) -> Packed_bits.clear_all sh.frags) st.shards;
+    c.coded <- false;
+    c.servable <- false;
+    c.promotions <- c.promotions + 1;
+    (* k fragments gathered to rebuild; the fan-out copies are counted
+       through [replicas_created] like any other fill. *)
+    c.extra_bytes <- c.extra_bytes + (c.k * c.frag_bytes);
+    policy_enforce st p;
+    if total_copies st = 0 then
+      (* RF floor safety: never promote into zero copies. *)
+      if reinsert st ~subtree_id:0 = 1 then
+        st.shards.(0).replicas_created <- st.shards.(0).replicas_created + 1
+  end
+
+let cold_policy_step (st : state) c p =
+  if not c.coded then begin
+    (match Rf_policy.classification p ~file:0 with
+    | Rf_policy.Cold -> c.streak <- c.streak + 1
+    | Rf_policy.Hot | Rf_policy.Warm -> c.streak <- 0);
+    if c.streak >= c.demote_after then cold_demote st c
+  end
+  else if Rf_policy.classification p ~file:0 = Rf_policy.Hot then
+    cold_promote st c p
+
 (* The policy's analysis intervals, lowered onto the barrier-global
    machinery: at each boundary, merge every shard's access tallies into
-   the policy (shard order — deterministic), close the interval, then
-   reconcile the holder bits. *)
+   the policy (shard order — deterministic), close the interval, run the
+   tier transitions, then reconcile the holder bits (only while the key
+   has full copies — fragments are not the RF enforcer's to manage). *)
 let policy_globals (st : state) =
   match st.policy with
   | None -> []
@@ -600,7 +811,11 @@ let policy_globals (st : state) =
                      Packed_bits.clear_all sh.p_seen)
                    st.shards;
                  ignore (Rf_policy.end_interval p);
-                 policy_enforce st p )
+                 (match st.cold with
+                 | None -> policy_enforce st p
+                 | Some c ->
+                     cold_policy_step st c p;
+                     if not c.coded then policy_enforce st p) )
              :: acc)
       in
       build 1 []
@@ -645,14 +860,25 @@ let finalize_obs (st : state) (obs : Obs.t) ~latencies ~hops =
   ignore (Obs.Registry.timer_backed r "pdes/hops" hops)
 
 let run ?(config = default_config) ?(churn = []) ?(faults = Faults.empty) ?obs
-    ?policy ?(domains = 1) ?(fuse = true) ~seed ~params ~key ~demand ~duration
-    () =
+    ?policy ?cold_tier ?(domains = 1) ?(fuse = true) ~seed ~params ~key ~demand
+    ~duration () =
   if Params.m params > origin_bits then
     invalid_arg "Pdes_sim.run: m exceeds the packed origin field";
   (match policy with
   | Some p when Rf_policy.nodes p <> Params.space params ->
       invalid_arg "Pdes_sim.run: policy accessor population <> PID space"
   | _ -> ());
+  (match cold_tier with
+  | None -> ()
+  | Some (ct : Des_sim.cold_tier) ->
+      if Option.is_none policy then
+        invalid_arg "Pdes_sim.run: cold_tier needs a policy (its Cold verdicts)";
+      if ct.code_k < 1 || ct.code_r < 0 || ct.code_k + ct.code_r > 256 then
+        invalid_arg "Pdes_sim.run: invalid cold_tier code parameters";
+      if ct.file_bytes <= 0 then
+        invalid_arg "Pdes_sim.run: file_bytes must be > 0";
+      if ct.demote_after < 1 then
+        invalid_arg "Pdes_sim.run: demote_after must be >= 1");
   if faults.Faults.partitions <> [] then
     invalid_arg "Pdes_sim.run: partitions are not supported";
   let nshards = Params.subtree_count params in
@@ -706,6 +932,8 @@ let run ?(config = default_config) ?(churn = []) ?(faults = Faults.empty) ?obs
           p_seen = Packed_bits.create sspace;
           p_ac = 0;
           p_dnc = 0;
+          frags = Packed_bits.create sspace;
+          c_serves = 0;
         })
   in
   let st =
@@ -722,6 +950,29 @@ let run ?(config = default_config) ?(churn = []) ?(faults = Faults.empty) ?obs
       control_messages = 0;
       file_transfers = 0;
       policy;
+      cold =
+        Option.map
+          (fun (ct : Des_sim.cold_tier) ->
+            {
+              k = ct.code_k;
+              r = ct.code_r;
+              file_bytes = ct.file_bytes;
+              demote_after = ct.demote_after;
+              frag_bytes = (ct.file_bytes + ct.code_k - 1) / ct.code_k;
+              coded = false;
+              servable = false;
+              streak = 0;
+              demotions = 0;
+              promotions = 0;
+              fragment_repairs = 0;
+              lost = false;
+              extra_bytes = 0;
+              repair_bytes = 0;
+              byte_seconds = 0.0;
+              last_bytes = 0;
+              last_sample_t = 0.0;
+            })
+          cold_tier;
     }
   in
   Array.iter
@@ -733,6 +984,9 @@ let run ?(config = default_config) ?(churn = []) ?(faults = Faults.empty) ?obs
   List.iter
     (fun p -> Packed_bits.set shards.(sid_of st p).holders (svid_of st p))
     (Subtrees.insertion_targets tree status);
+  (match st.cold with
+  | None -> ()
+  | Some c -> c.last_bytes <- cold_current_bytes st c);
   start_arrivals st;
   (* All lists are time-sorted; concat + stable sort is a stable merge,
      so at equal times churn (user first, then crash-derived) precedes
@@ -744,7 +998,22 @@ let run ?(config = default_config) ?(churn = []) ?(faults = Faults.empty) ?obs
       (churn_globals st (churn @ fault_churn faults)
       @ burst_globals st faults @ policy_globals st)
   in
+  (* Sample the byte step-integral at every barrier — the only points
+     where stored bytes change outside the shard-local PUSH path. *)
+  let globals =
+    match st.cold with
+    | None -> globals
+    | Some _ ->
+        List.map
+          (fun (t, f) ->
+            ( t,
+              fun () ->
+                f ();
+                cold_sample st ~t ))
+          globals
+  in
   Sharded_engine.run ~until:duration ~globals ~domains ~fuse se;
+  cold_sample st ~t:duration;
   let latencies = Histogram.create () and hops = Histogram.create () in
   Array.iter
     (fun (sh : shard) ->
@@ -771,4 +1040,24 @@ let run ?(config = default_config) ?(churn = []) ?(faults = Faults.empty) ?obs
     cross_sends = Sharded_engine.cross_sends se;
     digest =
       Array.fold_left (fun d (sh : shard) -> mix d sh.digest) 0x1505 shards;
+    cold =
+      Option.map
+        (fun c ->
+          {
+            Des_sim.demotions = c.demotions;
+            promotions = c.promotions;
+            fragment_repairs = c.fragment_repairs;
+            lost_cold = c.lost;
+            coded_at_end = c.coded;
+            coded_serves = sum (fun sh -> sh.c_serves);
+            bytes_stored_end = cold_current_bytes st c;
+            mean_bytes_stored =
+              (if duration > 0.0 then c.byte_seconds /. duration else 0.0);
+            bytes_moved =
+              ((sum (fun sh -> sh.replicas_created) + st.file_transfers)
+              * c.file_bytes)
+              + c.extra_bytes;
+            repair_bytes = c.repair_bytes;
+          })
+        st.cold;
   }

@@ -59,6 +59,10 @@ type result = {
   digest : int;
       (** FNV fold over every handled event of every shard, combined in
           shard order — the domain-count-invariance witness. *)
+  cold : Des_sim.cold_stats option;
+      (** Cold-tier transitions and the byte ledger; [Some] iff the run
+          was given a [cold_tier] (same semantics as
+          {!Des_sim.result.cold}). *)
 }
 
 type churn_action = Join of Pid.t | Leave of Pid.t | Fail of Pid.t
@@ -71,6 +75,7 @@ val run :
   ?faults:Lesslog_workload.Faults.plan ->
   ?obs:Obs.t ->
   ?policy:Lesslog_policy.Rf_policy.t ->
+  ?cold_tier:Des_sim.cold_tier ->
   ?domains:int ->
   ?fuse:bool ->
   seed:int ->
@@ -106,7 +111,19 @@ val run :
     the digest stays bit-identical at any [domains]; the policy instance
     must be fresh for the run and sized to the PID space. Omitting
     [policy] leaves the golden-digest default path untouched.
+
+    With [cold_tier] (requires [policy]), the erasure-coded cold tier of
+    {!Des_sim} runs shard-aware: fragments are one more per-shard bitset
+    over subtree-VID slots, seated round-robin across subtrees at the
+    insertion targets (so in-subtree climbs terminate on a fragment
+    holder), and every tier transition, placement and repair happens
+    inside sequential barrier globals — shard handlers only read the
+    frozen [coded]/[servable] flags and their own shard's fragment bits,
+    so the digest stays bit-identical at any [domains]. Demotion,
+    promotion on Hot, churn-driven fragment repair, graceful degradation
+    below [k] survivors and the byte ledger all match {!Des_sim}.
     @raise Invalid_argument when [m] exceeds the 24-bit packed origin
     field, [b > 0] with a latency minimum of zero, [faults] contains
-    partitions, or the policy's accessor population does not match the
-    PID space. *)
+    partitions, the policy's accessor population does not match the
+    PID space, [cold_tier] is given without [policy], or on invalid
+    code/size parameters. *)

@@ -1,0 +1,168 @@
+type t = { k : int; r : int; rows : int array array }
+(* [rows] is the full (k+r) x k systematic encode matrix: the top k
+   rows are the identity, the bottom r produce parity. *)
+
+let k t = t.k
+let r t = t.r
+
+(* Gauss-Jordan inversion of an n x n matrix over GF(256). Mutates a
+   copy; raises on a singular input (cannot happen for Vandermonde
+   submatrices with distinct points, but decode defends anyway). *)
+let invert m =
+  let n = Array.length m in
+  let a = Array.map Array.copy m in
+  let id = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0)) in
+  for col = 0 to n - 1 do
+    (* Find a pivot at or below the diagonal and swap it in. *)
+    let pivot = ref (-1) in
+    (try
+       for row = col to n - 1 do
+         if a.(row).(col) <> 0 then begin
+           pivot := row;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !pivot < 0 then failwith "Erasure: singular matrix";
+    if !pivot <> col then begin
+      let swap m =
+        let tmp = m.(col) in
+        m.(col) <- m.(!pivot);
+        m.(!pivot) <- tmp
+      in
+      swap a; swap id
+    end;
+    let scale = Gf256.inv a.(col).(col) in
+    for j = 0 to n - 1 do
+      a.(col).(j) <- Gf256.mul a.(col).(j) scale;
+      id.(col).(j) <- Gf256.mul id.(col).(j) scale
+    done;
+    for row = 0 to n - 1 do
+      if row <> col && a.(row).(col) <> 0 then begin
+        let factor = a.(row).(col) in
+        for j = 0 to n - 1 do
+          a.(row).(j) <- Gf256.add a.(row).(j) (Gf256.mul factor a.(col).(j));
+          id.(row).(j) <- Gf256.add id.(row).(j) (Gf256.mul factor id.(col).(j))
+        done
+      end
+    done
+  done;
+  id
+
+let mat_mul a b =
+  let n = Array.length a and k = Array.length b.(0) in
+  Array.init n (fun i ->
+      Array.init k (fun j ->
+          let acc = ref 0 in
+          for x = 0 to Array.length b - 1 do
+            acc := Gf256.add !acc (Gf256.mul a.(i).(x) b.(x).(j))
+          done;
+          !acc))
+
+let create ~k ~r =
+  if k < 1 then invalid_arg "Erasure.create: k must be >= 1";
+  if r < 0 then invalid_arg "Erasure.create: r must be >= 0";
+  if k + r > 256 then invalid_arg "Erasure.create: k + r must be <= 256";
+  let n = k + r in
+  (* Vandermonde on the distinct points 0 .. n-1: any k rows are
+     invertible. Right-multiplying by inv(top k rows) preserves that
+     property and turns the top k rows into the identity. *)
+  let vand = Array.init n (fun e -> Array.init k (fun i -> Gf256.pow e i)) in
+  let top = Array.init k (fun i -> vand.(i)) in
+  let rows = mat_mul vand (invert top) in
+  { k; r; rows }
+
+let fragment_size t ~len =
+  if len < 0 then invalid_arg "Erasure.fragment_size: negative len";
+  (len + t.k - 1) / t.k
+
+let encode t payload =
+  let len = String.length payload in
+  let fs = fragment_size t ~len in
+  let stripe i =
+    (* Data stripe i, zero-padded to [fs]. *)
+    let b = Bytes.make fs '\000' in
+    let off = i * fs in
+    let avail = min fs (max 0 (len - off)) in
+    if avail > 0 then Bytes.blit_string payload off b 0 avail;
+    b
+  in
+  let data = Array.init t.k stripe in
+  let parity j =
+    let row = t.rows.(t.k + j) in
+    let b = Bytes.make fs '\000' in
+    for i = 0 to t.k - 1 do
+      let c = row.(i) in
+      if c <> 0 then
+        for p = 0 to fs - 1 do
+          Bytes.unsafe_set b p
+            (Char.unsafe_chr
+               (Gf256.add
+                  (Char.code (Bytes.unsafe_get b p))
+                  (Gf256.mul c (Char.code (Bytes.unsafe_get data.(i) p)))))
+        done
+    done;
+    b
+  in
+  Array.init (t.k + t.r)
+    (fun idx ->
+      Bytes.unsafe_to_string (if idx < t.k then data.(idx) else parity (idx - t.k)))
+
+let decode t ~len survivors =
+  let fs = fragment_size t ~len in
+  (* Keep the first fragment seen for each distinct index, up to k. *)
+  let seen = Hashtbl.create 16 in
+  let picked = ref [] in
+  let bad = ref None in
+  List.iter
+    (fun (idx, frag) ->
+      if !bad = None && Hashtbl.length seen < t.k then
+        if idx < 0 || idx >= t.k + t.r then
+          bad := Some (Printf.sprintf "fragment index %d out of range" idx)
+        else if String.length frag <> fs then
+          bad :=
+            Some
+              (Printf.sprintf "fragment %d has %d bytes, expected %d" idx
+                 (String.length frag) fs)
+        else if not (Hashtbl.mem seen idx) then begin
+          Hashtbl.add seen idx ();
+          picked := (idx, frag) :: !picked
+        end)
+    survivors;
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+      if Hashtbl.length seen < t.k then
+        Error
+          (Printf.sprintf "need %d distinct fragments, have %d" t.k
+             (Hashtbl.length seen))
+      else begin
+        let picked = Array.of_list (List.rev !picked) in
+        let sub = Array.map (fun (idx, _) -> t.rows.(idx)) picked in
+        match (try Ok (invert sub) with Failure msg -> Error msg) with
+        | Error msg -> Error msg
+        | Ok inv ->
+        (* Stripe i = sum over survivors s of inv.(i).(s) * frag_s. *)
+        let out = Bytes.make (t.k * fs) '\000' in
+        for i = 0 to t.k - 1 do
+          let base = i * fs in
+          for s = 0 to t.k - 1 do
+            let c = inv.(i).(s) in
+            if c <> 0 then begin
+              let frag = snd picked.(s) in
+              for p = 0 to fs - 1 do
+                Bytes.unsafe_set out (base + p)
+                  (Char.unsafe_chr
+                     (Gf256.add
+                        (Char.code (Bytes.unsafe_get out (base + p)))
+                        (Gf256.mul c (Char.code (String.unsafe_get frag p)))))
+              done
+            end
+          done
+        done;
+        Ok (Bytes.sub_string out 0 len)
+      end
+
+let parity_row t j =
+  if j < 0 || j >= t.r then invalid_arg "Erasure.parity_row";
+  Array.copy t.rows.(t.k + j)

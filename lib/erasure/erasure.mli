@@ -1,0 +1,41 @@
+(** Systematic Reed-Solomon erasure coding over {!Gf256}.
+
+    A [(k, r)] code splits a payload into [k] data fragments and
+    derives [r] parity fragments; the original payload is recoverable
+    byte-identically from {e any} [k] of the [k + r] fragments. The
+    encode matrix is the Vandermonde matrix on points [0 .. k+r-1]
+    right-multiplied by the inverse of its top [k] rows, which makes
+    the code systematic (fragments [0 .. k-1] are plain data stripes)
+    while preserving the property that every [k]-row submatrix is
+    invertible. Decode inverts the surviving rows with Gauss-Jordan
+    elimination in GF(256). *)
+
+type t
+
+val create : k:int -> r:int -> t
+(** @raise Invalid_argument unless [k >= 1], [r >= 0] and
+    [k + r <= 256] (the field has only 256 distinct evaluation
+    points). *)
+
+val k : t -> int
+val r : t -> int
+
+val fragment_size : t -> len:int -> int
+(** Bytes per fragment for a payload of [len] bytes:
+    [ceil (len / k)]. *)
+
+val encode : t -> string -> string array
+(** [encode t payload] returns the [k + r] fragments, each
+    [fragment_size t ~len:(String.length payload)] bytes. The first
+    [k] are the zero-padded data stripes. *)
+
+val decode : t -> len:int -> (int * string) list -> (string, string) result
+(** [decode t ~len survivors] rebuilds the [len]-byte payload from any
+    [>= k] surviving [(index, fragment)] pairs (duplicates and extras
+    beyond [k] are ignored). [Error _] reports too few distinct
+    indices, an out-of-range index, or a fragment whose size does not
+    match [fragment_size t ~len]. *)
+
+val parity_row : t -> int -> int array
+(** [parity_row t j] for [j < r]: the encode-matrix row that produces
+    parity fragment [k + j]. Exposed for property tests. *)

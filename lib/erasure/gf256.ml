@@ -1,0 +1,35 @@
+(* GF(256) with primitive polynomial 0x11d, generator 2. The exp table
+   is doubled (510 entries) so [mul] can skip the mod-255 reduction. *)
+
+let exp_table = Array.make 255 0
+let log_table = Array.make 256 0
+let exp2 = Array.make 510 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x100 <> 0 then x := !x lxor 0x11d
+  done;
+  for i = 0 to 509 do
+    exp2.(i) <- exp_table.(i mod 255)
+  done
+
+let add a b = a lxor b
+
+let mul a b =
+  if a = 0 || b = 0 then 0 else exp2.(log_table.(a) + log_table.(b))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp2.(log_table.(a) - log_table.(b) + 255)
+
+let inv a = div 1 a
+
+let pow x n =
+  if n < 0 then invalid_arg "Gf256.pow: negative exponent";
+  if x = 0 then (if n = 0 then 1 else 0)
+  else exp_table.(log_table.(x) * n mod 255)

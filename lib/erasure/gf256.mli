@@ -1,0 +1,26 @@
+(** Arithmetic over GF(2^8) with the primitive polynomial
+    x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the field used by every
+    byte-oriented Reed-Solomon deployment. Multiplication and division
+    go through precomputed log/antilog tables, so each operation is a
+    couple of array reads. All arguments and results live in 0..255. *)
+
+val add : int -> int -> int
+(** Addition = subtraction = xor in characteristic 2. *)
+
+val mul : int -> int -> int
+
+val div : int -> int -> int
+(** @raise Division_by_zero when the divisor is 0. *)
+
+val inv : int -> int
+(** Multiplicative inverse. @raise Division_by_zero on 0. *)
+
+val pow : int -> int -> int
+(** [pow x n] for n >= 0, with [pow 0 0 = 1]. *)
+
+val exp_table : int array
+(** [exp_table.(i)] = generator 2 raised to [i], for i in 0..254. *)
+
+val log_table : int array
+(** Discrete log base 2 of each nonzero element; [log_table.(0)] is
+    unused and holds 0. *)

@@ -620,3 +620,198 @@ let render_pdes_sweep points =
       points
   in
   Lesslog_report.Table.render ~header rows
+
+(* --- Erasure-coded cold tier: storage amplification vs full replication --- *)
+
+module Scenario = Lesslog_workload.Scenario
+
+type coldtier_point = {
+  ct_label : string;
+  ct_requests : int;
+  ct_served : int;
+  ct_faults : int;
+  ct_loss : float;
+  ct_demotions : int;
+  ct_promotions : int;
+  ct_fragment_repairs : int;
+  ct_coded_serves : int;
+  ct_mean_bytes : float;
+  ct_amplification : float;
+  ct_bytes_moved : int;
+  ct_repair_bytes : int;
+  ct_bytes_end : int;
+  ct_lost : bool;
+  ct_secs : float;
+}
+
+let coldtier_point ?(m = 10) ?(capacity = 100.0) ?(seed = 42) ?(peak = 500.0)
+    ?(peak_duration = 1.5) ?(calm_duration = 12.0) ?(code_k = 10)
+    ?(code_r = 4) ?(file_bytes = 1 lsl 20) ?(rf_min = 3) ~hybrid () =
+  let params = Params.create ~m () in
+  let cluster = Cluster.create params in
+  let inserted =
+    match Ops.insert cluster ~key:hot_file with
+    | [] -> invalid_arg "Experiments.coldtier_point: empty system"
+    | ps -> List.map Pid.to_int ps
+  in
+  let status = Cluster.status cluster in
+  (* The adaptive lifecycle: a flash crowd, a long idle stretch in which
+     the key goes Cold, then a re-heat that must be served back out of
+     whatever the tier kept. *)
+  let scenario =
+    Scenario.of_phases
+      [
+        {
+          Scenario.demand = Demand.uniform status ~total:peak;
+          duration = peak_duration;
+        };
+        {
+          Scenario.demand = Demand.uniform status ~total:0.0;
+          duration = calm_duration;
+        };
+        {
+          Scenario.demand = Demand.uniform status ~total:peak;
+          duration = peak_duration;
+        };
+      ]
+  in
+  let tag = Printf.sprintf "%d|coldtier|%d|%b" seed m hybrid in
+  let rng = Rng.create ~seed:(Lesslog_hash.Fnv.hash63 tag land 0x3FFFFFFF) in
+  let pconfig =
+    {
+      Rf_policy.default_config with
+      Rf_policy.interval = 0.25;
+      rf_min;
+      rf_max = Params.space params;
+      capacity = Some capacity;
+    }
+  in
+  let policy =
+    Rf_policy.create ~config:pconfig ~rf0:rf_min
+      ~nodes:(Params.space params) ~files:1 ()
+  in
+  let cold_tier =
+    {
+      Des_sim.code_k;
+      code_r;
+      file_bytes;
+      (* The full-replication baseline runs the identical policy and
+         byte ledger with demotion disarmed — the same accounting, so
+         the amplification ratio compares like with like. *)
+      demote_after = (if hybrid then 2 else max_int);
+    }
+  in
+  (* Fail two fragment-holding nodes mid-calm: low ascending PIDs carry
+     fragments (and, in the baseline, policy-filled copies), so both
+     runs pay a failure-triggered repair — the hybrid's in fragment
+     rebuilds, the baseline's in relocated full copies. *)
+  let fail_at = peak_duration +. (0.6 *. calm_duration) in
+  let victims =
+    List.filteri
+      (fun i _ -> i < 2)
+      (List.filter (fun i -> not (List.mem i inserted)) [ 0; 1; 2; 3 ])
+  in
+  let churn =
+    List.mapi
+      (fun i v ->
+        {
+          Des_sim.at = fail_at +. (0.1 *. float_of_int i);
+          action = Des_sim.Fail (Pid.unsafe_of_int v);
+        })
+      victims
+  in
+  let config = { Des_sim.default_config with capacity } in
+  let t0 = Sys.time () in
+  let r =
+    Des_sim.run_scenario ~config ~churn ~policy ~cold_tier ~rng ~cluster
+      ~key:hot_file ~scenario ()
+  in
+  let secs = Sys.time () -. t0 in
+  let c =
+    match r.Des_sim.cold with
+    | Some c -> c
+    | None -> invalid_arg "Experiments.coldtier_point: no cold ledger"
+  in
+  let requests = r.Des_sim.served + r.Des_sim.faults in
+  {
+    ct_label = (if hybrid then "hybrid" else "full");
+    ct_requests = requests;
+    ct_served = r.Des_sim.served;
+    ct_faults = r.Des_sim.faults;
+    ct_loss =
+      (if requests = 0 then 0.0
+       else float_of_int r.Des_sim.faults /. float_of_int requests);
+    ct_demotions = c.Des_sim.demotions;
+    ct_promotions = c.Des_sim.promotions;
+    ct_fragment_repairs = c.Des_sim.fragment_repairs;
+    ct_coded_serves = c.Des_sim.coded_serves;
+    ct_mean_bytes = c.Des_sim.mean_bytes_stored;
+    ct_amplification = c.Des_sim.mean_bytes_stored /. float_of_int file_bytes;
+    ct_bytes_moved = c.Des_sim.bytes_moved;
+    ct_repair_bytes = c.Des_sim.repair_bytes;
+    ct_bytes_end = c.Des_sim.bytes_stored_end;
+    ct_lost = c.Des_sim.lost_cold;
+    ct_secs = secs;
+  }
+
+let coldtier_run ?m ?capacity ?seed ?peak ?peak_duration ?calm_duration
+    ?code_k ?code_r ?file_bytes ?rf_min () =
+  [
+    coldtier_point ?m ?capacity ?seed ?peak ?peak_duration ?calm_duration
+      ?code_k ?code_r ?file_bytes ?rf_min ~hybrid:false ();
+    coldtier_point ?m ?capacity ?seed ?peak ?peak_duration ?calm_duration
+      ?code_k ?code_r ?file_bytes ?rf_min ~hybrid:true ();
+  ]
+
+let render_coldtier points =
+  let header =
+    [ "tier"; "requests"; "served"; "loss"; "demote"; "promote"; "repairs";
+      "coded srv"; "mean MiB"; "amp"; "moved MiB"; "repair MiB" ]
+  in
+  let mib b = float_of_int b /. (1024.0 *. 1024.0) in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.ct_label;
+          string_of_int p.ct_requests;
+          string_of_int p.ct_served;
+          Printf.sprintf "%.4f" p.ct_loss;
+          string_of_int p.ct_demotions;
+          string_of_int p.ct_promotions;
+          string_of_int p.ct_fragment_repairs;
+          string_of_int p.ct_coded_serves;
+          Printf.sprintf "%.2f" (p.ct_mean_bytes /. (1024.0 *. 1024.0));
+          Printf.sprintf "%.2f" p.ct_amplification;
+          Printf.sprintf "%.2f" (mib p.ct_bytes_moved);
+          Printf.sprintf "%.2f" (mib p.ct_repair_bytes);
+        ])
+      points
+  in
+  Lesslog_report.Table.render ~header rows
+
+let coldtier_pdes ?(m = 8) ?(b = 2) ?(domains = 1) ?(rate = 8.0)
+    ?(duration = 6.0) ?(seed = 7) () =
+  let params = Params.create ~b ~m () in
+  let status = Status_word.create params ~initially_live:true in
+  let demand = Demand.uniform status ~total:rate in
+  let pconfig =
+    {
+      Rf_policy.default_config with
+      Rf_policy.interval = 0.25;
+      rf_max = Params.space params;
+      capacity = Some 100.0;
+    }
+  in
+  let policy =
+    Rf_policy.create ~config:pconfig ~rf0:(Params.subtree_count params)
+      ~nodes:(Params.space params) ~files:1 ()
+  in
+  (* A trickle of demand: empty analysis intervals classify Cold (the
+     tier demotes), bursts re-heat the key — several full
+     demote/serve-coded/promote cycles per run. *)
+  let cold_tier =
+    { Des_sim.default_cold_tier with Des_sim.demote_after = 1 }
+  in
+  Pdes_sim.run ~policy ~cold_tier ~domains ~seed ~params ~key:"cold/object"
+    ~demand ~duration ()

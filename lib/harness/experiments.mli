@@ -340,3 +340,89 @@ val adaptive_timeline :
 
 val render_adaptive_timeline : adaptive_step list -> string
 (** One table row per interval, ready to print. *)
+
+(** {1 Erasure-coded cold tier}
+
+    Storage amplification and repair traffic of the hybrid
+    replicated/coded storage stack against full replication, on the
+    adaptive-lifecycle timeline (flash crowd, long idle stretch, a
+    mid-calm double node failure, re-heat). Both sides run the same
+    dynamic-RF policy and the same {!Lesslog_des.Des_sim} byte ledger;
+    the baseline simply never demotes ([demote_after = max_int]). *)
+
+type coldtier_point = {
+  ct_label : string;  (** ["full"] or ["hybrid"]. *)
+  ct_requests : int;
+  ct_served : int;
+  ct_faults : int;
+  ct_loss : float;  (** [faults /. requests] (0 when no requests). *)
+  ct_demotions : int;
+  ct_promotions : int;
+  ct_fragment_repairs : int;
+  ct_coded_serves : int;
+  ct_mean_bytes : float;  (** Time-averaged stored bytes over the run. *)
+  ct_amplification : float;  (** [ct_mean_bytes /. file_bytes]. *)
+  ct_bytes_moved : int;
+  ct_repair_bytes : int;
+  ct_bytes_end : int;
+  ct_lost : bool;  (** The coded payload became unrecoverable. *)
+  ct_secs : float;
+}
+
+val coldtier_point :
+  ?m:int ->
+  ?capacity:float ->
+  ?seed:int ->
+  ?peak:float ->
+  ?peak_duration:float ->
+  ?calm_duration:float ->
+  ?code_k:int ->
+  ?code_r:int ->
+  ?file_bytes:int ->
+  ?rf_min:int ->
+  hybrid:bool ->
+  unit ->
+  coldtier_point
+(** One {!Lesslog_des.Des_sim.run_scenario} pass over the three-phase
+    lifecycle (peak [peak_duration] at [peak] req/s, idle
+    [calm_duration], peak again) with the capacity-aware dynamic-RF
+    policy at a durability floor of [rf_min] copies (default 3): the
+    hybrid side arms the [(code_k, code_r)] cold tier with
+    [demote_after = 2], the baseline runs the identical configuration
+    with demotion disarmed. Two fragment-holding nodes fail mid-calm so
+    both sides pay a failure-triggered repair. Defaults: m = 10, 500
+    req/s peaks of 1.5 s, 12 s of calm, a (10, 4) code over 1 MiB. *)
+
+val coldtier_run :
+  ?m:int ->
+  ?capacity:float ->
+  ?seed:int ->
+  ?peak:float ->
+  ?peak_duration:float ->
+  ?calm_duration:float ->
+  ?code_k:int ->
+  ?code_r:int ->
+  ?file_bytes:int ->
+  ?rf_min:int ->
+  unit ->
+  coldtier_point list
+(** The pair [[full; hybrid]] at identical parameters and run seed. *)
+
+val render_coldtier : coldtier_point list -> string
+(** One table row per point, ready to print. *)
+
+val coldtier_pdes :
+  ?m:int ->
+  ?b:int ->
+  ?domains:int ->
+  ?rate:float ->
+  ?duration:float ->
+  ?seed:int ->
+  unit ->
+  Lesslog_des.Pdes_sim.result
+(** One sharded-simulator run with the cold tier armed at
+    [demote_after = 1] under trickle demand (default 8 req/s over
+    [2^m] nodes): empty policy intervals classify Cold and demote,
+    bursts promote — several full tier cycles, all inside barrier
+    globals, so {!Lesslog_des.Pdes_sim.result.digest} and the cold
+    ledger must be bit-identical at any [domains]. *)

@@ -4,9 +4,16 @@ let pp_origin fmt = function
   | Inserted -> Format.pp_print_string fmt "inserted"
   | Replicated -> Format.pp_print_string fmt "replicated"
 
+type tier = Replicated_full | Coded of { index : int; k : int; r : int }
+
+let pp_tier fmt = function
+  | Replicated_full -> Format.pp_print_string fmt "full"
+  | Coded { index; k; r } -> Format.fprintf fmt "coded(%d of %d+%d)" index k r
+
 type entry = {
   key : string;
   origin : origin;
+  tier : tier;
   mutable version : int;
   counter : Access_counter.t;
 }
@@ -23,11 +30,11 @@ let set_observer t f = t.on_change <- Some f
 let notify t key held =
   match t.on_change with None -> () | Some f -> f key held
 
-let add t ~key ~origin ~version ~now =
+let add ?(tier = Replicated_full) t ~key ~origin ~version ~now =
   (match Hashtbl.find_opt t.entries key with
   | None ->
       Hashtbl.replace t.entries key
-        { key; origin; version; counter = Access_counter.create ~now () }
+        { key; origin; tier; version; counter = Access_counter.create ~now () }
   | Some e ->
       let origin =
         match (e.origin, origin) with
@@ -35,7 +42,7 @@ let add t ~key ~origin ~version ~now =
         | Replicated, Replicated -> Replicated
       in
       Hashtbl.replace t.entries key
-        { e with origin; version = max e.version version });
+        { e with origin; tier; version = max e.version version });
   notify t key true
 
 let remove t ~key =
@@ -48,6 +55,7 @@ let holds t ~key = Hashtbl.mem t.entries key
 let find t ~key = Hashtbl.find_opt t.entries key
 let version t ~key = Option.map (fun e -> e.version) (find t ~key)
 let origin t ~key = Option.map (fun e -> e.origin) (find t ~key)
+let tier t ~key = Option.map (fun e -> e.tier) (find t ~key)
 
 let record_access t ~key ~now =
   match Hashtbl.find_opt t.entries key with
@@ -70,6 +78,13 @@ let keys_with_origin t o =
 
 let inserted_keys t = keys_with_origin t Inserted
 let replicated_keys t = keys_with_origin t Replicated
+
+let coded_keys t =
+  Hashtbl.fold
+    (fun k e acc -> match e.tier with Coded _ -> k :: acc | _ -> acc)
+    t.entries []
+  |> List.sort compare
+
 let size t = Hashtbl.length t.entries
 
 let demote_to_replica t ~key =
@@ -82,17 +97,30 @@ let drop_replicas t =
   List.iter (fun key -> remove t ~key) dropped;
   dropped
 
-let evict_cold_replicas t ~now ~min_rate =
+let evict_cold_replicas ?(survivors = fun _ -> max_int) ?(min_survivors = 0) t
+    ~now ~min_rate =
   let cold =
     Hashtbl.fold
       (fun k e acc ->
-        if e.origin = Replicated && Access_counter.rate e.counter ~now < min_rate
+        if
+          e.origin = Replicated && e.tier = Replicated_full
+          && Access_counter.rate e.counter ~now < min_rate
         then k :: acc
         else acc)
       t.entries []
     |> List.sort compare
   in
-  List.iter (fun key -> remove t ~key) cold;
-  cold
+  (* Re-check the survivor floor immediately before each removal: the
+     index behind [survivors] updates as this loop (and eviction on
+     other nodes this tick) removes copies, and the last-copy bug was
+     exactly that every holder checked a stale count. *)
+  List.filter
+    (fun key ->
+      if survivors key > min_survivors then begin
+        remove t ~key;
+        true
+      end
+      else false)
+    cold
 
 let iter t f = Hashtbl.iter (fun _ e -> f e) t.entries

@@ -11,9 +11,21 @@ type origin = Inserted | Replicated
 
 val pp_origin : Format.formatter -> origin -> unit
 
+type tier = Replicated_full | Coded of { index : int; k : int; r : int }
+(** Storage class of a copy. [Replicated_full] is a whole-file copy
+    (the only tier before the cold tier existed); [Coded] marks a
+    single Reed-Solomon fragment — [index] of the [k + r] fragments of
+    a [(k, r)] code — stored under a fragment key derived from the
+    base key. Coded entries are never touched by counter-based
+    eviction; their lifecycle belongs to the demote/promote/repair
+    paths in [Ops]. *)
+
+val pp_tier : Format.formatter -> tier -> unit
+
 type entry = {
   key : string;
   origin : origin;
+  tier : tier;
   mutable version : int;
   counter : Access_counter.t;
 }
@@ -32,10 +44,18 @@ val set_observer : t -> (string -> bool -> unit) -> unit
     "now does not hold" statements, not as deltas. {!Cluster} uses this to
     keep a per-key holder bitset exact without scanning stores. *)
 
-val add : t -> key:string -> origin:origin -> version:int -> now:float -> unit
-(** Store a copy. Re-adding an existing key keeps the entry but upgrades
-    its origin to [Inserted] if either is inserted, and raises the stored
-    version to [version] if newer. *)
+val add :
+  ?tier:tier ->
+  t ->
+  key:string ->
+  origin:origin ->
+  version:int ->
+  now:float ->
+  unit
+(** Store a copy ([tier] defaults to [Replicated_full]). Re-adding an
+    existing key keeps the entry but upgrades its origin to [Inserted]
+    if either is inserted, raises the stored version to [version] if
+    newer, and takes the new call's [tier]. *)
 
 val remove : t -> key:string -> unit
 val holds : t -> key:string -> bool
@@ -49,9 +69,15 @@ val record_access : t -> key:string -> now:float -> unit
 val set_version : t -> key:string -> version:int -> unit
 (** No-op when the key is absent. *)
 
+val tier : t -> key:string -> tier option
+
 val keys : t -> string list
 val inserted_keys : t -> string list
 val replicated_keys : t -> string list
+
+val coded_keys : t -> string list
+(** Keys of the [Coded]-tier entries (fragment keys), sorted. *)
+
 val size : t -> int
 
 val demote_to_replica : t -> key:string -> unit
@@ -63,9 +89,26 @@ val drop_replicas : t -> string list
 (** Remove every replicated copy (a voluntarily leaving node); returns the
     dropped keys. *)
 
-val evict_cold_replicas : t -> now:float -> min_rate:float -> string list
-(** The counter-based mechanism: remove replicated (never inserted) copies
-    whose estimated access rate fell below [min_rate]; returns the evicted
-    keys. *)
+val evict_cold_replicas :
+  ?survivors:(string -> int) ->
+  ?min_survivors:int ->
+  t ->
+  now:float ->
+  min_rate:float ->
+  string list
+(** The counter-based mechanism: remove replicated (never inserted,
+    never coded) copies whose estimated access rate fell below
+    [min_rate]; returns the evicted keys.
+
+    When every live holder of a key is a below-rate replica — the
+    inserted copy's node is down — unguarded eviction can drop the
+    last live copy cluster-wide. [survivors] reports the current
+    cluster-wide live copy count for a key and [min_survivors] is the
+    floor it must stay above: a copy is only removed while
+    [survivors key > min_survivors], re-checked before each removal so
+    concurrent evictions on other nodes (reflected through the
+    observer-maintained index backing [survivors]) are seen. Defaults
+    ([survivors = fun _ -> max_int], [min_survivors = 0]) preserve the
+    historical local-only behaviour. *)
 
 val iter : t -> (entry -> unit) -> unit

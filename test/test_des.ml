@@ -213,7 +213,11 @@ let test_golden_trace_reproduced () =
   Alcotest.(check (float 0.0)) "max latency (bit-exact)" 0x1.79ff3939ab99ep-2
     (Histogram.max_value r.Des_sim.latencies);
   Alcotest.(check (float 0.0)) "max hops (bit-exact)" 0x1.8p+2
-    (Histogram.max_value r.Des_sim.hops)
+    (Histogram.max_value r.Des_sim.hops);
+  (* Runs without a [cold_tier] carry no cold ledger — the tier is
+     strictly opt-in, and the digest above proves it leaves the event
+     stream untouched. *)
+  Alcotest.(check bool) "no cold ledger" true (r.Des_sim.cold = None)
 
 (* --- Dynamic-RF policy --------------------------------------------------- *)
 
@@ -282,6 +286,140 @@ let test_policy_rejects_wrong_population () =
     (fun () ->
       ignore (Des_sim.run ~policy ~rng ~cluster ~key ~demand ~duration:1.0 ()))
 
+(* --- Erasure-coded cold tier ---------------------------------------- *)
+
+module Experiments = Lesslog_harness.Experiments
+
+(* The Ops layer end to end: demote, serve from fragments, lose up to
+   [r] holders and keep serving, repair, then lose [r + 1] and degrade
+   to faults — never an exception. *)
+let test_cold_ops_lifecycle () =
+  let params = Params.create ~m:6 () in
+  let cluster = Cluster.create params in
+  let key = "cold/object" in
+  ignore (Ops.insert cluster ~key);
+  let status = Cluster.status cluster in
+  let k = 4 and r = 2 in
+  let holders =
+    match Ops.demote_to_coded cluster ~key ~k ~r with
+    | Some hs -> hs
+    | None -> Alcotest.fail "demotion refused"
+  in
+  Alcotest.(check int) "k+r fragment holders" (k + r) (List.length holders);
+  Alcotest.(check int) "no full copies left" 0
+    (Cluster.total_copies cluster ~key);
+  Alcotest.(check bool) "servable" true (Ops.coded_servable cluster ~key);
+  let origin =
+    (* A live node holding no fragment, so the request must walk. *)
+    let rec find i =
+      let p = Pid.unsafe_of_int i in
+      if
+        Status_word.is_live status p
+        && not (Ops.holds_fragment cluster p ~key)
+      then p
+      else find (i + 1)
+    in
+    find 0
+  in
+  let serves () = (Ops.get cluster ~origin ~key).Ops.server <> None in
+  Alcotest.(check bool) "serves from fragments" true (serves ());
+  (* Fail the r parity holders: still >= k fragments, still servable,
+     and the data-stripe holder at the walk's insertion target stays up
+     so the path keeps meeting a fragment. *)
+  List.iteri
+    (fun i p -> if i >= k then Status_word.set_dead status p)
+    holders;
+  Alcotest.(check int) "k fragments survive" k
+    (Ops.live_fragment_count cluster ~key);
+  Alcotest.(check bool) "still serves at r losses" true (serves ());
+  (* Churn repair re-seats the missing fragments on fresh nodes. *)
+  (match Ops.repair_coded cluster ~key with
+  | `Repaired n -> Alcotest.(check int) "rebuilt" r n
+  | `Intact | `Lost -> Alcotest.fail "expected a repair");
+  Alcotest.(check int) "full strength again" (k + r)
+    (Ops.live_fragment_count cluster ~key);
+  (* Now lose r + 1 of the current holders with no repair in between:
+     fewer than k fragments survive, and every path degrades
+     gracefully. *)
+  let current =
+    List.concat_map
+      (fun i -> Cluster.holders cluster ~key:(Ops.frag_key key i))
+      (List.init (k + r) Fun.id)
+    |> List.filter (Status_word.is_live status)
+  in
+  List.iteri
+    (fun i p -> if i <= r then Status_word.set_dead status p)
+    current;
+  Alcotest.(check bool) "below k" true
+    (Ops.live_fragment_count cluster ~key < k);
+  Alcotest.(check bool) "not servable" false (Ops.coded_servable cluster ~key);
+  Alcotest.(check bool) "get faults, no exception" false (serves ());
+  Alcotest.(check bool) "promotion refused" true
+    (Ops.promote_from_coded cluster ~key ~copies:3 = None);
+  (match Ops.repair_coded cluster ~key with
+  | `Lost -> ()
+  | `Intact | `Repaired _ -> Alcotest.fail "expected `Lost")
+
+(* The simulator end to end, through the harness lifecycle: flash
+   crowd, demotion during the calm, two fragment-holder failures
+   (<= r), fragment repair, promotion on the re-heat — the payload
+   survives and requests are served out of fragments. *)
+let test_cold_sim_lifecycle () =
+  let points =
+    Experiments.coldtier_run ~m:9 ~calm_duration:10.0 ()
+  in
+  match points with
+  | [ full; hybrid ] ->
+      Alcotest.(check int) "baseline never demotes" 0
+        full.Experiments.ct_demotions;
+      Alcotest.(check bool) "hybrid demotes" true
+        (hybrid.Experiments.ct_demotions >= 1);
+      Alcotest.(check bool) "hybrid promotes" true
+        (hybrid.Experiments.ct_promotions >= 1);
+      Alcotest.(check bool) "served from fragments" true
+        (hybrid.Experiments.ct_coded_serves >= 1);
+      Alcotest.(check bool) "payload survived <= r failures" false
+        hybrid.Experiments.ct_lost;
+      Alcotest.(check bool) "failures triggered fragment repair" true
+        (hybrid.Experiments.ct_fragment_repairs >= 1
+        && hybrid.Experiments.ct_repair_bytes > 0);
+      Alcotest.(check bool) "loss parity with the baseline" true
+        (Float.abs
+           (hybrid.Experiments.ct_loss -. full.Experiments.ct_loss)
+        <= 0.05);
+      Alcotest.(check bool) "hybrid stores fewer bytes" true
+        (hybrid.Experiments.ct_mean_bytes < full.Experiments.ct_mean_bytes)
+  | _ -> Alcotest.fail "coldtier_run: expected [full; hybrid]"
+
+let test_cold_tier_validation () =
+  let cluster = make_cluster ~m:6 () in
+  let params = Cluster.params cluster in
+  let rng = Rng.create ~seed:3 in
+  let demand = Demand.uniform (Cluster.status cluster) ~total:10.0 in
+  let attempt ?policy cold_tier =
+    ignore (Des_sim.run ?policy ~cold_tier ~rng ~cluster ~key ~demand
+              ~duration:1.0 ())
+  in
+  Alcotest.check_raises "needs a policy"
+    (Invalid_argument "Des_sim: cold_tier needs a policy (its Cold verdicts)")
+    (fun () -> attempt Des_sim.default_cold_tier);
+  let policy () = make_policy ~params ~capacity:100.0 () in
+  Alcotest.check_raises "bad code"
+    (Invalid_argument "Des_sim: invalid cold_tier code parameters")
+    (fun () ->
+      attempt ~policy:(policy ())
+        { Des_sim.default_cold_tier with code_k = 0 });
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Des_sim: file_bytes must be > 0")
+    (fun () ->
+      attempt ~policy:(policy ())
+        { Des_sim.default_cold_tier with file_bytes = 0 });
+  Alcotest.check_raises "bad streak"
+    (Invalid_argument "Des_sim: demote_after must be >= 1")
+    (fun () ->
+      attempt ~policy:(policy ())
+        { Des_sim.default_cold_tier with demote_after = 0 })
+
 let test_replica_timeline_monotone () =
   let _, r = run ~total:2000.0 ~duration:15.0 () in
   let pts = Lesslog_metrics.Timeseries.points r.Des_sim.replica_timeline in
@@ -328,5 +466,11 @@ let () =
             test_policy_drains_after_demand;
           Alcotest.test_case "rejects wrong population" `Quick
             test_policy_rejects_wrong_population;
+        ] );
+      ( "cold tier",
+        [
+          Alcotest.test_case "ops lifecycle" `Quick test_cold_ops_lifecycle;
+          Alcotest.test_case "sim lifecycle" `Slow test_cold_sim_lifecycle;
+          Alcotest.test_case "validation" `Quick test_cold_tier_validation;
         ] );
     ]

@@ -1,0 +1,229 @@
+module Gf256 = Lesslog_erasure.Gf256
+module Erasure = Lesslog_erasure.Erasure
+
+(* --- GF(256) field axioms --------------------------------------------- *)
+
+let gen_byte = QCheck2.Gen.int_range 0 255
+let gen_nonzero = QCheck2.Gen.int_range 1 255
+
+let prop_mul_commutes =
+  Test_support.qcheck_case ~name:"mul commutes"
+    QCheck2.Gen.(pair gen_byte gen_byte)
+    (fun (a, b) -> Gf256.mul a b = Gf256.mul b a)
+
+let prop_mul_associates =
+  Test_support.qcheck_case ~name:"mul associates"
+    QCheck2.Gen.(triple gen_byte gen_byte gen_byte)
+    (fun (a, b, c) -> Gf256.mul (Gf256.mul a b) c = Gf256.mul a (Gf256.mul b c))
+
+let prop_mul_distributes =
+  Test_support.qcheck_case ~name:"mul distributes over add"
+    QCheck2.Gen.(triple gen_byte gen_byte gen_byte)
+    (fun (a, b, c) ->
+      Gf256.mul a (Gf256.add b c) = Gf256.add (Gf256.mul a b) (Gf256.mul a c))
+
+let prop_add_is_involution =
+  Test_support.qcheck_case ~name:"add is xor: a + a = 0"
+    QCheck2.Gen.(pair gen_byte gen_byte)
+    (fun (a, b) -> Gf256.add a a = 0 && Gf256.add a b = a lxor b)
+
+let prop_inverse =
+  Test_support.qcheck_case ~name:"a * inv a = 1" gen_nonzero (fun a ->
+      Gf256.mul a (Gf256.inv a) = 1 && Gf256.div a a = 1)
+
+let prop_div_undoes_mul =
+  Test_support.qcheck_case ~name:"div undoes mul"
+    QCheck2.Gen.(pair gen_byte gen_nonzero)
+    (fun (a, b) -> Gf256.div (Gf256.mul a b) b = a)
+
+let prop_pow_is_iterated_mul =
+  Test_support.qcheck_case ~name:"pow is iterated mul"
+    QCheck2.Gen.(pair gen_byte (int_range 0 10))
+    (fun (a, n) ->
+      let rec loop acc i = if i = 0 then acc else loop (Gf256.mul acc a) (i - 1) in
+      Gf256.pow a n = loop 1 n)
+
+let test_identities () =
+  Alcotest.(check int) "mul by 0" 0 (Gf256.mul 0 123);
+  Alcotest.(check int) "mul by 1" 123 (Gf256.mul 1 123);
+  Alcotest.(check int) "pow 0 0" 1 (Gf256.pow 0 0);
+  Alcotest.check_raises "div by 0" Division_by_zero (fun () ->
+      ignore (Gf256.div 1 0));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Gf256.inv 0));
+  (* The exp/log tables invert each other on the nonzero elements. *)
+  for i = 1 to 255 do
+    Alcotest.(check int)
+      (Printf.sprintf "exp (log %d)" i)
+      i
+      Gf256.exp_table.(Gf256.log_table.(i))
+  done
+
+(* --- Round trips ------------------------------------------------------ *)
+
+(* The ISSUE's three codes, exercised below both deterministically and
+   under random payloads/drop patterns. *)
+let codes = [ (4, 2); (10, 4); (6, 3) ]
+
+let payload_of_size n =
+  String.init n (fun i -> Char.chr ((i * 131 + (i / 7)) land 0xff))
+
+(* Decode from the survivor set [all fragments minus drop], where
+   [drop] lists fragment indices. *)
+let decode_without t ~payload ~drop =
+  let fragments = Erasure.encode t payload in
+  let survivors =
+    Array.to_list fragments
+    |> List.mapi (fun i f -> (i, f))
+    |> List.filter (fun (i, _) -> not (List.mem i drop))
+  in
+  Erasure.decode t ~len:(String.length payload) survivors
+
+(* Every way of dropping exactly [r] fragments out of [k + r]. *)
+let rec choose n lst =
+  if n = 0 then [ [] ]
+  else
+    match lst with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun c -> x :: c) (choose (n - 1) rest) @ choose n rest
+
+let test_all_r_drops () =
+  List.iter
+    (fun (k, r) ->
+      let t = Erasure.create ~k ~r in
+      (* Sizes: empty, one byte, a non-multiple of k, an exact
+         multiple, and something big enough to span several words. *)
+      List.iter
+        (fun len ->
+          let payload = payload_of_size len in
+          List.iter
+            (fun drop ->
+              match decode_without t ~payload ~drop with
+              | Ok rebuilt ->
+                  if rebuilt <> payload then
+                    Alcotest.failf "(%d,%d) len %d drop [%s]: corrupt" k r len
+                      (String.concat ";" (List.map string_of_int drop))
+              | Error e ->
+                  Alcotest.failf "(%d,%d) len %d drop [%s]: %s" k r len
+                    (String.concat ";" (List.map string_of_int drop))
+                    e)
+            (choose r (List.init (k + r) Fun.id)))
+        [ 0; 1; k + 1; 3 * k; (3 * k) + 1 ])
+    codes
+
+let gen_payload = QCheck2.Gen.(string_size (int_range 0 200))
+
+let gen_code = QCheck2.Gen.oneofl codes
+
+(* A random drop set of size <= r, as distinct indices in 0 .. k+r-1. *)
+let gen_roundtrip =
+  QCheck2.Gen.(
+    gen_code >>= fun (k, r) ->
+    gen_payload >>= fun payload ->
+    shuffle_l (List.init (k + r) Fun.id) >>= fun order ->
+    int_range 0 r >>= fun drops ->
+    return ((k, r), payload, List.filteri (fun i _ -> i < drops) order))
+
+let prop_roundtrip =
+  Test_support.qcheck_case ~count:200 ~name:"encode/drop <= r/decode"
+    gen_roundtrip
+    (fun ((k, r), payload, drop) ->
+      let t = Erasure.create ~k ~r in
+      decode_without t ~payload ~drop = Ok payload)
+
+let prop_too_few_survivors =
+  Test_support.qcheck_case ~count:100 ~name:"r+1 losses are unrecoverable"
+    QCheck2.Gen.(
+      gen_code >>= fun (k, r) ->
+      gen_payload >>= fun payload ->
+      shuffle_l (List.init (k + r) Fun.id) >>= fun order ->
+      return ((k, r), payload, List.filteri (fun i _ -> i <= r) order))
+    (fun ((k, r), payload, drop) ->
+      let t = Erasure.create ~k ~r in
+      Result.is_error (decode_without t ~payload ~drop))
+
+let test_decode_details () =
+  let t = Erasure.create ~k:4 ~r:2 in
+  let payload = payload_of_size 10 in
+  let frags = Erasure.encode t payload in
+  Alcotest.(check int) "fragment count" 6 (Array.length frags);
+  Alcotest.(check int) "fragment size" 3
+    (Erasure.fragment_size t ~len:(String.length payload));
+  (* Systematic: data stripes are the (padded) payload itself. *)
+  Alcotest.(check string) "stripe 0" (String.sub payload 0 3) frags.(0);
+  (* Duplicates are ignored; extras beyond k are ignored. *)
+  let ok =
+    Erasure.decode t ~len:10
+      [ (5, frags.(5)); (5, frags.(5)); (1, frags.(1)); (0, frags.(0));
+        (2, frags.(2)); (4, frags.(4)) ]
+  in
+  Alcotest.(check (result string string)) "dups + extras" (Ok payload) ok;
+  (* Malformed survivor lists are reported, not raised. *)
+  Alcotest.(check bool) "bad index" true
+    (Result.is_error (Erasure.decode t ~len:10 [ (9, frags.(0)) ]));
+  Alcotest.(check bool) "bad size" true
+    (Result.is_error
+       (Erasure.decode t ~len:10
+          [ (0, "x"); (1, frags.(1)); (2, frags.(2)); (3, frags.(3)) ]))
+
+let test_create_validation () =
+  let bad k r =
+    Alcotest.(check bool)
+      (Printf.sprintf "create k=%d r=%d rejected" k r)
+      true
+      (try
+         ignore (Erasure.create ~k ~r);
+         false
+       with Invalid_argument _ -> true)
+  in
+  bad 0 2;
+  bad (-1) 2;
+  bad 4 (-1);
+  bad 200 100;
+  (* r = 0 is a legal degenerate code: striping with no parity. *)
+  let t = Erasure.create ~k:3 ~r:0 in
+  let payload = payload_of_size 7 in
+  let frags = Erasure.encode t payload in
+  Alcotest.(check (result string string)) "r=0 roundtrip" (Ok payload)
+    (Erasure.decode t ~len:7 (Array.to_list frags |> List.mapi (fun i f -> (i, f))))
+
+let test_parity_rows () =
+  (* Parity rows have full length k and are not unit vectors (the code
+     is systematic, so units live in the implicit top rows). *)
+  List.iter
+    (fun (k, r) ->
+      let t = Erasure.create ~k ~r in
+      for j = 0 to r - 1 do
+        let row = Erasure.parity_row t j in
+        Alcotest.(check int) "row length" k (Array.length row);
+        let nonzero = Array.fold_left (fun n x -> if x <> 0 then n + 1 else n) 0 row in
+        Alcotest.(check bool) "row mixes stripes" true (nonzero > 1)
+      done)
+    codes
+
+let () =
+  Alcotest.run "erasure"
+    [
+      ( "gf256",
+        [
+          Alcotest.test_case "identities" `Quick test_identities;
+          prop_mul_commutes;
+          prop_mul_associates;
+          prop_mul_distributes;
+          prop_add_is_involution;
+          prop_inverse;
+          prop_div_undoes_mul;
+          prop_pow_is_iterated_mul;
+        ] );
+      ( "codes",
+        [
+          Alcotest.test_case "all r-drops recover, all sizes" `Quick
+            test_all_r_drops;
+          Alcotest.test_case "decode details" `Quick test_decode_details;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "parity rows" `Quick test_parity_rows;
+          prop_roundtrip;
+          prop_too_few_survivors;
+        ] );
+    ]

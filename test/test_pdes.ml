@@ -294,6 +294,37 @@ let test_pdes_policy_domain_invariance () =
         (run_pdes_policy ~domains ()))
     [ 2; 4; 8 ]
 
+let test_pdes_cold_tier_domain_invariance () =
+  (* The erasure-coded cold tier mutates only in the sequential barrier
+     globals, so the digest and the whole cold ledger must survive the
+     domain count. The workload's trickle alternates idle and busy
+     policy intervals, driving real demote/promote cycles. *)
+  let point domains =
+    Lesslog_harness.Experiments.coldtier_pdes ~m:7 ~domains ~duration:4.0 ()
+  in
+  let base = point 1 in
+  let bc =
+    match base.Pdes.cold with
+    | Some c -> c
+    | None -> Alcotest.fail "expected a cold ledger"
+  in
+  Alcotest.(check bool) "tier exercised" true
+    (bc.Lesslog_des.Des_sim.demotions >= 1
+    && bc.Lesslog_des.Des_sim.coded_serves >= 1);
+  Alcotest.(check bool) "payload intact" false
+    bc.Lesslog_des.Des_sim.lost_cold;
+  List.iter
+    (fun domains ->
+      let p = point domains in
+      check_same_result
+        (Printf.sprintf "cold tier, %d domains" domains)
+        base p;
+      Alcotest.(check bool)
+        (Printf.sprintf "cold ledger identical at %d domains" domains)
+        true
+        (p.Pdes.cold = base.Pdes.cold))
+    [ 2; 4; 8 ]
+
 let test_pdes_quiet_run_has_no_faults () =
   (* All nodes live, no loss: every subtree keeps its insertion copy, so
      routing always terminates at a holder. *)
@@ -460,6 +491,8 @@ let () =
             `Quick test_pdes_oversized_pool;
           Alcotest.test_case "dynamic-RF policy bit-identical at 1/2/4/8"
             `Quick test_pdes_policy_domain_invariance;
+          Alcotest.test_case "cold tier bit-identical at 1/2/4/8" `Quick
+            test_pdes_cold_tier_domain_invariance;
           Alcotest.test_case "quiet run: no faults" `Quick
             test_pdes_quiet_run_has_no_faults;
           Alcotest.test_case "replication under load" `Quick

@@ -115,6 +115,71 @@ let test_evict_cold_replicas () =
   Alcotest.(check bool) "hot kept" true (File_store.holds s ~key:"hot");
   Alcotest.(check bool) "inserted immune" true (File_store.holds s ~key:"ins")
 
+let test_tiers () =
+  let s = File_store.create () in
+  File_store.add s ~key:"whole" ~origin:File_store.Inserted ~version:0 ~now:0.0;
+  File_store.add s ~key:"whole#frag0" ~origin:File_store.Inserted
+    ~tier:(File_store.Coded { index = 0; k = 4; r = 2 })
+    ~version:0 ~now:0.0;
+  Alcotest.(check bool) "default tier" true
+    (File_store.tier s ~key:"whole" = Some File_store.Replicated_full);
+  Alcotest.(check bool) "coded tier" true
+    (File_store.tier s ~key:"whole#frag0"
+    = Some (File_store.Coded { index = 0; k = 4; r = 2 }));
+  Alcotest.(check bool) "missing key" true
+    (File_store.tier s ~key:"nope" = None);
+  Alcotest.(check (list string)) "coded_keys" [ "whole#frag0" ]
+    (File_store.coded_keys s);
+  (* Re-adding takes the new call's tier — promotion back to a full
+     copy clears the fragment marker. *)
+  File_store.add s ~key:"whole#frag0" ~origin:File_store.Inserted ~version:1
+    ~now:1.0;
+  Alcotest.(check (list string)) "promoted" [] (File_store.coded_keys s)
+
+let test_evict_min_survivors () =
+  (* Regression: a cold replica that is the last live copy
+     cluster-wide must survive eviction when a [min_survivors] floor
+     is given, and the [survivors] count is re-read before each
+     removal so earlier evictions in the same sweep are seen. *)
+  let s = File_store.create () in
+  File_store.add s ~key:"lonely" ~origin:File_store.Replicated ~version:0
+    ~now:0.0;
+  File_store.add s ~key:"backed" ~origin:File_store.Replicated ~version:0
+    ~now:0.0;
+  let copies = Hashtbl.create 4 in
+  Hashtbl.replace copies "lonely" 1;
+  Hashtbl.replace copies "backed" 3;
+  let survivors key = Option.value (Hashtbl.find_opt copies key) ~default:0 in
+  let evicted =
+    File_store.evict_cold_replicas ~survivors ~min_survivors:1 s ~now:20.0
+      ~min_rate:1.0
+  in
+  Alcotest.(check (list string)) "only the backed copy goes" [ "backed" ]
+    evicted;
+  Alcotest.(check bool) "last copy kept" true (File_store.holds s ~key:"lonely");
+  (* The count is re-read before each removal: a survivors function
+     that ticks down as the observer index reflects evictions
+     elsewhere stops the sweep at the floor. *)
+  let live = ref 2 in
+  let s2 = File_store.create () in
+  File_store.add s2 ~key:"x1" ~origin:File_store.Replicated ~version:0 ~now:0.0;
+  File_store.add s2 ~key:"x2" ~origin:File_store.Replicated ~version:0 ~now:0.0;
+  let evicted2 =
+    File_store.evict_cold_replicas
+      ~survivors:(fun _ ->
+        let v = !live in
+        decr live;
+        v)
+      ~min_survivors:1 s2 ~now:20.0 ~min_rate:1.0
+  in
+  Alcotest.(check int) "sweep stops at the floor" 1 (List.length evicted2);
+  (* The historical default (no floor) still drops a last copy. *)
+  let s3 = File_store.create () in
+  File_store.add s3 ~key:"lonely" ~origin:File_store.Replicated ~version:0
+    ~now:0.0;
+  Alcotest.(check (list string)) "defaults unchanged" [ "lonely" ]
+    (File_store.evict_cold_replicas s3 ~now:20.0 ~min_rate:1.0)
+
 let test_set_version () =
   let s = File_store.create () in
   File_store.add s ~key:"a" ~origin:File_store.Inserted ~version:0 ~now:0.0;
@@ -180,6 +245,9 @@ let () =
           Alcotest.test_case "demote" `Quick test_demote;
           Alcotest.test_case "counter-based eviction" `Quick
             test_evict_cold_replicas;
+          Alcotest.test_case "tiers" `Quick test_tiers;
+          Alcotest.test_case "eviction survivor floor" `Quick
+            test_evict_min_survivors;
           Alcotest.test_case "set version" `Quick test_set_version;
           Alcotest.test_case "remove" `Quick test_remove;
         ] );
